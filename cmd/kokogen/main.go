@@ -1,0 +1,116 @@
+// Command kokogen materializes the synthetic corpora as plain-text files so
+// they can be indexed with `koko index` or inspected directly. Ground truth
+// is written alongside as one-entity-per-line .truth files.
+//
+//	kokogen -dataset cafes -out ./data -n 84
+//	kokogen -dataset tweets -out ./data -n 800
+//	kokogen -dataset happydb -out ./data -n 10000
+//	kokogen -dataset wikipedia -out ./data -n 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/koko/index"
+)
+
+func main() {
+	dataset := flag.String("dataset", "cafes", "cafes | sprudge | tweets | happydb | wikipedia")
+	out := flag.String("out", "data", "output directory")
+	n := flag.Int("n", 0, "size override (documents); 0 = dataset default")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	switch *dataset {
+	case "cafes":
+		cfg := corpus.BaristaMagConfig(*seed)
+		if *n > 0 {
+			cfg.Articles = *n
+			cfg.CafesTotal = *n * 137 / 84
+		}
+		lc := corpus.GenCafes(cfg)
+		writeCorpus(*out, "baristamag", lc.Corpus)
+		writeTruth(*out, "baristamag", lc.Truth)
+	case "sprudge":
+		cfg := corpus.SprudgeConfig(*seed)
+		if *n > 0 {
+			cfg.Articles = *n
+			cfg.CafesTotal = *n * 671 / 1645
+		}
+		lc := corpus.GenCafes(cfg)
+		writeCorpus(*out, "sprudge", lc.Corpus)
+		writeTruth(*out, "sprudge", lc.Truth)
+	case "tweets":
+		w := corpus.GenWNUT(corpus.WNUTConfig{Tweets: orDefault(*n, 800), Seed: *seed})
+		writeCorpus(*out, "tweets", w.Corpus)
+		writeTruth(*out, "tweets-teams", w.Teams)
+		writeTruth(*out, "tweets-facilities", w.Facilities)
+	case "happydb":
+		c := corpus.GenHappyDB(orDefault(*n, 10000), *seed)
+		writeCorpus(*out, "happydb", c)
+	case "wikipedia":
+		c, st := corpus.GenWikipedia(orDefault(*n, 5000), *seed)
+		writeCorpus(*out, "wikipedia", c)
+		fmt.Printf("selectivities: chocolate=%.4f title=%.4f dob=%.4f\n",
+			float64(st.Chocolate)/float64(st.Articles),
+			float64(st.Title)/float64(st.Articles),
+			float64(st.DateOfBirth)/float64(st.Articles))
+	default:
+		fail(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+}
+
+func orDefault(n, d int) int {
+	if n > 0 {
+		return n
+	}
+	return d
+}
+
+// writeCorpus writes one file per document.
+func writeCorpus(dir, name string, c *index.Corpus) {
+	sub := filepath.Join(dir, name)
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		fail(err)
+	}
+	for d := 0; d < c.NumDocs(); d++ {
+		first, end := c.DocSentences(d)
+		var b strings.Builder
+		for sid := first; sid < end; sid++ {
+			b.WriteString(c.Sentence(sid).String())
+			b.WriteByte('\n')
+		}
+		path := filepath.Join(sub, fmt.Sprintf("%s.txt", c.Docs[d].Name))
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Printf("wrote %d documents to %s\n", c.NumDocs(), sub)
+}
+
+func writeTruth(dir, name string, truth map[string]bool) {
+	keys := make([]string, 0, len(truth))
+	for k := range truth {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	path := filepath.Join(dir, name+".truth")
+	if err := os.WriteFile(path, []byte(strings.Join(keys, "\n")+"\n"), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %d gold entities to %s\n", len(keys), path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "kokogen:", err)
+	os.Exit(1)
+}

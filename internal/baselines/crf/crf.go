@@ -1,0 +1,293 @@
+// Package crf implements the CRFsuite baseline of the paper's §6.1: a
+// first-order linear-chain model over BIO tags trained with the averaged
+// perceptron ("we used the averaged perceptron algorithm to train a first
+// order Markov CRF"), with the paper's feature template — the token with its
+// preceding and following tokens, prefixes and suffixes up to 3 characters,
+// and binary features testing digit patterns.
+package crf
+
+import (
+	"math/rand"
+	"strings"
+	"unicode"
+
+	"repro/internal/nlp"
+)
+
+// BIO labels.
+const (
+	TagO = "O"
+	TagB = "B"
+	TagI = "I"
+)
+
+var labels = []string{TagO, TagB, TagI}
+
+// Example is one training sentence: tokens with gold BIO tags.
+type Example struct {
+	Tokens []string
+	Tags   []string
+}
+
+// Tagger is a trained model.
+type Tagger struct {
+	weights map[string]float64
+}
+
+// Train runs averaged-perceptron training for the given number of epochs.
+// The example order is shuffled deterministically with seed.
+func Train(examples []Example, epochs int, seed int64) *Tagger {
+	w := map[string]float64{}
+	total := map[string]float64{}
+	lastUpdate := map[string]int{}
+	step := 0
+	upd := func(f string, delta float64) {
+		total[f] += w[f] * float64(step-lastUpdate[f])
+		lastUpdate[f] = step
+		w[f] += delta
+	}
+	r := rand.New(rand.NewSource(seed))
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	t := &Tagger{weights: w}
+	for ep := 0; ep < epochs; ep++ {
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			ex := examples[idx]
+			if len(ex.Tokens) == 0 {
+				continue
+			}
+			step++
+			pred := t.viterbi(ex.Tokens)
+			for i := range ex.Tokens {
+				if pred[i] == ex.Tags[i] {
+					continue
+				}
+				for _, f := range emissionFeatures(ex.Tokens, i) {
+					upd(f+"|"+ex.Tags[i], 1)
+					upd(f+"|"+pred[i], -1)
+				}
+			}
+			for i := 1; i < len(ex.Tokens); i++ {
+				gold := "T|" + ex.Tags[i-1] + ">" + ex.Tags[i]
+				got := "T|" + pred[i-1] + ">" + pred[i]
+				if gold != got {
+					upd(gold, 1)
+					upd(got, -1)
+				}
+			}
+		}
+	}
+	// Average.
+	avg := make(map[string]float64, len(w))
+	for f, v := range w {
+		tot := total[f] + v*float64(step+1-lastUpdate[f])
+		avg[f] = tot / float64(step+1)
+	}
+	return &Tagger{weights: avg}
+}
+
+// Predict tags a token sequence.
+func (t *Tagger) Predict(tokens []string) []string {
+	if len(tokens) == 0 {
+		return nil
+	}
+	return t.viterbi(tokens)
+}
+
+// viterbi decodes the best label sequence under the current weights.
+func (t *Tagger) viterbi(tokens []string) []string {
+	n := len(tokens)
+	k := len(labels)
+	score := make([][]float64, n)
+	back := make([][]int, n)
+	for i := 0; i < n; i++ {
+		score[i] = make([]float64, k)
+		back[i] = make([]int, k)
+		var em [3]float64
+		feats := emissionFeatures(tokens, i)
+		for li, lab := range labels {
+			var s float64
+			for _, f := range feats {
+				s += t.weights[f+"|"+lab]
+			}
+			em[li] = s
+		}
+		for li := range labels {
+			if i == 0 {
+				score[i][li] = em[li]
+				continue
+			}
+			best, bestPrev := -1e18, 0
+			for pi, plab := range labels {
+				s := score[i-1][pi] + t.weights["T|"+plab+">"+labels[li]]
+				if s > best {
+					best, bestPrev = s, pi
+				}
+			}
+			score[i][li] = best + em[li]
+			back[i][li] = bestPrev
+		}
+	}
+	bestLast, best := 0, -1e18
+	for li := range labels {
+		if score[n-1][li] > best {
+			best, bestLast = score[n-1][li], li
+		}
+	}
+	out := make([]string, n)
+	cur := bestLast
+	for i := n - 1; i >= 0; i-- {
+		out[i] = labels[cur]
+		cur = back[i][cur]
+	}
+	return out
+}
+
+// emissionFeatures is the paper's template: current/previous/next token,
+// prefixes and suffixes up to 3 chars, digit/shape tests.
+func emissionFeatures(tokens []string, i int) []string {
+	cur := strings.ToLower(tokens[i])
+	fs := []string{
+		"w=" + cur,
+		"shape=" + shape(tokens[i]),
+	}
+	if i > 0 {
+		fs = append(fs, "w-1="+strings.ToLower(tokens[i-1]))
+	} else {
+		fs = append(fs, "w-1=<s>")
+	}
+	if i+1 < len(tokens) {
+		fs = append(fs, "w+1="+strings.ToLower(tokens[i+1]))
+	} else {
+		fs = append(fs, "w+1=</s>")
+	}
+	for l := 1; l <= 3 && l <= len(cur); l++ {
+		fs = append(fs, "pre="+cur[:l], "suf="+cur[len(cur)-l:])
+	}
+	if hasDigit(tokens[i]) {
+		fs = append(fs, "hasdigit")
+	}
+	if allDigits(tokens[i]) {
+		fs = append(fs, "alldigits")
+	}
+	if isCapitalized(tokens[i]) {
+		fs = append(fs, "cap")
+	}
+	return fs
+}
+
+func shape(tok string) string {
+	var b strings.Builder
+	var last rune
+	for _, r := range tok {
+		var c rune
+		switch {
+		case unicode.IsUpper(r):
+			c = 'X'
+		case unicode.IsLower(r):
+			c = 'x'
+		case unicode.IsDigit(r):
+			c = 'd'
+		default:
+			c = '-'
+		}
+		if c != last {
+			b.WriteRune(c)
+			last = c
+		}
+	}
+	return b.String()
+}
+
+func hasDigit(s string) bool {
+	for _, r := range s {
+		if unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func isCapitalized(s string) bool {
+	for _, r := range s {
+		return unicode.IsUpper(r)
+	}
+	return false
+}
+
+// ExtractSpans converts BIO tags to extracted strings.
+func ExtractSpans(tokens, tags []string) []string {
+	var out []string
+	var cur []string
+	flush := func() {
+		if len(cur) > 0 {
+			out = append(out, strings.Join(cur, " "))
+			cur = nil
+		}
+	}
+	for i, tg := range tags {
+		switch tg {
+		case TagB:
+			flush()
+			cur = []string{tokens[i]}
+		case TagI:
+			if len(cur) > 0 {
+				cur = append(cur, tokens[i])
+			} else {
+				cur = []string{tokens[i]}
+			}
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// BIOFromSpans builds gold BIO tags for a sentence given labeled entity
+// strings (whole-token matches).
+func BIOFromSpans(s *nlp.Sentence, gold map[string]bool) Example {
+	tokens := make([]string, len(s.Tokens))
+	tags := make([]string, len(s.Tokens))
+	for i := range s.Tokens {
+		tokens[i] = s.Tokens[i].Text
+		tags[i] = TagO
+	}
+	for g := range gold {
+		words := strings.Fields(strings.ToLower(g))
+		if len(words) == 0 {
+			continue
+		}
+		for i := 0; i+len(words) <= len(tokens); i++ {
+			ok := true
+			for j, w := range words {
+				if strings.ToLower(tokens[i+j]) != w {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				tags[i] = TagB
+				for j := 1; j < len(words); j++ {
+					tags[i+j] = TagI
+				}
+			}
+		}
+	}
+	return Example{Tokens: tokens, Tags: tags}
+}

@@ -1,0 +1,104 @@
+package crf
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/nlp"
+)
+
+func TestTrainAndPredictSeparable(t *testing.T) {
+	// A separable task: words after "visited" are entities.
+	var examples []Example
+	places := []string{"Paris", "Tokyo", "Berlin", "Oslo", "Rome", "Lima"}
+	others := []string{"bread", "music", "books", "tea"}
+	for _, p := range places {
+		examples = append(examples, Example{
+			Tokens: []string{"She", "visited", p, "yesterday"},
+			Tags:   []string{"O", "O", "B", "O"},
+		})
+	}
+	for _, o := range others {
+		examples = append(examples, Example{
+			Tokens: []string{"She", "bought", o, "yesterday"},
+			Tags:   []string{"O", "O", "O", "O"},
+		})
+	}
+	tg := Train(examples, 8, 1)
+	pred := tg.Predict([]string{"She", "visited", "Madrid", "yesterday"})
+	if pred[2] != TagB {
+		t.Errorf("Madrid tagged %s, want B (%v)", pred[2], pred)
+	}
+	pred2 := tg.Predict([]string{"She", "bought", "cheese", "yesterday"})
+	for i, tg2 := range pred2 {
+		if tg2 != TagO {
+			t.Errorf("token %d tagged %s, want O", i, tg2)
+		}
+	}
+}
+
+func TestMultiTokenEntities(t *testing.T) {
+	var examples []Example
+	for _, name := range [][2]string{{"Gravity", "Beans"}, {"Blue", "Bottle"}, {"Ritual", "Roasters"}, {"Stumptown", "Coffee"}} {
+		examples = append(examples, Example{
+			Tokens: []string{"I", "love", name[0], name[1], "downtown"},
+			Tags:   []string{"O", "O", "B", "I", "O"},
+		})
+		examples = append(examples, Example{
+			Tokens: []string{"I", "love", "walking", "around", "downtown"},
+			Tags:   []string{"O", "O", "O", "O", "O"},
+		})
+	}
+	tg := Train(examples, 10, 2)
+	pred := tg.Predict([]string{"I", "love", "Nimbus", "Works", "downtown"})
+	spans := ExtractSpans([]string{"I", "love", "Nimbus", "Works", "downtown"}, pred)
+	if len(spans) != 1 || spans[0] != "Nimbus Works" {
+		t.Errorf("spans = %v (pred %v)", spans, pred)
+	}
+}
+
+func TestExtractSpans(t *testing.T) {
+	tokens := strings.Fields("a b c d e")
+	tags := []string{"O", "B", "I", "O", "B"}
+	got := ExtractSpans(tokens, tags)
+	want := []string{"b c", "e"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("spans = %v, want %v", got, want)
+	}
+	// Orphan I- continues as a new span.
+	got = ExtractSpans(tokens, []string{"I", "O", "O", "O", "O"})
+	if !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("orphan I = %v", got)
+	}
+}
+
+func TestBIOFromSpans(t *testing.T) {
+	s := nlp.AnnotateSentence(0, "We met at Gravity Beans downtown.")
+	ex := BIOFromSpans(&s, map[string]bool{"Gravity Beans": true})
+	var b, i int
+	for _, tg := range ex.Tags {
+		switch tg {
+		case TagB:
+			b++
+		case TagI:
+			i++
+		}
+	}
+	if b != 1 || i != 1 {
+		t.Errorf("tags = %v", ex.Tags)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	examples := []Example{
+		{Tokens: []string{"at", "Cafe", "Benz"}, Tags: []string{"O", "B", "I"}},
+		{Tokens: []string{"at", "the", "park"}, Tags: []string{"O", "O", "O"}},
+	}
+	a := Train(examples, 5, 7)
+	b := Train(examples, 5, 7)
+	toks := []string{"at", "Cafe", "Luna"}
+	if !reflect.DeepEqual(a.Predict(toks), b.Predict(toks)) {
+		t.Error("training not deterministic")
+	}
+}

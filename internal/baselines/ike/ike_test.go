@@ -1,0 +1,78 @@
+package ike
+
+import (
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/koko/index"
+)
+
+func TestParsePattern(t *testing.T) {
+	p := MustParse(`"cafe called" (NP)`)
+	if len(p.Atoms) != 2 || p.Atoms[0].Kind != AtomPhrase || p.Atoms[1].Kind != AtomCapture {
+		t.Fatalf("pattern = %+v", p)
+	}
+	p2 := MustParse(`(NP) ("serves coffee" ~ 10)`)
+	if len(p2.Atoms) != 2 || p2.Atoms[1].Kind != AtomDistSim || p2.Atoms[1].N != 10 {
+		t.Fatalf("pattern = %+v", p2)
+	}
+	if _, err := ParsePattern(`("unterminated`); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	if _, err := ParsePattern(``); err == nil {
+		t.Error("empty pattern accepted")
+	}
+}
+
+func TestExtractLiteralAndCapture(t *testing.T) {
+	c := index.NewCorpus(nil, []string{
+		"There is a new cafe called Gravity Beans downtown.",
+		"We love the cafe called Blue Fox Coffee.",
+		"This cafe sells tea.",
+	})
+	e := NewExtractor(embed.NewModel())
+	got := e.Run(c, []*Pattern{MustParse(`"cafe called" (NP)`)})
+	if !got["Gravity Beans"] {
+		t.Errorf("missing Gravity Beans: %v", got)
+	}
+	if !got["Blue Fox Coffee"] {
+		t.Errorf("missing Blue Fox Coffee: %v", got)
+	}
+	if len(got) != 2 {
+		t.Errorf("extra captures: %v", got)
+	}
+}
+
+func TestExtractDistSim(t *testing.T) {
+	c := index.NewCorpus(nil, []string{
+		"Gravity Beans sells espresso on Fridays.",
+		"Nimbus Coffee serves coffee daily.",
+		"The library sells books.",
+	})
+	e := NewExtractor(embed.NewModel())
+	got := e.Run(c, []*Pattern{MustParse(`(NP) ("serves coffee" ~ 15)`)})
+	if !got["Gravity Beans"] {
+		t.Errorf("distsim missed 'sells espresso': %v", got)
+	}
+	if !got["Nimbus Coffee"] {
+		t.Errorf("literal missed: %v", got)
+	}
+	if got["The library"] || got["library"] {
+		t.Errorf("'sells books' matched: %v", got)
+	}
+}
+
+// TestSingleSentenceScope: IKE cannot aggregate evidence across sentences —
+// an entity mentioned with weak evidence in two different sentences is only
+// extracted if some single sentence matches a pattern outright.
+func TestSingleSentenceScope(t *testing.T) {
+	c := index.NewCorpus(nil, []string{
+		"Gravity Beans opened downtown.",
+		"The shop hired a barista.",
+	})
+	e := NewExtractor(embed.NewModel())
+	got := e.Run(c, []*Pattern{MustParse(`(NP) ("serves coffee" ~ 10)`)})
+	if len(got) != 0 {
+		t.Errorf("cross-sentence evidence aggregated: %v", got)
+	}
+}

@@ -1,0 +1,261 @@
+package indexing
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/koko/index"
+	"repro/internal/koko/lang"
+	"repro/internal/nlp"
+	"repro/internal/store"
+)
+
+// AdvInverted is the ADVINVERTED baseline (Bird et al. [7,20]): the labeled
+// form of linguistic trees stored as P(label, sid, tid, left, right, depth,
+// pid). Paths evaluate exactly by structural joins between consecutive
+// steps (child via pid, descendant via interval containment), so its
+// effectiveness is near-perfect — but every join walks posting lists without
+// any path-level summarization, which is why lookup is slow (§6.2.2:
+// "validation over the hierarchical conditions requires additional
+// computation").
+type AdvInverted struct {
+	post map[string][]advPosting
+	all  [][]advPosting // per sentence: all tokens (wildcard steps)
+}
+
+type advPosting struct {
+	sid, tid, left, right, depth, pid int32
+}
+
+// NewAdvInverted returns an empty ADVINVERTED index.
+func NewAdvInverted() *AdvInverted { return &AdvInverted{} }
+
+// Name implements Scheme.
+func (av *AdvInverted) Name() string { return "ADVINVERTED" }
+
+// Build implements Scheme.
+func (av *AdvInverted) Build(c *index.Corpus) {
+	av.post = map[string][]advPosting{}
+	av.all = make([][]advPosting, len(c.Sentences))
+	for sid := range c.Sentences {
+		s := &c.Sentences[sid]
+		for i := range s.Tokens {
+			t := &s.Tokens[i]
+			p := advPosting{
+				sid: int32(sid), tid: int32(i),
+				left: int32(t.SubL), right: int32(t.SubR),
+				depth: int32(t.Depth), pid: int32(t.Head),
+			}
+			av.post["w:"+t.Lower] = append(av.post["w:"+t.Lower], p)
+			av.post["l:"+t.Label] = append(av.post["l:"+t.Label], p)
+			av.post["p:"+t.POS] = append(av.post["p:"+t.POS], p)
+			av.all[sid] = append(av.all[sid], p)
+		}
+	}
+}
+
+// Supports implements Scheme.
+func (av *AdvInverted) Supports(q *TreeQuery) bool { return true }
+
+// stepPostings returns the postings satisfying one step's label and
+// text/pos conditions (etype/regex conditions are not indexable here either
+// and are left to validation, as in KOKO).
+func (av *AdvInverted) stepPostings(st lang.PathStep) ([]advPosting, bool) {
+	var lists [][]advPosting
+	concrete := false
+	switch l := st.Label; {
+	case l == "*" || l == "" || nlp.IsEntityType(l):
+	case nlp.IsParseLabel(l):
+		lists = append(lists, av.post["l:"+nlp.NormalizeLabel(l)])
+		concrete = true
+	case nlp.IsPOSTag(l):
+		lists = append(lists, av.post["p:"+nlp.NormalizePOS(l)])
+		concrete = true
+	default:
+		lists = append(lists, av.post["w:"+strings.ToLower(l)])
+		concrete = true
+	}
+	for _, c := range st.Conds {
+		switch c.Key {
+		case "text":
+			lists = append(lists, av.post["w:"+strings.ToLower(c.Value)])
+			concrete = true
+		case "pos":
+			lists = append(lists, av.post["p:"+nlp.NormalizePOS(c.Value)])
+			concrete = true
+		}
+	}
+	if !concrete {
+		return nil, false // wildcard: all tokens
+	}
+	// Intersect on (sid, tid).
+	cur := lists[0]
+	for _, l := range lists[1:] {
+		cur = intersectAdv(cur, l)
+		if len(cur) == 0 {
+			return nil, true
+		}
+	}
+	return cur, true
+}
+
+// Candidates implements Scheme: evaluate each variable's path bottom-up with
+// structural joins; candidate sentences are the intersection across
+// variables.
+func (av *AdvInverted) Candidates(q *TreeQuery) []int32 {
+	var cand []int32
+	for vi, v := range q.Vars {
+		matches := av.evalPath(v.Steps)
+		if matches == nil {
+			return nil
+		}
+		sids := sidsOfAdv(matches)
+		if vi == 0 {
+			cand = sids
+		} else {
+			cand = index.IntersectSids(cand, sids)
+		}
+		if len(cand) == 0 {
+			return nil
+		}
+	}
+	return cand
+}
+
+// evalPath computes the postings matching a full absolute path by joining
+// step postings left to right: step i+1's tokens must be children (pid
+// equality) or descendants (interval containment + depth) of step i's. The
+// first step additionally enforces the depth-from-root rule.
+func (av *AdvInverted) evalPath(steps []lang.PathStep) []advPosting {
+	var cur []advPosting
+	for i, st := range steps {
+		ps, concrete := av.stepPostings(st)
+		if !concrete {
+			// Wildcard step: all tokens — restrict to the sentences of cur
+			// to bound the blowup (still large, as the paper observes).
+			if i == 0 {
+				ps = av.allTokens(nil)
+			} else {
+				ps = av.allTokens(sidsOfAdv(cur))
+			}
+		}
+		if i == 0 {
+			exact := !st.Desc
+			out := ps[:0:0]
+			for _, p := range ps {
+				if (exact && p.depth == 0) || (!exact && p.depth >= 0) {
+					out = append(out, p)
+				}
+			}
+			cur = out
+		} else {
+			cur = joinStep(cur, ps, st.Desc)
+		}
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+func (av *AdvInverted) allTokens(sids []int32) []advPosting {
+	var out []advPosting
+	if sids == nil {
+		for sid := range av.all {
+			out = append(out, av.all[sid]...)
+		}
+		return out
+	}
+	for _, sid := range sids {
+		if int(sid) < len(av.all) {
+			out = append(out, av.all[sid]...)
+		}
+	}
+	return out
+}
+
+// joinStep keeps the postings of next that are a child (desc=false) or
+// strict descendant (desc=true) of some posting in cur.
+func joinStep(cur, next []advPosting, desc bool) []advPosting {
+	// Group cur by sid for the sweep.
+	bySid := map[int32][]advPosting{}
+	for _, c := range cur {
+		bySid[c.sid] = append(bySid[c.sid], c)
+	}
+	var out []advPosting
+	for _, n := range next {
+		for _, c := range bySid[n.sid] {
+			if !desc {
+				if n.pid == c.tid {
+					out = append(out, n)
+					break
+				}
+			} else {
+				if c.left <= n.left && c.right >= n.right && n.depth > c.depth {
+					out = append(out, n)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Save implements Scheme with the paper's schema.
+func (av *AdvInverted) Save(db *store.DB) {
+	t := db.Create("P_ADV",
+		store.Column{Name: "label", Type: store.ColString},
+		store.Column{Name: "sid", Type: store.ColInt},
+		store.Column{Name: "tid", Type: store.ColInt},
+		store.Column{Name: "left", Type: store.ColInt},
+		store.Column{Name: "right", Type: store.ColInt},
+		store.Column{Name: "depth", Type: store.ColInt},
+		store.Column{Name: "pid", Type: store.ColInt},
+	)
+	if err := t.CreateIndex("by_label", "label"); err != nil {
+		panic(err)
+	}
+	labels := make([]string, 0, len(av.post))
+	for lb := range av.post {
+		labels = append(labels, lb)
+	}
+	sort.Strings(labels)
+	for _, lb := range labels {
+		for _, p := range av.post[lb] {
+			t.MustInsert(store.StrVal(lb),
+				store.IntVal(int64(p.sid)), store.IntVal(int64(p.tid)),
+				store.IntVal(int64(p.left)), store.IntVal(int64(p.right)),
+				store.IntVal(int64(p.depth)), store.IntVal(int64(p.pid)))
+		}
+	}
+}
+
+func intersectAdv(a, b []advPosting) []advPosting {
+	key := func(p advPosting) int64 { return int64(p.sid)<<32 | int64(uint32(p.tid)) }
+	set := make(map[int64]bool, len(b))
+	for _, p := range b {
+		set[key(p)] = true
+	}
+	var out []advPosting
+	for _, p := range a {
+		if set[key(p)] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func sidsOfAdv(ps []advPosting) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, p := range ps {
+		if !seen[p.sid] {
+			seen[p.sid] = true
+			out = append(out, p.sid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+var _ Scheme = (*AdvInverted)(nil)

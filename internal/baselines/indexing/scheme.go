@@ -1,0 +1,137 @@
+// Package indexing implements the three indexing baselines the paper
+// compares KOKO's multi-index against (§6.2.1):
+//
+//   - INVERTED: a flat P(label, sid, tid) table; candidates are sentences
+//     containing all query labels, ignoring structure entirely.
+//   - ADVINVERTED (Bird et al.): P(label, sid, tid, left, right, depth, pid)
+//     supporting structural joins between steps.
+//   - SUBTREE (Chubak & Rafiei): every unique subtree up to mss=3 nodes as
+//     an index key with root-split coding, built separately over parse
+//     labels and POS tags; no wildcard or word support.
+//
+// All schemes share the Scheme interface: Build from a corpus, Candidates
+// for a tree query (the §6.2.2 DPLI-equivalent operation, measured for
+// lookup time and effectiveness), and Save into the storage substrate for
+// the footprint comparison.
+package indexing
+
+import (
+	"repro/internal/koko/engine"
+	"repro/internal/koko/index"
+	"repro/internal/koko/lang"
+	"repro/internal/store"
+)
+
+// TreeQuery is the structural core the index experiments exercise: node
+// variables defined by absolute paths (the SyntheticTree benchmark shape).
+type TreeQuery struct {
+	Vars []PathVar
+}
+
+// PathVar is one node variable with its absolute path.
+type PathVar struct {
+	Name  string
+	Steps []lang.PathStep
+}
+
+// Scheme is one indexing technique under comparison.
+type Scheme interface {
+	Name() string
+	// Build constructs the index over a parsed corpus.
+	Build(c *index.Corpus)
+	// Candidates returns the sorted candidate sentence ids for a query: a
+	// superset of the sentences that actually match (how tight a superset is
+	// the effectiveness metric).
+	Candidates(q *TreeQuery) []int32
+	// Supports reports whether the scheme can process the query at all
+	// (SUBTREE cannot handle wildcards or word labels).
+	Supports(q *TreeQuery) bool
+	// Save materializes the index into db for footprint accounting.
+	Save(db *store.DB)
+}
+
+// Koko adapts the multi-index to the Scheme interface so all four schemes
+// run under the same harness.
+type Koko struct {
+	ix *index.Index
+}
+
+// NewKoko returns the KOKO scheme adapter.
+func NewKoko() *Koko { return &Koko{} }
+
+// Name implements Scheme.
+func (k *Koko) Name() string { return "KOKO" }
+
+// Build implements Scheme.
+func (k *Koko) Build(c *index.Corpus) { k.ix = index.Build(c) }
+
+// Index exposes the built multi-index (for engines sharing the build).
+func (k *Koko) Index() *index.Index { return k.ix }
+
+// Supports implements Scheme: KOKO supports every query.
+func (k *Koko) Supports(q *TreeQuery) bool { return true }
+
+// Save implements Scheme.
+func (k *Koko) Save(db *store.DB) { k.ix.Save(db) }
+
+// Candidates implements Scheme using the DPLI decomposition: each variable
+// path is decomposed into PL/POS/word paths, looked up, joined; candidate
+// sentences are the intersection across variables. Dominated paths are
+// skipped exactly as in the engine.
+func (k *Koko) Candidates(q *TreeQuery) []int32 {
+	var sidSets [][]int32
+	for _, v := range dominantVars(q) {
+		ps, ok := engine.LookupDecomposed(k.ix, v.Steps)
+		if !ok {
+			return nil
+		}
+		sidSets = append(sidSets, index.SidsOf(ps))
+	}
+	if len(sidSets) == 0 {
+		return nil
+	}
+	cand := sidSets[0]
+	for _, s := range sidSets[1:] {
+		cand = index.IntersectSids(cand, s)
+	}
+	return cand
+}
+
+// dominantVars drops variables whose path is a strict prefix of another's
+// (§4.2.1 dominance).
+func dominantVars(q *TreeQuery) []PathVar {
+	var out []PathVar
+	for i, v := range q.Vars {
+		dominated := false
+		for j, w := range q.Vars {
+			if i == j {
+				continue
+			}
+			if len(w.Steps) > len(v.Steps) && prefixSteps(v.Steps, w.Steps) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func prefixSteps(p, q []lang.PathStep) bool {
+	if len(p) > len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i].Desc != q[i].Desc || p[i].Label != q[i].Label || len(p[i].Conds) != len(q[i].Conds) {
+			return false
+		}
+		for j := range p[i].Conds {
+			if p[i].Conds[j] != q[i].Conds[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,251 @@
+package indexing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/koko/index"
+	"repro/internal/koko/lang"
+	"repro/internal/nlp"
+	"repro/internal/store"
+)
+
+// maxSubtreeSize is the paper's mss=3 setting.
+const maxSubtreeSize = 3
+
+// Subtree is the SUBTREE baseline (Chubak & Rafiei [14]): every unique
+// subtree of up to mss nodes is an index key (root-split coding: the key
+// records the root label and the ordered child structure), mapping to the
+// (sid, root tid) occurrences. Because the original index targets
+// constituency trees with a single label alphabet, two indices are built —
+// one over parse labels, one over POS tags — and their results are joined at
+// subtree roots, which loses precision (§6.2.1: "joining the root nodes does
+// not guarantee that the two subtrees are referring to the same set of
+// tokens"). Wildcards and word labels are unsupported (125 of the 350
+// SyntheticTree queries qualify).
+type Subtree struct {
+	pl  map[string][]sidTid // parse-label subtree key -> root occurrences
+	pos map[string][]sidTid
+	// tokenMeta supports the cross-alphabet root joins.
+	parent [][]int32
+}
+
+// NewSubtree returns an empty SUBTREE index.
+func NewSubtree() *Subtree { return &Subtree{} }
+
+// Name implements Scheme.
+func (sb *Subtree) Name() string { return "SUBTREE" }
+
+// Build implements Scheme: enumerate every connected subtree of size ≤ mss
+// rooted at each token — the expensive enumeration responsible for SUBTREE's
+// long build times (Figure 6a).
+func (sb *Subtree) Build(c *index.Corpus) {
+	sb.pl = map[string][]sidTid{}
+	sb.pos = map[string][]sidTid{}
+	sb.parent = make([][]int32, len(c.Sentences))
+	for sid := range c.Sentences {
+		s := &c.Sentences[sid]
+		par := make([]int32, len(s.Tokens))
+		for i := range s.Tokens {
+			par[i] = int32(s.Tokens[i].Head)
+		}
+		sb.parent[sid] = par
+		for i := range s.Tokens {
+			occ := sidTid{int32(sid), int32(i)}
+			for _, key := range enumerateSubtrees(s, i, func(t *nlp.Token) string { return t.Label }) {
+				sb.pl[key] = append(sb.pl[key], occ)
+			}
+			for _, key := range enumerateSubtrees(s, i, func(t *nlp.Token) string { return t.POS }) {
+				sb.pos[key] = append(sb.pos[key], occ)
+			}
+		}
+	}
+}
+
+// enumerateSubtrees returns the canonical keys of every connected subtree of
+// size ≤ mss rooted at token root. With mss=3 the shapes are: {r}, {r,c},
+// {r,c,d} (chain), and {r,c1,c2} (two children).
+func enumerateSubtrees(s *nlp.Sentence, root int, labelOf func(*nlp.Token) string) []string {
+	rl := labelOf(&s.Tokens[root])
+	keys := []string{rl}
+	kids := s.Children(root)
+	for ki, c := range kids {
+		cl := labelOf(&s.Tokens[c])
+		keys = append(keys, rl+"("+cl+")")
+		// Chains of depth 2.
+		for _, g := range s.Children(c) {
+			keys = append(keys, rl+"("+cl+"("+labelOf(&s.Tokens[g])+"))")
+		}
+		// Sibling pairs (unordered: sort the two child labels).
+		for _, c2 := range kids[ki+1:] {
+			c2l := labelOf(&s.Tokens[c2])
+			a, b := cl, c2l
+			if a > b {
+				a, b = b, a
+			}
+			keys = append(keys, rl+"("+a+","+b+")")
+		}
+	}
+	return keys
+}
+
+// Supports implements Scheme: every step label must be a parse label or POS
+// tag; wildcards, words, and bracket conditions are unsupported.
+func (sb *Subtree) Supports(q *TreeQuery) bool {
+	for _, v := range q.Vars {
+		for _, st := range v.Steps {
+			if st.Label == "*" || st.Label == "" {
+				return false
+			}
+			if len(st.Conds) > 0 {
+				return false
+			}
+			if !nlp.IsParseLabel(st.Label) && !nlp.IsPOSTag(st.Label) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Candidates implements Scheme. Each variable path is cut into maximal
+// same-alphabet runs of child-axis steps; each run is decomposed into
+// overlapping chains of ≤ mss labels and looked up; descendant-axis
+// boundaries and alphabet switches are joined only at sentence level (the
+// imprecision the paper measures). Adjacent same-sentence runs additionally
+// root-join through parent pointers when both sides are singleton chains.
+func (sb *Subtree) Candidates(q *TreeQuery) []int32 {
+	if !sb.Supports(q) {
+		return nil
+	}
+	var cand []int32
+	first := true
+	for _, v := range q.Vars {
+		sids := sb.pathSids(v.Steps)
+		if sids == nil {
+			return nil
+		}
+		if first {
+			cand = sids
+			first = false
+		} else {
+			cand = index.IntersectSids(cand, sids)
+		}
+		if len(cand) == 0 {
+			return nil
+		}
+	}
+	return cand
+}
+
+type run struct {
+	alpha  byte // 'l' or 'p'
+	labels []string
+}
+
+func (sb *Subtree) pathSids(steps []lang.PathStep) []int32 {
+	// Cut into runs.
+	var runs []run
+	for i, st := range steps {
+		var alpha byte
+		var canon string
+		if nlp.IsParseLabel(st.Label) {
+			alpha, canon = 'l', nlp.NormalizeLabel(st.Label)
+		} else {
+			alpha, canon = 'p', nlp.NormalizePOS(st.Label)
+		}
+		startNew := i == 0 || st.Desc || len(runs) == 0 || runs[len(runs)-1].alpha != alpha
+		if startNew {
+			runs = append(runs, run{alpha: alpha})
+		}
+		runs[len(runs)-1].labels = append(runs[len(runs)-1].labels, canon)
+	}
+	var cand []int32
+	firstRun := true
+	for _, r := range runs {
+		idx := sb.pl
+		if r.alpha == 'p' {
+			idx = sb.pos
+		}
+		// Overlapping chains of length ≤ mss.
+		var keys []string
+		if len(r.labels) <= maxSubtreeSize {
+			keys = append(keys, chainKey(r.labels))
+		} else {
+			for i := 0; i+maxSubtreeSize <= len(r.labels); i++ {
+				keys = append(keys, chainKey(r.labels[i:i+maxSubtreeSize]))
+			}
+		}
+		for _, k := range keys {
+			occ := idx[k]
+			if len(occ) == 0 {
+				return nil
+			}
+			sids := sidsOfPairs(sortedPairs(occ))
+			if firstRun {
+				cand = sids
+				firstRun = false
+			} else {
+				cand = index.IntersectSids(cand, sids)
+			}
+			if len(cand) == 0 {
+				return nil
+			}
+		}
+	}
+	return cand
+}
+
+func chainKey(labels []string) string {
+	key := labels[len(labels)-1]
+	for i := len(labels) - 2; i >= 0; i-- {
+		key = labels[i] + "(" + key + ")"
+	}
+	return key
+}
+
+func sortedPairs(ps []sidTid) []sidTid {
+	out := append([]sidTid(nil), ps...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].sid != out[j].sid {
+			return out[i].sid < out[j].sid
+		}
+		return out[i].tid < out[j].tid
+	})
+	return out
+}
+
+// Save implements Scheme: one row per (subtree key, occurrence) per
+// alphabet — the footprint that makes SUBTREE the largest index (Figure 6b).
+func (sb *Subtree) Save(db *store.DB) {
+	for _, part := range []struct {
+		name string
+		m    map[string][]sidTid
+	}{{"ST_PL", sb.pl}, {"ST_POS", sb.pos}} {
+		t := db.Create(part.name,
+			store.Column{Name: "subtree", Type: store.ColString},
+			store.Column{Name: "sid", Type: store.ColInt},
+			store.Column{Name: "tid", Type: store.ColInt},
+		)
+		if err := t.CreateIndex("by_subtree", "subtree"); err != nil {
+			panic(err)
+		}
+		keys := make([]string, 0, len(part.m))
+		for k := range part.m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			for _, p := range part.m[k] {
+				t.MustInsert(store.StrVal(k), store.IntVal(int64(p.sid)), store.IntVal(int64(p.tid)))
+			}
+		}
+	}
+}
+
+// Stats reports the number of distinct subtree keys (for tests).
+func (sb *Subtree) Stats() string {
+	return fmt.Sprintf("pl=%d pos=%d", len(sb.pl), len(sb.pos))
+}
+
+var _ Scheme = (*Subtree)(nil)

@@ -1,0 +1,58 @@
+package nell
+
+import (
+	"testing"
+
+	"repro/internal/koko/index"
+)
+
+func TestBootstrapPromotesWithMultiPatternSupport(t *testing.T) {
+	// Seeds "Alpha Cafe" and "Beta Cafe" appear in two shared contexts;
+	// "Gamma Works" appears in both contexts (promotable), "Delta Books"
+	// in only one (not promotable).
+	texts := []string{
+		"We visited Alpha Cafe for espresso today.",
+		"We visited Beta Cafe for espresso today.",
+		"Locals recommend Alpha Cafe for espresso today.",
+		"Locals recommend Beta Cafe for espresso today.",
+		"We visited Gamma Works for espresso today.",
+		"Locals recommend Gamma Works for espresso today.",
+		"We visited Delta Books for espresso today.",
+	}
+	c := index.NewCorpus(nil, texts)
+	b := New(Config{Iterations: 2, PatternSupport: 2, InstanceVotes: 2, MaxPatterns: 10, ContextWidth: 2})
+	res := b.Run(c, []string{"Alpha Cafe", "Beta Cafe"})
+	if !res.Instances["gamma works"] {
+		t.Errorf("Gamma Works not promoted: %v", res.Instances)
+	}
+	if res.Instances["delta books"] {
+		t.Errorf("Delta Books promoted with single-pattern support")
+	}
+	if res.Patterns == 0 {
+		t.Error("no patterns learned")
+	}
+}
+
+func TestBootstrapConservativeOnRareMentions(t *testing.T) {
+	// Entities mentioned once in unique contexts: no patterns reach the
+	// support threshold beyond the seed contexts, so recall stays near zero
+	// (the paper's NELL result on rare-mention cafes).
+	texts := []string{
+		"Quiet Owl opened last week in the old mill.",
+		"A barista poured cortados at Hidden Fern yesterday.",
+		"Tiny Anchor has a seasonal menu of pour-overs.",
+	}
+	c := index.NewCorpus(nil, texts)
+	b := New(DefaultConfig())
+	res := b.Run(c, []string{"Quiet Owl"})
+	if len(res.Instances) != 0 {
+		t.Errorf("rare-mention corpus promoted %v", res.Instances)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	b := New(Config{})
+	if b.cfg.MaxPatterns != 72 || b.cfg.Iterations != 2 {
+		t.Errorf("defaults = %+v", b.cfg)
+	}
+}

@@ -1,0 +1,60 @@
+package odin
+
+import (
+	"testing"
+
+	"repro/internal/koko/index"
+	"repro/internal/koko/lang"
+)
+
+func TestCascadeFindsMatchesAndCountsPasses(t *testing.T) {
+	c := index.NewCorpus(nil, []string{
+		"Anna ate some delicious cheesecake that she bought at a grocery store.",
+		"I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+		"Portland hosts a coffee festival every spring.",
+	})
+	ix := index.Build(c)
+	r := New(c, ix)
+	rules := []Rule{
+		{Name: "dobj", Priority: 1, Query: lang.MustParse(`extract x:Str from f if (/ROOT:{ x = //verb/dobj })`)},
+		{Name: "nsubj", Priority: 2, Query: lang.MustParse(`extract x:Str from f if (/ROOT:{ x = /root/nsubj })`)},
+	}
+	matches, passes := r.Run(rules)
+	if len(matches) == 0 {
+		t.Fatal("no matches")
+	}
+	foundCheese, foundAnna := false, false
+	for _, m := range matches {
+		if m.Values[0] == "cheesecake" {
+			foundCheese = true
+		}
+		if m.Values[0] == "Anna" {
+			foundAnna = true
+		}
+	}
+	if !foundCheese || !foundAnna {
+		t.Errorf("matches = %v", matches)
+	}
+	// Each priority level runs each rule at least twice (productive pass +
+	// fixpoint confirmation): >= 4 full corpus passes for 2 rules.
+	if passes < 4 {
+		t.Errorf("passes = %d, want >= 4 (iterative re-application)", passes)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	c := index.NewCorpus(nil, []string{"Anna ate cheesecake."})
+	ix := index.Build(c)
+	r := New(c, ix)
+	rules := []Rule{
+		{Name: "late", Priority: 5, Query: lang.MustParse(`extract x:Str from f if (/ROOT:{ x = /root/nsubj })`)},
+		{Name: "early", Priority: 1, Query: lang.MustParse(`extract x:Str from f if (/ROOT:{ x = //verb/dobj })`)},
+	}
+	matches, _ := r.Run(rules)
+	if len(matches) < 2 {
+		t.Fatalf("matches = %v", matches)
+	}
+	if matches[0].Rule != "early" {
+		t.Errorf("first match from %q, want early", matches[0].Rule)
+	}
+}

@@ -1,0 +1,280 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/koko/index"
+)
+
+// Labeled is a generated corpus with planted ground truth.
+type Labeled struct {
+	Corpus *index.Corpus
+	// Truth holds gold entity strings, lowercased.
+	Truth map[string]bool
+	// Dicts holds the dictionaries KOKO queries reference (dict("Location")).
+	Dicts map[string]map[string]bool
+	// TrainSplit marks document indexes belonging to the CRF training half.
+	TrainSplit map[int]bool
+}
+
+// Name-part vocabularies for cafe names.
+var (
+	nameAdjs = []string{
+		"Gravity", "Quiet", "Blue", "Harbor", "Golden", "Iron", "Velvet",
+		"Copper", "Hidden", "Wild", "Silver", "Amber", "Cedar", "Drift",
+		"Ember", "Stone", "River", "Static", "Paper", "Lunar", "Maple",
+		"Nimbus", "Orbit", "Pine", "Salt", "Summit", "Tidal", "Umber",
+		"Vesper", "Winter", "Aurora", "Basalt", "Canyon", "Dawn",
+	}
+	nameNouns = []string{
+		"Owl", "Fox", "Anchor", "Fern", "Beans", "Sparrow", "Comet",
+		"Harvest", "Meridian", "Compass", "Lantern", "Thistle", "Raven",
+		"Bloom", "Current", "Ledger", "Mill", "Orchard", "Quill", "Signal",
+		"Tandem", "Vessel", "Wren", "Atlas", "Breaker", "Crane", "Delta",
+	}
+	// cafeSuffixes are strong surface cues (weight-1 conditions in Fig 9).
+	cafeSuffixes = []string{"Cafe", "Coffee", "Roasters"}
+
+	coffeeDrinks = []string{
+		"espresso", "cappuccinos", "macchiatos", "lattes", "cortados",
+		"pour-over", "mocha",
+	}
+	fillerAdvs = []string{"up", "really", "consistently", "proudly", "quietly"}
+	fillerAdjs = []string{
+		"delicious", "smooth", "bright", "seasonal", "single-origin",
+		"velvety", "nutty", "floral", "excellent",
+	}
+	cityNames = []string{
+		"Portland", "Seattle", "Oakland", "Chicago", "Boston", "Austin",
+		"Denver", "Brooklyn", "Melbourne", "Kyoto",
+	}
+	// districtNames are location-like distractors that accumulate weak
+	// cafe evidence in the text ("the Alder District pours great espresso")
+	// but are not cafes and are NOT in the Location dictionary — the
+	// false positives that pull precision down at low thresholds, exactly
+	// the mistakes the paper reports fighting with excluding clauses.
+	districtNames = []string{
+		"Alder District", "Pearl Quarter", "Dockside Row", "Elm Commons",
+		"Foundry Block", "Garden Mile",
+	}
+	streetNames = []string{"Alder", "Mission", "Division", "Hawthorne", "Burnside", "Belmont"}
+	brandNames  = []string{"La Marzocco", "Synesso", "Aeropress", "V60"}
+)
+
+// cafeProfile controls how much and what kind of evidence a planted cafe
+// receives — the knob that creates the threshold/recall trade-off.
+type cafeProfile int
+
+const (
+	profStrongName cafeProfile = iota // name contains Cafe/Coffee/Roasters
+	profApposition                    // "X, a cafe" appears
+	profParaphrase                    // several weak paraphrase evidence sentences
+	profWeak                          // a single weak evidence sentence
+)
+
+// CafeCorpusConfig parameterizes the blog generator.
+type CafeCorpusConfig struct {
+	Articles     int
+	CafesTotal   int
+	SentsPer     int // sentences per article
+	EvidencePer  int // paraphrase-evidence sentences per paraphrase cafe
+	Seed         int64
+	LongArticles bool // Sprudge-style: longer, more explicit evidence
+}
+
+// BaristaMagConfig sizes the corpus like the paper's BaristaMag scrape
+// (84 articles, 137 labeled cafes, ~480 words/article).
+func BaristaMagConfig(seed int64) CafeCorpusConfig {
+	return CafeCorpusConfig{Articles: 84, CafesTotal: 137, SentsPer: 14, EvidencePer: 2, Seed: seed}
+}
+
+// SprudgeConfig sizes the corpus like Sprudge (1645 articles, 671 cafes,
+// ~760 words/article: longer text with more explicit evidence, which is why
+// descriptors add little there — Figure 5).
+func SprudgeConfig(seed int64) CafeCorpusConfig {
+	return CafeCorpusConfig{Articles: 1645, CafesTotal: 671, SentsPer: 22, EvidencePer: 4, Seed: seed, LongArticles: true}
+}
+
+// GenCafes generates a cafe-blog corpus with ground truth.
+func GenCafes(cfg CafeCorpusConfig) *Labeled {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	lc := &Labeled{
+		Truth:      map[string]bool{},
+		Dicts:      map[string]map[string]bool{"Location": {}},
+		TrainSplit: map[int]bool{},
+	}
+	for _, city := range cityNames {
+		lc.Dicts["Location"][strings.ToLower(city)] = true
+	}
+
+	// Invent distinct cafe names.
+	names := make([]string, 0, cfg.CafesTotal)
+	used := map[string]bool{}
+	for len(names) < cfg.CafesTotal {
+		n := nameAdjs[r.Intn(len(nameAdjs))] + " " + nameNouns[r.Intn(len(nameNouns))]
+		if r.Float64() < 0.40 {
+			n += " " + cafeSuffixes[r.Intn(len(cafeSuffixes))]
+		}
+		if used[n] {
+			n += " " + cafeSuffixes[r.Intn(len(cafeSuffixes))]
+			if used[n] {
+				continue
+			}
+		}
+		used[n] = true
+		names = append(names, n)
+		lc.Truth[strings.ToLower(n)] = true
+	}
+
+	// Distribute cafes over articles.
+	perArticle := make([][]string, cfg.Articles)
+	for i, n := range names {
+		perArticle[i%cfg.Articles] = append(perArticle[i%cfg.Articles], n)
+	}
+
+	var texts, docNames []string
+	for a := 0; a < cfg.Articles; a++ {
+		var sents []string
+		for _, cafe := range perArticle[a] {
+			prof := pickProfile(r, cafe, cfg.LongArticles)
+			sents = append(sents, cafeEvidence(r, cafe, prof, cfg.EvidencePer)...)
+		}
+		// Distractors and filler to reach the article length.
+		for len(sents) < cfg.SentsPer {
+			sents = append(sents, distractorSentence(r))
+		}
+		r.Shuffle(len(sents), func(i, j int) { sents[i], sents[j] = sents[j], sents[i] })
+		texts = append(texts, strings.Join(sents, " "))
+		docNames = append(docNames, fmt.Sprintf("post-%03d", a))
+		if a%2 == 0 {
+			lc.TrainSplit[a] = true
+		}
+	}
+	lc.Corpus = index.NewCorpus(docNames, texts)
+	return lc
+}
+
+func pickProfile(r *rand.Rand, cafe string, long bool) cafeProfile {
+	hasCue := strings.Contains(cafe, "Cafe") || strings.Contains(cafe, "Coffee") || strings.Contains(cafe, "Roasters")
+	if hasCue {
+		return profStrongName
+	}
+	p := r.Float64()
+	if long {
+		// Longer articles spell things out: most cafes get an explicit
+		// apposition ("X, a cafe"), so descriptor conditions add little —
+		// the Figure 5 contrast with the short-article corpus.
+		switch {
+		case p < 0.75:
+			return profApposition
+		case p < 0.90:
+			return profParaphrase
+		default:
+			return profWeak
+		}
+	}
+	switch {
+	case p < 0.15:
+		return profApposition
+	case p < 0.70:
+		return profParaphrase
+	default:
+		return profWeak
+	}
+}
+
+// cafeEvidence emits the sentences that mention a cafe.
+func cafeEvidence(r *rand.Rand, cafe string, prof cafeProfile, evidencePer int) []string {
+	var out []string
+	intro := []string{
+		fmt.Sprintf("%s opened downtown last month.", cafe),
+		fmt.Sprintf("%s sits on a sunny corner in %s.", cafe, cityNames[r.Intn(len(cityNames))]),
+		fmt.Sprintf("Locals already line the counter at %s.", cafe),
+		fmt.Sprintf("There is a new cafe called %s on the east side.", cafe),
+		fmt.Sprintf("We toured cafes such as %s last weekend.", cafe),
+	}
+	out = append(out, intro[r.Intn(len(intro))])
+	switch prof {
+	case profStrongName:
+		out = append(out, weakEvidence(r, cafe))
+	case profApposition:
+		out = append(out, fmt.Sprintf("We stopped by %s, a cafe near the old mill.", cafe))
+	case profParaphrase:
+		for i := 0; i < evidencePer; i++ {
+			out = append(out, weakEvidence(r, cafe))
+		}
+	case profWeak:
+		out = append(out, weakEvidence(r, cafe))
+	}
+	return out
+}
+
+// weakEvidence emits one paraphrase-variation evidence sentence. The filler
+// words inside the verb phrase are what defeat contiguous pattern matchers
+// (IKE) while KOKO's gap-tolerant clause matching still scores them.
+func weakEvidence(r *rand.Rand, cafe string) string {
+	drink := coffeeDrinks[r.Intn(len(coffeeDrinks))]
+	adj := fillerAdjs[r.Intn(len(fillerAdjs))]
+	adv := fillerAdvs[r.Intn(len(fillerAdvs))]
+	switch r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("%s serves %s %s %s.", cafe, adv, adj, drink)
+	case 1:
+		return fmt.Sprintf("%s pours %s %s all day.", cafe, adj, drink)
+	case 2:
+		return fmt.Sprintf("%s sells %s %s on weekends.", cafe, adj, drink)
+	case 3:
+		return fmt.Sprintf("%s hired the star barista from %s.", cafe, cityNames[r.Intn(len(cityNames))])
+	case 4:
+		return fmt.Sprintf("%s recently employed a champion barista.", cafe)
+	case 5:
+		// Contiguous phrasings — the cases rigid pattern matchers (IKE) can
+		// still catch; most evidence carries filler words they cannot.
+		return fmt.Sprintf("%s serves %s daily.", cafe, drink)
+	case 6:
+		return fmt.Sprintf("%s sells %s now.", cafe, drink)
+	default:
+		return fmt.Sprintf("The coffee menu at %s changes with the harvest.", cafe)
+	}
+}
+
+// distractorSentence emits the noise families the paper's excluding clauses
+// target, plus plain filler. Several distractors accumulate cafe-like
+// evidence (cities that "serve great coffee", machine brands, festival
+// names), which is what pushes precision down at low thresholds.
+func distractorSentence(r *rand.Rand) string {
+	city := cityNames[r.Intn(len(cityNames))]
+	street := streetNames[r.Intn(len(streetNames))]
+	brand := brandNames[r.Intn(len(brandNames))]
+	drink := coffeeDrinks[r.Intn(len(coffeeDrinks))]
+	district := districtNames[r.Intn(len(districtNames))]
+	switch r.Intn(12) {
+	case 0:
+		return fmt.Sprintf("%s produces and sells the best coffee.", city)
+	case 1:
+		return fmt.Sprintf("The new cafe on %s Street has the best cup of %s.", street, drink)
+	case 2:
+		return fmt.Sprintf("The shop pulls shots on a %s machine.", brand)
+	case 3:
+		return fmt.Sprintf("Entries for the %s Barista Championship close soon.", city)
+	case 4:
+		return fmt.Sprintf("The %s Coffee Fest returns next spring.", city)
+	case 5:
+		return fmt.Sprintf("Visit the roastery at 120 %s Avenue for a tour.", street)
+	case 6:
+		return fmt.Sprintf("A barista described the %s as %s.", drink, fillerAdjs[r.Intn(len(fillerAdjs))])
+	case 7:
+		return fmt.Sprintf("We tasted %s %s from a %s farm.", fillerAdjs[r.Intn(len(fillerAdjs))], drink, []string{"Kenya", "Ethiopia", "Colombia"}[r.Intn(3)])
+	case 8:
+		return fmt.Sprintf("The crowd in %s loves a good harvest season.", city)
+	case 9:
+		// Weak-evidence false positives: districts that "serve" coffee.
+		return fmt.Sprintf("The %s pours %s %s all week.", district, fillerAdjs[r.Intn(len(fillerAdjs))], drink)
+	case 10:
+		return fmt.Sprintf("%s sells %s %s at its weekend market.", district, fillerAdjs[r.Intn(len(fillerAdjs))], drink)
+	default:
+		return "The grinder hummed behind the counter all morning."
+	}
+}

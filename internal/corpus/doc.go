@@ -1,0 +1,33 @@
+// Package corpus generates the synthetic stand-ins for every dataset the
+// paper evaluates on, with planted ground truth, plus the two synthetic
+// query benchmarks used by the index and GSP experiments.
+//
+// Datasets (DESIGN.md §1.2 documents each substitution):
+//
+//   - BaristaMag / Sprudge — cafe-blog corpora with rare-mention cafe names
+//     whose identity is recoverable only by aggregating paraphrased evidence
+//     ("serves up delicious cappuccinos", "hired the star barista"), plus
+//     the distractor families the paper's excluding clauses target
+//     (street addresses, festivals, championship names, espresso-machine
+//     brands, locations). Sized like the originals: 84 articles / ~137
+//     cafes and 1645 articles / ~671 cafes.
+//   - WNUT — one-sentence tweets with labeled sports teams and facilities;
+//     no cross-sentence evidence exists, reproducing the regime where
+//     KOKO's aggregation cannot help (§6.1).
+//   - HappyDB — short first-person happy moments (index experiments).
+//   - Wikipedia — articles whose lead sentences carry the three §6.3 query
+//     targets at the paper's selectivities: chocolate type definitions
+//     (low, <1%), "had been called" nicknames (medium, ~10%), and
+//     birth-date sentences (high, >70%).
+//
+// Query benchmarks:
+//
+//   - SyntheticTree — 350 node-variable queries over paths (length 2–5;
+//     parse labels, +POS tags, +text; with/without wildcard; root-anchored
+//     or not) and tree patterns (3–10 labels), sampled from real corpus
+//     paths so selectivities vary (§6.2.2).
+//   - SyntheticSpan — 300 span-variable queries with 1/3/5 atoms anchored
+//     in real sentences (§6.2.3).
+//
+// Everything is deterministic given a seed.
+package corpus

@@ -1,0 +1,64 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/koko/index"
+)
+
+var (
+	happyFoods = []string{
+		"chocolate cake", "cheesecake", "ice cream", "fresh bread",
+		"a croissant", "a delicious pie", "seasonal cookies",
+	}
+	happyPeople = []string{
+		"my family", "my daughter", "my son", "my best friend", "my wife",
+		"my husband", "my brother",
+	}
+	happyPlaces = []string{
+		"the park", "a grocery store", "the library", "a cozy cafe",
+		"the museum", "the stadium",
+	}
+	happyEvents = []string{
+		"won the spelling contest", "finished a long project",
+		"received an award", "graduated from college",
+		"completed a marathon", "started a new job",
+	}
+)
+
+// GenHappyDB generates n happy-moment sentences (one per document, like the
+// crowdsourced original). Sentence templates vary dependency-tree shape:
+// plain transitive clauses, relative clauses, coordination, PPs.
+func GenHappyDB(n int, seed int64) *index.Corpus {
+	r := rand.New(rand.NewSource(seed))
+	var texts, names []string
+	for i := 0; i < n; i++ {
+		food := happyFoods[r.Intn(len(happyFoods))]
+		person := happyPeople[r.Intn(len(happyPeople))]
+		place := happyPlaces[r.Intn(len(happyPlaces))]
+		event := happyEvents[r.Intn(len(happyEvents))]
+		var s string
+		switch r.Intn(8) {
+		case 0:
+			s = fmt.Sprintf("I ate %s with %s.", food, person)
+		case 1:
+			s = fmt.Sprintf("I ate %s that I bought at %s.", food, place)
+		case 2:
+			s = fmt.Sprintf("My friend %s today and we celebrated together.", event)
+		case 3:
+			s = fmt.Sprintf("I visited %s and also ate %s.", place, food)
+		case 4:
+			s = fmt.Sprintf("I was happy because %s %s.", person, event)
+		case 5:
+			s = fmt.Sprintf("We walked to %s and enjoyed the quiet morning.", place)
+		case 6:
+			s = fmt.Sprintf("I made %s for %s, which was delicious.", food, person)
+		default:
+			s = fmt.Sprintf("Today I %s and felt really happy.", event)
+		}
+		texts = append(texts, s)
+		names = append(names, fmt.Sprintf("moment-%06d", i))
+	}
+	return index.NewCorpus(names, texts)
+}

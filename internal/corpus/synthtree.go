@@ -1,0 +1,204 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baselines/indexing"
+	"repro/internal/koko/index"
+	"repro/internal/koko/lang"
+	"repro/internal/nlp"
+)
+
+// BenchQuery is one SyntheticTree benchmark query with its setting label.
+type BenchQuery struct {
+	Setting string
+	Query   *indexing.TreeQuery
+}
+
+// GenSyntheticTree generates the 350-query SyntheticTree benchmark over a
+// parsed corpus (§6.2.2): 240 single-variable path queries — lengths 2–5 ×
+// attribute mixes (parse labels; +POS tags; +text) × wildcard (with/without)
+// × anchoring (root / non-root), 5 random queries per setting — plus 110
+// multi-variable tree-pattern queries with 3–10 labels. Paths are sampled
+// from real dependency trees so selectivities vary.
+func GenSyntheticTree(c *index.Corpus, seed int64) []BenchQuery {
+	r := rand.New(rand.NewSource(seed))
+	var out []BenchQuery
+
+	attrs := []string{"pl", "pl+pos", "pl+pos+text"}
+	for _, length := range []int{2, 3, 4, 5} {
+		for _, attr := range attrs {
+			for _, wild := range []bool{false, true} {
+				for _, rooted := range []bool{true, false} {
+					setting := fmt.Sprintf("path/len=%d/attr=%s/wild=%v/root=%v", length, attr, wild, rooted)
+					for k := 0; k < 5; k++ {
+						q := samplePathQuery(c, r, length, attr, wild, rooted)
+						if q == nil {
+							continue
+						}
+						out = append(out, BenchQuery{Setting: setting, Query: q})
+					}
+				}
+			}
+		}
+	}
+	// Tree patterns: sizes 3–10, alternating attribute mixes, 5 each, until
+	// the benchmark reaches 350 queries.
+	sizes := []int{3, 4, 5, 6, 7, 8, 9, 10}
+	for len(out) < 350 {
+		progressed := false
+		for _, size := range sizes {
+			for _, attr := range []string{"pl", "pl+pos"} {
+				if len(out) >= 350 {
+					break
+				}
+				q := sampleTreeQuery(c, r, size, attr)
+				if q == nil {
+					continue
+				}
+				out = append(out, BenchQuery{
+					Setting: fmt.Sprintf("tree/labels=%d/attr=%s", size, attr),
+					Query:   q,
+				})
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return out
+}
+
+// samplePathQuery draws one path query by sampling a real token path.
+func samplePathQuery(c *index.Corpus, r *rand.Rand, length int, attr string, wild, rooted bool) *indexing.TreeQuery {
+	for try := 0; try < 200; try++ {
+		s := &c.Sentences[r.Intn(len(c.Sentences))]
+		if len(s.Tokens) == 0 {
+			continue
+		}
+		tid := r.Intn(len(s.Tokens))
+		path := s.PathFromRoot(tid)
+		if len(path) < length {
+			continue
+		}
+		var ids []int
+		if rooted {
+			ids = path[:length]
+		} else {
+			start := len(path) - length
+			ids = path[start:]
+		}
+		steps := make([]lang.PathStep, length)
+		for i, id := range ids {
+			tok := &s.Tokens[id]
+			st := lang.PathStep{Desc: false, Label: tok.Label}
+			if i == 0 {
+				if rooted {
+					st.Label = "root"
+				} else {
+					st.Desc = true // non-root anchoring: leading descendant axis
+				}
+			}
+			if attr != "pl" && i%2 == 1 {
+				st.Label = tok.POS // mix in POS tags on alternating steps
+			}
+			steps[i] = st
+		}
+		if attr == "pl+pos+text" {
+			last := &steps[length-1]
+			last.Conds = append(last.Conds, lang.LabelCond{Key: "text", Value: s.Tokens[ids[length-1]].Lower})
+		}
+		if wild && length >= 3 {
+			steps[1+r.Intn(length-2)].Label = "*"
+		}
+		return &indexing.TreeQuery{Vars: []indexing.PathVar{{Name: "a", Steps: steps}}}
+	}
+	return nil
+}
+
+// sampleTreeQuery draws a tree-pattern query: a connected subtree of a real
+// dependency tree with `size` labels, expressed as one path variable per
+// leaf (shared prefixes make the paths a tree).
+func sampleTreeQuery(c *index.Corpus, r *rand.Rand, size int, attr string) *indexing.TreeQuery {
+	for try := 0; try < 200; try++ {
+		s := &c.Sentences[r.Intn(len(c.Sentences))]
+		if len(s.Tokens) < size {
+			continue
+		}
+		root := s.Root()
+		if root < 0 {
+			continue
+		}
+		// BFS from the root, keeping `size` tokens.
+		picked := map[int]bool{root: true}
+		queue := []int{root}
+		for len(queue) > 0 && len(picked) < size {
+			u := queue[0]
+			queue = queue[1:]
+			kids := s.Children(u)
+			// Shuffle children deterministically for variety.
+			perm := r.Perm(len(kids))
+			for _, pi := range perm {
+				k := kids[pi]
+				if len(picked) >= size {
+					break
+				}
+				if s.Tokens[k].POS == nlp.PosPunct {
+					continue
+				}
+				picked[k] = true
+				queue = append(queue, k)
+			}
+		}
+		if len(picked) < size {
+			continue
+		}
+		// Leaves of the picked set.
+		var leaves []int
+		for id := range picked {
+			isLeaf := true
+			for _, k := range s.Children(id) {
+				if picked[k] {
+					isLeaf = false
+					break
+				}
+			}
+			if isLeaf {
+				leaves = append(leaves, id)
+			}
+		}
+		if len(leaves) == 0 {
+			continue
+		}
+		sortInts(leaves)
+		q := &indexing.TreeQuery{}
+		for vi, leaf := range leaves {
+			path := s.PathFromRoot(leaf)
+			steps := make([]lang.PathStep, len(path))
+			for i, id := range path {
+				tok := &s.Tokens[id]
+				st := lang.PathStep{Desc: false, Label: tok.Label}
+				if i == 0 {
+					st.Label = "root"
+				}
+				if attr == "pl+pos" && i%2 == 1 {
+					st.Label = tok.POS
+				}
+				steps[i] = st
+			}
+			q.Vars = append(q.Vars, indexing.PathVar{Name: fmt.Sprintf("v%d", vi), Steps: steps})
+		}
+		return q
+	}
+	return nil
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

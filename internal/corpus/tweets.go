@@ -1,0 +1,134 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/koko/index"
+)
+
+var (
+	// Team and facility names are built combinatorially so the CRF's
+	// training half never sees every name — generalization has to come from
+	// context and shape features, as with the real WNUT data.
+	teamPrefixes = []string{
+		"River", "North", "Bay", "Hill", "Iron", "West", "Storm", "Red",
+		"Gold", "Pine", "East", "Lake",
+	}
+	teamAnimals = []string{
+		"Tigers", "Sharks", "Falcons", "Rovers", "Comets", "Wolves",
+		"Pilots", "Rapids", "Hornets", "Royals", "Chiefs", "Giants",
+	}
+	facilityAdjs = []string{
+		"Riverside", "Harbor", "Union", "Memorial", "Grand", "Westside",
+		"Civic", "Lakeview", "Central", "Summit", "Border", "Crescent",
+	}
+	facilityTypes = []string{
+		"Stadium", "Museum", "Arena", "Station", "Park", "Library", "Gym",
+		"Theater", "Mall", "Airport",
+	}
+	tweetTimes = []string{"7 pm", "8 pm", "noon", "9 am"}
+	handles    = []string{"@coach", "@fanzone", "@citylife", "@gameday"}
+)
+
+// WNUTConfig parameterizes the tweet generator.
+type WNUTConfig struct {
+	Tweets int
+	Seed   int64
+}
+
+// WNUT labels both categories on one corpus (the experiments extract teams
+// and facilities separately over the same tweets).
+type WNUT struct {
+	Corpus     *index.Corpus
+	Teams      map[string]bool
+	Facilities map[string]bool
+	TrainSplit map[int]bool
+}
+
+// GenWNUT generates a WNUT-like tweet corpus: one short sentence per
+// document, so no cross-sentence evidence exists anywhere.
+func GenWNUT(cfg WNUTConfig) *WNUT {
+	if cfg.Tweets == 0 {
+		cfg.Tweets = 800
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	w := &WNUT{
+		Teams:      map[string]bool{},
+		Facilities: map[string]bool{},
+		TrainSplit: map[int]bool{},
+	}
+	mkTeam := func() string {
+		return teamPrefixes[r.Intn(len(teamPrefixes))] + " " + teamAnimals[r.Intn(len(teamAnimals))]
+	}
+	mkFac := func() string {
+		return facilityAdjs[r.Intn(len(facilityAdjs))] + " " + facilityTypes[r.Intn(len(facilityTypes))]
+	}
+	var texts, names []string
+	for i := 0; i < cfg.Tweets; i++ {
+		team := mkTeam()
+		team2 := mkTeam()
+		fac := mkFac()
+		tm := tweetTimes[r.Intn(len(tweetTimes))]
+		var s string
+		switch r.Intn(16) {
+		case 0:
+			s = fmt.Sprintf("%s vs %s tonight at %s.", team, team2, tm)
+			w.Teams[strings.ToLower(team)] = true
+			w.Teams[strings.ToLower(team2)] = true
+		case 1:
+			s = fmt.Sprintf("go %s beat the %s.", team, team2)
+			w.Teams[strings.ToLower(team)] = true
+		case 2:
+			s = fmt.Sprintf("%s to host the soccer final this weekend.", team)
+			w.Teams[strings.ToLower(team)] = true
+		case 3:
+			// Labeled team mentioned in a construction none of the
+			// Figure 11 conditions reach — a recall ceiling for everyone.
+			s = fmt.Sprintf("what a comeback by the %s last night.", team)
+			w.Teams[strings.ToLower(team)] = true
+		case 4:
+			s = fmt.Sprintf("we are at %s for the show.", fac)
+			w.Facilities[strings.ToLower(fac)] = true
+		case 5:
+			s = fmt.Sprintf("went to %s with the kids today.", fac)
+			w.Facilities[strings.ToLower(fac)] = true
+		case 6:
+			s = fmt.Sprintf("you should go to %s this weekend.", fac)
+			w.Facilities[strings.ToLower(fac)] = true
+		case 7:
+			s = fmt.Sprintf("meet me at %s at %s.", fac, tm)
+			w.Facilities[strings.ToLower(fac)] = true
+		case 8:
+			// Unreachable facility mention (recall ceiling).
+			s = fmt.Sprintf("%s looks beautiful tonight.", fac)
+			w.Facilities[strings.ToLower(fac)] = true
+		case 9:
+			// Cross-category confusion: a team after "at" (a facility
+			// false positive for pattern matchers).
+			s = fmt.Sprintf("screaming at %s fans on the bus.", team)
+			w.Teams[strings.ToLower(team)] = true
+		case 10:
+			s = fmt.Sprintf("%s says the match starts at %s.", handles[r.Intn(len(handles))], tm)
+		case 11:
+			s = fmt.Sprintf("traffic was terrible downtown today at %s.", tm)
+		case 12:
+			s = fmt.Sprintf("so happy about tomorrow's %s game.", strings.ToLower(team))
+		case 13:
+			// Capitalized non-entity after "at" (precision noise for all).
+			s = fmt.Sprintf("stuck at Gate %d again.", 2+r.Intn(20))
+		case 14:
+			s = fmt.Sprintf("brunch at Mels with the team was great.")
+		default:
+			s = "what a beautiful morning for a long walk."
+		}
+		texts = append(texts, s)
+		names = append(names, fmt.Sprintf("tweet-%04d", i))
+		if i%2 == 0 {
+			w.TrainSplit[i] = true
+		}
+	}
+	w.Corpus = index.NewCorpus(names, texts)
+	return w
+}

@@ -1,0 +1,104 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/koko/index"
+)
+
+var (
+	bioFirst = []string{
+		"Alys", "Vera", "Cyd", "Walter", "Clara", "Edward", "Helen",
+		"Oscar", "Ruth", "Simon", "Stella", "Victor", "Nina", "Leo",
+		"Ida", "Frank", "Grace", "Henry", "Julia", "Mark",
+	}
+	bioLast = []string{
+		"Charisse", "Thomas", "Adams", "Baker", "Carter", "Davis",
+		"Evans", "Fisher", "Gray", "Hughes", "Jackson", "Kelly",
+		"Lewis", "Morgan", "Nelson", "Parker", "Reed", "Stewart",
+		"Turner", "Walker",
+	}
+	nicknames = []string{
+		"Sid", "Ace", "Duke", "Bud", "Dot", "Kit", "Max", "Pip", "Rex", "Sal",
+	}
+	professions = []string{
+		"actress", "writer", "engineer", "singer", "director", "chef",
+		"teacher", "artist", "coach",
+	}
+	chocolateKinds = []string{
+		"Baking chocolate", "Milk chocolate", "Dark chocolate",
+		"White chocolate", "Couverture chocolate", "Ruby chocolate",
+	}
+	wikiCities = []string{
+		"London", "Paris", "Berlin", "Rome", "Madrid", "Vienna", "Oslo",
+		"Dublin", "Prague", "Lisbon",
+	}
+)
+
+// WikiStats reports how many articles carry each §6.3 query target, so the
+// selectivity bands (low <1%, medium ~10%, high >70%) are checkable.
+type WikiStats struct {
+	Articles    int
+	Chocolate   int
+	Title       int
+	DateOfBirth int
+}
+
+// GenWikipedia generates n Wikipedia-like articles. Article mix: ~72%
+// biographies (all with a birth-date sentence → high selectivity for the
+// DateOfBirth query; ~14% also carry a "had been called" nickname sentence),
+// ~27% place articles (a further ~5% of all articles carry a nickname
+// construction about the place founder), and ~0.8% chocolate-type articles
+// (low selectivity).
+func GenWikipedia(n int, seed int64) (*index.Corpus, WikiStats) {
+	r := rand.New(rand.NewSource(seed))
+	var texts, names []string
+	st := WikiStats{Articles: n}
+	for i := 0; i < n; i++ {
+		first := bioFirst[r.Intn(len(bioFirst))]
+		last := bioLast[r.Intn(len(bioLast))]
+		person := first + " " + last
+		city := wikiCities[r.Intn(len(wikiCities))]
+		year := 1880 + r.Intn(100)
+		var sents []string
+		roll := r.Float64()
+		switch {
+		case roll < 0.008:
+			kind := chocolateKinds[r.Intn(len(chocolateKinds))]
+			sents = append(sents,
+				fmt.Sprintf("%s is a type of chocolate that is prepared for baking.", kind),
+				fmt.Sprintf("Factories in %s produce it for pastry kitchens.", city),
+				"Bakers melt it slowly over gentle heat.")
+			st.Chocolate++
+		case roll < 0.28:
+			place := city + " " + []string{"Museum", "Station", "Park", "Library"}[r.Intn(4)]
+			sents = append(sents,
+				fmt.Sprintf("The %s opened in %d near the river.", place, year),
+				fmt.Sprintf("Visitors arrive from %s every summer.", wikiCities[r.Intn(len(wikiCities))]))
+			if r.Float64() < 0.18 {
+				sents = append(sents, fmt.Sprintf("%s had been called %s by the founders.", place, nicknames[r.Intn(len(nicknames))]))
+				st.Title++
+			}
+		default:
+			prof := professions[r.Intn(len(professions))]
+			sents = append(sents,
+				fmt.Sprintf("%s was a famous %s from %s.", person, prof, city),
+				fmt.Sprintf("%s was born in %d in %s.", person, year, city))
+			if r.Float64() < 0.14 {
+				sents = append(sents, fmt.Sprintf("%s had been called %s for years.", person, nicknames[r.Intn(len(nicknames))]))
+				st.Title++
+			}
+			if r.Float64() < 0.4 {
+				spouse := bioFirst[r.Intn(len(bioFirst))] + " " + bioLast[r.Intn(len(bioLast))]
+				sents = append(sents,
+					fmt.Sprintf("The couple had a daughter %s born in %d.", spouse, year+25))
+			}
+			st.DateOfBirth++
+		}
+		texts = append(texts, strings.Join(sents, " "))
+		names = append(names, fmt.Sprintf("article-%06d", i))
+	}
+	return index.NewCorpus(names, texts), st
+}

@@ -1,0 +1,197 @@
+package embed
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClusterSimilarity(t *testing.T) {
+	m := NewModel()
+	// Within-cluster pairs must be much more similar than cross-cluster.
+	high := [][2]string{
+		{"serves", "sells"},
+		{"coffee", "espresso"},
+		{"cappuccino", "macchiato"},
+		{"employs", "hires"},
+		{"called", "named"},
+		{"great", "amazing"},
+	}
+	for _, p := range high {
+		if s := m.Similarity(p[0], p[1]); s < 0.70 {
+			t.Errorf("sim(%s,%s) = %.3f, want >= 0.70", p[0], p[1], s)
+		}
+	}
+	low := [][2]string{
+		{"coffee", "stadium"},
+		{"serves", "city"},
+		{"barista", "country"},
+		{"espresso", "soccer"},
+	}
+	for _, p := range low {
+		if s := m.Similarity(p[0], p[1]); s > 0.30 {
+			t.Errorf("sim(%s,%s) = %.3f, want <= 0.30", p[0], p[1], s)
+		}
+	}
+	// "serves tea" must NOT be implied by "serves coffee": tea/coffee are
+	// related but weakly.
+	if s := m.Similarity("coffee", "tea"); s > 0.45 {
+		t.Errorf("sim(coffee,tea) = %.3f, want <= 0.45", s)
+	}
+}
+
+// TestExample22Band checks the Example 2.2 score band: city instances score
+// ≈0.35–0.55 against "city" and country instances against "country", while
+// the cross pairs score lower.
+func TestExample22Band(t *testing.T) {
+	m := NewModel()
+	for _, city := range []string{"tokyo", "beijing"} {
+		s := m.Similarity(city, "city")
+		if s < 0.25 || s > 0.65 {
+			t.Errorf("sim(%s, city) = %.3f, want in [0.25,0.65]", city, s)
+		}
+		if cross := m.Similarity(city, "country"); cross >= s {
+			t.Errorf("sim(%s,country)=%.3f >= sim(%s,city)=%.3f", city, cross, city, s)
+		}
+	}
+	for _, c := range []string{"china", "japan"} {
+		s := m.Similarity(c, "country")
+		if s < 0.25 || s > 0.70 {
+			t.Errorf("sim(%s, country) = %.3f, want in [0.25,0.70]", c, s)
+		}
+		if cross := m.Similarity(c, "city"); cross >= s {
+			t.Errorf("sim(%s,city)=%.3f >= sim(%s,country)=%.3f", c, cross, c, s)
+		}
+	}
+}
+
+func TestExpandServesCoffee(t *testing.T) {
+	m := NewModel()
+	exp := m.Expand("serves coffee", 40)
+	if len(exp) == 0 {
+		t.Fatal("no expansions")
+	}
+	if exp[0].Text != "serves coffee" || exp[0].Score != 1 {
+		t.Errorf("first expansion = %+v, want original with score 1", exp[0])
+	}
+	found := map[string]float64{}
+	for _, e := range exp {
+		found[e.Text] = e.Score
+		if e.Score <= 0 || e.Score > 1 {
+			t.Errorf("expansion %q has score %v", e.Text, e.Score)
+		}
+	}
+	// The paper's flagship expansion: "sells espresso" and "sells coffee".
+	if _, ok := found["sells coffee"]; !ok {
+		t.Errorf("missing 'sells coffee' in %v", keysOf(found))
+	}
+	if _, ok := found["sells espresso"]; !ok {
+		t.Errorf("missing 'sells espresso' in %v", keysOf(found))
+	}
+	// "serves tea" must not outrank "sells espresso".
+	if teaScore, ok := found["serves tea"]; ok {
+		if teaScore >= found["sells espresso"] {
+			t.Errorf("serves tea (%.3f) >= sells espresso (%.3f)", teaScore, found["sells espresso"])
+		}
+	}
+	// Scores must be non-increasing.
+	for i := 1; i < len(exp); i++ {
+		if exp[i].Score > exp[i-1].Score {
+			t.Errorf("expansions out of order at %d", i)
+		}
+	}
+}
+
+func TestExpandWithOntology(t *testing.T) {
+	m := NewModel()
+	m.AddOntology("coffee", []string{"flat white", "gibraltar"})
+	exp := m.Expand("serves coffee", 40)
+	var sawFlat bool
+	for _, e := range exp {
+		if e.Text == "serves flat white" {
+			sawFlat = true
+			if e.Score < 0.9 {
+				t.Errorf("ontology expansion score %.3f, want >= 0.9", e.Score)
+			}
+		}
+	}
+	if !sawFlat {
+		t.Error("ontology term not expanded")
+	}
+}
+
+func TestExpandLimit(t *testing.T) {
+	m := NewModel()
+	exp := m.Expand("serves coffee", 5)
+	if len(exp) > 5 {
+		t.Errorf("limit ignored: %d expansions", len(exp))
+	}
+	if got := m.Expand("", 5); got != nil {
+		t.Errorf("empty descriptor expanded: %v", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewModel()
+	b := NewModel()
+	words := []string{"coffee", "serves", "tokyo", "nonexistentword", "stadium"}
+	for _, w1 := range words {
+		for _, w2 := range words {
+			if a.Similarity(w1, w2) != b.Similarity(w1, w2) {
+				t.Fatalf("nondeterministic similarity %s/%s", w1, w2)
+			}
+		}
+	}
+	e1 := a.Expand("serves coffee", 20)
+	e2 := b.Expand("serves coffee", 20)
+	if len(e1) != len(e2) {
+		t.Fatal("nondeterministic expansion length")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("nondeterministic expansion at %d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestSimilarityProperties(t *testing.T) {
+	m := NewModel()
+	f := func(a, b string) bool {
+		s := m.Similarity(a, b)
+		if s < 0 || s > 1 {
+			return false
+		}
+		// Symmetry.
+		if math.Abs(s-m.Similarity(b, a)) > 1e-12 {
+			return false
+		}
+		// Identity (case-insensitive).
+		return m.Similarity(a, a) == 1 && m.Similarity(strings.ToUpper(a), a) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorsAreUnit(t *testing.T) {
+	m := NewModel()
+	for _, w := range []string{"coffee", "serves", "randomoov", "tokyo"} {
+		v := m.Vector(w)
+		var n float64
+		for _, x := range v {
+			n += x * x
+		}
+		if math.Abs(n-1) > 1e-9 {
+			t.Errorf("|%s|^2 = %v, want 1", w, n)
+		}
+	}
+}
+
+func keysOf(m map[string]float64) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

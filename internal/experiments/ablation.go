@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/koko/engine"
+	"repro/internal/koko/index"
+)
+
+// AblationPoint is one row of the multi-index ablation: DPLI restricted to a
+// subset of the index families.
+type AblationPoint struct {
+	Mode          string
+	LookupTime    time.Duration
+	Effectiveness float64
+	Queries       int
+}
+
+// ablationModes are the configurations compared: the full multi-index and
+// each family removed. The ordering is the reporting order.
+var ablationModes = []struct {
+	name string
+	mode engine.AblationMode
+}{
+	{"full multi-index", engine.FullMode},
+	{"no word index", engine.AblationMode{UsePL: true, UsePOS: true}},
+	{"no POS index", engine.AblationMode{UsePL: true, UseWords: true}},
+	{"no PL index", engine.AblationMode{UsePOS: true, UseWords: true}},
+	{"PL only", engine.AblationMode{UsePL: true}},
+}
+
+// RunIndexAblation measures lookup time and effectiveness of DPLI with each
+// index family removed, over the SyntheticTree benchmark — the design-choice
+// ablation DESIGN.md calls out: is the *multi*-indexing scheme (simultaneous
+// access to hierarchy and inverted indices) actually needed, or would one
+// family do?
+func RunIndexAblation(c *index.Corpus, seed int64) []AblationPoint {
+	bench := corpus.GenSyntheticTree(c, seed)
+	ix := index.Build(c)
+	var out []AblationPoint
+	for _, m := range ablationModes {
+		p := AblationPoint{Mode: m.name}
+		var effSum float64
+		for _, bq := range bench {
+			p.Queries++
+			t0 := time.Now()
+			var sidSets [][]int32
+			empty := false
+			for _, v := range bq.Query.Vars {
+				ps, ok := engine.LookupDecomposedMode(ix, v.Steps, m.mode)
+				if !ok {
+					empty = true
+					break
+				}
+				sidSets = append(sidSets, index.SidsOf(ps))
+			}
+			var cands []int32
+			if !empty && len(sidSets) > 0 {
+				cands = sidSets[0]
+				for _, s := range sidSets[1:] {
+					cands = index.IntersectSids(cands, s)
+				}
+			}
+			p.LookupTime += time.Since(t0)
+			matching := 0
+			for _, sid := range cands {
+				sent := &c.Sentences[sid]
+				all := true
+				for _, v := range bq.Query.Vars {
+					if len(engine.MatchPath(sent, v.Steps)) == 0 {
+						all = false
+						break
+					}
+				}
+				if all {
+					matching++
+				}
+			}
+			if len(cands) > 0 {
+				effSum += float64(matching) / float64(len(cands))
+			} else {
+				effSum += 1
+			}
+		}
+		if p.Queries > 0 {
+			p.Effectiveness = effSum / float64(p.Queries)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// FormatAblation renders the ablation table.
+func FormatAblation(points []AblationPoint) string {
+	var b strings.Builder
+	b.WriteString("Multi-index ablation — DPLI over the SyntheticTree benchmark\n")
+	fmt.Fprintf(&b, "%-20s %-14s %-14s %-8s\n", "configuration", "lookup (ms)", "effectiveness", "queries")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-20s %-14.1f %-14.3f %-8d\n",
+			p.Mode, float64(p.LookupTime.Microseconds())/1000, p.Effectiveness, p.Queries)
+	}
+	return b.String()
+}

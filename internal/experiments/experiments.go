@@ -1,0 +1,118 @@
+// Package experiments implements the paper's evaluation section: one
+// function per table and figure, each returning structured results the
+// benchmark harness (cmd/kokobench, bench_test.go) formats into the same
+// rows and series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/koko/engine"
+)
+
+// PRF is a precision/recall/F1 triple.
+type PRF struct {
+	Precision, Recall, F1 float64
+	Extracted, Correct    int
+}
+
+// Score computes PRF of an extracted set against a gold set (both
+// lowercase).
+func Score(extracted map[string]bool, truth map[string]bool) PRF {
+	var correct int
+	for e := range extracted {
+		if truth[e] {
+			correct++
+		}
+	}
+	p := PRF{Extracted: len(extracted), Correct: correct}
+	if len(extracted) > 0 {
+		p.Precision = float64(correct) / float64(len(extracted))
+	}
+	if len(truth) > 0 {
+		p.Recall = float64(correct) / float64(len(truth))
+	}
+	if p.Precision+p.Recall > 0 {
+		p.F1 = 2 * p.Precision * p.Recall / (p.Precision + p.Recall)
+	}
+	return p
+}
+
+func (p PRF) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f (%d extracted, %d correct)",
+		p.Precision, p.Recall, p.F1, p.Extracted, p.Correct)
+}
+
+// valuesOf collects the distinct lowercase first-column values of a result.
+func valuesOf(res *engine.Result, col int) map[string]bool {
+	out := map[string]bool{}
+	for _, t := range res.Tuples {
+		if col < len(t.Values) && t.Values[col] != "" {
+			out[strings.ToLower(t.Values[col])] = true
+		}
+	}
+	return out
+}
+
+// Thresholds is the paper's x-axis sweep (Figures 3-5).
+var Thresholds = []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// Series is one plotted line: a metric per threshold.
+type Series struct {
+	Name   string
+	Points map[float64]PRF
+}
+
+// FormatSeries renders series as an aligned table over the thresholds.
+func FormatSeries(title string, series []Series, metric func(PRF) float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-14s", title, "threshold")
+	for _, t := range Thresholds {
+		fmt.Fprintf(&b, "%8.2f", t)
+	}
+	b.WriteByte('\n')
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-14s", s.Name)
+		for _, t := range Thresholds {
+			p, ok := s.Points[t]
+			if !ok {
+				// Threshold-independent systems report one flat value.
+				for _, v := range s.Points {
+					p = v
+					break
+				}
+			}
+			fmt.Fprintf(&b, "%8.3f", metric(p))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// flatSeries builds a threshold-independent series (IKE, CRF lines in the
+// figures are horizontal).
+func flatSeries(name string, p PRF) Series {
+	pts := map[float64]PRF{}
+	for _, t := range Thresholds {
+		pts[t] = p
+	}
+	return Series{Name: name, Points: pts}
+}
+
+// bestF1 returns the threshold with the highest F1 in a series.
+func bestF1(s Series) (float64, PRF) {
+	bestT, best := 0.0, PRF{}
+	keys := make([]float64, 0, len(s.Points))
+	for t := range s.Points {
+		keys = append(keys, t)
+	}
+	sort.Float64s(keys)
+	for _, t := range keys {
+		if s.Points[t].F1 > best.F1 {
+			bestT, best = t, s.Points[t]
+		}
+	}
+	return bestT, best
+}

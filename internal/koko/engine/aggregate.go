@@ -1,0 +1,419 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/decompose"
+	"repro/internal/embed"
+	"repro/internal/koko/lang"
+	"repro/internal/nlp"
+)
+
+// aggregator evaluates satisfying and excluding conditions for candidate
+// values, aggregating evidence across a document (§4.4). Scores are cached
+// per (clause, value) within a document.
+// globalCache memoizes document-independent condition confidences across
+// the whole run (similarTo, contains, matches, ...), keyed by
+// kind|arg|value. Owned by the Engine and shared across documents — and,
+// when Workers > 1, across goroutines, hence the mutex.
+type globalCache struct {
+	mu sync.Mutex
+	m  map[string]float64
+}
+
+func newGlobalCache() *globalCache { return &globalCache{m: map[string]float64{}} }
+
+func (g *globalCache) get(key string) (float64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v, ok := g.m[key]
+	return v, ok
+}
+
+func (g *globalCache) put(key string, v float64) {
+	g.mu.Lock()
+	g.m[key] = v
+	g.mu.Unlock()
+}
+
+type aggregator struct {
+	nq     *normQuery
+	model  *embed.Model
+	dicts  map[string]map[string]bool
+	rc     *reCache
+	global *globalCache
+
+	docSents []*nlp.Sentence
+	clauses  map[int][]decompose.Clause // sid -> canonical clauses
+	mentions map[string][]mention       // value -> mentions in the document
+	scores   map[scoreKey]float64
+}
+
+type mention struct {
+	sent *nlp.Sentence
+	l, r int
+}
+
+type scoreKey struct {
+	clause int // index into nq.satisfying, or -1 for excluding
+	value  string
+}
+
+func newAggregator(nq *normQuery, model *embed.Model, dicts map[string]map[string]bool, rc *reCache, global *globalCache, docSents []*nlp.Sentence) *aggregator {
+	return &aggregator{
+		nq:       nq,
+		model:    model,
+		dicts:    dicts,
+		rc:       rc,
+		global:   global,
+		docSents: docSents,
+		clauses:  map[int][]decompose.Clause{},
+		mentions: map[string][]mention{},
+		scores:   map[scoreKey]float64{},
+	}
+}
+
+// clauseScore computes the satisfying-clause score of a value: the weighted
+// sum of per-condition confidences, each aggregated over the document.
+func (ag *aggregator) clauseScore(clauseIdx int, value string) float64 {
+	key := scoreKey{clause: clauseIdx, value: value}
+	if s, ok := ag.scores[key]; ok {
+		return s
+	}
+	sc := ag.nq.satisfying[clauseIdx]
+	var total float64
+	for _, c := range sc.Conds {
+		total += c.Weight * ag.confidence(c, value)
+	}
+	ag.scores[key] = total
+	return total
+}
+
+// excluded reports whether any excluding condition holds for the value
+// (conditions over other variables are skipped by the caller).
+func (ag *aggregator) excluded(c lang.SatCond, value string) bool {
+	return ag.confidence(c, value) > 0
+}
+
+// confidence computes m_i(e) for one condition (§4.4.1). Document-
+// independent conditions are memoized across the whole run.
+func (ag *aggregator) confidence(c lang.SatCond, value string) float64 {
+	if value == "" {
+		return 0
+	}
+	switch c.Kind {
+	case lang.CondContains, lang.CondMentions, lang.CondMatches,
+		lang.CondSimilarTo, lang.CondInDict:
+		if ag.global != nil {
+			key := fmt.Sprintf("%d|%s|%s", c.Kind, c.Arg, value)
+			if s, ok := ag.global.get(key); ok {
+				return s
+			}
+			s := ag.confidenceUncached(c, value)
+			ag.global.put(key, s)
+			return s
+		}
+	}
+	return ag.confidenceUncached(c, value)
+}
+
+// CondEvidence is one row of an extraction explanation: a condition with
+// its confidence, weight, and contribution to the clause score.
+type CondEvidence struct {
+	Var          string
+	Condition    string
+	Weight       float64
+	Confidence   float64
+	Contribution float64
+}
+
+// explainClause breaks a satisfying-clause score into per-condition
+// evidence (the paper's §5 debuggability claim).
+func (ag *aggregator) explainClause(clauseIdx int, value string) []CondEvidence {
+	sc := ag.nq.satisfying[clauseIdx]
+	out := make([]CondEvidence, 0, len(sc.Conds))
+	for _, c := range sc.Conds {
+		conf := ag.confidence(c, value)
+		out = append(out, CondEvidence{
+			Var:          sc.Var,
+			Condition:    c.Display(),
+			Weight:       c.Weight,
+			Confidence:   conf,
+			Contribution: c.Weight * conf,
+		})
+	}
+	return out
+}
+
+func (ag *aggregator) confidenceUncached(c lang.SatCond, value string) float64 {
+	switch c.Kind {
+	case lang.CondContains:
+		// Whole-token containment: "chocolate ice cream" contains "ice"
+		// but not "choc". Case-sensitive, matching the paper's separate
+		// "Cafe"/"Café" conditions.
+		if containsTokens(value, c.Arg) {
+			return 1
+		}
+		return 0
+	case lang.CondMentions:
+		if strings.Contains(value, c.Arg) {
+			return 1
+		}
+		return 0
+	case lang.CondMatches:
+		if ag.rc.fullMatch(c.Arg, value) {
+			return 1
+		}
+		return 0
+	case lang.CondSimilarTo:
+		if ag.model == nil {
+			return 0
+		}
+		return ag.model.PhraseSimilarity(lowerFields(value), lowerFields(c.Arg))
+	case lang.CondInDict:
+		d := ag.dicts[c.Arg]
+		if d != nil && d[strings.ToLower(value)] {
+			return 1
+		}
+		return 0
+	case lang.CondFollowedBy:
+		return ag.adjacency(value, c.Arg, true)
+	case lang.CondPrecededBy:
+		return ag.adjacency(value, c.Arg, false)
+	case lang.CondNear:
+		return ag.near(value, c.Arg)
+	case lang.CondDescRight:
+		return ag.descriptorScore(value, c.Arg, true)
+	case lang.CondDescLeft:
+		return ag.descriptorScore(value, c.Arg, false)
+	}
+	return 0
+}
+
+// valueMentions finds (and caches) every occurrence of the value's token
+// sequence in the document.
+func (ag *aggregator) valueMentions(value string) []mention {
+	key := strings.ToLower(value)
+	if ms, ok := ag.mentions[key]; ok {
+		return ms
+	}
+	words := tokensOfValue(value)
+	var ms []mention
+	if len(words) > 0 {
+		for _, s := range ag.docSents {
+			for _, pos := range findTokenSeq(s, words) {
+				ms = append(ms, mention{sent: s, l: pos, r: pos + len(words) - 1})
+			}
+		}
+	}
+	ag.mentions[key] = ms
+	return ms
+}
+
+// adjacency implements x "s" (followed=true) and "s" x (followed=false):
+// boolean — some mention of the value is immediately followed/preceded by
+// the literal string.
+func (ag *aggregator) adjacency(value, arg string, followed bool) float64 {
+	argToks := lowerTokens(arg)
+	if len(argToks) == 0 {
+		return 0
+	}
+	for _, m := range ag.valueMentions(value) {
+		toks := m.sent.Tokens
+		if followed {
+			match := true
+			for j, w := range argToks {
+				p := m.r + 1 + j
+				if p >= len(toks) || toks[p].Lower != w {
+					match = false
+					break
+				}
+			}
+			if match {
+				return 1
+			}
+		} else {
+			match := true
+			for j, w := range argToks {
+				p := m.l - len(argToks) + j
+				if p < 0 || toks[p].Lower != w {
+					match = false
+					break
+				}
+			}
+			if match {
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+// near implements the proximity condition: 1/(1+distance) for the closest
+// co-occurrence of the value and the string within a sentence, maximized
+// over the document.
+func (ag *aggregator) near(value, arg string) float64 {
+	argToks := lowerTokens(arg)
+	if len(argToks) == 0 {
+		return 0
+	}
+	best := 0.0
+	for _, m := range ag.valueMentions(value) {
+		for _, pos := range findTokenSeq(m.sent, argToks) {
+			var dist int
+			end := pos + len(argToks) - 1
+			switch {
+			case pos > m.r:
+				dist = pos - m.r - 1
+			case end < m.l:
+				dist = m.l - end - 1
+			default:
+				dist = 0
+			}
+			if s := 1.0 / float64(1+dist); s > best {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+// descriptorScore implements x [[d]] / [[d]] x: the descriptor is expanded
+// (done once at normalization), each sentence containing a mention is
+// decomposed into canonical clauses, and
+//
+//	conf(s) = max_i Σ_j match(d_i, c_j),  match(d_i, c_j) = k_i · l_j
+//
+// when d_i's word sequence occurs in c_j on the required side of the
+// mention; the document score is the sum over sentences (§4.4.1(c)).
+func (ag *aggregator) descriptorScore(value, desc string, right bool) float64 {
+	d := ag.nq.descriptors[desc]
+	if d == nil {
+		return 0
+	}
+	// Group mentions by sentence: one conf per sentence.
+	bySent := map[*nlp.Sentence][]mention{}
+	var order []*nlp.Sentence
+	for _, m := range ag.valueMentions(value) {
+		if _, ok := bySent[m.sent]; !ok {
+			order = append(order, m.sent)
+		}
+		bySent[m.sent] = append(bySent[m.sent], m)
+	}
+	var total float64
+	for _, s := range order {
+		clauses := ag.decompose(s)
+		best := 0.0
+		for i, seq := range d.seqs {
+			ki := d.expansions[i].Score
+			var sum float64
+			for _, cl := range clauses {
+				// The distance between the mention and the matched terms
+				// damps the confidence (§2.2: "the distance between x and
+				// the terms similar to descriptor affects the confidence").
+				bestProx := 0.0
+				for _, m := range bySent[s] {
+					if ok, dist := clauseContainsDirectional(&cl, seq, m, right); ok {
+						if prox := 1.0 / float64(1+dist); prox > bestProx {
+							bestProx = prox
+						}
+					}
+				}
+				sum += ki * cl.Score * bestProx
+			}
+			if sum > best {
+				best = sum
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+func (ag *aggregator) decompose(s *nlp.Sentence) []decompose.Clause {
+	if cl, ok := ag.clauses[s.ID]; ok {
+		return cl
+	}
+	cl := decompose.Decompose(s)
+	ag.clauses[s.ID] = cl
+	return cl
+}
+
+// clauseContainsDirectional checks that the clause contains the word
+// sequence in order, entirely after (right) or before (left) the mention,
+// and returns the token distance between the mention boundary and the
+// nearest matched term.
+func clauseContainsDirectional(cl *decompose.Clause, seq []string, m mention, right bool) (bool, int) {
+	if len(seq) == 0 {
+		return false, 0
+	}
+	i := 0
+	first, last := -1, -1
+	for _, tid := range cl.Tokens {
+		if right && tid <= m.r {
+			continue
+		}
+		if !right && tid >= m.l {
+			break
+		}
+		// cl.Words excludes punctuation while cl.Tokens includes it; match
+		// against the underlying sentence token instead.
+		if i < len(seq) && m.sent.Tokens[tid].Lower == seq[i] {
+			if i == 0 {
+				first = tid
+			}
+			last = tid
+			i++
+		}
+	}
+	if i < len(seq) {
+		return false, 0
+	}
+	if right {
+		return true, max0(first - m.r - 1)
+	}
+	return true, max0(m.l - last - 1)
+}
+
+func max0(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// containsTokens reports whole-token containment, case-sensitive.
+func containsTokens(value, arg string) bool {
+	vt := nlp.Tokenize(value)
+	at := nlp.Tokenize(arg)
+	if len(at) == 0 || len(at) > len(vt) {
+		return false
+	}
+	for i := 0; i+len(at) <= len(vt); i++ {
+		ok := true
+		for j := range at {
+			if vt[i+j] != at[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func lowerFields(s string) []string {
+	return strings.Fields(strings.ToLower(s))
+}
+
+func lowerTokens(s string) []string {
+	toks := nlp.Tokenize(s)
+	for i := range toks {
+		toks[i] = strings.ToLower(toks[i])
+	}
+	return toks
+}

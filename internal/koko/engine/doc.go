@@ -1,0 +1,33 @@
+// Package engine evaluates KOKO queries (paper §4). Evaluation proceeds in
+// the paper's four stages:
+//
+//  1. Normalize (§4.1) — path expressions are expanded to absolute form,
+//     horizontal-condition components become explicit variables (the ∧
+//     elastic spans get synthesized names), and structural constraints
+//     (parentOf / ancestorOf / leftOf) are derived.
+//
+//  2. Decompose Paths & Lookup Indices, DPLI (§4.2) — dominant paths are
+//     identified, each is decomposed into a parse-label path, a POS-tag
+//     path, and a word path; the PL, POS, and word indices are consulted and
+//     their posting lists joined with the paper's interval+depth arithmetic.
+//     The result is a complete (but not necessarily sound) candidate set of
+//     sentences plus per-sentence binding-count estimates.
+//
+//  3. Generate Skip Plan, GSP (§4.3, Algorithm 2) — for every horizontal
+//     condition the costliest variables (elastic spans cost t(t+1)/2) are
+//     greedily skipped provided their neighbors are not skipped; the
+//     remaining variables are enumerated by nested loops, skipped variables
+//     are aligned from their neighbors' bindings, and every path expression
+//     and derived constraint is re-validated (this restores soundness).
+//
+//  4. Aggregate (§4.4) — for every candidate output value, the satisfying
+//     clause's weighted evidence is collected across the whole document
+//     (boolean conditions, proximity, and descriptor conditions expanded
+//     through the paraphrase model and matched against decomposed canonical
+//     clauses); values below the threshold or matching the excluding clause
+//     are dropped.
+//
+// The engine reports per-phase wall-clock times (the paper's Table 2
+// breakdown: Normalize / DPLI / LoadArticle / GSP / extract / satisfying)
+// and supports disabling the skip plan for the Table 1 ablation.
+package engine

@@ -1,0 +1,401 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/koko/index"
+	"repro/internal/koko/lang"
+)
+
+// dpliResult carries the outcome of the Decompose-Paths-and-Lookup-Indices
+// module (Algorithm 1): candidate sentences and per-variable binding
+// estimates.
+type dpliResult struct {
+	// candSids is the sorted candidate sentence set: the join of all index
+	// accesses. Empty + exhausted=true means the query provably has no
+	// answers (a decomposed path missed the index entirely).
+	candSids  []int32
+	exhausted bool
+	// allSentences is set when no variable constrains the candidate set
+	// (empty extract clause): every sentence must be considered.
+	allSentences bool
+	// countBySid[var][sid] estimates |bindings[v][sid]| for the GSP cost
+	// model; counts come from the variable's dominant path (Example 4.5).
+	countBySid map[string]map[int32]int
+}
+
+// runDPLI implements §4.2 over the multi-index.
+func runDPLI(nq *normQuery, ix *index.Index) *dpliResult {
+	res := &dpliResult{countBySid: map[string]map[int32]int{}}
+	var sidSets [][]int32
+	addCounts := func(name string, ps []index.Posting) {
+		m := res.countBySid[name]
+		if m == nil {
+			m = map[int32]int{}
+			res.countBySid[name] = m
+		}
+		for _, p := range ps {
+			m[p.Sid]++
+		}
+	}
+
+	// Entity variables: posting lists from the entity index.
+	for _, v := range nq.vars {
+		if v.kind != vkEntity {
+			continue
+		}
+		eps := ix.EntitiesOfType(v.etype)
+		if len(eps) == 0 {
+			res.exhausted = true
+			return res
+		}
+		m := map[int32]int{}
+		var sids []int32
+		for _, ep := range eps {
+			if m[ep.Sid] == 0 {
+				sids = append(sids, ep.Sid)
+			}
+			m[ep.Sid]++
+		}
+		res.countBySid[v.name] = m
+		sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+		sidSets = append(sidSets, sids)
+	}
+
+	// Literal token-sequence variables prune through the word index.
+	for _, v := range nq.vars {
+		if v.kind != vkTokens || len(v.words) == 0 {
+			continue
+		}
+		sids := wordConjunctionSids(ix, v.words)
+		if sids == nil {
+			res.exhausted = true
+			return res
+		}
+		addCounts(v.name, ix.LookupWord(v.words[0]))
+		sidSets = append(sidSets, sids)
+	}
+
+	// Dominant paths (§4.2.1): decompose and look up each; dominated
+	// variables inherit their dominant path's bindings.
+	dominant, repOf := nq.dominantPaths()
+	domPostings := map[string][]index.Posting{}
+	for _, dv := range dominant {
+		ps, ok := LookupDecomposed(ix, dv.path)
+		if !ok {
+			res.exhausted = true
+			return res
+		}
+		domPostings[dv.name] = ps
+		sidSets = append(sidSets, index.SidsOf(ps))
+	}
+	for _, v := range nq.nodeVars() {
+		addCounts(v.name, domPostings[repOf[v.name].name])
+	}
+
+	if len(sidSets) == 0 {
+		res.allSentences = true
+		return res
+	}
+	cand := sidSets[0]
+	for _, s := range sidSets[1:] {
+		cand = index.IntersectSids(cand, s)
+	}
+	res.candSids = cand
+	if len(cand) == 0 {
+		res.exhausted = true
+	}
+	return res
+}
+
+// AblationMode selects which index families DPLI may consult — the
+// design-choice ablation of the multi-indexing scheme. The zero value
+// disables everything; FullMode is the real engine.
+type AblationMode struct {
+	UsePL    bool // parse-label hierarchy index
+	UsePOS   bool // POS-tag hierarchy index
+	UseWords bool // word inverted index
+}
+
+// FullMode is the complete multi-index.
+var FullMode = AblationMode{UsePL: true, UsePOS: true, UseWords: true}
+
+// LookupDecomposed decomposes one dominant path into parse-label, POS, and
+// word paths (Example 4.2), performs the index lookups, and joins the
+// results (§4.2.2). ok=false means some decomposed path has no index match,
+// in which case evaluation "immediately ceases" (§4.2.2 Discussion).
+// Exported for the index-scheme comparison harness.
+func LookupDecomposed(ix *index.Index, steps []lang.PathStep) ([]index.Posting, bool) {
+	return LookupDecomposedMode(ix, steps, FullMode)
+}
+
+// LookupDecomposedMode is LookupDecomposed restricted to a subset of the
+// index families; disabled families contribute no pruning (their decomposed
+// paths are treated as pure wildcards). Used by the ablation experiments.
+func LookupDecomposedMode(ix *index.Index, steps []lang.PathStep, mode AblationMode) ([]index.Posting, bool) {
+	m := len(steps)
+	plPath := make(index.Path, m)
+	posPath := make(index.Path, m)
+	type wordAt struct {
+		word string
+		step int
+	}
+	var words []wordAt
+	for i, st := range steps {
+		cls, canon := classifyStep(st)
+		plPath[i] = index.Step{Desc: st.Desc, Label: "*"}
+		posPath[i] = index.Step{Desc: st.Desc, Label: "*"}
+		switch cls {
+		case scParse:
+			plPath[i].Label = canon
+		case scPOS:
+			posPath[i].Label = canon
+		case scWord:
+			words = append(words, wordAt{word: canon, step: i})
+		}
+		if p := stepPOS(st); p != "" && posPath[i].Label == "*" {
+			posPath[i].Label = p
+		}
+		if cls != scWord {
+			if w := stepWord(st); w != "" {
+				words = append(words, wordAt{word: w, step: i})
+			}
+		}
+	}
+
+	// Hierarchy lookups. A decomposed path that is entirely wildcards on one
+	// alphabet carries only depth constraints, which the other alphabet's
+	// lookup over the isomorphic hierarchy already enforces — so it is
+	// skipped (Algorithm 1 decomposes "if possible").
+	if !mode.UseWords {
+		words = nil
+	}
+	if !mode.UsePL {
+		for i := range plPath {
+			plPath[i].Label = "*"
+		}
+	}
+	if !mode.UsePOS {
+		for i := range posPath {
+			posPath[i].Label = "*"
+		}
+	}
+	plHas, posHas := hasConcrete(plPath), hasConcrete(posPath)
+	var p []index.Posting
+	pAll := false // set when neither hierarchy path has concrete labels
+	switch {
+	case plHas && posHas:
+		p1 := ix.PL.Lookup(plPath)
+		if len(p1) == 0 {
+			return nil, false
+		}
+		p2 := ix.POS.Lookup(posPath)
+		if len(p2) == 0 {
+			return nil, false
+		}
+		p = joinSameToken(p1, p2)
+	case plHas:
+		p = ix.PL.Lookup(plPath)
+	case posHas:
+		p = ix.POS.Lookup(posPath)
+	default:
+		// Pure-wildcard path: only the word path (if any) can prune. With
+		// no words either, fall back to a full POS-hierarchy walk so the
+		// depth constraint still applies.
+		if len(words) == 0 {
+			p = ix.POS.Lookup(posPath)
+			if len(p) == 0 {
+				return nil, false
+			}
+			return p, true
+		}
+		pAll = true
+	}
+	if len(p) == 0 && !pAll {
+		return nil, false
+	}
+
+	if len(words) == 0 {
+		return p, true
+	}
+
+	// Word path: access the word index per word left-to-right and join with
+	// the ancestor/descendant depth arithmetic (Example 4.4). minGapExact
+	// tells whether the depth difference is exact (all '/' axes between the
+	// two words) or a lower bound (some '//' axis).
+	exactPrefix := func(upto int) bool { // axes 0..upto all child axes?
+		for i := 0; i <= upto; i++ {
+			if steps[i].Desc {
+				return false
+			}
+		}
+		return true
+	}
+	exactBetween := func(from, to int) bool { // axes (from, to]
+		for i := from + 1; i <= to; i++ {
+			if steps[i].Desc {
+				return false
+			}
+		}
+		return true
+	}
+
+	first := words[0]
+	cur := filterByDepth(ix.LookupWord(first.word), int32(first.step), exactPrefix(first.step))
+	if len(cur) == 0 {
+		return nil, false
+	}
+	for k := 1; k < len(words); k++ {
+		w := words[k]
+		next := filterByDepth(ix.LookupWord(w.word), int32(w.step), exactPrefix(w.step))
+		if len(next) == 0 {
+			return nil, false
+		}
+		gap := int32(w.step - words[k-1].step)
+		exact := exactBetween(words[k-1].step, w.step)
+		cur = joinAncestorDescendant(cur, next, gap, exact)
+		if len(cur) == 0 {
+			return nil, false
+		}
+	}
+	q := cur
+
+	// Join P with Q (§4.2.2 "Join of posting lists from all indices").
+	last := words[len(words)-1]
+	if last.step == m-1 {
+		if pAll {
+			// No hierarchy constraint beyond what the word chain enforced.
+			return q, true
+		}
+		// The last path element is a word token: same-token join.
+		out := joinSameToken(p, q)
+		if len(out) == 0 {
+			return nil, false
+		}
+		return out, true
+	}
+	if pAll {
+		// The trailing steps are wildcards: materialize them via the
+		// depth-pruned POS walk before the ancestor join.
+		p = ix.POS.Lookup(posPath)
+		if len(p) == 0 {
+			return nil, false
+		}
+	}
+	// Otherwise the last word is an ancestor of the path's final token:
+	// return p's quintuples that have a suitable ancestor in Q.
+	gap := int32(m - 1 - last.step)
+	exact := exactBetween(last.step, m-1)
+	out := p[:0:0]
+	for _, pp := range p {
+		for _, qq := range q {
+			if qq.Sid != pp.Sid {
+				continue
+			}
+			if qq.U <= pp.U && qq.V >= pp.V && depthOK(pp.D, qq.D, gap, exact) {
+				out = append(out, pp)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, false
+	}
+	return out, true
+}
+
+// hasConcrete reports whether any step of a hierarchy path names a concrete
+// label (a pure-wildcard path adds no pruning beyond depth).
+func hasConcrete(p index.Path) bool {
+	for _, s := range p {
+		if s.Label != "*" {
+			return true
+		}
+	}
+	return false
+}
+
+func depthOK(descD, ancD, gap int32, exact bool) bool {
+	if exact {
+		return descD == ancD+gap
+	}
+	return descD >= ancD+gap
+}
+
+// filterByDepth keeps postings whose depth satisfies the step-position rule:
+// a token matching step i has depth exactly i when every axis up to i is a
+// child axis, and depth >= i otherwise.
+func filterByDepth(ps []index.Posting, step int32, exact bool) []index.Posting {
+	out := make([]index.Posting, 0, len(ps))
+	for _, p := range ps {
+		if (exact && p.D == step) || (!exact && p.D >= step) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// joinSameToken intersects two sorted posting lists on (sid, tid), keeping
+// the quintuples of the first list.
+func joinSameToken(a, b []index.Posting) []index.Posting {
+	var out []index.Posting
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Sid < b[j].Sid || (a[i].Sid == b[j].Sid && a[i].Tid < b[j].Tid):
+			i++
+		case b[j].Sid < a[i].Sid || (b[j].Sid == a[i].Sid && b[j].Tid < a[i].Tid):
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// joinAncestorDescendant returns the quintuples of next that have an
+// ancestor in cur at the required depth difference (Example 4.4's join:
+// x1=x2, u1<=u2, v1>=v2, l2 >= l1+gap, or equality when exact).
+func joinAncestorDescendant(cur, next []index.Posting, gap int32, exact bool) []index.Posting {
+	var out []index.Posting
+	// Both lists are sorted by sid; sweep per sentence.
+	i := 0
+	for j := 0; j < len(next); j++ {
+		q := next[j]
+		for i < len(cur) && cur[i].Sid < q.Sid {
+			i++
+		}
+		for k := i; k < len(cur) && cur[k].Sid == q.Sid; k++ {
+			c := cur[k]
+			if c.U <= q.U && c.V >= q.V && depthOK(q.D, c.D, gap, exact) {
+				out = append(out, q)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// wordConjunctionSids returns the sorted sentence ids containing every word,
+// or nil when some word is absent from the corpus.
+func wordConjunctionSids(ix *index.Index, words []string) []int32 {
+	var sids []int32
+	for i, w := range words {
+		ps := ix.LookupWord(w)
+		if len(ps) == 0 {
+			return nil
+		}
+		s := index.SidsOf(ps)
+		if i == 0 {
+			sids = s
+		} else {
+			sids = index.IntersectSids(sids, s)
+		}
+		if len(sids) == 0 {
+			return nil
+		}
+	}
+	return sids
+}

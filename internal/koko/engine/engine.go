@@ -1,0 +1,404 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/embed"
+	"repro/internal/koko/index"
+	"repro/internal/koko/lang"
+	"repro/internal/nlp"
+	"repro/internal/store"
+)
+
+// Options configures evaluation.
+type Options struct {
+	// DisableSkipPlan turns GSP off: every variable, including elastic
+	// spans, is evaluated by its own nested loop (the Table 1 NOGSP
+	// baseline).
+	DisableSkipPlan bool
+	// ExpansionLimit bounds descriptor expansion (0 = the default fixed
+	// number, matching the paper's note).
+	ExpansionLimit int
+	// Dicts provides the dictionaries referenced by dict(...) conditions,
+	// keyed by name, with lowercase members.
+	Dicts map[string]map[string]bool
+	// ArticleDB, when set, is the on-disk form of the parsed corpus;
+	// candidate articles are loaded from it (the paper's LoadArticle phase)
+	// instead of served from memory.
+	ArticleDB *store.DB
+	// Workers > 1 evaluates candidate documents concurrently (the paper's
+	// §7 future-work item: "parallelizing the evaluation of satisfying
+	// clauses"). Results are deterministic: tuples are emitted in document
+	// order regardless of scheduling. Phase times then report summed CPU
+	// time across workers rather than wall time.
+	Workers int
+	// Explain attaches per-condition evidence breakdowns to tuples (the
+	// paper's debuggability claim: "users can discover the reasons that
+	// led to an extraction").
+	Explain bool
+}
+
+// Engine evaluates KOKO queries over an indexed corpus.
+type Engine struct {
+	corpus *index.Corpus
+	ix     *index.Index
+	model  *embed.Model
+	opts   Options
+	rc     *reCache
+	// globalScores memoizes document-independent satisfying-condition
+	// confidences across documents and queries.
+	globalScores *globalCache
+}
+
+// New builds an engine. model may be nil (descriptor and similarTo
+// conditions then score 0).
+func New(corpus *index.Corpus, ix *index.Index, model *embed.Model, opts Options) *Engine {
+	return &Engine{
+		corpus: corpus, ix: ix, model: model, opts: opts,
+		rc: newRECache(), globalScores: newGlobalCache(),
+	}
+}
+
+// Tuple is one output row.
+type Tuple struct {
+	Sid    int
+	Doc    int
+	Values []string
+	// Scores holds the satisfying-clause score per satisfying variable.
+	Scores map[string]float64
+	// Evidence, populated when Options.Explain is set, breaks every
+	// satisfying-clause score into per-condition contributions.
+	Evidence []CondEvidence
+}
+
+// PhaseTimes is the Table 2 breakdown.
+type PhaseTimes struct {
+	Normalize   time.Duration
+	DPLI        time.Duration
+	LoadArticle time.Duration
+	GSP         time.Duration
+	Extract     time.Duration
+	Satisfying  time.Duration
+}
+
+// Total sums all phases.
+func (p PhaseTimes) Total() time.Duration {
+	return p.Normalize + p.DPLI + p.LoadArticle + p.GSP + p.Extract + p.Satisfying
+}
+
+// Result is the outcome of a query run.
+type Result struct {
+	Tuples []Tuple
+	Times  PhaseTimes
+	// CandidateSentences is the number of sentences surviving DPLI pruning;
+	// MatchedSentences is how many of them produced at least one extract
+	// assignment (their ratio is the index-effectiveness metric of §6.2.2).
+	CandidateSentences int
+	MatchedSentences   int
+	EvaluatedSentences int
+}
+
+// Run parses nothing: it takes a parsed query and evaluates it.
+func (e *Engine) Run(q *lang.Query) (*Result, error) {
+	res := &Result{}
+	t0 := time.Now()
+	nq, err := normalize(q, e.model, e.opts.ExpansionLimit)
+	if err != nil {
+		return nil, err
+	}
+	res.Times.Normalize = time.Since(t0)
+
+	t0 = time.Now()
+	dpli := runDPLI(nq, e.ix)
+	res.Times.DPLI = time.Since(t0)
+	if dpli.exhausted {
+		return res, nil
+	}
+	var cands []int32
+	if dpli.allSentences {
+		cands = make([]int32, e.corpus.NumSentences())
+		for i := range cands {
+			cands[i] = int32(i)
+		}
+	} else {
+		cands = dpli.candSids
+	}
+	res.CandidateSentences = len(cands)
+	e.evaluateCandidates(nq, dpli, cands, res)
+	return res, nil
+}
+
+// RunNaive evaluates without any index pruning: every sentence is a
+// candidate. It is the reference semantics for property tests and the
+// ground truth for effectiveness measurements.
+func (e *Engine) RunNaive(q *lang.Query) (*Result, error) {
+	res := &Result{}
+	nq, err := normalize(q, e.model, e.opts.ExpansionLimit)
+	if err != nil {
+		return nil, err
+	}
+	cands := make([]int32, e.corpus.NumSentences())
+	for i := range cands {
+		cands[i] = int32(i)
+	}
+	res.CandidateSentences = len(cands)
+	e.evaluateCandidates(nq, &dpliResult{countBySid: map[string]map[int32]int{}}, cands, res)
+	return res, nil
+}
+
+func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int32, res *Result) {
+	// Group candidate sentences by document (evidence aggregation and
+	// article loading are document-scoped).
+	byDoc := map[int][]int32{}
+	var docOrder []int
+	for _, sid := range cands {
+		d := e.corpus.DocOfSent[sid]
+		if _, ok := byDoc[d]; !ok {
+			docOrder = append(docOrder, d)
+		}
+		byDoc[d] = append(byDoc[d], sid)
+	}
+	sort.Ints(docOrder)
+
+	workers := e.opts.Workers
+	if workers <= 1 {
+		for _, d := range docOrder {
+			dr := e.evalDoc(nq, dpli, d, byDoc[d])
+			mergeDocResult(res, dr)
+		}
+		return
+	}
+	// Parallel mode: one goroutine per worker pulls documents from a shared
+	// cursor; results merge in document order so output is deterministic.
+	results := make([]docEvalResult, len(docOrder))
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(docOrder) {
+					return
+				}
+				d := docOrder[i]
+				results[i] = e.evalDoc(nq, dpli, d, byDoc[d])
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range results {
+		mergeDocResult(res, results[i])
+	}
+}
+
+// docEvalResult is one document's evaluation outcome.
+type docEvalResult struct {
+	tuples    []Tuple
+	times     PhaseTimes
+	matched   int
+	evaluated int
+}
+
+func mergeDocResult(res *Result, dr docEvalResult) {
+	res.Tuples = append(res.Tuples, dr.tuples...)
+	res.Times.LoadArticle += dr.times.LoadArticle
+	res.Times.GSP += dr.times.GSP
+	res.Times.Extract += dr.times.Extract
+	res.Times.Satisfying += dr.times.Satisfying
+	res.MatchedSentences += dr.matched
+	res.EvaluatedSentences += dr.evaluated
+}
+
+// evalDoc evaluates every candidate sentence of one document: GSP + nested
+// loops per sentence, then satisfying/excluding per assignment against the
+// document-scoped aggregator.
+func (e *Engine) evalDoc(nq *normQuery, dpli *dpliResult, d int, sids []int32) docEvalResult {
+	var dr docEvalResult
+	docSents, sentAt, loadDur := e.loadDoc(d)
+	dr.times.LoadArticle = loadDur
+
+	var ag *aggregator
+	if len(nq.satisfying) > 0 || len(nq.excluding) > 0 {
+		ag = newAggregator(nq, e.model, e.opts.Dicts, e.rc, e.globalScores, docSents)
+	}
+	for _, sid := range sids {
+		s := sentAt(sid)
+		if s == nil {
+			continue
+		}
+		dr.evaluated++
+		counts := dpli.countBySid
+		countOf := func(name string) int {
+			if m, ok := counts[name]; ok {
+				return m[sid]
+			}
+			return 0
+		}
+		ev := &sentEval{
+			nq: nq, s: s, rc: e.rc,
+			skip:    map[string]bool{},
+			cands:   map[string][]binding{},
+			nodeSet: map[string]map[int]bool{},
+			gspOff:  e.opts.DisableSkipPlan,
+		}
+		// GSP timing: the plan-generation step is measured apart from the
+		// nested-loop evaluation (Table 2's GSP vs extract columns).
+		if !e.opts.DisableSkipPlan {
+			tg := time.Now()
+			ev.generateSkipPlan(countOf)
+			dr.times.GSP += time.Since(tg)
+		}
+		tx := time.Now()
+		if ev.buildCandidates() {
+			var enum []*normVar
+			for _, v := range nq.vars {
+				if ev.isEnumerable(v) {
+					enum = append(enum, v)
+				}
+			}
+			ev.enumerate(enum, 0, assignment{})
+		}
+		asgs := ev.out
+		dr.times.Extract += time.Since(tx)
+		if len(asgs) == 0 {
+			continue
+		}
+		dr.matched++
+
+		ts := time.Now()
+		for _, a := range asgs {
+			tuple, ok := e.finishTuple(nq, s, d, a, ag)
+			if ok {
+				dr.tuples = append(dr.tuples, tuple)
+			}
+		}
+		dr.times.Satisfying += time.Since(ts)
+	}
+	return dr
+}
+
+// loadDoc returns the document's sentences (loading from the article DB when
+// configured), a sid→sentence accessor, and the load duration.
+func (e *Engine) loadDoc(d int) ([]*nlp.Sentence, func(int32) *nlp.Sentence, time.Duration) {
+	first, end := e.corpus.DocSentences(d)
+	if e.opts.ArticleDB == nil {
+		sents := make([]*nlp.Sentence, 0, end-first)
+		for sid := first; sid < end; sid++ {
+			sents = append(sents, e.corpus.Sentence(sid))
+		}
+		return sents, func(sid int32) *nlp.Sentence {
+			if int(sid) < first || int(sid) >= end {
+				return nil
+			}
+			return e.corpus.Sentence(int(sid))
+		}, 0
+	}
+	t0 := time.Now()
+	sents := make([]*nlp.Sentence, 0, end-first)
+	bySid := map[int32]*nlp.Sentence{}
+	for sid := first; sid < end; sid++ {
+		s, err := index.LoadSentence(e.opts.ArticleDB, sid)
+		if err != nil {
+			continue
+		}
+		sents = append(sents, s)
+		bySid[int32(sid)] = s
+	}
+	return sents, func(sid int32) *nlp.Sentence { return bySid[sid] }, time.Since(t0)
+}
+
+// finishTuple renders output values, applies satisfying clauses (threshold)
+// and excluding conditions.
+func (e *Engine) finishTuple(nq *normQuery, s *nlp.Sentence, doc int, a assignment, ag *aggregator) (Tuple, bool) {
+	t := Tuple{Sid: s.ID, Doc: doc, Values: make([]string, len(nq.outputs))}
+	for i, o := range nq.outputs {
+		b, ok := a[o.Name]
+		if !ok {
+			return t, false
+		}
+		t.Values[i] = valueOf(s, b)
+	}
+	// Satisfying clauses: one per variable; the clause's variable must be
+	// bound, its value must accumulate enough evidence.
+	if len(nq.satisfying) > 0 {
+		t.Scores = map[string]float64{}
+		for i, sc := range nq.satisfying {
+			b, ok := a[sc.Var]
+			if !ok {
+				return t, false
+			}
+			val := valueOf(s, b)
+			score := ag.clauseScore(i, val)
+			t.Scores[sc.Var] = score
+			if score < sc.Threshold {
+				return t, false
+			}
+			if e.opts.Explain {
+				t.Evidence = append(t.Evidence, ag.explainClause(i, val)...)
+			}
+		}
+	}
+	for _, c := range nq.excluding {
+		b, ok := a[c.Var]
+		if !ok {
+			continue
+		}
+		if ag != nil && ag.excluded(c, valueOf(s, b)) {
+			return t, false
+		}
+	}
+	return t, true
+}
+
+// Candidates exposes DPLI pruning alone: the candidate sentence ids for a
+// query. The index experiments (§6.2.2) measure this module's lookup time
+// and effectiveness across indexing schemes.
+func (e *Engine) Candidates(q *lang.Query) ([]int32, error) {
+	nq, err := normalize(q, e.model, e.opts.ExpansionLimit)
+	if err != nil {
+		return nil, err
+	}
+	dpli := runDPLI(nq, e.ix)
+	if dpli.exhausted {
+		return nil, nil
+	}
+	if dpli.allSentences {
+		all := make([]int32, e.corpus.NumSentences())
+		for i := range all {
+			all[i] = int32(i)
+		}
+		return all, nil
+	}
+	return dpli.candSids, nil
+}
+
+// MatchingSentences returns the sentences where the extract clause has at
+// least one assignment, computed soundly (no index) — the ground truth for
+// effectiveness.
+func (e *Engine) MatchingSentences(q *lang.Query) ([]int32, error) {
+	res, err := e.RunNaive(q)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[int]bool{}
+	var out []int32
+	for _, t := range res.Tuples {
+		if !seen[t.Sid] {
+			seen[t.Sid] = true
+			out = append(out, int32(t.Sid))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// String renders a tuple compactly for examples and debugging.
+func (t Tuple) String() string {
+	return fmt.Sprintf("sid=%d %v", t.Sid, t.Values)
+}

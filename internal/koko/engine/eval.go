@@ -1,0 +1,465 @@
+package engine
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/nlp"
+)
+
+// span is a token interval [l, r]; r == l-1 encodes the empty span at
+// position l (elastic spans may be empty: ∧ is "zero or more tokens").
+type span struct{ l, r int }
+
+func (sp span) empty() bool    { return sp.r < sp.l }
+func (sp span) length() int    { return sp.r - sp.l + 1 }
+func emptySpanAt(pos int) span { return span{l: pos, r: pos - 1} }
+
+// binding is one value for a variable within a sentence.
+type binding struct {
+	sp  span
+	tid int // token id for node variables, -1 otherwise
+}
+
+// assignment maps variable names to bindings.
+type assignment map[string]binding
+
+// sentEval evaluates the extract clause over one sentence (§4.3: skip plan,
+// nested loops, alignment, validation).
+type sentEval struct {
+	nq    *normQuery
+	s     *nlp.Sentence
+	rc    *reCache
+	skip  map[string]bool
+	cands map[string][]binding
+	// nodeSet caches matchPathTokens results per node variable for O(1)
+	// validation of skipped node variables.
+	nodeSet map[string]map[int]bool
+	out     []assignment
+	gspOff  bool
+}
+
+// evalSentence runs the extract clause over sentence s and returns all
+// satisfying assignments. countOf supplies the GSP cost estimates
+// (|bindings[v][sid]|); it may be nil (cost 0 → never skipped).
+func evalSentence(nq *normQuery, s *nlp.Sentence, rc *reCache, countOf func(name string) int, gspOff bool) []assignment {
+	ev := &sentEval{
+		nq:      nq,
+		s:       s,
+		rc:      rc,
+		skip:    map[string]bool{},
+		cands:   map[string][]binding{},
+		nodeSet: map[string]map[int]bool{},
+		gspOff:  gspOff,
+	}
+	if !gspOff {
+		ev.generateSkipPlan(countOf)
+	}
+	if !ev.buildCandidates() {
+		return nil
+	}
+	var enum []*normVar
+	for _, v := range nq.vars {
+		if ev.isEnumerable(v) {
+			enum = append(enum, v)
+		}
+	}
+	ev.enumerate(enum, 0, assignment{})
+	return ev.out
+}
+
+// isEnumerable reports whether a variable gets its own nested loop. Derived
+// variables (subtrees, span concatenations) and skipped variables are
+// computed from others.
+func (ev *sentEval) isEnumerable(v *normVar) bool {
+	if v.kind == vkSubtree || v.kind == vkSpan {
+		return false
+	}
+	return !ev.skip[v.name]
+}
+
+// generateSkipPlan implements Algorithm 2 with one soundness refinement: a
+// variable is only skipped when it has BOTH a left and a right neighbor in
+// the horizontal condition (boundary variables would leave the span's
+// extent undetermined, making alignment ambiguous). The paper's own
+// examples (v1, v2 in Example 4.6) skip interior variables only.
+func (ev *sentEval) generateSkipPlan(countOf func(string) int) {
+	t := len(ev.s.Tokens)
+	for _, h := range ev.nq.horizontals {
+		type vc struct {
+			name string
+			cost float64
+		}
+		costs := make([]vc, 0, len(h.comps))
+		for _, cn := range h.comps {
+			v := ev.nq.byName[cn]
+			var c float64
+			switch v.kind {
+			case vkElastic:
+				c = float64(t) * float64(t+1) / 2
+			case vkSubtree:
+				if countOf != nil {
+					c = float64(countOf(v.base))
+				}
+			default:
+				if countOf != nil {
+					c = float64(countOf(cn))
+				}
+			}
+			costs = append(costs, vc{name: cn, cost: c})
+		}
+		sort.Slice(costs, func(i, j int) bool {
+			if costs[i].cost != costs[j].cost {
+				return costs[i].cost > costs[j].cost
+			}
+			return costs[i].name < costs[j].name
+		})
+		pos := map[string]int{}
+		for i, cn := range h.comps {
+			pos[cn] = i
+		}
+		for _, c := range costs {
+			i := pos[c.name]
+			if i == 0 || i == len(h.comps)-1 {
+				continue // boundary: not skippable
+			}
+			vl, vr := h.comps[i-1], h.comps[i+1]
+			if !ev.skip[vl] && !ev.skip[vr] {
+				ev.skip[c.name] = true
+			}
+		}
+	}
+}
+
+// buildCandidates fills per-variable candidate bindings. Returns false when
+// some enumerable variable has no candidates (the sentence yields nothing).
+func (ev *sentEval) buildCandidates() bool {
+	s := ev.s
+	t := len(s.Tokens)
+	for _, v := range ev.nq.vars {
+		if !ev.isEnumerable(v) {
+			continue
+		}
+		var list []binding
+		switch v.kind {
+		case vkNode:
+			for _, tid := range ev.nodeMatches(v) {
+				list = append(list, binding{sp: span{tid, tid}, tid: tid})
+			}
+		case vkEntity:
+			for ei := range s.Entities {
+				e := &s.Entities[ei]
+				if nlp.GPEAlias(v.etype, e.Type) {
+					list = append(list, binding{sp: span{e.L, e.R}, tid: -1})
+				}
+			}
+		case vkTokens:
+			for _, pos := range findTokenSeq(s, v.words) {
+				list = append(list, binding{sp: span{pos, pos + len(v.words) - 1}, tid: -1})
+			}
+		case vkElastic:
+			// Un-skipped elastic (or NOGSP): enumerate every span,
+			// including the empty span at each position — the t(t+1)/2
+			// cost the skip plan exists to avoid.
+			for l := 0; l <= t; l++ {
+				if ev.elasticOK(v, emptySpanAt(l)) {
+					list = append(list, binding{sp: emptySpanAt(l), tid: -1})
+				}
+				for r := l; r < t; r++ {
+					if ev.elasticOK(v, span{l, r}) {
+						list = append(list, binding{sp: span{l, r}, tid: -1})
+					}
+				}
+			}
+		}
+		if len(list) == 0 {
+			return false
+		}
+		ev.cands[v.name] = list
+	}
+	return true
+}
+
+// nodeMatches returns (and caches) the sound per-sentence matches of a node
+// variable's absolute path.
+func (ev *sentEval) nodeMatches(v *normVar) []int {
+	if set, ok := ev.nodeSet[v.name]; ok {
+		out := make([]int, 0, len(set))
+		for tid := range set {
+			out = append(out, tid)
+		}
+		sort.Ints(out)
+		return out
+	}
+	tids := matchPathTokens(ev.s, v.path, ev.rc)
+	set := make(map[int]bool, len(tids))
+	for _, tid := range tids {
+		set[tid] = true
+	}
+	ev.nodeSet[v.name] = set
+	return tids
+}
+
+func (ev *sentEval) nodeMatchSet(v *normVar) map[int]bool {
+	ev.nodeMatches(v)
+	return ev.nodeSet[v.name]
+}
+
+// elasticOK checks an elastic span's bracket conditions.
+func (ev *sentEval) elasticOK(v *normVar, sp span) bool {
+	for _, c := range v.conds {
+		switch c.Key {
+		case "min":
+			if n, err := strconv.Atoi(c.Value); err == nil && sp.length() < n {
+				return false
+			}
+		case "max":
+			if n, err := strconv.Atoi(c.Value); err == nil && sp.length() > n {
+				return false
+			}
+		case "regex":
+			if sp.empty() || !ev.rc.fullMatch(c.Value, ev.s.Text(sp.l, sp.r)) {
+				return false
+			}
+		case "etype":
+			if sp.empty() {
+				return false
+			}
+			ok := false
+			for ei := range ev.s.Entities {
+				e := &ev.s.Entities[ei]
+				if e.L == sp.l && e.R == sp.r && nlp.GPEAlias(nlp.CanonicalEntityType(c.Value), e.Type) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// enumerate is the nested-loop evaluation over enumerable variables with
+// eager constraint checking, followed by derivation (subtrees, alignment of
+// skipped variables) and final validation.
+func (ev *sentEval) enumerate(vars []*normVar, i int, a assignment) {
+	if i == len(vars) {
+		ev.deriveAndEmit(a)
+		return
+	}
+	v := vars[i]
+	for _, b := range ev.cands[v.name] {
+		a[v.name] = b
+		if ev.constraintsOK(a, v.name) {
+			ev.enumerate(vars, i+1, a)
+		}
+		delete(a, v.name)
+	}
+}
+
+// constraintsOK checks every constraint whose two sides are both bound,
+// touching the just-bound variable.
+func (ev *sentEval) constraintsOK(a assignment, justBound string) bool {
+	for _, c := range ev.nq.constraints {
+		if c.a != justBound && c.b != justBound {
+			continue
+		}
+		ba, okA := a[c.a]
+		bb, okB := a[c.b]
+		if !okA || !okB {
+			continue
+		}
+		if !ev.checkConstraint(c, ba, bb) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ev *sentEval) checkConstraint(c normConstraint, ba, bb binding) bool {
+	switch c.kind {
+	case ckParentOf:
+		return ba.tid >= 0 && bb.tid >= 0 && ev.s.Tokens[bb.tid].Head == ba.tid
+	case ckAncestorOf:
+		return ba.tid >= 0 && bb.tid >= 0 && ev.s.IsAncestor(ba.tid, bb.tid)
+	case ckInSpan:
+		return !ba.sp.empty() && ba.sp.l >= bb.sp.l && ba.sp.r <= bb.sp.r
+	case ckEqSpan:
+		return ba.sp == bb.sp
+	}
+	return false
+}
+
+// deriveAndEmit computes derived variables in declaration order: subtree
+// spans, then horizontal alignments (which also bind the skipped component
+// variables). Skipped components are left for their span's alignment pass.
+// Once every variable is bound, all constraints are re-checked and the
+// assignment is emitted.
+func (ev *sentEval) deriveAndEmit(a assignment) {
+	full := assignment{}
+	for k, v := range a {
+		full[k] = v
+	}
+	for _, v := range ev.nq.vars {
+		if _, bound := full[v.name]; bound {
+			continue
+		}
+		switch v.kind {
+		case vkSubtree:
+			base, ok := full[v.base]
+			if !ok || base.tid < 0 {
+				return
+			}
+			tok := &ev.s.Tokens[base.tid]
+			full[v.name] = binding{sp: span{tok.SubL, tok.SubR}, tid: -1}
+		case vkSpan:
+			if !ev.alignSpan(v, full) {
+				return
+			}
+		default:
+			if ev.skip[v.name] {
+				continue // bound later by its horizontal's alignment
+			}
+			return // enumerable var missing: empty candidate list
+		}
+	}
+	// Every variable must be bound by now (a skipped variable whose
+	// horizontal never aligned would be missing).
+	for _, v := range ev.nq.vars {
+		if _, ok := full[v.name]; !ok {
+			return
+		}
+	}
+	// Final full constraint check (bindings produced by alignment were not
+	// covered by the eager checks during enumeration).
+	for _, c := range ev.nq.constraints {
+		ba, okA := full[c.a]
+		bb, okB := full[c.b]
+		if !okA || !okB || !ev.checkConstraint(c, ba, bb) {
+			return
+		}
+	}
+	ev.out = append(ev.out, full)
+}
+
+// alignSpan derives a horizontal span variable: bound components must tile
+// left to right; single skipped components between two bound neighbors take
+// exactly the gap, then validate (§4.3 "Align skipped variables and check
+// constraints").
+func (ev *sentEval) alignSpan(v *normVar, a assignment) bool {
+	comps := v.comps
+	n := len(comps)
+	spans := make([]span, n)
+	bound := make([]bool, n)
+	for i, cn := range comps {
+		if b, ok := a[cn]; ok {
+			spans[i] = b.sp
+			bound[i] = true
+		}
+	}
+	if n == 0 || !bound[0] || !bound[n-1] {
+		return false // boundary components are never skipped
+	}
+	// Fill gaps.
+	for i := 0; i < n; i++ {
+		if bound[i] {
+			continue
+		}
+		// Neighbors must be bound (the skip plan guarantees it).
+		if i == 0 || i == n-1 || !bound[i-1] || !bound[i+1] {
+			return false
+		}
+		gap := span{l: spans[i-1].r + 1, r: spans[i+1].l - 1}
+		if gap.r < gap.l-1 {
+			return false // negative gap: neighbors overlap
+		}
+		cv := ev.nq.byName[comps[i]]
+		if !ev.validateDerived(cv, gap, a) {
+			return false
+		}
+		spans[i] = gap
+		bound[i] = true
+		a[comps[i]] = binding{sp: gap, tid: derivedTid(cv, gap)}
+	}
+	// Adjacency of the full tiling.
+	pos := spans[0].l
+	for i := 0; i < n; i++ {
+		if spans[i].l != pos && !(spans[i].empty() && spans[i].l == pos) {
+			return false
+		}
+		if !spans[i].empty() {
+			pos = spans[i].r + 1
+		}
+	}
+	a[v.name] = binding{sp: span{spans[0].l, spans[n-1].r}, tid: -1}
+	return true
+}
+
+func derivedTid(v *normVar, sp span) int {
+	if v.kind == vkNode && sp.length() == 1 {
+		return sp.l
+	}
+	return -1
+}
+
+// validateDerived checks that a gap span is a legitimate binding for a
+// skipped variable — the validation step that restores soundness after the
+// index-level approximation.
+func (ev *sentEval) validateDerived(v *normVar, sp span, a assignment) bool {
+	switch v.kind {
+	case vkElastic:
+		if sp.r < sp.l-1 {
+			return false
+		}
+		return ev.elasticOK(v, sp)
+	case vkNode:
+		return sp.length() == 1 && ev.nodeMatchSet(v)[sp.l]
+	case vkTokens:
+		if sp.length() != len(v.words) {
+			return false
+		}
+		for j, w := range v.words {
+			if ev.s.Tokens[sp.l+j].Lower != w {
+				return false
+			}
+		}
+		return true
+	case vkEntity:
+		for ei := range ev.s.Entities {
+			e := &ev.s.Entities[ei]
+			if e.L == sp.l && e.R == sp.r && nlp.GPEAlias(v.etype, e.Type) {
+				return true
+			}
+		}
+		return false
+	case vkSubtree:
+		base, ok := a[v.base]
+		if !ok || base.tid < 0 {
+			return false
+		}
+		tok := &ev.s.Tokens[base.tid]
+		return sp.l == tok.SubL && sp.r == tok.SubR
+	}
+	return false
+}
+
+// valueOf renders a binding as the output string value.
+func valueOf(s *nlp.Sentence, b binding) string {
+	if b.sp.empty() {
+		return ""
+	}
+	return s.Text(b.sp.l, b.sp.r)
+}
+
+// tokensOfValue splits an output value back into lowercase tokens for the
+// aggregate conditions.
+func tokensOfValue(v string) []string {
+	toks := nlp.Tokenize(v)
+	for i := range toks {
+		toks[i] = strings.ToLower(toks[i])
+	}
+	return toks
+}

@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+
+	"repro/internal/koko/lang"
+	"repro/internal/nlp"
+)
+
+// reCache compiles and caches the regular expressions appearing in query
+// conditions. Patterns are anchored: "matches" is a full-string match, as in
+// the paper's examples ("[Ll]a Marzocco" matches the whole entity name).
+type reCache struct {
+	mu sync.Mutex
+	m  map[string]*regexp.Regexp
+}
+
+func newRECache() *reCache { return &reCache{m: map[string]*regexp.Regexp{}} }
+
+func (rc *reCache) get(pattern string) *regexp.Regexp {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if re, ok := rc.m[pattern]; ok {
+		return re
+	}
+	re, err := regexp.Compile("^(?:" + pattern + ")$")
+	if err != nil {
+		re = nil // malformed patterns match nothing
+	}
+	rc.m[pattern] = re
+	return re
+}
+
+func (rc *reCache) fullMatch(pattern, s string) bool {
+	re := rc.get(pattern)
+	return re != nil && re.MatchString(s)
+}
+
+// stepClass is the decomposition class of a path-step label (§4.2.1): parse
+// label, POS tag, word, or wildcard.
+type stepClass int
+
+const (
+	scWild stepClass = iota
+	scParse
+	scPOS
+	scWord
+)
+
+// classifyStep determines which index a step's label addresses. A step's
+// word may also come from a [text=...] condition (quoted labels are parsed
+// that way), and a POS constraint may come from [@pos=...].
+func classifyStep(st lang.PathStep) (class stepClass, canon string) {
+	l := st.Label
+	switch {
+	case l == "*" || l == "":
+		return scWild, "*"
+	case nlp.IsParseLabel(l):
+		return scParse, nlp.NormalizeLabel(l)
+	case nlp.IsPOSTag(l):
+		return scPOS, nlp.NormalizePOS(l)
+	case nlp.IsEntityType(l):
+		// Entity-typed labels inside paths are validated, not indexed.
+		return scWild, "*"
+	default:
+		return scWord, strings.ToLower(l)
+	}
+}
+
+// stepWord returns the word constraint of a step ("" if none): either a
+// word-class label or a text condition.
+func stepWord(st lang.PathStep) string {
+	if cls, canon := classifyStep(st); cls == scWord {
+		return canon
+	}
+	for _, c := range st.Conds {
+		if c.Key == "text" {
+			return strings.ToLower(c.Value)
+		}
+	}
+	return ""
+}
+
+// stepPOS returns the POS constraint of a step ("" if none).
+func stepPOS(st lang.PathStep) string {
+	if cls, canon := classifyStep(st); cls == scPOS {
+		return canon
+	}
+	for _, c := range st.Conds {
+		if c.Key == "pos" {
+			return nlp.NormalizePOS(c.Value)
+		}
+	}
+	return ""
+}
+
+// stepMatchesToken checks a step's label and all bracket conditions against
+// a concrete token (the validation-side test).
+func stepMatchesToken(s *nlp.Sentence, tid int, st lang.PathStep, rc *reCache) bool {
+	tok := &s.Tokens[tid]
+	cls, canon := classifyStep(st)
+	switch cls {
+	case scParse:
+		if nlp.NormalizeLabel(tok.Label) != canon {
+			return false
+		}
+	case scPOS:
+		if tok.POS != canon {
+			return false
+		}
+	case scWord:
+		if tok.Lower != canon {
+			return false
+		}
+	case scWild:
+		if nlp.IsEntityType(st.Label) && st.Label != "*" && st.Label != "" {
+			e := s.EntityAt(tid)
+			if e == nil || !nlp.GPEAlias(nlp.CanonicalEntityType(st.Label), e.Type) {
+				return false
+			}
+		}
+	}
+	for _, c := range st.Conds {
+		switch c.Key {
+		case "pos":
+			if tok.POS != nlp.NormalizePOS(c.Value) {
+				return false
+			}
+		case "text":
+			if tok.Lower != strings.ToLower(c.Value) {
+				return false
+			}
+		case "etype":
+			e := s.EntityAt(tid)
+			if e == nil || !nlp.GPEAlias(nlp.CanonicalEntityType(c.Value), e.Type) {
+				return false
+			}
+		case "regex":
+			if !rc.fullMatch(c.Value, tok.Text) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MatchPath is the exported form of matchPathTokens for harness code that
+// needs sound ground-truth path matching (index-effectiveness experiments).
+func MatchPath(s *nlp.Sentence, steps []lang.PathStep) []int {
+	return matchPathTokens(s, steps, newRECache())
+}
+
+// matchPathTokens returns the token ids of a sentence whose root path
+// matches the absolute path pattern, in ascending order. This is the sound
+// per-sentence matcher used for validation (§4.3's "check that b satisfies
+// the path ...") and by the naïve reference evaluator. The traversal is
+// memoized on (token, step) so wildcard-heavy patterns stay linear.
+func matchPathTokens(s *nlp.Sentence, steps []lang.PathStep, rc *reCache) []int {
+	n := len(s.Tokens)
+	if n == 0 || len(steps) == 0 {
+		return nil
+	}
+	m := len(steps)
+	// seen[(tok+1)*(m+1)+step]
+	seen := make([]bool, (n+1)*(m+1))
+	matched := make([]bool, n)
+	var visit func(tok, step int)
+	visit = func(tok, step int) {
+		idx := (tok+1)*(m+1) + step
+		if seen[idx] {
+			return
+		}
+		seen[idx] = true
+		if step == m {
+			if tok >= 0 {
+				matched[tok] = true
+			}
+			return
+		}
+		st := steps[step]
+		var kids []int
+		if tok < 0 {
+			if r := s.Root(); r >= 0 {
+				kids = []int{r}
+			}
+		} else {
+			kids = s.Children(tok)
+		}
+		for _, c := range kids {
+			if stepMatchesToken(s, c, st, rc) {
+				visit(c, step+1)
+			}
+			if st.Desc {
+				visit(c, step)
+			}
+		}
+	}
+	visit(-1, 0)
+	var out []int
+	for i, ok := range matched {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// findTokenSeq returns every start position where the lowercase word
+// sequence occurs contiguously in the sentence.
+func findTokenSeq(s *nlp.Sentence, words []string) []int {
+	if len(words) == 0 {
+		return nil
+	}
+	var out []int
+	n := len(s.Tokens)
+	for i := 0; i+len(words) <= n; i++ {
+		ok := true
+		for j, w := range words {
+			if s.Tokens[i+j].Lower != w {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}

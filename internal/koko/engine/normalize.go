@@ -1,0 +1,408 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/embed"
+	"repro/internal/koko/lang"
+	"repro/internal/nlp"
+)
+
+// varKind discriminates normalized variables.
+type varKind int
+
+const (
+	vkNode    varKind = iota // bound to a dependency-tree node
+	vkEntity                 // bound to an entity mention of a type
+	vkSubtree                // x.subtree of a node variable
+	vkElastic                // ∧: zero or more tokens, with optional conditions
+	vkTokens                 // literal token sequence
+	vkSpan                   // concatenation of component variables
+)
+
+// normVar is a normalized variable.
+type normVar struct {
+	name      string
+	kind      varKind
+	synthetic bool
+
+	path   []lang.PathStep // vkNode: absolute path from the root
+	anchor string          // vkNode: declared anchor variable, if any
+	etype  string          // vkEntity: canonical entity type
+	base   string          // vkSubtree: the underlying node variable
+	conds  []lang.LabelCond
+	words  []string // vkTokens: lowercase words
+	comps  []string // vkSpan: component variable names, in order
+}
+
+// constraint kinds derived during normalization plus the user's in/eq.
+type consKind int
+
+const (
+	ckParentOf consKind = iota
+	ckAncestorOf
+	ckInSpan
+	ckEqSpan
+)
+
+type normConstraint struct {
+	kind consKind
+	a, b string
+}
+
+// descriptor is a pre-expanded descriptor condition.
+type descriptor struct {
+	text       string
+	expansions []embed.Scored // includes the original, score 1
+	seqs       [][]string     // tokenized expansions
+}
+
+// normQuery is the engine's normalized query form.
+type normQuery struct {
+	src         *lang.Query
+	vars        []*normVar
+	byName      map[string]*normVar
+	constraints []normConstraint
+	outputs     []lang.OutVar
+	horizontals []*normVar // vkSpan vars with >1 component
+	descriptors map[string]*descriptor
+	satisfying  []lang.SatClause
+	excluding   []lang.SatCond
+}
+
+// normalize implements §4.1: absolute-form expansion, synthesized variables
+// for elastic spans and inline atoms, and derived constraints.
+func normalize(q *lang.Query, model *embed.Model, expansionLimit int) (*normQuery, error) {
+	nq := &normQuery{
+		src:         q,
+		byName:      map[string]*normVar{},
+		outputs:     q.Outputs,
+		descriptors: map[string]*descriptor{},
+		satisfying:  q.Satisfying,
+		excluding:   q.Excluding,
+	}
+	nsynth := 0
+	synthName := func(prefix string) string {
+		nsynth++
+		return fmt.Sprintf("%s#%d", prefix, nsynth)
+	}
+	addVar := func(v *normVar) (*normVar, error) {
+		if _, dup := nq.byName[v.name]; dup {
+			return nil, fmt.Errorf("koko: variable %q defined twice", v.name)
+		}
+		nq.vars = append(nq.vars, v)
+		nq.byName[v.name] = v
+		return v, nil
+	}
+
+	// atomToVar converts an atom into a variable reference, synthesizing a
+	// variable when the atom is inline (an elastic span, literal tokens, a
+	// path inside a horizontal condition, or a subtree reference).
+	var atomToVar func(a lang.Atom, nameHint string) (string, error)
+	atomToVar = func(a lang.Atom, nameHint string) (string, error) {
+		switch a.Kind {
+		case lang.AtomVar:
+			if nq.byName[a.Var] == nil {
+				return "", fmt.Errorf("koko: reference to undefined variable %q", a.Var)
+			}
+			return a.Var, nil
+		case lang.AtomSubtree:
+			base := nq.byName[a.Var]
+			if base == nil {
+				return "", fmt.Errorf("koko: subtree of undefined variable %q", a.Var)
+			}
+			if base.kind != vkNode {
+				return "", fmt.Errorf("koko: subtree of non-node variable %q", a.Var)
+			}
+			name := nameHint
+			if name == "" {
+				name = synthName("sub")
+			}
+			v, err := addVar(&normVar{name: name, kind: vkSubtree, base: a.Var, synthetic: nameHint == ""})
+			if err != nil {
+				return "", err
+			}
+			return v.name, nil
+		case lang.AtomElastic:
+			name := nameHint
+			if name == "" {
+				name = synthName("v")
+			}
+			v, err := addVar(&normVar{name: name, kind: vkElastic, conds: a.Conds, synthetic: nameHint == ""})
+			if err != nil {
+				return "", err
+			}
+			return v.name, nil
+		case lang.AtomTokens:
+			name := nameHint
+			if name == "" {
+				name = synthName("w")
+			}
+			words := make([]string, len(a.Tokens))
+			for i, w := range a.Tokens {
+				words[i] = strings.ToLower(w)
+			}
+			v, err := addVar(&normVar{name: name, kind: vkTokens, words: words, synthetic: nameHint == ""})
+			if err != nil {
+				return "", err
+			}
+			return v.name, nil
+		case lang.AtomPath:
+			name := nameHint
+			if name == "" {
+				name = synthName("p")
+			}
+			// A bare entity-type label defines an entity variable.
+			if len(a.Steps) == 1 && a.Steps[0].Bare() && nlp.IsEntityType(a.Steps[0].Label) {
+				v, err := addVar(&normVar{
+					name: name, kind: vkEntity,
+					etype:     nlp.CanonicalEntityType(a.Steps[0].Label),
+					synthetic: nameHint == "",
+				})
+				if err != nil {
+					return "", err
+				}
+				return v.name, nil
+			}
+			nv := &normVar{name: name, kind: vkNode, synthetic: nameHint == ""}
+			if a.From != "" {
+				anchor := nq.byName[a.From]
+				if anchor == nil {
+					return "", fmt.Errorf("koko: path anchored at undefined variable %q", a.From)
+				}
+				if anchor.kind != vkNode {
+					return "", fmt.Errorf("koko: path anchored at non-node variable %q", a.From)
+				}
+				// Absolute form: anchor's path + the extra steps (§4.1).
+				nv.path = append(append([]lang.PathStep{}, anchor.path...), a.Steps...)
+				nv.anchor = a.From
+				// Derived constraint between anchor and this variable.
+				if a.Steps[0].Desc {
+					nq.constraints = append(nq.constraints, normConstraint{kind: ckAncestorOf, a: a.From, b: name})
+				} else {
+					nq.constraints = append(nq.constraints, normConstraint{kind: ckParentOf, a: a.From, b: name})
+				}
+			} else {
+				nv.path = append([]lang.PathStep{}, a.Steps...)
+			}
+			v, err := addVar(nv)
+			if err != nil {
+				return "", err
+			}
+			return v.name, nil
+		}
+		return "", fmt.Errorf("koko: unsupported atom")
+	}
+
+	// Output variables that are not defined in the block become entity
+	// variables of their declared type, registered up front so block
+	// declarations may reference them (the §6.3 Title query's horizontal
+	// condition uses the output variable a:Person). Str-typed outputs must
+	// be block-defined.
+	blockNames := map[string]bool{}
+	for _, d := range q.Block {
+		blockNames[d.Name] = true
+	}
+	for _, o := range q.Outputs {
+		if blockNames[o.Name] {
+			continue
+		}
+		if strings.EqualFold(o.Type, "Str") {
+			return nil, fmt.Errorf("koko: output %s:Str must be defined in the extract block", o.Name)
+		}
+		if !nlp.IsEntityType(o.Type) {
+			return nil, fmt.Errorf("koko: output %s has unknown type %q", o.Name, o.Type)
+		}
+		if _, err := addVar(&normVar{name: o.Name, kind: vkEntity, etype: nlp.CanonicalEntityType(o.Type)}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Block declarations, in order.
+	for _, d := range q.Block {
+		if len(d.Expr.Atoms) == 1 {
+			if _, err := atomToVar(d.Expr.Atoms[0], d.Name); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Horizontal condition: synthesize component variables, then the
+		// span variable itself.
+		comps := make([]string, 0, len(d.Expr.Atoms))
+		for _, a := range d.Expr.Atoms {
+			cn, err := atomToVar(a, "")
+			if err != nil {
+				return nil, err
+			}
+			comps = append(comps, cn)
+		}
+		sv := &normVar{name: d.Name, kind: vkSpan, comps: comps}
+		if _, err := addVar(sv); err != nil {
+			return nil, err
+		}
+		nq.horizontals = append(nq.horizontals, sv)
+	}
+
+	// Every output must be defined by now.
+	for _, o := range q.Outputs {
+		if nq.byName[o.Name] == nil {
+			return nil, fmt.Errorf("koko: output %s is not defined", o.Name)
+		}
+	}
+
+	// User constraints: each side must normalize to a single variable.
+	for _, c := range q.Constraints {
+		side := func(e lang.SpanExpr) (string, error) {
+			if len(e.Atoms) == 1 {
+				return atomToVar(e.Atoms[0], "")
+			}
+			comps := make([]string, 0, len(e.Atoms))
+			for _, a := range e.Atoms {
+				cn, err := atomToVar(a, "")
+				if err != nil {
+					return "", err
+				}
+				comps = append(comps, cn)
+			}
+			sv := &normVar{name: synthName("c"), kind: vkSpan, comps: comps, synthetic: true}
+			if _, err := addVar(sv); err != nil {
+				return "", err
+			}
+			nq.horizontals = append(nq.horizontals, sv)
+			return sv.name, nil
+		}
+		a, err := side(c.Left)
+		if err != nil {
+			return nil, err
+		}
+		b, err := side(c.Right)
+		if err != nil {
+			return nil, err
+		}
+		kind := ckInSpan
+		if c.Op == lang.OpEq {
+			kind = ckEqSpan
+		}
+		nq.constraints = append(nq.constraints, normConstraint{kind: kind, a: a, b: b})
+	}
+
+	// Satisfying/excluding variables must exist.
+	for _, sc := range q.Satisfying {
+		if nq.byName[sc.Var] == nil {
+			return nil, fmt.Errorf("koko: satisfying clause over undefined variable %q", sc.Var)
+		}
+		for _, c := range sc.Conds {
+			if c.Var != "" && nq.byName[c.Var] == nil {
+				return nil, fmt.Errorf("koko: satisfying condition over undefined variable %q", c.Var)
+			}
+			if c.Kind == lang.CondDescLeft || c.Kind == lang.CondDescRight {
+				nq.addDescriptor(c.Arg, model, expansionLimit)
+			}
+		}
+	}
+	for _, c := range q.Excluding {
+		if c.Var != "" && nq.byName[c.Var] == nil {
+			return nil, fmt.Errorf("koko: excluding condition over undefined variable %q", c.Var)
+		}
+	}
+	return nq, nil
+}
+
+// addDescriptor pre-expands a descriptor through the paraphrase model
+// (§4.4.1(a)); expansion happens once per query.
+func (nq *normQuery) addDescriptor(text string, model *embed.Model, limit int) {
+	if _, ok := nq.descriptors[text]; ok {
+		return
+	}
+	d := &descriptor{text: text}
+	if model != nil {
+		d.expansions = model.Expand(text, limit)
+	}
+	if len(d.expansions) == 0 {
+		d.expansions = []embed.Scored{{Text: strings.ToLower(text), Score: 1}}
+	}
+	for _, e := range d.expansions {
+		d.seqs = append(d.seqs, strings.Fields(e.Text))
+	}
+	nq.descriptors[text] = d
+}
+
+// nodeVars returns the node variables in declaration order.
+func (nq *normQuery) nodeVars() []*normVar {
+	var out []*normVar
+	for _, v := range nq.vars {
+		if v.kind == vkNode {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// dominantPaths implements §4.2.1: a path p is dominated by q if p (with
+// conditions) is a prefix of q; only undominated paths are decomposed for
+// index lookup. Returns, for every node variable, the representative
+// dominant variable whose path will be looked up.
+func (nq *normQuery) dominantPaths() (dominant []*normVar, repOf map[string]*normVar) {
+	nodes := nq.nodeVars()
+	repOf = map[string]*normVar{}
+	for _, v := range nodes {
+		rep := v
+		for _, w := range nodes {
+			if w == rep {
+				continue
+			}
+			if pathPrefixOf(rep.path, w.path) && len(w.path) > len(rep.path) {
+				rep = w
+			} else if len(w.path) == len(rep.path) && rep != w && pathPrefixOf(rep.path, w.path) && pathPrefixOf(w.path, rep.path) {
+				// Identical paths: keep deterministic representative (first).
+			}
+		}
+		repOf[v.name] = rep
+	}
+	seen := map[string]bool{}
+	for _, v := range nodes {
+		r := repOf[v.name]
+		if !seen[r.name] {
+			seen[r.name] = true
+			dominant = append(dominant, r)
+		}
+	}
+	return dominant, repOf
+}
+
+// pathPrefixOf reports whether p is a prefix of q with identical conditions
+// (modulo condition order) on the shared steps.
+func pathPrefixOf(p, q []lang.PathStep) bool {
+	if len(p) > len(q) {
+		return false
+	}
+	for i := range p {
+		if !stepEqual(p[i], q[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func stepEqual(a, b lang.PathStep) bool {
+	if a.Desc != b.Desc || nlp.NormalizeLabel(a.Label) != nlp.NormalizeLabel(b.Label) {
+		return false
+	}
+	if len(a.Conds) != len(b.Conds) {
+		return false
+	}
+	// Conditions compare as sets (order of conjunction is irrelevant, §4.2.1).
+	used := make([]bool, len(b.Conds))
+outer:
+	for _, ca := range a.Conds {
+		for j, cb := range b.Conds {
+			if !used[j] && ca == cb {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}

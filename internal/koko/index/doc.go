@@ -1,0 +1,22 @@
+// Package index implements KOKO's multi-indexing scheme (paper §3):
+//
+//   - an inverted word index mapping every word to a posting list of
+//     quintuples (sid, tid, u–v, depth) — sentence id, token id, first and
+//     last token of the token's dependency subtree, and the token's depth in
+//     the dependency tree;
+//   - an inverted entity index mapping every entity mention to triples
+//     (sid, u–v), with type information for typed output variables;
+//   - two hierarchy indices — the PL index over parse labels and the POS
+//     index over POS tags — built by merging all dependency trees node-wise
+//     from the root (a dataguide over dependency structure). Every merged
+//     node is identified by its root path and carries a posting list of the
+//     tokens that realize that path. By construction the merge eliminates
+//     the overwhelming majority of nodes (the paper reports >99.7%), which
+//     is what makes the hierarchy index both compact and fast.
+//
+// The package also defines the Corpus (globally sentence-id'd parsed text)
+// and persistence of both corpus and indices into the storage substrate
+// using the paper's §6.2.1 relational schemas: W(word,x,y,u,v,d,plid,posid),
+// E(entity,type,x,u,v), and closure tables PL/POS(id,label,depth,aid,alabel,
+// adepth).
+package index

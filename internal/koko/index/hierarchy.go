@@ -1,0 +1,225 @@
+package index
+
+import (
+	"sort"
+
+	"repro/internal/nlp"
+)
+
+// Hierarchy is a hierarchy index (paper §3.2): the dataguide-style merge of
+// all dependency trees over one label alphabet (parse labels for the PL
+// index, POS tags for the POS index). Node 0 is a dummy super-root sitting
+// above every dependency tree's root, so a single structure covers both the
+// PL case (every tree root has label "root") and the POS case (tree roots
+// have varying tags).
+type Hierarchy struct {
+	Labels   []string // node id -> label ("" for the super-root)
+	Depths   []int32  // node id -> depth (super-root = -1, tree roots = 0)
+	Parents  []int32  // node id -> parent node id (-1 for super-root)
+	Children []map[string]int32
+	Postings [][]Posting // node id -> posting list
+
+	// TotalTokens counts the tokens merged in, for the compression stat.
+	TotalTokens int
+}
+
+// NewHierarchy returns an empty hierarchy with just the super-root.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{
+		Labels:   []string{""},
+		Depths:   []int32{-1},
+		Parents:  []int32{-1},
+		Children: []map[string]int32{{}},
+		Postings: [][]Posting{nil},
+	}
+}
+
+// child returns the child of node with the given label, creating it if
+// needed.
+func (h *Hierarchy) child(node int32, label string) int32 {
+	if id, ok := h.Children[node][label]; ok {
+		return id
+	}
+	id := int32(len(h.Labels))
+	h.Labels = append(h.Labels, label)
+	h.Depths = append(h.Depths, h.Depths[node]+1)
+	h.Parents = append(h.Parents, node)
+	h.Children = append(h.Children, map[string]int32{})
+	h.Postings = append(h.Postings, nil)
+	h.Children[node][label] = id
+	return id
+}
+
+// AddSentence merges one sentence's dependency tree into the hierarchy.
+// labelOf extracts the label alphabet (parse label or POS tag) per token.
+// It returns the hierarchy node id assigned to each token (used to fill the
+// plid/posid columns of the W table).
+func (h *Hierarchy) AddSentence(s *nlp.Sentence, labelOf func(*nlp.Token) string) []int32 {
+	n := len(s.Tokens)
+	nodeOf := make([]int32, n)
+	// Process tokens in BFS order from the dependency root so parents are
+	// merged before children.
+	order := make([]int, 0, n)
+	if r := s.Root(); r >= 0 {
+		order = append(order, r)
+	}
+	for i := 0; i < len(order); i++ {
+		order = append(order, s.Children(order[i])...)
+	}
+	for _, tid := range order {
+		tok := &s.Tokens[tid]
+		parentNode := int32(0)
+		if tok.Head >= 0 {
+			parentNode = nodeOf[tok.Head]
+		}
+		id := h.child(parentNode, labelOf(tok))
+		nodeOf[tid] = id
+		h.Postings[id] = append(h.Postings[id], Posting{
+			Sid: int32(s.ID), Tid: int32(tid),
+			U: int32(tok.SubL), V: int32(tok.SubR), D: int32(tok.Depth),
+		})
+	}
+	h.TotalTokens += n
+	return nodeOf
+}
+
+// NumNodes returns the number of merged nodes (excluding the super-root).
+func (h *Hierarchy) NumNodes() int { return len(h.Labels) - 1 }
+
+// CompressionRatio returns the fraction of dependency-tree nodes eliminated
+// by merging (the paper reports >99.7% on its corpora).
+func (h *Hierarchy) CompressionRatio() float64 {
+	if h.TotalTokens == 0 {
+		return 0
+	}
+	return 1 - float64(h.NumNodes())/float64(h.TotalTokens)
+}
+
+// PathOf returns the label path of a node from the super-root, excluding the
+// super-root itself.
+func (h *Hierarchy) PathOf(node int32) []string {
+	var rev []string
+	for n := node; n > 0; n = h.Parents[n] {
+		rev = append(rev, h.Labels[n])
+	}
+	out := make([]string, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// Step is one step of a root-anchored path pattern: an axis (child or
+// descendant) and a label ("*" is a wildcard).
+type Step struct {
+	Desc  bool // true = "//" (descendant axis), false = "/" (child axis)
+	Label string
+}
+
+// Path is a root-anchored path pattern.
+type Path []Step
+
+// Lookup returns the union of the posting lists of every hierarchy node
+// whose root path matches the pattern. Matching uses a memoized traversal:
+// state (node, step) is visited at most once, so the cost is bounded by
+// O(nodes × steps) regardless of wildcard structure.
+func (h *Hierarchy) Lookup(p Path) []Posting {
+	if len(p) == 0 {
+		return nil
+	}
+	type state struct {
+		node int32
+		step int
+	}
+	seen := map[state]bool{}
+	var matched []int32
+	var visit func(node int32, step int)
+	visit = func(node int32, step int) {
+		st := state{node, step}
+		if seen[st] {
+			return
+		}
+		seen[st] = true
+		if step == len(p) {
+			matched = append(matched, node)
+			return
+		}
+		s := p[step]
+		// Child axis: children whose label matches advance one step.
+		for label, ch := range h.Children[node] {
+			if s.Label == "*" || label == s.Label {
+				visit(ch, step+1)
+			}
+			// Descendant axis: any child may also be skipped without
+			// consuming the step.
+			if s.Desc {
+				visit(ch, step)
+			}
+			_ = label
+		}
+	}
+	visit(0, 0)
+	if len(matched) == 0 {
+		return nil
+	}
+	sort.Slice(matched, func(i, j int) bool { return matched[i] < matched[j] })
+	lists := make([][]Posting, 0, len(matched))
+	prev := int32(-1)
+	for _, m := range matched {
+		if m == prev {
+			continue
+		}
+		prev = m
+		lists = append(lists, h.Postings[m])
+	}
+	return UnionPostings(lists...)
+}
+
+// LookupNodes returns the matching node ids (for tests and the closure-table
+// translation).
+func (h *Hierarchy) LookupNodes(p Path) []int32 {
+	type state struct {
+		node int32
+		step int
+	}
+	seen := map[state]bool{}
+	var matched []int32
+	var visit func(node int32, step int)
+	visit = func(node int32, step int) {
+		st := state{node, step}
+		if seen[st] {
+			return
+		}
+		seen[st] = true
+		if step == len(p) {
+			matched = append(matched, node)
+			return
+		}
+		s := p[step]
+		for label, ch := range h.Children[node] {
+			if s.Label == "*" || label == s.Label {
+				visit(ch, step+1)
+			}
+			if s.Desc {
+				visit(ch, step)
+			}
+		}
+	}
+	visit(0, 0)
+	sort.Slice(matched, func(i, j int) bool { return matched[i] < matched[j] })
+	w := 0
+	for i, m := range matched {
+		if i == 0 || m != matched[w-1] {
+			matched[w] = m
+			w++
+		}
+	}
+	return matched[:w]
+}
+
+// SortAllPostings sorts every node's posting list; call once after building.
+func (h *Hierarchy) SortAllPostings() {
+	for i := range h.Postings {
+		SortPostings(h.Postings[i])
+	}
+}

@@ -1,0 +1,152 @@
+package index
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/nlp"
+)
+
+// Index is KOKO's multi-index over a corpus: word and entity inverted
+// indices plus the PL and POS hierarchy indices.
+type Index struct {
+	Word   map[string][]Posting       // lowercase word -> quintuples
+	Entity map[string][]EntityPosting // lowercase entity text -> triples
+	ByType map[string][]EntityPosting // entity type -> all mentions
+	PL     *Hierarchy                 // parse-label hierarchy
+	POS    *Hierarchy                 // POS-tag hierarchy
+
+	// plidOf[sid][tid] / posidOf[sid][tid] are each token's node ids in the
+	// hierarchy indices — the W table's plid/posid columns.
+	plidOf  map[int32][]int32
+	posidOf map[int32][]int32
+}
+
+// Build constructs the multi-index over a corpus. The corpus must already be
+// parsed.
+func Build(c *Corpus) *Index {
+	ix := &Index{
+		Word:    map[string][]Posting{},
+		Entity:  map[string][]EntityPosting{},
+		ByType:  map[string][]EntityPosting{},
+		PL:      NewHierarchy(),
+		POS:     NewHierarchy(),
+		plidOf:  map[int32][]int32{},
+		posidOf: map[int32][]int32{},
+	}
+	for sid := range c.Sentences {
+		ix.AddSentence(&c.Sentences[sid])
+	}
+	ix.Finish()
+	return ix
+}
+
+// AddSentence merges one sentence into all four indices. The sentence's ID
+// must be its corpus-global sentence id.
+func (ix *Index) AddSentence(s *nlp.Sentence) {
+	sid := int32(s.ID)
+	for i := range s.Tokens {
+		tok := &s.Tokens[i]
+		p := Posting{Sid: sid, Tid: int32(i), U: int32(tok.SubL), V: int32(tok.SubR), D: int32(tok.Depth)}
+		ix.Word[tok.Lower] = append(ix.Word[tok.Lower], p)
+	}
+	for _, e := range s.Entities {
+		ep := EntityPosting{Sid: sid, U: int32(e.L), V: int32(e.R), Type: e.Type, Text: e.Text}
+		key := strings.ToLower(e.Text)
+		ix.Entity[key] = append(ix.Entity[key], ep)
+		ix.ByType[e.Type] = append(ix.ByType[e.Type], ep)
+	}
+	ix.plidOf[sid] = ix.PL.AddSentence(s, func(t *nlp.Token) string { return t.Label })
+	ix.posidOf[sid] = ix.POS.AddSentence(s, func(t *nlp.Token) string { return t.POS })
+}
+
+// Finish sorts all posting lists; call once after the last AddSentence.
+func (ix *Index) Finish() {
+	for _, ps := range ix.Word {
+		SortPostings(ps)
+	}
+	for _, es := range ix.Entity {
+		SortEntityPostings(es)
+	}
+	for _, es := range ix.ByType {
+		SortEntityPostings(es)
+	}
+	ix.PL.SortAllPostings()
+	ix.POS.SortAllPostings()
+}
+
+// LookupWord returns the posting list of a word (case-insensitive).
+func (ix *Index) LookupWord(w string) []Posting {
+	return ix.Word[strings.ToLower(w)]
+}
+
+// LookupEntityText returns the mentions of an entity by exact text
+// (case-insensitive).
+func (ix *Index) LookupEntityText(text string) []EntityPosting {
+	return ix.Entity[strings.ToLower(text)]
+}
+
+// EntitiesOfType returns all mentions whose type matches the requested type
+// name ("Entity" matches every type; "GPE" aliases Location).
+func (ix *Index) EntitiesOfType(want string) []EntityPosting {
+	switch want {
+	case "", "Entity", "entity", "Str":
+		types := make([]string, 0, len(ix.ByType))
+		for t := range ix.ByType {
+			types = append(types, t)
+		}
+		sort.Strings(types)
+		var out []EntityPosting
+		for _, t := range types {
+			out = append(out, ix.ByType[t]...)
+		}
+		SortEntityPostings(out)
+		return out
+	case "GPE", "gpe":
+		return ix.ByType[nlp.EntLocation]
+	}
+	return ix.ByType[want]
+}
+
+// PLID returns the PL hierarchy node id of token (sid, tid), or -1.
+func (ix *Index) PLID(sid, tid int32) int32 {
+	if ids, ok := ix.plidOf[sid]; ok && int(tid) < len(ids) {
+		return ids[tid]
+	}
+	return -1
+}
+
+// POSID returns the POS hierarchy node id of token (sid, tid), or -1.
+func (ix *Index) POSID(sid, tid int32) int32 {
+	if ids, ok := ix.posidOf[sid]; ok && int(tid) < len(ids) {
+		return ids[tid]
+	}
+	return -1
+}
+
+// Stats summarizes index shape for reports and tests.
+type Stats struct {
+	Words          int
+	Entities       int
+	PLNodes        int
+	POSNodes       int
+	PLCompression  float64
+	POSCompression float64
+	TotalPostings  int
+}
+
+// Stats returns summary statistics.
+func (ix *Index) Stats() Stats {
+	st := Stats{
+		Words:          len(ix.Word),
+		Entities:       len(ix.Entity),
+		PLNodes:        ix.PL.NumNodes(),
+		POSNodes:       ix.POS.NumNodes(),
+		PLCompression:  ix.PL.CompressionRatio(),
+		POSCompression: ix.POS.CompressionRatio(),
+	}
+	for _, ps := range ix.Word {
+		st.TotalPostings += len(ps)
+	}
+	return st
+}

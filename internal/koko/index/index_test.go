@@ -1,0 +1,263 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// paperCorpus builds the two-sentence corpus of the paper's Examples 3.1-3.3:
+// sid 0 is the Figure 1 sentence, sid 1 the Anna sentence.
+func paperCorpus() *Corpus {
+	return NewCorpus(
+		[]string{"doc0", "doc1"},
+		[]string{
+			"I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+			"Anna ate some delicious cheesecake that she bought at a grocery store.",
+		},
+	)
+}
+
+// TestExample32WordIndex pins the paper's Example 3.2 word-index rows.
+func TestExample32WordIndex(t *testing.T) {
+	ix := Build(paperCorpus())
+	cases := map[string][]Posting{
+		"i":         {{Sid: 0, Tid: 0, U: 0, V: 0, D: 1}},
+		"ate":       {{Sid: 0, Tid: 1, U: 0, V: 16, D: 0}, {Sid: 0, Tid: 13, U: 12, V: 15, D: 1}, {Sid: 1, Tid: 1, U: 0, V: 12, D: 0}},
+		"delicious": {{Sid: 0, Tid: 9, U: 9, V: 9, D: 3}, {Sid: 1, Tid: 3, U: 3, V: 3, D: 2}},
+		"cream":     {{Sid: 0, Tid: 5, U: 2, V: 9, D: 1}},
+	}
+	for word, want := range cases {
+		got := ix.LookupWord(word)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("word %q: postings %v, want %v", word, got, want)
+		}
+	}
+	// The paper prints (1,1,0-12,0) before (0,1,0-16,0); our lists sort by
+	// sid — the set is what matters, and it includes the second "ate" of
+	// sentence 0, which the paper's excerpt elides.
+}
+
+// TestExample32EntityIndex pins the entity-index rows.
+func TestExample32EntityIndex(t *testing.T) {
+	ix := Build(paperCorpus())
+	cases := map[string]EntityPosting{
+		"cheesecake":          {Sid: 1, U: 4, V: 4, Type: "Other", Text: "cheesecake"},
+		"grocery store":       {Sid: 1, U: 10, V: 11, Type: "Location", Text: "grocery store"},
+		"chocolate ice cream": {Sid: 0, U: 3, V: 5, Type: "Other", Text: "chocolate ice cream"},
+	}
+	for text, want := range cases {
+		got := ix.LookupEntityText(text)
+		if len(got) != 1 || got[0] != want {
+			t.Errorf("entity %q: %v, want [%v]", text, got, want)
+		}
+	}
+	// Parent-child check from Example 3.2's discussion: ate(1,1) is the
+	// parent of cheesecake's token via the quintuple arithmetic.
+	ate := ix.LookupWord("ate")[2] // (1,1,0-12,0)
+	cheese := ix.LookupWord("cheesecake")[0]
+	if !ate.IsParentOf(cheese) {
+		t.Errorf("IsParentOf(%v, %v) = false", ate, cheese)
+	}
+	if !ate.IsAncestorOf(cheese) {
+		t.Error("IsAncestorOf false for parent")
+	}
+	if cheese.IsAncestorOf(ate) {
+		t.Error("IsAncestorOf inverted")
+	}
+}
+
+// TestExample33PLIndex pins the paper's Example 3.3 PL-index posting lists.
+func TestExample33PLIndex(t *testing.T) {
+	ix := Build(paperCorpus())
+	childPath := func(labels ...string) Path {
+		p := make(Path, len(labels))
+		for i, l := range labels {
+			p[i] = Step{Desc: false, Label: l}
+		}
+		return p
+	}
+	cases := []struct {
+		path Path
+		want []Posting
+	}{
+		{childPath("root"), []Posting{{0, 1, 0, 16, 0}, {1, 1, 0, 12, 0}}},
+		{childPath("root", "nsubj"), []Posting{{0, 0, 0, 0, 1}, {1, 0, 0, 0, 1}}},
+		{childPath("root", "dobj"), []Posting{{0, 5, 2, 9, 1}, {1, 4, 2, 11, 1}}},
+		{childPath("root", "dobj", "det"), []Posting{{0, 2, 2, 2, 2}, {1, 2, 2, 2, 2}}},
+		{childPath("root", "dobj", "amod"), []Posting{{1, 3, 3, 3, 2}}},
+		{childPath("root", "dobj", "nn"), []Posting{{0, 3, 3, 3, 2}, {0, 4, 4, 4, 2}}},
+	}
+	for _, tc := range cases {
+		got := ix.PL.Lookup(tc.path)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("PL lookup %v = %v, want %v", tc.path, got, tc.want)
+		}
+	}
+	// Both nn nodes under dobj merged into one hierarchy node: the posting
+	// list for /root/dobj/nn has 2 entries but the node count for that path
+	// is 1.
+	nodes := ix.PL.LookupNodes(childPath("root", "dobj", "nn"))
+	if len(nodes) != 1 {
+		t.Errorf("nn merged into %d nodes, want 1", len(nodes))
+	}
+}
+
+func TestHierarchyDescendantAndWildcard(t *testing.T) {
+	ix := Build(paperCorpus())
+	// //dobj finds the two root-level dobj tokens (cream, cheesecake), the
+	// pie dobj under the conj verb, and the relative pronoun "that" which is
+	// the dobj of "bought" (Example 3.1).
+	got := ix.PL.Lookup(Path{{Desc: true, Label: "dobj"}})
+	if len(got) != 4 {
+		t.Fatalf("//dobj = %v, want 4 postings", got)
+	}
+	// //*/dobj//* — the parse-label path decomposed from the paper's
+	// Example 4.2 — matches everything below any dobj.
+	got = ix.PL.Lookup(Path{{true, "*"}, {false, "dobj"}, {true, "*"}})
+	if len(got) == 0 {
+		t.Fatal("//*/dobj//* empty")
+	}
+	for _, p := range got {
+		if p.D < 2 {
+			t.Errorf("posting %v too shallow for //*/dobj//*", p)
+		}
+	}
+	// POS index: //verb matches all verbs (ate, was, ate, ate, bought).
+	verbs := ix.POS.Lookup(Path{{true, "verb"}})
+	if len(verbs) != 5 {
+		t.Errorf("//verb = %d postings, want 5 (%v)", len(verbs), verbs)
+	}
+	// Nonexistent label: empty, not panic.
+	if got := ix.PL.Lookup(Path{{false, "nosuchlabel"}}); got != nil {
+		t.Errorf("nosuchlabel = %v", got)
+	}
+}
+
+func TestHierarchyCompression(t *testing.T) {
+	// Many sentences with the same structure must merge into few nodes.
+	texts := make([]string, 200)
+	for i := range texts {
+		texts[i] = "Anna ate some delicious cheesecake that she bought at a grocery store."
+	}
+	c := NewCorpus(nil, texts)
+	ix := Build(c)
+	st := ix.Stats()
+	if st.PLCompression < 0.99 {
+		t.Errorf("PL compression = %.4f, want > 0.99 (nodes=%d tokens=%d)",
+			st.PLCompression, st.PLNodes, ix.PL.TotalTokens)
+	}
+	if st.POSCompression < 0.99 {
+		t.Errorf("POS compression = %.4f, want > 0.99", st.POSCompression)
+	}
+}
+
+func TestEntitiesOfType(t *testing.T) {
+	ix := Build(paperCorpus())
+	all := ix.EntitiesOfType("Entity")
+	if len(all) < 4 {
+		t.Errorf("Entity mentions = %d, want >= 4", len(all))
+	}
+	locs := ix.EntitiesOfType("GPE")
+	if len(locs) != 1 || locs[0].Text != "grocery store" {
+		t.Errorf("GPE = %v", locs)
+	}
+	people := ix.EntitiesOfType("Person")
+	if len(people) != 1 || people[0].Text != "Anna" {
+		t.Errorf("Person = %v", people)
+	}
+	if got := ix.EntitiesOfType("Nonexistent"); got != nil {
+		t.Errorf("unknown type = %v", got)
+	}
+}
+
+func TestPostingHelpers(t *testing.T) {
+	a := []Posting{{Sid: 0, Tid: 1}, {Sid: 2, Tid: 0}}
+	b := []Posting{{Sid: 0, Tid: 1}, {Sid: 1, Tid: 5}}
+	u := UnionPostings(a, b)
+	if len(u) != 3 {
+		t.Errorf("union = %v", u)
+	}
+	sids := SidsOf(u)
+	if !reflect.DeepEqual(sids, []int32{0, 1, 2}) {
+		t.Errorf("sids = %v", sids)
+	}
+	if got := IntersectSids([]int32{0, 1, 2}, []int32{1, 2, 3}); !reflect.DeepEqual(got, []int32{1, 2}) {
+		t.Errorf("intersect = %v", got)
+	}
+}
+
+func TestIndexPersistRoundtrip(t *testing.T) {
+	c := paperCorpus()
+	ix := Build(c)
+	db := store.NewDB()
+	ix.Save(db)
+	got, err := LoadIndex(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Word postings survive.
+	for _, w := range []string{"ate", "delicious", "cream", "store"} {
+		if !reflect.DeepEqual(got.LookupWord(w), ix.LookupWord(w)) {
+			t.Errorf("word %q: %v vs %v", w, got.LookupWord(w), ix.LookupWord(w))
+		}
+	}
+	// Entity postings survive (text is lowercased in the table).
+	if len(got.LookupEntityText("grocery store")) != 1 {
+		t.Error("entity lost in roundtrip")
+	}
+	// Hierarchy lookups survive.
+	p := Path{{false, "root"}, {false, "dobj"}, {false, "nn"}}
+	if !reflect.DeepEqual(got.PL.Lookup(p), ix.PL.Lookup(p)) {
+		t.Errorf("PL lookup differs after roundtrip: %v vs %v", got.PL.Lookup(p), ix.PL.Lookup(p))
+	}
+	pv := Path{{true, "verb"}}
+	if !reflect.DeepEqual(got.POS.Lookup(pv), ix.POS.Lookup(pv)) {
+		t.Errorf("POS lookup differs after roundtrip")
+	}
+}
+
+func TestCorpusParsedPersistence(t *testing.T) {
+	c := paperCorpus()
+	db := store.NewDB()
+	c.SaveParsed(db)
+	s, err := LoadSentence(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != c.Sentence(1).String() {
+		t.Errorf("reloaded sentence %q, want %q", s.String(), c.Sentence(1).String())
+	}
+	if s.Root() != c.Sentence(1).Root() {
+		t.Errorf("root = %d, want %d", s.Root(), c.Sentence(1).Root())
+	}
+	// Derived geometry must be rebuilt identically.
+	for i := range s.Tokens {
+		a, b := s.Tokens[i], c.Sentence(1).Tokens[i]
+		if a.SubL != b.SubL || a.SubR != b.SubR || a.Depth != b.Depth {
+			t.Errorf("token %d geometry: %+v vs %+v", i, a, b)
+		}
+	}
+	// Entities must be re-linked.
+	if e := s.EntityAt(10); e == nil || e.Type != "Location" {
+		t.Errorf("entity at 10 = %+v", e)
+	}
+	if _, err := LoadSentence(db, 999); err == nil {
+		t.Error("missing sentence loaded")
+	}
+}
+
+func TestCorpusDocMapping(t *testing.T) {
+	c := paperCorpus()
+	if c.NumDocs() != 2 || c.NumSentences() != 2 {
+		t.Fatalf("docs=%d sents=%d", c.NumDocs(), c.NumSentences())
+	}
+	if c.DocOfSent[0] != 0 || c.DocOfSent[1] != 1 {
+		t.Errorf("DocOfSent = %v", c.DocOfSent)
+	}
+	first, end := c.DocSentences(1)
+	if first != 1 || end != 2 {
+		t.Errorf("DocSentences(1) = %d,%d", first, end)
+	}
+}

@@ -1,0 +1,148 @@
+package index
+
+import "sort"
+
+// Posting is the paper's quintuple (x, y, u-v, d): sentence id, token id,
+// subtree interval, and depth.
+type Posting struct {
+	Sid int32
+	Tid int32
+	U   int32
+	V   int32
+	D   int32
+}
+
+// Less orders postings by (Sid, Tid).
+func (p Posting) Less(q Posting) bool {
+	if p.Sid != q.Sid {
+		return p.Sid < q.Sid
+	}
+	return p.Tid < q.Tid
+}
+
+// IsAncestorOf reports the paper's interval test: p is a (strict) ancestor
+// of q in the same sentence if p.u <= q.u, p.v >= q.v, and p.d < q.d.
+func (p Posting) IsAncestorOf(q Posting) bool {
+	return p.Sid == q.Sid && p.U <= q.U && p.V >= q.V && p.D < q.D && p.Tid != q.Tid
+}
+
+// IsParentOf reports the paper's parent test: ancestor with d_c = d_p + 1.
+func (p Posting) IsParentOf(q Posting) bool {
+	return p.Sid == q.Sid && p.U <= q.U && p.V >= q.V && p.D+1 == q.D
+}
+
+// SortPostings sorts a posting list by (sid, tid).
+func SortPostings(ps []Posting) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
+}
+
+// UnionPostings merges sorted posting lists into one sorted, deduplicated
+// list. Inputs must each be sorted by (sid, tid) — true for every index
+// posting list after Finish — so the union is a k-way merge (pairwise,
+// O(n log k)) rather than a re-sort.
+func UnionPostings(lists ...[]Posting) []Posting {
+	// Drop empties.
+	live := lists[:0:0]
+	for _, l := range lists {
+		if len(l) > 0 {
+			live = append(live, l)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return append([]Posting(nil), live[0]...)
+	}
+	for len(live) > 1 {
+		var next [][]Posting
+		for i := 0; i < len(live); i += 2 {
+			if i+1 == len(live) {
+				next = append(next, live[i])
+				break
+			}
+			next = append(next, mergeTwo(live[i], live[i+1]))
+		}
+		live = next
+	}
+	return live[0]
+}
+
+func mergeTwo(a, b []Posting) []Posting {
+	out := make([]Posting, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i].Less(b[j]):
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// EntityPosting is the entity index entry: the paper's triple (x, u-v) plus
+// the entity's type and a reference to its text.
+type EntityPosting struct {
+	Sid  int32
+	U, V int32
+	Type string
+	Text string
+}
+
+// SortEntityPostings orders entity postings by (sid, u).
+func SortEntityPostings(es []EntityPosting) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Sid != es[j].Sid {
+			return es[i].Sid < es[j].Sid
+		}
+		return es[i].U < es[j].U
+	})
+}
+
+// SidsOf returns the sorted distinct sentence ids of a posting list.
+func SidsOf(ps []Posting) []int32 {
+	var out []int32
+	for _, p := range ps {
+		if len(out) == 0 || out[len(out)-1] != p.Sid {
+			out = append(out, p.Sid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, s := range out {
+		if i == 0 || s != out[i-1] {
+			out[w] = s
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// IntersectSids intersects two sorted sid lists.
+func IntersectSids(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString // quoted string (either ASCII or curly quotes)
+	tNumber
+	tLParen
+	tRParen
+	tLBrace
+	tRBrace
+	tLBracket
+	tRBracket
+	tDLBracket // [[
+	tDRBracket // ]]
+	tComma
+	tPlus
+	tEquals
+	tSlash
+	tDSlash // //
+	tCaret  // ^ or ∧
+	tColon
+	tDot
+	tTilde // ~ or ∼ (similarTo abbreviation)
+	tStar
+	tAt
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes a query string.
+func lex(input string) ([]token, error) {
+	var toks []token
+	runes := []rune(input)
+	i := 0
+	emit := func(kind tokKind, text string) {
+		toks = append(toks, token{kind: kind, text: text, pos: i})
+	}
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '"' || r == '“': // " or “
+			close := '"'
+			if r == '“' {
+				close = '”' // ”
+			}
+			j := i + 1
+			var sb strings.Builder
+			for j < len(runes) && runes[j] != close && runes[j] != '"' {
+				if runes[j] == '\\' && j+1 < len(runes) {
+					j++
+				}
+				sb.WriteRune(runes[j])
+				j++
+			}
+			if j >= len(runes) {
+				return nil, fmt.Errorf("koko: unterminated string at offset %d", i)
+			}
+			emit(tString, sb.String())
+			i = j + 1
+		case unicode.IsDigit(r) || (r == '.' && i+1 < len(runes) && unicode.IsDigit(runes[i+1])):
+			j := i
+			seenDot := false
+			for j < len(runes) && (unicode.IsDigit(runes[j]) || (runes[j] == '.' && !seenDot)) {
+				if runes[j] == '.' {
+					// A trailing dot ("5.") would swallow the subtree dot;
+					// only accept the dot if a digit follows.
+					if j+1 >= len(runes) || !unicode.IsDigit(runes[j+1]) {
+						break
+					}
+					seenDot = true
+				}
+				j++
+			}
+			emit(tNumber, string(runes[i:j]))
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(runes) && (unicode.IsLetter(runes[j]) || unicode.IsDigit(runes[j]) || runes[j] == '_' || runes[j] == '-') {
+				j++
+			}
+			emit(tIdent, string(runes[i:j]))
+			i = j
+		default:
+			switch r {
+			case '(':
+				emit(tLParen, "(")
+			case ')':
+				emit(tRParen, ")")
+			case '{':
+				emit(tLBrace, "{")
+			case '}':
+				emit(tRBrace, "}")
+			case '[':
+				if i+1 < len(runes) && runes[i+1] == '[' {
+					emit(tDLBracket, "[[")
+					i++
+				} else {
+					emit(tLBracket, "[")
+				}
+			case ']':
+				if i+1 < len(runes) && runes[i+1] == ']' {
+					emit(tDRBracket, "]]")
+					i++
+				} else {
+					emit(tRBracket, "]")
+				}
+			case ',':
+				emit(tComma, ",")
+			case '+':
+				emit(tPlus, "+")
+			case '=':
+				emit(tEquals, "=")
+			case '/':
+				if i+1 < len(runes) && runes[i+1] == '/' {
+					emit(tDSlash, "//")
+					i++
+				} else {
+					emit(tSlash, "/")
+				}
+			case '^', '∧': // ^ or ∧
+				emit(tCaret, "^")
+			case ':':
+				emit(tColon, ":")
+			case '.':
+				emit(tDot, ".")
+			case '~', '∼': // ~ or ∼
+				emit(tTilde, "~")
+			case '*':
+				emit(tStar, "*")
+			case '@':
+				emit(tAt, "@")
+			case '<', '>':
+				// Allow "<InputFile>"-style placeholders: lex the contents
+				// as an ident; here just skip the angle brackets.
+				i++
+				continue
+			default:
+				return nil, fmt.Errorf("koko: unexpected character %q at offset %d", r, i)
+			}
+			i++
+		}
+	}
+	toks = append(toks, token{kind: tEOF, pos: len(runes)})
+	return toks, nil
+}

@@ -1,0 +1,61 @@
+package lang
+
+import "testing"
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lex(`extract x:Entity // / [[ ]] [ ] ^ ~ * @ 0.8 "str" + = { } ( ) ,`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokKind{
+		tIdent, tIdent, tColon, tIdent, tDSlash, tSlash, tDLBracket,
+		tDRBracket, tLBracket, tRBracket, tCaret, tTilde, tStar, tAt,
+		tNumber, tString, tPlus, tEquals, tLBrace, tRBrace, tLParen,
+		tRParen, tComma, tEOF,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("token %d (%s): kind %d, want %d", i, toks[i].text, toks[i].kind, k)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lex(`"unterminated`); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lex("`backtick`"); err == nil {
+		t.Error("unknown character accepted")
+	}
+}
+
+func TestLexerNumberVsSubtreeDot(t *testing.T) {
+	// "b.subtree" must lex as ident dot ident, while "0.8" is one number.
+	toks, err := lex(`b.subtree 0.8 5.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokKind{tIdent, tDot, tIdent, tNumber, tNumber, tDot, tEOF}
+	for i, k := range want {
+		if toks[i].kind != k {
+			t.Fatalf("token %d: kind %d, want %d (%v)", i, toks[i].kind, k, toks)
+		}
+	}
+	if toks[3].text != "0.8" || toks[4].text != "5" {
+		t.Errorf("number texts: %q %q", toks[3].text, toks[4].text)
+	}
+}
+
+func TestLexerAngleBracketPlaceholder(t *testing.T) {
+	// The appendix writes <InputFile>; angle brackets are skipped.
+	toks, err := lex(`from <InputFile> if`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].kind != tIdent || toks[1].text != "InputFile" {
+		t.Errorf("placeholder lexed as %v", toks[1])
+	}
+}

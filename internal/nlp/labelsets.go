@@ -1,0 +1,56 @@
+package nlp
+
+// Label classification for the KOKO language. A path step's label can be a
+// parse label, a POS tag, an entity type, or a word (paper §2.1: "each axis
+// is followed by a label (a parse label, POS tag, token, wildcard, or an
+// already defined node variable)"). Query analysis needs to tell these
+// apart to decompose paths (§4.2.1).
+
+var parseLabelSet = newSet(
+	LblRoot, LblNsubj, LblDobj, LblIobj, LblDet, LblNN, LblAmod,
+	LblAdvmod, LblPrep, LblPobj, LblP, "punct", LblCC, LblConj, LblRcmod,
+	LblAcomp, LblXcomp, LblAux, LblAttr, LblNum, LblPoss, LblNeg, LblDep,
+)
+
+var posTagSet = newSet(
+	PosNoun, PosVerb, PosAdj, PosAdv, PosPron, PosPropn, PosDet, PosAdp,
+	PosConj, PosNum, PosPrt, PosPunct, PosX, "nn", "nns", "prep",
+)
+
+var entityTypeSet = newSet(
+	"entity", "person", "location", "gpe", "organization", "org", "date",
+	"other",
+)
+
+// IsParseLabel reports whether s names a dependency parse label.
+func IsParseLabel(s string) bool { return parseLabelSet[NormalizeLabel(s)] }
+
+// IsPOSTag reports whether s names a universal POS tag.
+// Note "conj" and "num" are both parse labels and POS-ish; parse-label
+// reading wins in queries, matching the paper's examples.
+func IsPOSTag(s string) bool { return posTagSet[NormalizePOS(s)] }
+
+// IsEntityType reports whether s names an entity type usable in queries.
+func IsEntityType(s string) bool {
+	return entityTypeSet[NormalizePOS(s)] || entityTypeSet[NormalizeLabel(s)]
+}
+
+// CanonicalEntityType maps query-level entity type names to the canonical
+// type strings used by the NER ("GPE" → Location).
+func CanonicalEntityType(s string) string {
+	switch NormalizeLabel(s) {
+	case "person":
+		return EntPerson
+	case "location", "gpe":
+		return EntLocation
+	case "organization", "org":
+		return EntOrg
+	case "date":
+		return EntDate
+	case "other":
+		return EntOther
+	case "entity":
+		return "Entity"
+	}
+	return s
+}

@@ -1,0 +1,273 @@
+package nlp
+
+// Closed-class and common open-class lexicons for the POS tagger. The lists
+// are deliberately generous for the domains the paper's corpora touch (food,
+// coffee, biography articles, tweets about sports and venues) so that the
+// tagger is reliable over the synthetic corpora and over ordinary English.
+
+var determiners = newSet(
+	"a", "an", "the", "this", "that", "these", "those", "some", "any",
+	"each", "every", "no", "another", "both", "either", "neither", "all",
+	"such", "what", "which", "whose",
+)
+
+var pronouns = newSet(
+	"i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us",
+	"them", "myself", "yourself", "himself", "herself", "itself",
+	"ourselves", "themselves", "mine", "yours", "hers", "ours", "theirs",
+	"who", "whom", "whoever", "something", "anything", "nothing",
+	"everything", "someone", "anyone", "everyone", "nobody", "somebody",
+	"everybody",
+)
+
+// Relative pronouns are tagged PRON but get special treatment in parsing.
+var relativePronouns = newSet("who", "whom", "which", "that", "whose", "where", "when")
+
+var prepositions = newSet(
+	"of", "in", "on", "at", "by", "for", "with", "about", "against",
+	"between", "into", "through", "during", "before", "after", "above",
+	"below", "to", "from", "up", "down", "over", "under", "near", "since",
+	"without", "within", "along", "across", "behind", "beyond", "except",
+	"around", "among", "toward", "towards", "upon", "onto", "off", "per",
+	"via", "amid", "despite", "inside", "outside", "until", "as",
+)
+
+var conjunctions = newSet(
+	"and", "or", "but", "nor", "so", "yet", "while", "although", "because",
+	"if", "unless", "whereas", "though", "once", "when", "whenever",
+)
+
+var auxiliaries = newSet(
+	"is", "am", "are", "was", "were", "be", "been", "being",
+	"have", "has", "had", "having",
+	"do", "does", "did",
+	"will", "would", "shall", "should", "can", "could", "may", "might",
+	"must", "ought",
+)
+
+// copulas is the subset of auxiliaries that can head a predicate
+// ("the cake was delicious").
+var copulas = newSet("is", "am", "are", "was", "were", "be", "been", "being",
+	"seems", "seemed", "looks", "looked", "feels", "felt", "remains", "remained")
+
+var adverbs = newSet(
+	"also", "not", "never", "always", "often", "sometimes", "usually",
+	"very", "too", "quite", "rather", "really", "just", "still", "already",
+	"soon", "now", "then", "here", "there", "today", "tomorrow",
+	"yesterday", "recently", "currently", "finally", "again", "almost",
+	"even", "only", "perhaps", "maybe", "together", "away", "back", "well",
+	"early", "late", "once", "twice", "moreover", "however", "instead",
+	"nearby", "downtown", "everywhere", "anywhere", "abroad", "forever",
+)
+
+// Common verbs with their inflections, so that the tagger does not depend on
+// suffix heuristics for high-frequency cases. Map value is unused; presence
+// means "can be a verb".
+var verbLexicon = newSet(
+	"ate", "eat", "eats", "eating", "eaten",
+	"drink", "drinks", "drank", "drinking", "drunk",
+	"serve", "serves", "served", "serving",
+	"sell", "sells", "sold", "selling",
+	"buy", "buys", "bought", "buying",
+	"make", "makes", "made", "making",
+	"open", "opens", "opened", "opening",
+	"close", "closes", "closed", "closing",
+	"hire", "hires", "hired", "hiring",
+	"employ", "employs", "employed", "employing",
+	"brew", "brews", "brewed", "brewing",
+	"roast", "roasts", "roasted", "roasting",
+	"pour", "pours", "poured", "pouring",
+	"visit", "visits", "visited", "visiting",
+	"go", "goes", "went", "gone", "going",
+	"come", "comes", "came", "coming",
+	"see", "sees", "saw", "seen", "seeing",
+	"say", "says", "said", "saying",
+	"call", "calls", "called", "calling",
+	"name", "names", "named", "naming",
+	"know", "knows", "knew", "known", "knowing",
+	"bear", "bears", "bore", "born", "borne",
+	"marry", "marries", "married", "marrying",
+	"win", "wins", "won", "winning",
+	"lose", "loses", "lost", "losing",
+	"play", "plays", "played", "playing",
+	"host", "hosts", "hosted", "hosting",
+	"beat", "beats", "beating",
+	"watch", "watches", "watched", "watching",
+	"love", "loves", "loved", "loving",
+	"like", "likes", "liked", "liking",
+	"enjoy", "enjoys", "enjoyed", "enjoying",
+	"feel", "feels", "felt", "feeling",
+	"get", "gets", "got", "gotten", "getting",
+	"give", "gives", "gave", "given", "giving",
+	"take", "takes", "took", "taken", "taking",
+	"find", "finds", "found", "finding",
+	"move", "moves", "moved", "moving",
+	"live", "lives", "lived", "living",
+	"work", "works", "worked", "working",
+	"write", "writes", "wrote", "written", "writing",
+	"direct", "directs", "directed", "directing",
+	"produce", "produces", "produced", "producing",
+	"prepare", "prepares", "prepared", "preparing",
+	"manufacture", "manufactures", "manufactured", "manufacturing",
+	"bake", "bakes", "baked", "baking",
+	"cook", "cooks", "cooked", "cooking",
+	"offer", "offers", "offered", "offering",
+	"feature", "features", "featured", "featuring",
+	"announce", "announces", "announced", "announcing",
+	"launch", "launches", "launched", "launching",
+	"found", "founds", "founded", "founding",
+	"start", "starts", "started", "starting",
+	"run", "runs", "ran", "running",
+	"own", "owns", "owned", "owning",
+	"tried", "try", "tries", "trying",
+	"taste", "tastes", "tasted", "tasting",
+	"grind", "grinds", "ground", "grinding",
+	"pull", "pulls", "pulled", "pulling",
+	"craft", "crafts", "crafted", "crafting",
+	"train", "trains", "trained", "training",
+	"receive", "receives", "received", "receiving",
+	"attend", "attends", "attended", "attending",
+	"graduate", "graduates", "graduated", "graduating",
+	"die", "dies", "died", "dying",
+	"become", "becomes", "became", "becoming",
+	"remain", "remains", "remained", "remaining",
+	"celebrate", "celebrates", "celebrated", "celebrating",
+	"meet", "meets", "met", "meeting",
+	"help", "helps", "helped", "helping",
+	"spend", "spends", "spent", "spending",
+	"finish", "finishes", "finished", "finishing",
+	"complete", "completes", "completed", "completing",
+	"walk", "walks", "walked", "walking",
+	"arrive", "arrives", "arrived", "arriving",
+	"defeat", "defeats", "defeated", "defeating",
+	"face", "faces", "faced", "facing",
+	"sip", "sips", "sipped", "sipping",
+	"order", "orders", "ordered", "ordering",
+	"recommend", "recommends", "recommended", "recommending",
+	"review", "reviews", "reviewed", "reviewing",
+	"describe", "describes", "described", "describing",
+)
+
+var adjLexicon = newSet(
+	"delicious", "salty", "sweet", "bitter", "sour", "tasty", "fresh",
+	"great", "good", "best", "better", "bad", "worse", "worst", "new",
+	"old", "young", "big", "small", "large", "little", "long", "short",
+	"hot", "cold", "warm", "cool", "nice", "fine", "happy", "sad",
+	"famous", "popular", "local", "cozy", "bright", "dark", "rich",
+	"smooth", "strong", "light", "perfect", "amazing", "wonderful",
+	"excellent", "favorite", "friendly", "busy", "quiet", "beautiful",
+	"star", "top", "award-winning", "single-origin", "seasonal",
+	"specialty", "artisanal", "organic", "iced", "creamy", "crisp",
+	"floral", "nutty", "roasty", "velvety", "upcoming", "several",
+	"many", "few", "other", "own", "same", "different", "certain",
+	"first", "second", "third", "last", "next", "early", "late",
+	"american", "french", "italian", "japanese", "asian", "european",
+)
+
+var nounLexicon = newSet(
+	"cake", "cheesecake", "cheese", "pie", "cream", "ice", "chocolate",
+	"peanut", "peanuts", "cookie", "cookies", "bread", "pastry",
+	"pastries", "croissant", "croissants", "dessert", "desserts",
+	"coffee", "espresso", "cappuccino", "cappuccinos", "macchiato",
+	"macchiatos", "latte", "lattes", "mocha", "americano", "cortado",
+	"tea", "milk", "sugar", "bean", "beans", "roast", "blend", "brew",
+	"cafe", "cafes", "café", "shop", "shops", "store", "stores",
+	"roaster", "roasters", "roastery", "barista", "baristas",
+	"bar", "bars", "menu", "cup", "cups", "mug", "grinder", "machine",
+	"city", "cities", "country", "countries", "town", "village",
+	"street", "avenue", "district", "neighborhood", "corner", "block",
+	"team", "teams", "game", "games", "match", "season", "league",
+	"stadium", "arena", "park", "gym", "field", "court", "pool",
+	"airport", "station", "mall", "library", "museum", "theater",
+	"school", "college", "university", "hospital", "church", "hotel",
+	"restaurant", "restaurants", "bakery", "kitchen", "grocery",
+	"man", "woman", "men", "women", "people", "person", "child",
+	"children", "friend", "friends", "family", "wife", "husband",
+	"daughter", "son", "mother", "father", "brother", "sister",
+	"couple", "owner", "owners", "founder", "champion", "championship",
+	"writer", "author", "actor", "actress", "singer", "director",
+	"player", "coach", "artist", "chef", "engineer", "teacher",
+	"year", "years", "month", "months", "week", "weeks", "day", "days",
+	"morning", "afternoon", "evening", "night", "time", "moment",
+	"type", "types", "kind", "kinds", "part", "parts", "piece",
+	"name", "names", "title", "titles", "word", "words", "place",
+	"places", "thing", "things", "way", "ways", "world", "life",
+	"home", "house", "room", "door", "window", "wall", "table",
+	"chair", "counter", "space", "spot", "location", "area",
+	"article", "articles", "blog", "post", "posts", "review",
+	"reviews", "story", "stories", "news", "fan", "fans", "crowd",
+	"festival", "fest", "event", "events", "contest", "cup",
+	"pour-over", "aeropress", "food", "foods", "drink", "drinks",
+	"flavor", "flavors", "aroma", "origin", "farm", "harvest",
+	"birthday", "wedding", "anniversary", "vacation", "trip",
+	"job", "work", "career", "award", "awards", "prize", "medal",
+	"victory", "win", "goal", "score", "point", "points",
+)
+
+// First names for the Person gazetteer.
+var firstNames = newSet(
+	"anna", "alice", "amy", "alan", "albert", "alys", "andrew", "ben",
+	"bella", "bob", "brian", "carol", "carl", "clara", "cyd", "daniel",
+	"david", "diana", "edward", "ella", "emma", "emily", "eric", "frank",
+	"george", "grace", "harry", "helen", "henry", "ida", "jack", "james",
+	"jane", "jason", "john", "julia", "karen", "kate", "kevin", "laura",
+	"leo", "lily", "linda", "lucas", "lucy", "maria", "mark", "mary",
+	"matthew", "michael", "nancy", "nina", "oliver", "oscar", "paul",
+	"peter", "rachel", "robert", "rosa", "ruth", "sam", "sarah", "sid",
+	"simon", "sofia", "stella", "steven", "susan", "thomas", "tom",
+	"vera", "victor", "walter", "wendy", "william", "zoe",
+)
+
+var surnames = newSet(
+	"adams", "baker", "brown", "carter", "charisse", "clark", "davis",
+	"evans", "fisher", "garcia", "gray", "green", "hall", "harris",
+	"hill", "hughes", "jackson", "johnson", "jones", "kelly", "king",
+	"lee", "lewis", "lopez", "martin", "miller", "moore", "morgan",
+	"murphy", "nelson", "parker", "perez", "phillips", "reed", "rivera",
+	"roberts", "robinson", "rogers", "scott", "smith", "stewart",
+	"taylor", "thomas", "thompson", "turner", "walker", "ward", "watson",
+	"white", "williams", "wilson", "wood", "wright", "young",
+)
+
+// Place names for the Location/GPE gazetteer.
+var placeNames = newSet(
+	"paris", "london", "tokyo", "beijing", "china", "japan", "france",
+	"italy", "spain", "germany", "england", "america", "asia", "europe",
+	"portland", "seattle", "oakland", "chicago", "boston", "austin",
+	"denver", "brooklyn", "manhattan", "kyoto", "osaka", "seoul",
+	"melbourne", "sydney", "vancouver", "toronto", "berlin", "rome",
+	"madrid", "lisbon", "vienna", "oslo", "helsinki", "dublin",
+	"amsterdam", "copenhagen", "stockholm", "milan", "naples",
+	"shanghai", "taipei", "bangkok", "hanoi", "mumbai", "delhi",
+	"cairo", "nairobi", "lagos", "lima", "bogota", "santiago",
+	"havana", "quito", "lyon", "nice", "geneva", "zurich", "munich",
+	"hamburg", "prague", "warsaw", "budapest", "athens", "istanbul",
+)
+
+var countryNames = newSet(
+	"china", "japan", "france", "italy", "spain", "germany", "england",
+	"america", "brazil", "mexico", "canada", "australia", "india",
+	"kenya", "ethiopia", "colombia", "guatemala", "peru", "vietnam",
+	"indonesia", "korea", "norway", "sweden", "finland", "denmark",
+	"ireland", "portugal", "greece", "turkey", "egypt", "morocco",
+)
+
+var monthNames = newSet(
+	"january", "february", "march", "april", "may", "june", "july",
+	"august", "september", "october", "november", "december",
+)
+
+// Organization suffixes for the Organization gazetteer.
+var orgSuffixes = newSet(
+	"inc", "inc.", "corp", "corp.", "ltd", "ltd.", "llc", "co", "co.",
+	"company", "group", "magazine", "university", "college", "institute",
+	"association", "club", "united", "fc",
+)
+
+func newSet(words ...string) map[string]bool {
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[w] = true
+	}
+	return m
+}

@@ -1,0 +1,138 @@
+package nlp
+
+// Named-entity recognition. The paper's preprocessing (Google NL API) labels
+// both proper-noun mentions ("Anna" → PERSON) and salient common-noun phrases
+// ("chocolate ice cream" → OTHER, "grocery store" → LOCATION); the entity
+// index is built from these spans, and queries bind typed output variables
+// ("x:Entity", "a:Person", "a:GPE") to them. We reproduce that behaviour with
+// gazetteers and orthographic rules.
+
+// locationCommonNouns are common-noun heads that denote places; an NP headed
+// by one of these becomes a Location entity (paper Example 3.1 labels
+// "grocery store" LOCATION).
+var locationCommonNouns = newSet(
+	"store", "stores", "stadium", "arena", "park", "airport", "station",
+	"mall", "library", "museum", "theater", "school", "college",
+	"university", "hospital", "church", "hotel", "gym", "field", "court",
+	"pool", "restaurant", "bakery", "cafe", "café", "bar", "market",
+)
+
+// RecognizeEntities fills s.Entities and Token.EntityID. It must run after
+// Parse (it uses POS tags and NP structure but not heads).
+func RecognizeEntities(s *Sentence) {
+	s.Entities = s.Entities[:0]
+	for i := range s.Tokens {
+		s.Tokens[i].EntityID = -1
+	}
+	n := len(s.Tokens)
+	add := func(l, r int, typ string) {
+		if l > r {
+			return
+		}
+		for t := l; t <= r; t++ {
+			if s.Tokens[t].EntityID >= 0 {
+				return // overlap: first match wins
+			}
+		}
+		e := Entity{Type: typ, L: l, R: r, Text: s.Text(l, r)}
+		s.Entities = append(s.Entities, e)
+		id := len(s.Entities) - 1
+		for t := l; t <= r; t++ {
+			s.Tokens[t].EntityID = id
+		}
+	}
+
+	// 1. Dates: "1 December 1900", "December 1900", "December 1, 1900",
+	//    bare 4-digit years.
+	for i := 0; i < n; i++ {
+		t := &s.Tokens[i]
+		if t.POS == PosPropn && monthNames[t.Lower] {
+			l, r := i, i
+			if i > 0 && s.Tokens[i-1].POS == PosNum && len(s.Tokens[i-1].Text) <= 2 {
+				l = i - 1
+			}
+			if i+1 < n && s.Tokens[i+1].POS == PosNum {
+				r = i + 1
+				if r+2 < n && s.Tokens[r+1].Lower == "," && s.Tokens[r+2].POS == PosNum {
+					r += 2
+				}
+			}
+			add(l, r, EntDate)
+			i = r
+			continue
+		}
+		if t.POS == PosNum && len(t.Text) == 4 && isAllDigits(t.Text) {
+			add(i, i, EntDate)
+		}
+	}
+
+	// 2. Proper-noun sequences.
+	for i := 0; i < n; i++ {
+		if s.Tokens[i].POS != PosPropn || s.Tokens[i].EntityID >= 0 {
+			continue
+		}
+		j := i
+		for j+1 < n && s.Tokens[j+1].POS == PosPropn && s.Tokens[j+1].EntityID < 0 {
+			j++
+		}
+		add(i, j, classifyProper(s, i, j))
+		i = j
+	}
+
+	// 3. Common-noun phrases: the contiguous run of noun/propn tokens ending
+	//    at an NP head (nn-compounds plus head — "chocolate ice cream",
+	//    "grocery store", "cheesecake"). Determiners/adjectives are excluded,
+	//    matching the paper's entity spans.
+	for i := 0; i < n; i++ {
+		if s.Tokens[i].POS != PosNoun || s.Tokens[i].EntityID >= 0 {
+			continue
+		}
+		j := i
+		for j+1 < n && (s.Tokens[j+1].POS == PosNoun) && s.Tokens[j+1].EntityID < 0 {
+			j++
+		}
+		typ := EntOther
+		if locationCommonNouns[s.Tokens[j].Lower] {
+			typ = EntLocation
+		}
+		add(i, j, typ)
+		i = j
+	}
+}
+
+func classifyProper(s *Sentence, l, r int) string {
+	first := s.Tokens[l].Lower
+	last := s.Tokens[r].Lower
+	switch {
+	case monthNames[first]:
+		return EntDate
+	case orgSuffixes[last]:
+		return EntOrg
+	case placeNames[last] || countryNames[last] || placeNames[first] || countryNames[first]:
+		// Single- or multi-token place name.
+		if r == l || placeNames[last] || countryNames[last] {
+			return EntLocation
+		}
+		return EntOther
+	case firstNames[first] || surnames[last]:
+		return EntPerson
+	case locationCommonNouns[last]:
+		return EntLocation
+	}
+	// Capitalized sequences containing org-ish nouns ("Blue Fox Coffee",
+	// "Gravity Roasters") are business names: Other covers them; queries use
+	// x:Entity which matches any type.
+	return EntOther
+}
+
+// GPEAlias reports whether a requested entity type name matches an entity's
+// type, honouring the paper's aliases: "GPE" ≡ Location, "Entity" ≡ any.
+func GPEAlias(want, have string) bool {
+	switch want {
+	case "", "Entity", "entity":
+		return true
+	case "GPE", "gpe":
+		return have == EntLocation
+	}
+	return want == have
+}

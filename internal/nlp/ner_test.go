@@ -1,0 +1,101 @@
+package nlp
+
+import "testing"
+
+func entityByText(s *Sentence, text string) *Entity {
+	for i := range s.Entities {
+		if s.Entities[i].Text == text {
+			return &s.Entities[i]
+		}
+	}
+	return nil
+}
+
+func TestDatePatterns(t *testing.T) {
+	cases := []struct {
+		sentence string
+		wantText string
+	}{
+		{"He was married on 1 December 1900 in London.", "1 December 1900"},
+		{"She arrived in December 1900.", "December 1900"},
+		{"The building opened in 1911.", "1911"},
+		{"They met on December 1, 1900 at the station.", "December 1, 1900"},
+	}
+	for _, tc := range cases {
+		s := AnnotateSentence(0, tc.sentence)
+		e := entityByText(&s, tc.wantText)
+		if e == nil || e.Type != EntDate {
+			t.Errorf("%q: date entity %q not found (entities: %v)", tc.sentence, tc.wantText, s.Entities)
+		}
+	}
+	// Short numbers are not dates.
+	s := AnnotateSentence(0, "She bought 12 cookies.")
+	for _, e := range s.Entities {
+		if e.Type == EntDate {
+			t.Errorf("spurious date entity %q", e.Text)
+		}
+	}
+}
+
+func TestEntityTypes(t *testing.T) {
+	cases := []struct {
+		sentence string
+		text     string
+		typ      string
+	}{
+		{"Anna Smith visited the museum.", "Anna Smith", EntPerson},
+		{"They flew to Tokyo last week.", "Tokyo", EntLocation},
+		{"He works for Acme Inc. downtown.", "Acme Inc", EntOrg},
+		{"We toured the Riverside Stadium today.", "Riverside Stadium", EntLocation},
+		{"Blue Fox Coffee opened downtown.", "Blue Fox Coffee", EntOther},
+	}
+	for _, tc := range cases {
+		s := AnnotateSentence(0, tc.sentence)
+		e := entityByText(&s, tc.text)
+		if e == nil {
+			t.Errorf("%q: entity %q not found (entities: %v)", tc.sentence, tc.text, s.Entities)
+			continue
+		}
+		if e.Type != tc.typ {
+			t.Errorf("%q: entity %q typed %s, want %s", tc.sentence, tc.text, e.Type, tc.typ)
+		}
+	}
+}
+
+func TestGPEAlias(t *testing.T) {
+	cases := []struct {
+		want, have string
+		ok         bool
+	}{
+		{"Entity", EntPerson, true},
+		{"", EntOther, true},
+		{"GPE", EntLocation, true},
+		{"GPE", EntPerson, false},
+		{"Person", EntPerson, true},
+		{"Person", EntLocation, false},
+	}
+	for _, tc := range cases {
+		if got := GPEAlias(tc.want, tc.have); got != tc.ok {
+			t.Errorf("GPEAlias(%q, %q) = %v, want %v", tc.want, tc.have, got, tc.ok)
+		}
+	}
+}
+
+func TestEntitiesNeverOverlap(t *testing.T) {
+	texts := []string{
+		"Anna Smith bought chocolate ice cream at the grocery store in Tokyo on 1 December 1900.",
+		"Blue Fox Coffee hired Cyd Charisse from Portland in 1911.",
+	}
+	for _, txt := range texts {
+		s := AnnotateSentence(0, txt)
+		covered := map[int]int{}
+		for ei, e := range s.Entities {
+			for i := e.L; i <= e.R; i++ {
+				if prev, ok := covered[i]; ok {
+					t.Errorf("%q: token %d in entities %d and %d", txt, i, prev, ei)
+				}
+				covered[i] = ei
+			}
+		}
+	}
+}

@@ -1,0 +1,681 @@
+package nlp
+
+import "strings"
+
+// temporalNouns head time adverbials: PPs over them ("for years", "in 1911")
+// attach to the governing verb, and bare temporal NPs are not objects.
+var temporalNouns = newSet(
+	"year", "years", "month", "months", "week", "weeks", "day", "days",
+	"hour", "hours", "minute", "minutes", "decade", "decades", "morning",
+	"afternoon", "evening", "night", "today", "yesterday", "tomorrow",
+	"spring", "summer", "autumn", "fall", "winter", "monday", "tuesday",
+	"wednesday", "thursday", "friday", "saturday", "sunday",
+)
+
+// temporalHead reports whether a token heads a temporal phrase: a temporal
+// noun, a month name, or a 4-digit year.
+func temporalHead(t *Token) bool {
+	if temporalNouns[t.Lower] || monthNames[t.Lower] {
+		return true
+	}
+	return t.POS == PosNum && len(t.Text) == 4 && isAllDigits(t.Text)
+}
+
+// The dependency parser is a deterministic two-stage rule parser:
+//
+//  1. chunking — group tokens into noun phrases (NP), verb groups (VG), and
+//     singleton chunks for adpositions, conjunctions, adverbs, adjectives,
+//     particles, and punctuation;
+//  2. attachment — assign a head and parse label to every chunk head using
+//     clause-aware rules (subjects, objects, copular complements, relative
+//     clauses, prepositional phrases, coordination), then to every token
+//     inside each chunk.
+//
+// The rules are tuned to reproduce the trees in the paper's Figure 1 and
+// Example 3.1 exactly (see parser_test.go) and to behave sensibly on the
+// synthetic corpora used by the experiments.
+
+type chunkKind int
+
+const (
+	ckNP chunkKind = iota
+	ckVG
+	ckADJ
+	ckADV
+	ckADP
+	ckCC
+	ckPRT
+	ckPUNCT
+	ckOTHER
+)
+
+type chunk struct {
+	kind    chunkKind
+	l, r    int // token range, inclusive
+	head    int // head token id within the chunk
+	relpron bool
+	// Attachment results for the chunk head.
+	attached bool
+}
+
+// Parse assigns dependency heads and labels to the tokens of a sentence whose
+// POS tags are already set. It overwrites Token.Head and Token.Label.
+func Parse(s *Sentence) {
+	n := len(s.Tokens)
+	if n == 0 {
+		return
+	}
+	for i := range s.Tokens {
+		s.Tokens[i].Head = -1
+		s.Tokens[i].Label = LblDep
+	}
+	chunks := chunkSentence(s)
+	attachChunks(s, chunks)
+	s.computeDerived()
+}
+
+// chunkSentence groups tokens into chunks.
+func chunkSentence(s *Sentence) []chunk {
+	var out []chunk
+	toks := s.Tokens
+	n := len(toks)
+	i := 0
+	for i < n {
+		t := &toks[i]
+		lower := t.Lower
+		switch {
+		case t.POS == PosPunct:
+			out = append(out, chunk{kind: ckPUNCT, l: i, r: i, head: i})
+			i++
+		case t.POS == PosPron && relativePronouns[lower]:
+			out = append(out, chunk{kind: ckNP, l: i, r: i, head: i, relpron: true})
+			i++
+		case t.POS == PosPron:
+			out = append(out, chunk{kind: ckNP, l: i, r: i, head: i})
+			i++
+		case t.POS == PosVerb:
+			// Verb group: aux* + main verb. Allow an adverb or negation
+			// inside ("had never been called"): keep those as ADV chunks
+			// emitted separately but do not break the group.
+			j := i
+			lastVerb := i
+			for j < n {
+				if toks[j].POS == PosVerb {
+					lastVerb = j
+					j++
+					continue
+				}
+				if toks[j].POS == PosAdv && j+1 < n && toks[j+1].POS == PosVerb {
+					j++ // adverb inside the group
+					continue
+				}
+				break
+			}
+			out = append(out, chunk{kind: ckVG, l: i, r: lastVerb, head: lastVerb})
+			i = j
+		case t.POS == PosDet || t.POS == PosAdj || t.POS == PosNum ||
+			t.POS == PosNoun || t.POS == PosPropn:
+			// Noun phrase: (det|adj|num|noun|propn)* ending at a nominal.
+			// "such" before "as" is excluded (handled as part of "such as").
+			if lower == "such" && i+1 < n && toks[i+1].Lower == "as" {
+				out = append(out, chunk{kind: ckOTHER, l: i, r: i, head: i})
+				i++
+				continue
+			}
+			j := i
+			lastNom := -1
+			for j < n {
+				p := toks[j].POS
+				if p == PosDet || p == PosAdj || p == PosNum || p == PosNoun || p == PosPropn {
+					if toks[j].Lower == "such" && j+1 < n && toks[j+1].Lower == "as" {
+						break
+					}
+					// A determiner after a nominal starts a new NP:
+					// "serves espresso every morning".
+					if p == PosDet && lastNom >= 0 {
+						break
+					}
+					if p == PosNoun || p == PosPropn || p == PosNum {
+						lastNom = j
+					}
+					j++
+					continue
+				}
+				break
+			}
+			if lastNom == -1 {
+				// Determiner or adjective with no nominal: singleton chunk.
+				kind := ckOTHER
+				if t.POS == PosAdj {
+					kind = ckADJ
+				}
+				out = append(out, chunk{kind: kind, l: i, r: i, head: i})
+				i++
+				continue
+			}
+			// Adjectives after the last nominal do not belong to the NP.
+			out = append(out, chunk{kind: ckNP, l: i, r: lastNom, head: lastNom})
+			i = lastNom + 1
+		case t.POS == PosAdp:
+			out = append(out, chunk{kind: ckADP, l: i, r: i, head: i})
+			i++
+		case t.POS == PosConj:
+			out = append(out, chunk{kind: ckCC, l: i, r: i, head: i})
+			i++
+		case t.POS == PosAdv:
+			out = append(out, chunk{kind: ckADV, l: i, r: i, head: i})
+			i++
+		case t.POS == PosPrt:
+			out = append(out, chunk{kind: ckPRT, l: i, r: i, head: i})
+			i++
+		default:
+			out = append(out, chunk{kind: ckOTHER, l: i, r: i, head: i})
+			i++
+		}
+	}
+	return out
+}
+
+// vgRole describes how a verb group attaches to the rest of the sentence.
+type vgRole int
+
+const (
+	vgMain vgRole = iota
+	vgRcmod
+	vgConj
+	vgXcomp
+	vgPobj // gerund object of a preposition: "famous for serving espresso"
+)
+
+type vgInfo struct {
+	chunkIdx int
+	role     vgRole
+	attachTo int // token id this VG head attaches to (-1 for root)
+	subject  int // chunk index of the subject NP, -1 if none
+}
+
+func attachChunks(s *Sentence, chunks []chunk) {
+	toks := s.Tokens
+	attach := func(child, head int, label string) {
+		if child == head || child < 0 {
+			return
+		}
+		toks[child].Head = head
+		toks[child].Label = label
+	}
+
+	// ---- Pass 1: classify verb groups and pick the root. ----
+	var vgs []vgInfo
+	prevNPHead := -1 // most recent NP head token seen so far
+	rootTok := -1
+	var lastMainVG int = -1
+	for ci := range chunks {
+		c := &chunks[ci]
+		switch c.kind {
+		case ckNP:
+			if !c.relpron {
+				prevNPHead = c.head
+			}
+		case ckVG:
+			info := vgInfo{chunkIdx: ci, role: vgMain, attachTo: -1, subject: -1}
+			// Scan backwards over punctuation/adverbs to find what precedes.
+			k := ci - 1
+			sawRelpron := -1
+			sawSubjectNP := -1
+			sawCC := -1
+			sawPRT := false
+			sawADP := -1
+			for k >= 0 {
+				p := &chunks[k]
+				if p.kind == ckPUNCT || p.kind == ckADV {
+					k--
+					continue
+				}
+				if p.kind == ckNP && p.relpron {
+					sawRelpron = k
+					k--
+					continue
+				}
+				if p.kind == ckNP && sawRelpron == -1 && sawSubjectNP == -1 {
+					// Possible subject; look one more back for a relpron
+					// ("that she bought").
+					sawSubjectNP = k
+					k--
+					continue
+				}
+				if p.kind == ckCC {
+					sawCC = k
+				}
+				if p.kind == ckPRT {
+					sawPRT = true
+				}
+				if p.kind == ckADP {
+					sawADP = p.head
+				}
+				break
+			}
+			switch {
+			case sawRelpron >= 0:
+				// Relative clause. Attach to the NP before the relative
+				// pronoun (skipping punctuation).
+				info.role = vgRcmod
+				info.attachTo = npBefore(chunks, sawRelpron)
+				if sawSubjectNP >= 0 {
+					info.subject = sawSubjectNP
+					// Relative pronoun plays the object role.
+					attach(chunks[sawRelpron].head, c.head, LblDobj)
+					chunks[sawRelpron].attached = true
+				} else {
+					info.subject = sawRelpron
+				}
+			case sawCC >= 0 && lastMainVG >= 0:
+				info.role = vgConj
+				info.attachTo = vgs[lastMainVG].headTok(chunks)
+				attach(chunks[sawCC].head, info.attachTo, LblCC)
+				chunks[sawCC].attached = true
+				if sawSubjectNP >= 0 && sawSubjectNP > sawCC {
+					info.subject = sawSubjectNP
+				}
+			case sawPRT && lastMainVG >= 0:
+				info.role = vgXcomp
+				info.attachTo = vgs[lastMainVG].headTok(chunks)
+			case sawADP >= 0 && rootTok != -1:
+				info.role = vgPobj
+				info.attachTo = sawADP
+			default:
+				if rootTok == -1 {
+					info.role = vgMain
+					rootTok = c.head
+					if sawSubjectNP >= 0 {
+						info.subject = sawSubjectNP
+					}
+				} else {
+					// A second main verb with no conjunction: treat as a
+					// clausal complement of the previous main verb
+					// ("had been called Sid" is one VG; this covers
+					// "said he ate" style chains).
+					info.role = vgXcomp
+					info.attachTo = rootTok
+					if sawSubjectNP >= 0 {
+						info.subject = sawSubjectNP
+					}
+				}
+			}
+			if info.role == vgMain {
+				lastMainVG = len(vgs)
+			}
+			vgs = append(vgs, info)
+		}
+	}
+	_ = prevNPHead
+
+	// No verb at all: root is the first NP head (nominal fragment), or the
+	// first token otherwise.
+	if rootTok == -1 {
+		for ci := range chunks {
+			if chunks[ci].kind == ckNP {
+				rootTok = chunks[ci].head
+				chunks[ci].attached = true
+				break
+			}
+		}
+		if rootTok == -1 {
+			rootTok = chunks[0].head
+			chunks[0].attached = true
+		}
+	}
+	attach(rootTok, -1, LblRoot)
+	toks[rootTok].Head = -1
+	toks[rootTok].Label = LblRoot
+
+	// Attach verb-group heads and their subjects.
+	for vi := range vgs {
+		info := &vgs[vi]
+		c := &chunks[info.chunkIdx]
+		head := c.head
+		switch info.role {
+		case vgMain:
+			if head != rootTok {
+				attach(head, rootTok, LblConj)
+			}
+		case vgRcmod:
+			if info.attachTo >= 0 {
+				attach(head, info.attachTo, LblRcmod)
+			} else {
+				attach(head, rootTok, LblRcmod)
+			}
+		case vgConj:
+			attach(head, info.attachTo, LblConj)
+		case vgXcomp:
+			if info.attachTo >= 0 {
+				attach(head, info.attachTo, LblXcomp)
+			} else {
+				attach(head, rootTok, LblXcomp)
+			}
+		case vgPobj:
+			attach(head, info.attachTo, LblPobj)
+		}
+		c.attached = true
+		// Auxiliaries inside the group.
+		for t := c.l; t < c.head; t++ {
+			if toks[t].POS == PosVerb {
+				attach(t, head, LblAux)
+			}
+		}
+		if info.subject >= 0 {
+			sc := &chunks[info.subject]
+			if !sc.attached {
+				attach(sc.head, head, LblNsubj)
+				sc.attached = true
+			}
+		}
+	}
+
+	// ---- Pass 2: left-to-right attachment of the remaining chunks. ----
+	// governingVerb(ci) = token id of the VG head whose clause covers chunk ci.
+	governing := make([]int, len(chunks))
+	{
+		cur := rootTok
+		// Chunks before the first VG are governed by the root.
+		vgAt := map[int]int{}
+		for vi := range vgs {
+			vgAt[vgs[vi].chunkIdx] = chunks[vgs[vi].chunkIdx].head
+		}
+		for ci := range chunks {
+			if h, ok := vgAt[ci]; ok {
+				cur = h
+			}
+			governing[ci] = cur
+		}
+	}
+
+	pendingPrep := -1  // token id of an adposition awaiting its pobj
+	lastNomHead := -1  // most recent attached nominal head (for PP and CC attachment)
+	lastNomChunk := -1 // chunk index of that nominal
+	copEmptyAfter := map[int]bool{}
+	for vi := range vgs {
+		h := chunks[vgs[vi].chunkIdx].head
+		if copulas[toks[h].Lower] {
+			copEmptyAfter[h] = true // until we attach an attr/acomp
+		}
+	}
+	dobjOf := map[int]int{}
+
+	for ci := range chunks {
+		c := &chunks[ci]
+		if c.kind == ckVG {
+			lastNomHead = -1 // new clause region for PP attachment
+			lastNomChunk = -1
+			pendingPrep = -1
+			continue
+		}
+		if c.attached && c.kind != ckNP {
+			continue
+		}
+		gov := governing[ci]
+		switch c.kind {
+		case ckNP:
+			if c.attached {
+				lastNomHead = c.head
+				lastNomChunk = ci
+				continue
+			}
+			switch {
+			case pendingPrep >= 0:
+				attach(c.head, pendingPrep, LblPobj)
+				pendingPrep = -1
+			case prevChunkIsCC(chunks, ci) && lastNomHead >= 0:
+				// "china and japan": conj to the previous nominal.
+				ccIdx := prevNonPunct(chunks, ci)
+				attach(chunks[ccIdx].head, lastNomHead, LblCC)
+				chunks[ccIdx].attached = true
+				attach(c.head, lastNomHead, LblConj)
+			case gov >= 0 && gov != c.head:
+				if temporalHead(&toks[c.head]) && c.head > gov {
+					// Bare temporal NP: "opened last week", "every morning".
+					attach(c.head, gov, LblDep)
+				} else if copEmptyAfter[gov] && c.head > gov {
+					attach(c.head, gov, LblAttr)
+					copEmptyAfter[gov] = false
+				} else if _, has := dobjOf[gov]; !has && c.head > gov {
+					attach(c.head, gov, LblDobj)
+					dobjOf[gov] = c.head
+				} else if c.head < gov {
+					// Leftover NP before a verb that already has a subject:
+					// treat as a temporal/“npadvmod”-ish dependent.
+					attach(c.head, gov, LblDep)
+				} else {
+					attach(c.head, gov, LblDep)
+				}
+			default:
+				attach(c.head, rootTok, LblDep)
+			}
+			c.attached = true
+			lastNomHead = c.head
+			lastNomChunk = ci
+		case ckADP:
+			// Attach to the most recent nominal in this clause if one
+			// exists; otherwise to the governing verb. Temporal PPs
+			// ("for years", "in 1911") attach to the verb regardless.
+			target := gov
+			if lastNomHead >= 0 {
+				target = lastNomHead
+			}
+			if nx := nextNP(chunks, ci); nx >= 0 && gov >= 0 && temporalHead(&toks[chunks[nx].head]) {
+				target = gov
+			}
+			if target < 0 || target == c.head {
+				target = rootTok
+			}
+			attach(c.head, target, LblPrep)
+			c.attached = true
+			pendingPrep = c.head
+		case ckADJ:
+			// Standalone adjective: acomp of a copula, otherwise amod of the
+			// next NP head (chunker usually folds that case in), otherwise
+			// dep of the governing verb.
+			if gov >= 0 && copulas[toks[gov].Lower] {
+				attach(c.head, gov, LblAcomp)
+				copEmptyAfter[gov] = false
+			} else if nx := nextNP(chunks, ci); nx >= 0 {
+				attach(c.head, chunks[nx].head, LblAmod)
+			} else if gov >= 0 && gov != c.head {
+				attach(c.head, gov, LblAcomp)
+			} else {
+				attach(c.head, rootTok, LblDep)
+			}
+			c.attached = true
+		case ckADV:
+			// Prefer the following verb ("also ate"), else the governing verb.
+			if nx := nextVG(chunks, ci); nx >= 0 && nx <= ci+2 {
+				attach(c.head, chunks[nx].head, LblAdvmod)
+			} else if gov >= 0 && gov != c.head {
+				attach(c.head, gov, LblAdvmod)
+			} else {
+				attach(c.head, rootTok, LblAdvmod)
+			}
+			c.attached = true
+		case ckCC:
+			// Conjunction not consumed by a VG or NP coordination: attach to
+			// the nominal being coordinated if the next chunk is an NP, else
+			// to the governing verb. NP case is handled when the NP arrives;
+			// here we only handle trailing/unmatched conjunctions.
+			if nx := nextNP(chunks, ci); nx == ci+1 && lastNomHead >= 0 {
+				continue // the NP branch will attach both
+			}
+			attach(c.head, orRoot(gov, rootTok), LblCC)
+			c.attached = true
+		case ckPRT:
+			// Infinitival "to": aux of the following verb.
+			if nx := nextVG(chunks, ci); nx >= 0 {
+				attach(c.head, chunks[nx].head, LblAux)
+			} else {
+				attach(c.head, orRoot(gov, rootTok), LblDep)
+			}
+			c.attached = true
+		case ckOTHER:
+			lower := toks[c.head].Lower
+			if lower == "such" {
+				// "such as": attach to the following "as".
+				if ci+1 < len(chunks) && toks[chunks[ci+1].head].Lower == "as" {
+					attach(c.head, chunks[ci+1].head, LblDep)
+					c.attached = true
+					continue
+				}
+			}
+			attach(c.head, orRoot(gov, rootTok), LblDep)
+			c.attached = true
+		case ckPUNCT:
+			// Resolved in pass 3.
+		}
+	}
+	_ = lastNomChunk
+
+	// ---- Pass 3: punctuation attachment. ----
+	// Sentence-final punctuation attaches to the root. A comma directly
+	// before a relative pronoun attaches to the noun the relative clause
+	// modifies (Figure 1: the comma before "which" hangs off "cream").
+	// Every other punctuation token attaches to the root.
+	for ci := range chunks {
+		c := &chunks[ci]
+		if c.kind != ckPUNCT {
+			continue
+		}
+		target := rootTok
+		if ci+1 < len(chunks) && chunks[ci+1].kind == ckNP && chunks[ci+1].relpron {
+			if np := npBefore(chunks, ci); np >= 0 {
+				target = np
+			}
+		}
+		attach(c.head, target, LblP)
+	}
+
+	// ---- Pass 4: intra-chunk attachments for NPs and leftovers. ----
+	for ci := range chunks {
+		c := &chunks[ci]
+		if c.kind != ckNP || c.l == c.r {
+			continue
+		}
+		head := c.head
+		for t := c.l; t <= c.r; t++ {
+			if t == head {
+				continue
+			}
+			switch toks[t].POS {
+			case PosDet:
+				attach(t, head, LblDet)
+			case PosAdj:
+				attach(t, head, LblAmod)
+			case PosNum:
+				if t < head {
+					attach(t, head, LblNum)
+				} else {
+					attach(t, head, LblNum)
+				}
+			case PosNoun, PosPropn:
+				if t < head {
+					attach(t, head, LblNN)
+				} else {
+					attach(t, head, LblDep)
+				}
+			default:
+				attach(t, head, LblDep)
+			}
+		}
+	}
+
+	// Safety net: anything still unattached hangs off the root.
+	for i := range toks {
+		if i == rootTok {
+			continue
+		}
+		if toks[i].Head == -1 {
+			attach(i, rootTok, LblDep)
+		}
+	}
+}
+
+func (v *vgInfo) headTok(chunks []chunk) int { return chunks[v.chunkIdx].head }
+
+func npBefore(chunks []chunk, ci int) int {
+	for k := ci - 1; k >= 0; k-- {
+		if chunks[k].kind == ckPUNCT {
+			continue
+		}
+		if chunks[k].kind == ckNP && !chunks[k].relpron {
+			return chunks[k].head
+		}
+		return -1
+	}
+	return -1
+}
+
+func prevChunkIsCC(chunks []chunk, ci int) bool {
+	k := prevNonPunct(chunks, ci)
+	return k >= 0 && chunks[k].kind == ckCC && !chunks[k].attached
+}
+
+func prevNonPunct(chunks []chunk, ci int) int {
+	for k := ci - 1; k >= 0; k-- {
+		if chunks[k].kind != ckPUNCT {
+			return k
+		}
+	}
+	return -1
+}
+
+func nextNP(chunks []chunk, ci int) int {
+	for k := ci + 1; k < len(chunks); k++ {
+		switch chunks[k].kind {
+		case ckPUNCT, ckADV:
+			continue
+		case ckNP:
+			return k
+		default:
+			return -1
+		}
+	}
+	return -1
+}
+
+func nextVG(chunks []chunk, ci int) int {
+	for k := ci + 1; k < len(chunks); k++ {
+		switch chunks[k].kind {
+		case ckPUNCT, ckADV, ckPRT:
+			continue
+		case ckVG:
+			return k
+		default:
+			return -1
+		}
+	}
+	return -1
+}
+
+func orRoot(t, root int) int {
+	if t >= 0 {
+		return t
+	}
+	return root
+}
+
+// AnnotateSentence runs the full single-sentence pipeline: tokenize, tag,
+// parse, and recognize entities. Used by Pipeline and directly by tests.
+func AnnotateSentence(id int, text string) Sentence {
+	words := Tokenize(text)
+	tags := TagPOS(words)
+	s := Sentence{ID: id, Tokens: make([]Token, len(words))}
+	for i, w := range words {
+		s.Tokens[i] = Token{
+			ID:       i,
+			Text:     w,
+			Lower:    strings.ToLower(w),
+			POS:      tags[i],
+			Head:     -1,
+			EntityID: -1,
+		}
+	}
+	Parse(&s)
+	RecognizeEntities(&s)
+	return s
+}

@@ -1,0 +1,356 @@
+package nlp
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// dep is a compact expectation: token text, label, head text ("-" for root).
+type dep struct {
+	text, label, head string
+}
+
+func checkTree(t *testing.T, s *Sentence, want []dep) {
+	t.Helper()
+	if len(s.Tokens) != len(want) {
+		t.Fatalf("got %d tokens, want %d\ntree:\n%s", len(s.Tokens), len(want), s.TreeString())
+	}
+	for i, w := range want {
+		tok := &s.Tokens[i]
+		if tok.Text != w.text {
+			t.Errorf("token %d: text %q, want %q", i, tok.Text, w.text)
+			continue
+		}
+		if tok.Label != w.label {
+			t.Errorf("token %d (%s): label %q, want %q\ntree:\n%s", i, tok.Text, tok.Label, w.label, s.TreeString())
+		}
+		headText := "-"
+		if tok.Head >= 0 {
+			headText = s.Tokens[tok.Head].Text
+		}
+		if headText != w.head {
+			t.Errorf("token %d (%s): head %q, want %q\ntree:\n%s", i, tok.Text, headText, w.head, s.TreeString())
+		}
+	}
+}
+
+// TestFigure1Tree pins the dependency tree of the paper's Figure 1 sentence.
+func TestFigure1Tree(t *testing.T) {
+	s := AnnotateSentence(0, "I ate a chocolate ice cream, which was delicious, and also ate a pie.")
+	checkTree(t, &s, []dep{
+		{"I", "nsubj", "ate"},
+		{"ate", "root", "-"},
+		{"a", "det", "cream"},
+		{"chocolate", "nn", "cream"},
+		{"ice", "nn", "cream"},
+		{"cream", "dobj", "ate"},
+		{",", "p", "cream"},
+		{"which", "nsubj", "was"},
+		{"was", "rcmod", "cream"},
+		{"delicious", "acomp", "was"},
+		{",", "p", "ate"},
+		{"and", "cc", "ate"},
+		{"also", "advmod", "ate"},
+		{"ate", "conj", "ate"},
+		{"a", "det", "pie"},
+		{"pie", "dobj", "ate"},
+		{".", "p", "ate"},
+	})
+	// Conj "ate" must attach to the FIRST "ate" (token 1), and advmod "also"
+	// to the second (token 13) — disambiguate by id.
+	if s.Tokens[13].Head != 1 {
+		t.Errorf("conj ate head = %d, want 1", s.Tokens[13].Head)
+	}
+	if s.Tokens[12].Head != 13 {
+		t.Errorf("also head = %d, want 13", s.Tokens[12].Head)
+	}
+	// Example 3.2 quintuples: ate (0,1,0-16,0); delicious (0,9,9-9,3);
+	// cream (0,5,2-9,1); I (0,0,0-0,1).
+	type quint struct{ id, subL, subR, depth int }
+	for _, q := range []quint{{1, 0, 16, 0}, {9, 9, 9, 3}, {5, 2, 9, 1}, {0, 0, 0, 1}} {
+		tok := s.Tokens[q.id]
+		if tok.SubL != q.subL || tok.SubR != q.subR || tok.Depth != q.depth {
+			t.Errorf("token %d (%s): quintuple (%d-%d,%d), want (%d-%d,%d)",
+				q.id, tok.Text, tok.SubL, tok.SubR, tok.Depth, q.subL, q.subR, q.depth)
+		}
+	}
+	// Figure 1 entity: "chocolate ice cream" (tokens 3-5) typed OTHER.
+	e := s.EntityAt(4)
+	if e == nil || e.L != 3 || e.R != 5 || e.Type != EntOther {
+		t.Errorf("entity at token 4 = %+v, want OTHER span [3,5]", e)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExample31Tree pins the dependency tree of the paper's Example 3.1
+// sentence (sid 1 in the worked index examples).
+func TestExample31Tree(t *testing.T) {
+	s := AnnotateSentence(1, "Anna ate some delicious cheesecake that she bought at a grocery store.")
+	checkTree(t, &s, []dep{
+		{"Anna", "nsubj", "ate"},
+		{"ate", "root", "-"},
+		{"some", "det", "cheesecake"},
+		{"delicious", "amod", "cheesecake"},
+		{"cheesecake", "dobj", "ate"},
+		{"that", "dobj", "bought"},
+		{"she", "nsubj", "bought"},
+		{"bought", "rcmod", "cheesecake"},
+		{"at", "prep", "bought"},
+		{"a", "det", "store"},
+		{"grocery", "nn", "store"},
+		{"store", "pobj", "at"},
+		{".", "p", "ate"},
+	})
+	// Example 3.2 quintuples: ate (1,1,0-12,0); delicious (1,3,3-3,2);
+	// Anna (1,0,0-0,1); cheesecake (1,4,2-11,1).
+	type quint struct{ id, subL, subR, depth int }
+	for _, q := range []quint{{1, 0, 12, 0}, {3, 3, 3, 2}, {0, 0, 0, 1}, {4, 2, 11, 1}} {
+		tok := s.Tokens[q.id]
+		if tok.SubL != q.subL || tok.SubR != q.subR || tok.Depth != q.depth {
+			t.Errorf("token %d (%s): quintuple (%d-%d,%d), want (%d-%d,%d)",
+				q.id, tok.Text, tok.SubL, tok.SubR, tok.Depth, q.subL, q.subR, q.depth)
+		}
+	}
+	// Example 3.2 entities: cheesecake (1,4-4), grocery store (1,10-11),
+	// Anna is PERSON, grocery store LOCATION.
+	if e := s.EntityAt(4); e == nil || e.L != 4 || e.R != 4 || e.Type != EntOther {
+		t.Errorf("cheesecake entity = %+v", e)
+	}
+	if e := s.EntityAt(10); e == nil || e.L != 10 || e.R != 11 || e.Type != EntLocation {
+		t.Errorf("grocery store entity = %+v", e)
+	}
+	if e := s.EntityAt(0); e == nil || e.Type != EntPerson {
+		t.Errorf("Anna entity = %+v", e)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntroSentences checks the trees of the other sentences the paper's
+// introduction discusses, at the level the KOKO queries rely on: "delicious"
+// must land inside the subtree of the food it describes.
+func TestIntroSentences(t *testing.T) {
+	s := AnnotateSentence(0, "I ate delicious cheese cake.")
+	// "delicious" must be within the subtree of the dobj "cake".
+	cake := -1
+	for i := range s.Tokens {
+		if s.Tokens[i].Text == "cake" {
+			cake = i
+		}
+	}
+	if cake == -1 {
+		t.Fatal("no cake token")
+	}
+	if s.Tokens[cake].Label != "dobj" {
+		t.Errorf("cake label = %s, want dobj", s.Tokens[cake].Label)
+	}
+	del := 2
+	if !(s.Tokens[cake].SubL <= del && del <= s.Tokens[cake].SubR) {
+		t.Errorf("delicious (tok %d) outside cake subtree [%d,%d]", del, s.Tokens[cake].SubL, s.Tokens[cake].SubR)
+	}
+
+	s2 := AnnotateSentence(0, "I ate a delicious and salty pie with peanuts.")
+	pie := -1
+	for i := range s2.Tokens {
+		if s2.Tokens[i].Text == "pie" {
+			pie = i
+		}
+	}
+	if pie == -1 {
+		t.Fatalf("no pie token\n%s", s2.TreeString())
+	}
+	if s2.Tokens[pie].Label != "dobj" {
+		t.Errorf("pie label = %s, want dobj\n%s", s2.Tokens[pie].Label, s2.TreeString())
+	}
+	if err := s2.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExample22Sentences checks the structures used by the paper's
+// Example 2.2 ("cities in asian countries such as china and japan").
+func TestExample22Sentences(t *testing.T) {
+	s := AnnotateSentence(0, "cities in asian countries such as China and Japan.")
+	byText := map[string]*Token{}
+	for i := range s.Tokens {
+		byText[s.Tokens[i].Text] = &s.Tokens[i]
+	}
+	if byText["cities"] == nil || byText["cities"].Label != "root" {
+		t.Fatalf("cities should be root\n%s", s.TreeString())
+	}
+	if byText["in"].Label != "prep" || s.Tokens[byText["in"].Head].Text != "cities" {
+		t.Errorf("in: %s->%d\n%s", byText["in"].Label, byText["in"].Head, s.TreeString())
+	}
+	if byText["countries"].Label != "pobj" {
+		t.Errorf("countries label = %s\n%s", byText["countries"].Label, s.TreeString())
+	}
+	if byText["China"].Label != "pobj" || s.Tokens[byText["China"].Head].Text != "as" {
+		t.Errorf("China: %s under %d\n%s", byText["China"].Label, byText["China"].Head, s.TreeString())
+	}
+	if byText["Japan"].Label != "conj" || s.Tokens[byText["Japan"].Head].Text != "China" {
+		t.Errorf("Japan: %s\n%s", byText["Japan"].Label, s.TreeString())
+	}
+	// China and Japan must be Location entities (queries use a:GPE).
+	for _, name := range []string{"China", "Japan"} {
+		e := s.EntityAt(byText[name].ID)
+		if e == nil || e.Type != EntLocation {
+			t.Errorf("%s entity = %+v, want Location", name, e)
+		}
+	}
+}
+
+// TestScaleQuerySentences checks the constructions targeted by the §6.3
+// Wikipedia queries.
+func TestScaleQuerySentences(t *testing.T) {
+	// Chocolate query: v=//verb, o under v with pobj[text=chocolate], s=v/nsubj.
+	s := AnnotateSentence(0, "Baking chocolate is a type of chocolate that is prepared for baking.")
+	root := s.Root()
+	if s.Tokens[root].Lower != "is" {
+		t.Fatalf("root = %q, want is\n%s", s.Tokens[root].Text, s.TreeString())
+	}
+	// nsubj of "is" must be the "chocolate" of "Baking chocolate".
+	var nsubj, pobj *Token
+	for i := range s.Tokens {
+		tk := &s.Tokens[i]
+		if tk.Label == "nsubj" && tk.Head == root {
+			nsubj = tk
+		}
+		if tk.Label == "pobj" && tk.Lower == "chocolate" {
+			pobj = tk
+		}
+	}
+	if nsubj == nil || nsubj.Lower != "chocolate" {
+		t.Errorf("nsubj = %+v\n%s", nsubj, s.TreeString())
+	}
+	if pobj == nil {
+		t.Errorf("no pobj chocolate\n%s", s.TreeString())
+	} else if !s.IsAncestor(root, pobj.ID) {
+		t.Errorf("pobj chocolate not under root\n%s", s.TreeString())
+	}
+
+	// Title query: v=//"called", p=v/propn.
+	s2 := AnnotateSentence(0, "Cyd Charisse had been called Sid for years.")
+	var called, sid *Token
+	for i := range s2.Tokens {
+		tk := &s2.Tokens[i]
+		if tk.Lower == "called" {
+			called = tk
+		}
+		if tk.Text == "Sid" {
+			sid = tk
+		}
+	}
+	if called == nil || called.Label != "root" {
+		t.Fatalf("called = %+v\n%s", called, s2.TreeString())
+	}
+	if sid == nil || sid.Head != called.ID {
+		t.Errorf("Sid head = %+v, want child of called\n%s", sid, s2.TreeString())
+	}
+	if sid.POS != PosPropn {
+		t.Errorf("Sid POS = %s, want propn", sid.POS)
+	}
+	// Cyd Charisse is a Person entity.
+	if e := s2.EntityAt(0); e == nil || e.Type != EntPerson || e.R != 1 {
+		t.Errorf("Cyd Charisse entity = %+v", e)
+	}
+
+	// DateOfBirth query: a Person, a Date, and a verb similar to "born".
+	s3 := AnnotateSentence(0, "The couple had a daughter Vera Alys born in 1911.")
+	var born *Token
+	haveDate, havePerson := false, false
+	for i := range s3.Tokens {
+		if s3.Tokens[i].Lower == "born" {
+			born = &s3.Tokens[i]
+		}
+	}
+	for _, e := range s3.Entities {
+		if e.Type == EntDate {
+			haveDate = true
+		}
+		if e.Type == EntPerson {
+			havePerson = true
+		}
+	}
+	if born == nil || born.POS != PosVerb {
+		t.Errorf("born = %+v\n%s", born, s3.TreeString())
+	}
+	if !haveDate || !havePerson {
+		t.Errorf("entities = %+v, want Person and Date", s3.Entities)
+	}
+}
+
+// TestParserWellFormed is a property test: for arbitrary sentences assembled
+// from lexicon words, the parser must produce a well-formed single-rooted
+// acyclic tree with consistent derived geometry.
+func TestParserWellFormed(t *testing.T) {
+	vocab := []string{
+		"the", "a", "delicious", "coffee", "cafe", "barista", "ate", "serves",
+		"and", "or", "in", "at", "very", "Anna", "Portland", "which", "was",
+		"great", "espresso", "that", "she", "bought", ",", ".", "is", "type",
+		"of", "chocolate", "pie", "also", "to", "visit", "1911", "new",
+	}
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(18)
+			words := make([]string, n)
+			for i := range words {
+				words[i] = vocab[r.Intn(len(vocab))]
+			}
+			vals[0] = reflect.ValueOf(strings.Join(words, " "))
+		},
+	}
+	f := func(text string) bool {
+		s := AnnotateSentence(0, text)
+		if err := s.Validate(); err != nil {
+			t.Logf("text %q: %v", text, err)
+			return false
+		}
+		// Exactly one root label.
+		roots := 0
+		for i := range s.Tokens {
+			if s.Tokens[i].Label == "root" {
+				roots++
+			}
+		}
+		return len(s.Tokens) == 0 || roots == 1
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserDeterministic: annotating the same text twice yields identical
+// trees.
+func TestParserDeterministic(t *testing.T) {
+	texts := []string{
+		"I ate a chocolate ice cream, which was delicious, and also ate a pie.",
+		"Anna ate some delicious cheesecake that she bought at a grocery store.",
+		"The cafe serves great espresso and employs three baristas.",
+	}
+	for _, txt := range texts {
+		a := AnnotateSentence(0, txt)
+		b := AnnotateSentence(0, txt)
+		if a.TreeString() != b.TreeString() {
+			t.Errorf("nondeterministic parse for %q", txt)
+		}
+	}
+}
+
+func TestDepthAndSubtreeConsistency(t *testing.T) {
+	s := AnnotateSentence(0, "The new cafe on Mission St. has the best cup of espresso.")
+	if err := s.Validate(); err != nil {
+		t.Fatalf("%v\n%s", err, s.TreeString())
+	}
+	fmtOK := fmt.Sprintf("%d", len(s.Tokens))
+	if fmtOK == "" {
+		t.Fatal("unreachable")
+	}
+}

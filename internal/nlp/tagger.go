@@ -1,0 +1,125 @@
+package nlp
+
+import "strings"
+
+// TagPOS assigns a universal POS tag to each token of a tokenized sentence.
+// The tagger is a deterministic cascade: closed-class lexicons first, then
+// open-class lexicons, then orthographic and suffix heuristics, finally a
+// context pass that repairs common ambiguities (verb/noun after determiner,
+// sentence-initial capitalization).
+func TagPOS(tokens []string) []string {
+	n := len(tokens)
+	tags := make([]string, n)
+	for i, tok := range tokens {
+		tags[i] = tagOne(tok, i == 0)
+	}
+	// Context repairs.
+	for i := 0; i < n; i++ {
+		lower := strings.ToLower(tokens[i])
+		switch {
+		case (lower == "which" || lower == "whose" || lower == "whom") && i+1 < n &&
+			(tags[i+1] == PosVerb || tags[i+1] == PosPron):
+			// Relative "which was …", "whose owner …".
+			tags[i] = PosPron
+		case tags[i] == PosVerb && strings.HasSuffix(lower, "ing") && i+1 < n &&
+			(tags[i+1] == PosNoun || tags[i+1] == PosPropn):
+			// Gerund modifier: "baking chocolate", "roasting equipment".
+			tags[i] = PosAdj
+		case tags[i] == PosVerb && !auxiliaries[lower] && i > 0 &&
+			(tags[i-1] == PosDet || tags[i-1] == PosAdj || tags[i-1] == PosNum):
+			// "a roast", "the blend": verb-form after determiner is a noun,
+			// unless it is a gerund acting verbally — keep it simple.
+			if !strings.HasSuffix(lower, "ing") {
+				tags[i] = PosNoun
+			}
+		case (tags[i] == PosNoun || tags[i] == PosAdj) && isCapitalized(tokens[i]) &&
+			i+1 < n && tags[i+1] == PosPropn:
+			// Sentence-initial known word starting a proper name:
+			// "Cafe Benz serves …".
+			tags[i] = PosPropn
+		case tags[i] == PosNoun && verbLexicon[lower] && i > 0 && tags[i-1] == PosPron:
+			// "she works": pronoun + ambiguous word is a verb.
+			tags[i] = PosVerb
+		case lower == "to" && i+1 < n && verbLexicon[strings.ToLower(tokens[i+1])]:
+			tags[i] = PosPrt // infinitival "to"
+		case lower == "that":
+			// "that" is DET before a noun ("that cafe"), PRON when starting
+			// a relative clause or otherwise.
+			if i+1 < n && (tags[i+1] == PosNoun || tags[i+1] == PosAdj) &&
+				(i == 0 || (tags[i-1] != PosNoun && tags[i-1] != PosPropn)) {
+				tags[i] = PosDet
+			} else {
+				tags[i] = PosPron
+			}
+		}
+	}
+	return tags
+}
+
+func tagOne(tok string, sentenceInitial bool) string {
+	if isPunct(tok) {
+		return PosPunct
+	}
+	lower := strings.ToLower(tok)
+	if isAllDigits(tok) || (hasDigit(tok) && strings.ContainsAny(tok, ".,:-")) {
+		return PosNum
+	}
+	switch {
+	case determiners[lower]:
+		return PosDet
+	case pronouns[lower]:
+		return PosPron
+	case auxiliaries[lower]:
+		return PosVerb
+	case prepositions[lower]:
+		return PosAdp
+	case conjunctions[lower]:
+		return PosConj
+	case adverbs[lower]:
+		return PosAdv
+	}
+	// Proper noun: any capitalized word mid-sentence (names routinely embed
+	// common nouns: "Gravity Beans", "Blue Fox Cafe"); sentence-initially
+	// only gazetteer names and out-of-lexicon words.
+	if isCapitalized(tok) {
+		if !sentenceInitial {
+			return PosPropn
+		}
+		known := verbLexicon[lower] || nounLexicon[lower] || adjLexicon[lower] ||
+			adverbs[lower]
+		if firstNames[lower] || surnames[lower] || placeNames[lower] ||
+			monthNames[lower] || !known {
+			return PosPropn
+		}
+	}
+	switch {
+	case verbLexicon[lower]:
+		return PosVerb
+	case adjLexicon[lower]:
+		return PosAdj
+	case nounLexicon[lower]:
+		return PosNoun
+	}
+	// Suffix heuristics for out-of-lexicon words.
+	switch {
+	case strings.HasSuffix(lower, "ly"):
+		return PosAdv
+	case strings.HasSuffix(lower, "ous"), strings.HasSuffix(lower, "ful"),
+		strings.HasSuffix(lower, "ive"), strings.HasSuffix(lower, "able"),
+		strings.HasSuffix(lower, "ible"), strings.HasSuffix(lower, "ish"),
+		strings.HasSuffix(lower, "less"), strings.HasSuffix(lower, "est"):
+		return PosAdj
+	case strings.HasSuffix(lower, "ize"), strings.HasSuffix(lower, "izes"),
+		strings.HasSuffix(lower, "ized"), strings.HasSuffix(lower, "ify"),
+		strings.HasSuffix(lower, "ifies"), strings.HasSuffix(lower, "ified"):
+		return PosVerb
+	case strings.HasSuffix(lower, "tion"), strings.HasSuffix(lower, "sion"),
+		strings.HasSuffix(lower, "ness"), strings.HasSuffix(lower, "ment"),
+		strings.HasSuffix(lower, "ity"), strings.HasSuffix(lower, "ship"),
+		strings.HasSuffix(lower, "ism"), strings.HasSuffix(lower, "ery"):
+		return PosNoun
+	case strings.HasSuffix(lower, "ing"), strings.HasSuffix(lower, "ed"):
+		return PosVerb
+	}
+	return PosNoun
+}

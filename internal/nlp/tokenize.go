@@ -1,0 +1,178 @@
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// abbreviations that end with a period but do not end a sentence.
+var abbreviations = map[string]bool{
+	"mr": true, "mrs": true, "ms": true, "dr": true, "prof": true,
+	"st": true, "ave": true, "av": true, "blvd": true, "rd": true,
+	"jr": true, "sr": true, "vs": true, "etc": true, "inc": true,
+	"co": true, "corp": true, "ltd": true, "no": true, "dept": true,
+	"approx": true, "est": true, "fig": true, "al": true, "e.g": true,
+	"i.e": true, "a.m": true, "p.m": true, "u.s": true, "u.k": true,
+	"jan": true, "feb": true, "mar": true, "apr": true, "jun": true,
+	"jul": true, "aug": true, "sep": true, "sept": true, "oct": true,
+	"nov": true, "dec": true, "mt": true, "ft": true,
+}
+
+// SplitSentences splits raw text into sentence strings. The splitter is
+// period/question/exclamation driven with an abbreviation guard and treats
+// blank lines as hard boundaries.
+func SplitSentences(text string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		s := strings.TrimSpace(cur.String())
+		if s != "" {
+			out = append(out, s)
+		}
+		cur.Reset()
+	}
+	runes := []rune(text)
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		if r == '\n' {
+			// A blank line is a paragraph break.
+			if i+1 < len(runes) && runes[i+1] == '\n' {
+				flush()
+				continue
+			}
+			cur.WriteRune(' ')
+			continue
+		}
+		cur.WriteRune(r)
+		if r == '!' || r == '?' {
+			flush()
+			continue
+		}
+		if r == '.' {
+			// Look back for the word preceding the period.
+			w := lastWord(runes, i)
+			if abbreviations[strings.ToLower(w)] {
+				continue
+			}
+			// A period inside a number ("3.5") or an acronym ("U.S.")
+			// does not split if the next rune is not whitespace.
+			if i+1 < len(runes) && !unicode.IsSpace(runes[i+1]) {
+				continue
+			}
+			// Require the next non-space rune to look like a sentence
+			// start (uppercase, digit, or quote) or end-of-text.
+			j := i + 1
+			for j < len(runes) && unicode.IsSpace(runes[j]) {
+				j++
+			}
+			if j >= len(runes) || unicode.IsUpper(runes[j]) || unicode.IsDigit(runes[j]) ||
+				runes[j] == '"' || runes[j] == '\'' {
+				flush()
+			}
+		}
+	}
+	flush()
+	return out
+}
+
+// Tokenize splits a single sentence string into surface tokens. Words keep
+// internal hyphens and apostrophes ("pour-over", "Odin's"); every other
+// punctuation mark becomes its own token. Periods in known abbreviations and
+// numbers stay attached.
+func Tokenize(sentence string) []string {
+	var toks []string
+	runes := []rune(sentence)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			j := i
+			for j < len(runes) {
+				c := runes[j]
+				if unicode.IsLetter(c) || unicode.IsDigit(c) {
+					j++
+					continue
+				}
+				// Keep internal hyphen/apostrophe between alphanumerics.
+				if (c == '-' || c == '\'' || c == '’') && j+1 < len(runes) &&
+					(unicode.IsLetter(runes[j+1]) || unicode.IsDigit(runes[j+1])) {
+					j += 2
+					continue
+				}
+				// Keep internal period for abbreviations/acronyms/numbers:
+				// "p.m.", "U.S.", "3.5".
+				if c == '.' && j+1 < len(runes) &&
+					(unicode.IsLetter(runes[j+1]) || unicode.IsDigit(runes[j+1])) {
+					j += 2
+					continue
+				}
+				break
+			}
+			word := string(runes[i:j])
+			// A trailing period belongs to the word only for known
+			// abbreviations ("p.m." keeps it via the loop above when
+			// followed by a letter; here we handle "etc." at end).
+			toks = append(toks, word)
+			i = j
+		default:
+			// Punctuation: each mark is its own token, except runs of the
+			// same mark ("..." or "--").
+			j := i + 1
+			for j < len(runes) && runes[j] == r && (r == '.' || r == '-') {
+				j++
+			}
+			toks = append(toks, string(runes[i:j]))
+			i = j
+		}
+	}
+	return toks
+}
+
+func lastWord(runes []rune, end int) string {
+	j := end - 1
+	for j >= 0 && (unicode.IsLetter(runes[j]) || runes[j] == '.') {
+		j--
+	}
+	w := string(runes[j+1 : end])
+	return strings.TrimSuffix(w, ".")
+}
+
+func isPunct(tok string) bool {
+	for _, r := range tok {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return len(tok) > 0
+}
+
+func isCapitalized(tok string) bool {
+	for _, r := range tok {
+		return unicode.IsUpper(r)
+	}
+	return false
+}
+
+func isAllDigits(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	for _, r := range tok {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func hasDigit(tok string) bool {
+	for _, r := range tok {
+		if unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,145 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Order-preserving key encoding and compact row encoding.
+//
+// Composite index keys must compare bytewise in the same order as their
+// column tuples compare logically. Integers are encoded big-endian with the
+// sign bit flipped; strings are escaped (0x00 → 0x00 0xFF) and terminated
+// with 0x00 0x01 so that a shorter string sorts before its extensions and no
+// string is a bytewise prefix of a sibling component.
+
+// AppendKeyInt appends an order-preserving encoding of v.
+func AppendKeyInt(dst []byte, v int64) []byte {
+	u := uint64(v) ^ (1 << 63)
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], u)
+	return append(dst, buf[:]...)
+}
+
+// DecodeKeyInt decodes an integer written by AppendKeyInt and returns the
+// remaining bytes.
+func DecodeKeyInt(src []byte) (int64, []byte) {
+	u := binary.BigEndian.Uint64(src[:8])
+	return int64(u ^ (1 << 63)), src[8:]
+}
+
+// AppendKeyString appends an order-preserving encoding of s.
+func AppendKeyString(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		dst = append(dst, c)
+		if c == 0x00 {
+			dst = append(dst, 0xFF)
+		}
+	}
+	return append(dst, 0x00, 0x01)
+}
+
+// DecodeKeyString decodes a string written by AppendKeyString and returns the
+// remaining bytes.
+func DecodeKeyString(src []byte) (string, []byte) {
+	var out []byte
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if c != 0x00 {
+			out = append(out, c)
+			continue
+		}
+		if i+1 < len(src) && src[i+1] == 0xFF {
+			out = append(out, 0x00)
+			i++
+			continue
+		}
+		return string(out), src[i+2:]
+	}
+	return string(out), nil
+}
+
+// Row values are int64 or string.
+
+// ColType is a column type tag.
+type ColType byte
+
+const (
+	ColInt ColType = iota
+	ColString
+)
+
+// Value is a dynamically typed cell.
+type Value struct {
+	T ColType
+	I int64
+	S string
+}
+
+// IntVal wraps an int64.
+func IntVal(v int64) Value { return Value{T: ColInt, I: v} }
+
+// StrVal wraps a string.
+func StrVal(s string) Value { return Value{T: ColString, S: s} }
+
+func (v Value) String() string {
+	if v.T == ColInt {
+		return fmt.Sprintf("%d", v.I)
+	}
+	return v.S
+}
+
+// appendRow encodes a row compactly (varint ints, length-prefixed strings).
+func appendRow(dst []byte, row []Value) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(row)))
+	for _, v := range row {
+		dst = append(dst, byte(v.T))
+		switch v.T {
+		case ColInt:
+			dst = binary.AppendVarint(dst, v.I)
+		case ColString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+			dst = append(dst, v.S...)
+		}
+	}
+	return dst
+}
+
+// decodeRow decodes a row written by appendRow and returns the remaining
+// bytes.
+func decodeRow(src []byte) ([]Value, []byte, error) {
+	n, k := binary.Uvarint(src)
+	if k <= 0 || n > math.MaxInt32 {
+		return nil, nil, fmt.Errorf("store: corrupt row header")
+	}
+	src = src[k:]
+	row := make([]Value, n)
+	for i := range row {
+		if len(src) == 0 {
+			return nil, nil, fmt.Errorf("store: truncated row")
+		}
+		t := ColType(src[0])
+		src = src[1:]
+		switch t {
+		case ColInt:
+			v, k := binary.Varint(src)
+			if k <= 0 {
+				return nil, nil, fmt.Errorf("store: corrupt int")
+			}
+			src = src[k:]
+			row[i] = IntVal(v)
+		case ColString:
+			l, k := binary.Uvarint(src)
+			if k <= 0 || uint64(len(src)-k) < l {
+				return nil, nil, fmt.Errorf("store: corrupt string")
+			}
+			row[i] = StrVal(string(src[k : k+int(l)]))
+			src = src[k+int(l):]
+		default:
+			return nil, nil, fmt.Errorf("store: unknown column type %d", t)
+		}
+	}
+	return row, src, nil
+}

@@ -1,0 +1,13 @@
+// Package store is the storage substrate of the KOKO reproduction.
+//
+// The paper stores parsed text and all indices in PostgreSQL: the inverted
+// word/entity indices as flat tables W and E with B-tree indexes, and the
+// hierarchy indices as closure tables PL and POS (§6.2.1). This package
+// provides the embedded equivalent: typed heap tables with B+tree secondary
+// indexes over order-preserving key encodings, plus whole-database binary
+// persistence. Every indexing scheme in the reproduction — KOKO's multi-index
+// and the INVERTED / ADVINVERTED / SUBTREE baselines — stores its tables
+// here, so that lookup-time comparisons measure index organization rather
+// than storage-engine differences, exactly as the paper's shared-Postgres
+// setup does.
+package store

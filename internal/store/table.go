@@ -1,0 +1,399 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Column describes one column of a table schema.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Table is a heap of rows with optional B+tree secondary indexes. Rows get
+// monotonically increasing row ids; indexes map encoded column prefixes to
+// row ids.
+type Table struct {
+	Name    string
+	Columns []Column
+	rows    [][]Value
+	indexes map[string]*tableIndex
+}
+
+type tableIndex struct {
+	name string
+	cols []int // column positions forming the key
+	tree *BTree
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, cols ...Column) *Table {
+	return &Table{Name: name, Columns: cols, indexes: map[string]*tableIndex{}}
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// CreateIndex builds a secondary index over the named columns. Existing rows
+// are indexed immediately.
+func (t *Table) CreateIndex(name string, colNames ...string) error {
+	cols := make([]int, len(colNames))
+	for i, cn := range colNames {
+		p := t.colPos(cn)
+		if p < 0 {
+			return fmt.Errorf("store: table %s has no column %q", t.Name, cn)
+		}
+		cols[i] = p
+	}
+	ix := &tableIndex{name: name, cols: cols, tree: NewBTree()}
+	for rid, row := range t.rows {
+		ix.tree.Insert(ix.key(row, rid), nil)
+	}
+	t.indexes[name] = ix
+	return nil
+}
+
+func (t *Table) colPos(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// key encodes the index columns of row followed by the row id (to keep keys
+// unique under duplicate column values).
+func (ix *tableIndex) key(row []Value, rid int) []byte {
+	var k []byte
+	for _, c := range ix.cols {
+		k = appendKeyValue(k, row[c])
+	}
+	return AppendKeyInt(k, int64(rid))
+}
+
+func appendKeyValue(dst []byte, v Value) []byte {
+	if v.T == ColInt {
+		return AppendKeyInt(dst, v.I)
+	}
+	return AppendKeyString(dst, v.S)
+}
+
+// Insert appends a row and maintains all indexes. The row must match the
+// schema.
+func (t *Table) Insert(row ...Value) (int, error) {
+	if len(row) != len(t.Columns) {
+		return 0, fmt.Errorf("store: table %s: %d values for %d columns", t.Name, len(row), len(t.Columns))
+	}
+	for i, v := range row {
+		if v.T != t.Columns[i].Type {
+			return 0, fmt.Errorf("store: table %s column %s: wrong type", t.Name, t.Columns[i].Name)
+		}
+	}
+	rid := len(t.rows)
+	t.rows = append(t.rows, row)
+	for _, ix := range t.indexes {
+		ix.tree.Insert(ix.key(row, rid), nil)
+	}
+	return rid, nil
+}
+
+// MustInsert is Insert that panics on schema mismatch (builder code paths).
+func (t *Table) MustInsert(row ...Value) int {
+	rid, err := t.Insert(row...)
+	if err != nil {
+		panic(err)
+	}
+	return rid
+}
+
+// Row returns the row with the given id.
+func (t *Table) Row(rid int) []Value { return t.rows[rid] }
+
+// Scan calls fn for every row in insertion order; fn may return false to
+// stop.
+func (t *Table) Scan(fn func(rid int, row []Value) bool) {
+	for rid, row := range t.rows {
+		if !fn(rid, row) {
+			return
+		}
+	}
+}
+
+// LookupPrefix scans an index for rows whose leading index columns equal the
+// given values, in index order.
+func (t *Table) LookupPrefix(indexName string, fn func(rid int, row []Value) bool, vals ...Value) error {
+	ix, ok := t.indexes[indexName]
+	if !ok {
+		return fmt.Errorf("store: table %s has no index %q", t.Name, indexName)
+	}
+	if len(vals) > len(ix.cols) {
+		return fmt.Errorf("store: index %s has %d columns, got %d lookup values", indexName, len(ix.cols), len(vals))
+	}
+	var prefix []byte
+	for _, v := range vals {
+		prefix = appendKeyValue(prefix, v)
+	}
+	ix.tree.ScanPrefix(prefix, func(key, _ []byte) bool {
+		// Row id is the trailing 8 bytes.
+		rid, _ := DecodeKeyInt(key[len(key)-8:])
+		return fn(int(rid), t.rows[rid])
+	})
+	return nil
+}
+
+// IndexHeight returns the B+tree height of the named index (0 if absent).
+// Used by experiments to report index shape.
+func (t *Table) IndexHeight(indexName string) int {
+	if ix, ok := t.indexes[indexName]; ok {
+		return ix.tree.Height()
+	}
+	return 0
+}
+
+// SizeBytes estimates the serialized footprint of the table including its
+// indexes (key bytes). This is the figure the index-size experiment reports.
+func (t *Table) SizeBytes() int64 {
+	var total int64
+	for _, row := range t.rows {
+		total += int64(len(appendRow(nil, row)))
+	}
+	for _, ix := range t.indexes {
+		for it := ix.tree.Min(); it.Valid(); it.Next() {
+			total += int64(len(it.Key()))
+		}
+	}
+	return total
+}
+
+// DB is a named collection of tables with whole-database persistence.
+type DB struct {
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{tables: map[string]*Table{}} }
+
+// Create adds a table; it replaces any existing table with the same name.
+func (db *DB) Create(name string, cols ...Column) *Table {
+	t := NewTable(name, cols...)
+	db.tables[name] = t
+	return t
+}
+
+// Table returns the named table or nil.
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// TableNames returns the sorted table names.
+func (db *DB) TableNames() []string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SizeBytes sums the serialized footprint of all tables.
+func (db *DB) SizeBytes() int64 {
+	var total int64
+	for _, t := range db.tables {
+		total += t.SizeBytes()
+	}
+	return total
+}
+
+const dbMagic = "KOKODB1\n"
+
+// Save writes the database to a file. Indexes are persisted as definitions
+// and rebuilt on load (they are derived data).
+func (db *DB) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := db.write(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (db *DB) write(w io.Writer) error {
+	if _, err := io.WriteString(w, dbMagic); err != nil {
+		return err
+	}
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(db.tables)))
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	for _, name := range db.TableNames() {
+		t := db.tables[name]
+		var hdr []byte
+		hdr = binary.AppendUvarint(hdr, uint64(len(t.Name)))
+		hdr = append(hdr, t.Name...)
+		hdr = binary.AppendUvarint(hdr, uint64(len(t.Columns)))
+		for _, c := range t.Columns {
+			hdr = binary.AppendUvarint(hdr, uint64(len(c.Name)))
+			hdr = append(hdr, c.Name...)
+			hdr = append(hdr, byte(c.Type))
+		}
+		// Index definitions.
+		ixNames := make([]string, 0, len(t.indexes))
+		for n := range t.indexes {
+			ixNames = append(ixNames, n)
+		}
+		sort.Strings(ixNames)
+		hdr = binary.AppendUvarint(hdr, uint64(len(ixNames)))
+		for _, n := range ixNames {
+			ix := t.indexes[n]
+			hdr = binary.AppendUvarint(hdr, uint64(len(n)))
+			hdr = append(hdr, n...)
+			hdr = binary.AppendUvarint(hdr, uint64(len(ix.cols)))
+			for _, c := range ix.cols {
+				hdr = binary.AppendUvarint(hdr, uint64(c))
+			}
+		}
+		hdr = binary.AppendUvarint(hdr, uint64(len(t.rows)))
+		if _, err := w.Write(hdr); err != nil {
+			return err
+		}
+		var rowBuf []byte
+		for _, row := range t.rows {
+			rowBuf = appendRow(rowBuf[:0], row)
+			var lenBuf []byte
+			lenBuf = binary.AppendUvarint(lenBuf, uint64(len(rowBuf)))
+			if _, err := w.Write(lenBuf); err != nil {
+				return err
+			}
+			if _, err := w.Write(rowBuf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Load reads a database written by Save and rebuilds all indexes.
+func Load(path string) (*DB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(dbMagic) || string(data[:len(dbMagic)]) != dbMagic {
+		return nil, fmt.Errorf("store: %s: not a KOKO database", path)
+	}
+	src := data[len(dbMagic):]
+	nTables, k := binary.Uvarint(src)
+	if k <= 0 {
+		return nil, fmt.Errorf("store: corrupt header")
+	}
+	src = src[k:]
+	db := NewDB()
+	for ti := uint64(0); ti < nTables; ti++ {
+		name, rest, err := readString(src)
+		if err != nil {
+			return nil, err
+		}
+		src = rest
+		nCols, k := binary.Uvarint(src)
+		if k <= 0 {
+			return nil, fmt.Errorf("store: corrupt table %s", name)
+		}
+		src = src[k:]
+		cols := make([]Column, nCols)
+		for i := range cols {
+			cn, rest, err := readString(src)
+			if err != nil {
+				return nil, err
+			}
+			src = rest
+			if len(src) == 0 {
+				return nil, fmt.Errorf("store: truncated column")
+			}
+			cols[i] = Column{Name: cn, Type: ColType(src[0])}
+			src = src[1:]
+		}
+		t := db.Create(name, cols...)
+		nIx, k := binary.Uvarint(src)
+		if k <= 0 {
+			return nil, fmt.Errorf("store: corrupt index count")
+		}
+		src = src[k:]
+		type ixDef struct {
+			name string
+			cols []int
+		}
+		defs := make([]ixDef, nIx)
+		for i := range defs {
+			in, rest, err := readString(src)
+			if err != nil {
+				return nil, err
+			}
+			src = rest
+			nc, k := binary.Uvarint(src)
+			if k <= 0 {
+				return nil, fmt.Errorf("store: corrupt index def")
+			}
+			src = src[k:]
+			ixCols := make([]int, nc)
+			for j := range ixCols {
+				c, k := binary.Uvarint(src)
+				if k <= 0 {
+					return nil, fmt.Errorf("store: corrupt index col")
+				}
+				src = src[k:]
+				ixCols[j] = int(c)
+			}
+			defs[i] = ixDef{name: in, cols: ixCols}
+		}
+		nRows, k := binary.Uvarint(src)
+		if k <= 0 {
+			return nil, fmt.Errorf("store: corrupt row count")
+		}
+		src = src[k:]
+		t.rows = make([][]Value, 0, nRows)
+		for r := uint64(0); r < nRows; r++ {
+			rl, k := binary.Uvarint(src)
+			if k <= 0 || uint64(len(src)-k) < rl {
+				return nil, fmt.Errorf("store: corrupt row length")
+			}
+			src = src[k:]
+			row, _, err := decodeRow(src[:rl])
+			if err != nil {
+				return nil, err
+			}
+			src = src[rl:]
+			t.rows = append(t.rows, row)
+		}
+		for _, d := range defs {
+			colNames := make([]string, len(d.cols))
+			for i, c := range d.cols {
+				colNames[i] = t.Columns[c].Name
+			}
+			if err := t.CreateIndex(d.name, colNames...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+func readString(src []byte) (string, []byte, error) {
+	l, k := binary.Uvarint(src)
+	if k <= 0 || uint64(len(src)-k) < l {
+		return "", nil, fmt.Errorf("store: corrupt string")
+	}
+	return string(src[k : k+int(l)]), src[k+int(l):], nil
+}

@@ -1,0 +1,286 @@
+// Package koko is the public API of the KOKO reproduction: a declarative
+// information-extraction engine over text (Wang et al., "Scalable Semantic
+// Querying of Text", VLDB 2018).
+//
+// KOKO queries combine three kinds of conditions in one declarative
+// language: regular-expression-style conditions on the surface text,
+// XPath-like conditions on the dependency parse trees of sentences, and
+// semantic-similarity conditions whose evidence is aggregated across a whole
+// document. A minimal session:
+//
+//	c := koko.NewCorpus(nil, []string{"I ate a chocolate ice cream, which was delicious."})
+//	eng := koko.NewEngine(c, nil)
+//	res, err := eng.Query(`
+//	    extract e:Entity, d:Str from input.txt if
+//	    (/ROOT:{ a = //verb, b = a/dobj, c = b//"delicious", d = (b.subtree) } (b) in (e))`)
+//
+// The engine indexes the corpus with the paper's multi-indexing scheme
+// (word + entity inverted indices, parse-label and POS-tag hierarchy
+// indices) and evaluates queries through the Normalize → DPLI → GSP →
+// Aggregate pipeline.
+package koko
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/embed"
+	"repro/internal/koko/engine"
+	"repro/internal/koko/index"
+	"repro/internal/koko/lang"
+	"repro/internal/nlp"
+	"repro/internal/store"
+)
+
+// Corpus is a parsed, sentence-id'd text corpus.
+type Corpus struct {
+	c *index.Corpus
+}
+
+// NewCorpus parses raw document texts into a corpus. names may be nil.
+func NewCorpus(names []string, texts []string) *Corpus {
+	return &Corpus{c: index.NewCorpus(names, texts)}
+}
+
+// NumDocuments returns the number of documents.
+func (c *Corpus) NumDocuments() int { return c.c.NumDocs() }
+
+// NumSentences returns the number of sentences.
+func (c *Corpus) NumSentences() int { return c.c.NumSentences() }
+
+// Sentence renders sentence sid as text.
+func (c *Corpus) Sentence(sid int) string { return c.c.Sentence(sid).String() }
+
+// Options configures an Engine.
+type Options struct {
+	// Dicts supplies dictionaries for dict(...) conditions; values are
+	// matched case-insensitively.
+	Dicts map[string][]string
+	// Ontology extends descriptor expansion with domain terms
+	// ("coffee" -> cappuccino, macchiato, ...).
+	Ontology map[string][]string
+	// DisableSkipPlan turns off the GSP optimization (for ablations).
+	DisableSkipPlan bool
+	// ExpansionLimit bounds descriptor expansion (0 = default).
+	ExpansionLimit int
+	// Workers evaluates candidate documents concurrently when > 1; results
+	// are deterministic regardless.
+	Workers int
+	// Explain attaches per-condition evidence to every tuple — the
+	// debuggability the paper contrasts with opaque learned extractors.
+	Explain bool
+}
+
+// Engine indexes a corpus and evaluates KOKO queries against it.
+type Engine struct {
+	corpus *Corpus
+	ix     *index.Index
+	model  *embed.Model
+	eng    *engine.Engine
+}
+
+// NewEngine builds the multi-index over the corpus and returns an engine.
+// opts may be nil.
+func NewEngine(c *Corpus, opts *Options) *Engine {
+	if opts == nil {
+		opts = &Options{}
+	}
+	model := embed.NewModel()
+	for term, rel := range opts.Ontology {
+		model.AddOntology(term, rel)
+	}
+	dicts := map[string]map[string]bool{}
+	for name, vals := range opts.Dicts {
+		m := map[string]bool{}
+		for _, v := range vals {
+			m[strings.ToLower(v)] = true
+		}
+		dicts[name] = m
+	}
+	ix := index.Build(c.c)
+	e := &Engine{corpus: c, ix: ix, model: model}
+	e.eng = engine.New(c.c, ix, model, engine.Options{
+		DisableSkipPlan: opts.DisableSkipPlan,
+		ExpansionLimit:  opts.ExpansionLimit,
+		Dicts:           dicts,
+		Workers:         opts.Workers,
+		Explain:         opts.Explain,
+	})
+	return e
+}
+
+// Evidence is one row of an extraction explanation: a satisfying condition
+// with its confidence, weight, and contribution to the final score.
+type Evidence struct {
+	Variable     string
+	Condition    string
+	Weight       float64
+	Confidence   float64
+	Contribution float64
+}
+
+// Tuple is one output row of a query.
+type Tuple struct {
+	// SentenceID is the corpus-global id of the sentence the extraction
+	// came from; Document is the document index.
+	SentenceID int
+	Document   int
+	// Values holds the output columns in declaration order.
+	Values []string
+	// Scores holds satisfying-clause scores per satisfying variable.
+	Scores map[string]float64
+	// Evidence explains the scores when Options.Explain is set.
+	Evidence []Evidence
+}
+
+// Result is the outcome of a query.
+type Result struct {
+	Tuples []Tuple
+	// Candidates / Matched report index pruning: how many sentences
+	// survived the index lookup and how many produced extractions.
+	Candidates int
+	Matched    int
+	// Elapsed is the total evaluation time.
+	Elapsed time.Duration
+}
+
+// Query parses and evaluates a KOKO query.
+func (e *Engine) Query(src string) (*Result, error) {
+	q, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.eng.Run(q)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Candidates: res.CandidateSentences,
+		Matched:    res.MatchedSentences,
+		Elapsed:    res.Times.Total(),
+	}
+	for _, t := range res.Tuples {
+		tp := Tuple{
+			SentenceID: t.Sid,
+			Document:   t.Doc,
+			Values:     t.Values,
+			Scores:     t.Scores,
+		}
+		for _, ev := range t.Evidence {
+			tp.Evidence = append(tp.Evidence, Evidence{
+				Variable:     ev.Var,
+				Condition:    ev.Condition,
+				Weight:       ev.Weight,
+				Confidence:   ev.Confidence,
+				Contribution: ev.Contribution,
+			})
+		}
+		out.Tuples = append(out.Tuples, tp)
+	}
+	return out, nil
+}
+
+// Validate parses a query without running it, returning a descriptive error
+// for malformed input.
+func Validate(src string) error {
+	_, err := lang.Parse(src)
+	return err
+}
+
+// IndexStats summarizes the built multi-index.
+type IndexStats struct {
+	Words          int
+	Entities       int
+	PLNodes        int
+	POSNodes       int
+	PLCompression  float64 // fraction of tree nodes merged away
+	POSCompression float64
+}
+
+// Stats reports index shape.
+func (e *Engine) Stats() IndexStats {
+	st := e.ix.Stats()
+	return IndexStats{
+		Words: st.Words, Entities: st.Entities,
+		PLNodes: st.PLNodes, POSNodes: st.POSNodes,
+		PLCompression: st.PLCompression, POSCompression: st.POSCompression,
+	}
+}
+
+// Save persists the parsed corpus and all indices to path (the paper's
+// offline index construction; see Load).
+func (e *Engine) Save(path string) error {
+	db := store.NewDB()
+	e.corpus.c.SaveParsed(db)
+	e.ix.Save(db)
+	return db.Save(path)
+}
+
+// Load reopens an engine from a file written by Save.
+func Load(path string, opts *Options) (*Engine, error) {
+	db, err := store.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := index.LoadIndex(db)
+	if err != nil {
+		return nil, err
+	}
+	c, err := loadCorpus(db)
+	if err != nil {
+		return nil, err
+	}
+	if opts == nil {
+		opts = &Options{}
+	}
+	model := embed.NewModel()
+	for term, rel := range opts.Ontology {
+		model.AddOntology(term, rel)
+	}
+	dicts := map[string]map[string]bool{}
+	for name, vals := range opts.Dicts {
+		m := map[string]bool{}
+		for _, v := range vals {
+			m[strings.ToLower(v)] = true
+		}
+		dicts[name] = m
+	}
+	e := &Engine{corpus: &Corpus{c: c}, ix: ix, model: model}
+	e.eng = engine.New(c, ix, model, engine.Options{
+		DisableSkipPlan: opts.DisableSkipPlan,
+		ExpansionLimit:  opts.ExpansionLimit,
+		Dicts:           dicts,
+		Workers:         opts.Workers,
+		Explain:         opts.Explain,
+	})
+	return e, nil
+}
+
+func loadCorpus(db *store.DB) (*index.Corpus, error) {
+	d := db.Table("D")
+	if d == nil {
+		return nil, fmt.Errorf("koko: corpus tables missing")
+	}
+	c := &index.Corpus{}
+	var fail error
+	d.Scan(func(rid int, row []store.Value) bool {
+		name := row[0].S
+		first, nsents := int(row[1].I), int(row[2].I)
+		sents := make([]nlp.Sentence, 0, nsents)
+		for sid := first; sid < first+nsents; sid++ {
+			s, err := index.LoadSentence(db, sid)
+			if err != nil {
+				fail = err
+				return false
+			}
+			sents = append(sents, *s)
+		}
+		c.AppendDoc(name, sents)
+		return true
+	})
+	if fail != nil {
+		return nil, fail
+	}
+	return c, nil
+}
