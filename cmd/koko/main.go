@@ -8,11 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	"repro/internal/server"
 	"repro/koko"
 )
 
@@ -97,11 +99,18 @@ func cmdQuery(args []string) error {
 	if src == "" {
 		return fmt.Errorf("provide a query with -q or -f")
 	}
-	eng, err := koko.Load(*db, &koko.Options{Explain: *explain, Workers: *workers})
-	if err != nil {
+	// One-shot CLI runs share the kokod registry/service path (no result
+	// cache: every invocation is fresh).
+	svc := server.NewService(server.Config{MaxConcurrent: 1, CacheSize: -1})
+	if err := svc.Registry().LoadFile("", *db); err != nil {
 		return err
 	}
-	res, err := eng.Query(src)
+	res, err := svc.Query(context.Background(), server.QueryRequest{
+		Corpus:  server.DefaultName(*db),
+		Query:   src,
+		Explain: *explain,
+		Workers: *workers,
+	})
 	if err != nil {
 		return err
 	}
@@ -116,8 +125,8 @@ func cmdQuery(args []string) error {
 				ev.Condition, ev.Weight, ev.Confidence, ev.Contribution)
 		}
 	}
-	fmt.Printf("-- %d tuples, %d candidate sentences, %d matched, %v\n",
-		len(res.Tuples), res.Candidates, res.Matched, res.Elapsed)
+	fmt.Printf("-- %d tuples, %d candidate sentences, %d matched, %.3fms\n",
+		len(res.Tuples), res.Candidates, res.Matched, res.Phases.Total)
 	return nil
 }
 
@@ -127,11 +136,20 @@ func cmdStats(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	eng, err := koko.Load(*db, nil)
+	reg := server.NewRegistry(nil)
+	if err := reg.LoadFile("", *db); err != nil {
+		return err
+	}
+	name := server.DefaultName(*db)
+	info, err := reg.Info(name)
 	if err != nil {
 		return err
 	}
-	st := eng.Stats()
+	st, err := reg.Stats(name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corpus=%s documents=%d sentences=%d\n", info.Name, info.Documents, info.Sentences)
 	fmt.Printf("words=%d entities=%d pl-nodes=%d pos-nodes=%d\n", st.Words, st.Entities, st.PLNodes, st.POSNodes)
 	fmt.Printf("pl-compression=%.4f pos-compression=%.4f\n", st.PLCompression, st.POSCompression)
 	return nil

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/koko/index"
+	"repro/internal/server"
+	"repro/koko"
+)
+
+// serverLoad drives the kokod service layer under concurrent load: two
+// registered corpora, a mixed query workload from parallel clients, with
+// and without the result cache — the load-smoke companion to the paper's
+// single-query Table 2 breakdown.
+func serverLoad(seed int64, scale int) {
+	header("Server — concurrent query service over the corpus registry")
+	if scale < 1 {
+		scale = 1
+	}
+
+	svc := server.NewService(server.Config{MaxConcurrent: 8, CacheSize: 256})
+	reg := svc.Registry()
+	reg.Register("cafes", engineFromIndexed(corpus.GenCafes(corpus.BaristaMagConfig(seed)).Corpus))
+	reg.Register("happy", engineFromIndexed(corpus.GenHappyDB(500*scale, seed+1)))
+
+	for _, info := range reg.List() {
+		fmt.Printf("registered %-6s docs=%d sentences=%d\n", info.Name, info.Documents, info.Sentences)
+	}
+
+	queries := []server.QueryRequest{
+		{Corpus: "cafes", Query: `extract x:Entity from "posts" if ()
+			satisfying x (str(x) contains "Cafe" {0.6}) or (x [["serves coffee"]] {0.4})
+			with threshold 0.5`},
+		{Corpus: "happy", Query: `extract e:Entity, d:Str from "moments" if
+			(/ROOT:{ a = //verb, b = a/dobj, c = b//"delicious", d = (b.subtree) } (b) in (e))`},
+		{Corpus: "happy", Query: `extract x:Str from "moments" if
+			(/ROOT:{ a = //"ate", b = a/dobj, x = (b.subtree) } (b) eq (b))`},
+	}
+
+	const clients = 8
+	const perClient = 25
+	run := func(noCache bool) (time.Duration, server.MetricsSnapshot) {
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					req := queries[(c+i)%len(queries)]
+					req.NoCache = noCache
+					if _, err := svc.Query(context.Background(), req); err != nil {
+						check(err)
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		return time.Since(t0), svc.Metrics()
+	}
+
+	elapsedCold, _ := run(true)
+	total := clients * perClient
+	fmt.Printf("\n%-18s %5d queries  %8.1f q/s  (%v)\n", "no cache:",
+		total, float64(total)/elapsedCold.Seconds(), elapsedCold.Round(time.Millisecond))
+
+	before := svc.Metrics()
+	elapsedWarm, after := run(false)
+	hits := after.CacheHits - before.CacheHits
+	fmt.Printf("%-18s %5d queries  %8.1f q/s  (%v), cache hits %d/%d\n", "with cache:",
+		total, float64(total)/elapsedWarm.Seconds(), elapsedWarm.Round(time.Millisecond), hits, total)
+	fmt.Printf("peak in-flight %d, engine time %.1fms over %d misses\n",
+		after.PeakInFlight, after.QueryMillisTotal, after.CacheMisses)
+}
+
+// engineFromIndexed re-renders an already-parsed corpus back to document
+// texts and builds a public engine over them (the service API accepts
+// corpora only through the public koko package).
+func engineFromIndexed(c *index.Corpus) *koko.Engine {
+	names := make([]string, 0, c.NumDocs())
+	texts := make([]string, 0, c.NumDocs())
+	for d := 0; d < c.NumDocs(); d++ {
+		first, end := c.DocSentences(d)
+		var sb strings.Builder
+		for sid := first; sid < end; sid++ {
+			if sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(c.Sentence(sid).String())
+		}
+		names = append(names, c.Docs[d].Name)
+		texts = append(texts, sb.String())
+	}
+	return koko.NewEngine(koko.NewCorpus(names, texts), nil)
+}

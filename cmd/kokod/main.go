@@ -1,0 +1,132 @@
+// Command kokod serves KOKO queries over HTTP: a multi-corpus registry of
+// persisted .koko stores (and optional built-in demo corpora) behind a
+// concurrent query service with a normalized-query result cache.
+//
+//	kokod -load cafes=cafes.koko -load wiki=wiki.koko
+//	kokod -dir /data/corpora           # registers every *.koko in the dir
+//	kokod -demo                        # two small in-memory demo corpora
+//
+//	curl -s localhost:7333/v1/corpora
+//	curl -s localhost:7333/v1/query -d '{
+//	  "corpus": "demo-cafes",
+//	  "query": "extract x:Entity from \"blogs\" if () satisfying x (str(x) contains \"Cafe\" {1.0}) with threshold 0.5"
+//	}'
+//
+// Endpoints: POST /v1/query, POST /v1/validate, GET /v1/corpora,
+// GET /v1/corpora/{name}/stats, POST /v1/corpora/{name}/reload,
+// GET /v1/healthz, GET /v1/metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/koko"
+)
+
+// loadFlags accumulates repeated -load values ("name=path" or bare "path").
+type loadFlags []string
+
+func (l *loadFlags) String() string     { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	var loads loadFlags
+	addr := flag.String("addr", ":7333", "listen address")
+	dir := flag.String("dir", "", "directory to scan for *.koko stores")
+	demo := flag.Bool("demo", false, "register two built-in in-memory demo corpora")
+	pool := flag.Int("pool", 0, "max queries evaluating concurrently (0 = 2×GOMAXPROCS)")
+	cache := flag.Int("cache", 0, "result-cache entries (0 = default 256, negative = disabled)")
+	workers := flag.Int("workers", 1, "default per-query document-evaluation workers")
+	flag.Var(&loads, "load", "corpus to serve, as name=path.koko or path.koko (repeatable)")
+	flag.Parse()
+
+	svc := server.NewService(server.Config{
+		MaxConcurrent:  *pool,
+		CacheSize:      *cache,
+		DefaultWorkers: *workers,
+	})
+	reg := svc.Registry()
+
+	for _, spec := range loads {
+		name, path := "", spec
+		if i := strings.IndexByte(spec, '='); i >= 0 {
+			name, path = spec[:i], spec[i+1:]
+		}
+		if err := reg.LoadFile(name, path); err != nil {
+			log.Fatalf("kokod: %v", err)
+		}
+	}
+	if *dir != "" {
+		paths, err := filepath.Glob(filepath.Join(*dir, "*.koko"))
+		if err != nil {
+			log.Fatalf("kokod: scan %s: %v", *dir, err)
+		}
+		for _, p := range paths {
+			if err := reg.LoadFile("", p); err != nil {
+				log.Fatalf("kokod: %v", err)
+			}
+		}
+	}
+	if *demo {
+		registerDemoCorpora(reg)
+	}
+	if reg.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "kokod: no corpora registered; use -load, -dir, or -demo")
+		os.Exit(2)
+	}
+	for _, info := range reg.List() {
+		src := info.Source
+		if src == "" {
+			src = "(in-memory)"
+		}
+		log.Printf("kokod: corpus %q gen=%d docs=%d sentences=%d %s",
+			info.Name, info.Generation, info.Documents, info.Sentences, src)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	log.Printf("kokod: serving %d corpora on %s", reg.Len(), *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("kokod: %v", err)
+	}
+}
+
+// registerDemoCorpora installs two small in-memory corpora so the server is
+// queryable out of the box (and exercises the multi-corpus path).
+func registerDemoCorpora(reg *server.Registry) {
+	cafes := koko.NewEngine(koko.NewCorpus(
+		[]string{"seattle.txt", "portland.txt"},
+		[]string{
+			"Cafe Vita serves smooth espresso daily. Cafe Juanita hired a champion barista. " +
+				"The neighborhood bakery sells fresh bread.",
+			"Cafe Umbria opened a second location. The baristas at Cafe Umbria won a latte art championship.",
+		}), nil)
+	reg.Register("demo-cafes", cafes)
+
+	food := koko.NewEngine(koko.NewCorpus(
+		[]string{"reviews.txt"},
+		[]string{
+			"I ate a chocolate ice cream, which was delicious, and also ate a pie. " +
+				"Anna ate some delicious cheesecake that she bought at a grocery store.",
+		}), nil)
+	reg.Register("demo-food", food)
+}

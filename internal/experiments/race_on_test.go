@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceDetectorEnabled lets timing-shape tests skip themselves: race
+// instrumentation perturbs runtimes by ~10x and unevenly across code
+// paths, so wall-clock comparisons stop meaning anything.
+const raceDetectorEnabled = true

@@ -102,8 +102,28 @@ type Result struct {
 	EvaluatedSentences int
 }
 
-// Run parses nothing: it takes a parsed query and evaluates it.
+// RunOptions overrides per-run evaluation knobs without rebuilding the
+// engine. The zero value inherits nothing: callers that want the engine
+// defaults should use Run. A server can thus share one Engine across
+// requests while honoring request-level Explain and Workers settings.
+type RunOptions struct {
+	// Workers > 1 evaluates candidate documents concurrently for this run.
+	Workers int
+	// Explain attaches per-condition evidence to this run's tuples.
+	Explain bool
+}
+
+// Run evaluates a parsed query with the engine's configured options. It is
+// safe to call concurrently from multiple goroutines: all cross-run state
+// (the regexp cache and the global score cache) is mutex-guarded, and each
+// run's working state is private to the call.
 func (e *Engine) Run(q *lang.Query) (*Result, error) {
+	return e.RunWith(q, RunOptions{Workers: e.opts.Workers, Explain: e.opts.Explain})
+}
+
+// RunWith evaluates a parsed query with per-run overrides. Like Run it is
+// safe for concurrent use.
+func (e *Engine) RunWith(q *lang.Query, ro RunOptions) (*Result, error) {
 	res := &Result{}
 	t0 := time.Now()
 	nq, err := normalize(q, e.model, e.opts.ExpansionLimit)
@@ -128,7 +148,7 @@ func (e *Engine) Run(q *lang.Query) (*Result, error) {
 		cands = dpli.candSids
 	}
 	res.CandidateSentences = len(cands)
-	e.evaluateCandidates(nq, dpli, cands, res)
+	e.evaluateCandidates(nq, dpli, cands, res, ro)
 	return res, nil
 }
 
@@ -146,11 +166,12 @@ func (e *Engine) RunNaive(q *lang.Query) (*Result, error) {
 		cands[i] = int32(i)
 	}
 	res.CandidateSentences = len(cands)
-	e.evaluateCandidates(nq, &dpliResult{countBySid: map[string]map[int32]int{}}, cands, res)
+	e.evaluateCandidates(nq, &dpliResult{countBySid: map[string]map[int32]int{}}, cands, res,
+		RunOptions{Workers: e.opts.Workers, Explain: e.opts.Explain})
 	return res, nil
 }
 
-func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int32, res *Result) {
+func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int32, res *Result, ro RunOptions) {
 	// Group candidate sentences by document (evidence aggregation and
 	// article loading are document-scoped).
 	byDoc := map[int][]int32{}
@@ -164,10 +185,10 @@ func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int
 	}
 	sort.Ints(docOrder)
 
-	workers := e.opts.Workers
+	workers := ro.Workers
 	if workers <= 1 {
 		for _, d := range docOrder {
-			dr := e.evalDoc(nq, dpli, d, byDoc[d])
+			dr := e.evalDoc(nq, dpli, d, byDoc[d], ro)
 			mergeDocResult(res, dr)
 		}
 		return
@@ -187,7 +208,7 @@ func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int
 					return
 				}
 				d := docOrder[i]
-				results[i] = e.evalDoc(nq, dpli, d, byDoc[d])
+				results[i] = e.evalDoc(nq, dpli, d, byDoc[d], ro)
 			}
 		}()
 	}
@@ -218,7 +239,7 @@ func mergeDocResult(res *Result, dr docEvalResult) {
 // evalDoc evaluates every candidate sentence of one document: GSP + nested
 // loops per sentence, then satisfying/excluding per assignment against the
 // document-scoped aggregator.
-func (e *Engine) evalDoc(nq *normQuery, dpli *dpliResult, d int, sids []int32) docEvalResult {
+func (e *Engine) evalDoc(nq *normQuery, dpli *dpliResult, d int, sids []int32, ro RunOptions) docEvalResult {
 	var dr docEvalResult
 	docSents, sentAt, loadDur := e.loadDoc(d)
 	dr.times.LoadArticle = loadDur
@@ -273,7 +294,7 @@ func (e *Engine) evalDoc(nq *normQuery, dpli *dpliResult, d int, sids []int32) d
 
 		ts := time.Now()
 		for _, a := range asgs {
-			tuple, ok := e.finishTuple(nq, s, d, a, ag)
+			tuple, ok := e.finishTuple(nq, s, d, a, ag, ro.Explain)
 			if ok {
 				dr.tuples = append(dr.tuples, tuple)
 			}
@@ -315,7 +336,7 @@ func (e *Engine) loadDoc(d int) ([]*nlp.Sentence, func(int32) *nlp.Sentence, tim
 
 // finishTuple renders output values, applies satisfying clauses (threshold)
 // and excluding conditions.
-func (e *Engine) finishTuple(nq *normQuery, s *nlp.Sentence, doc int, a assignment, ag *aggregator) (Tuple, bool) {
+func (e *Engine) finishTuple(nq *normQuery, s *nlp.Sentence, doc int, a assignment, ag *aggregator, explain bool) (Tuple, bool) {
 	t := Tuple{Sid: s.ID, Doc: doc, Values: make([]string, len(nq.outputs))}
 	for i, o := range nq.outputs {
 		b, ok := a[o.Name]
@@ -339,7 +360,7 @@ func (e *Engine) finishTuple(nq *normQuery, s *nlp.Sentence, doc int, a assignme
 			if score < sc.Threshold {
 				return t, false
 			}
-			if e.opts.Explain {
+			if explain {
 				t.Evidence = append(t.Evidence, ag.explainClause(i, val)...)
 			}
 		}

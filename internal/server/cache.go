@@ -1,0 +1,72 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/koko"
+)
+
+// resultCache is an LRU cache of query results, keyed on
+// corpus|generation|explain|canonical-query by the Service. Values are
+// shared between requests and MUST be treated as immutable by readers.
+type resultCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *koko.Result
+}
+
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		return nil // caching disabled
+	}
+	return &resultCache{max: max, ll: list.New(), m: map[string]*list.Element{}}
+}
+
+func (c *resultCache) get(key string) (*koko.Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *resultCache) put(key string, res *koko.Result) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,23 @@
+// Package server is the service layer of the KOKO reproduction: it turns
+// the one-shot library engine into a long-running, concurrent query service
+// (the deployment shape the paper assumes for "an engine behind real
+// extraction workloads").
+//
+// The package is organized in three layers:
+//
+//   - Registry: a named, versioned collection of corpora. Each entry is a
+//     fully built *koko.Engine, either loaded from a persisted .koko store
+//     (hot-reloadable) or registered in memory. Every (re)load bumps a
+//     registry-wide generation counter, which downstream caches key on.
+//
+//   - Service: the execution path shared by the HTTP server, the CLI, and
+//     the benchmarks. It canonicalizes queries, consults a normalized-query
+//     LRU result cache (keyed corpus × generation × canonical text, so a
+//     reload invalidates implicitly), and runs cache misses through a
+//     bounded worker pool over the engine's concurrency-safe QueryWith.
+//
+//   - HTTP: a JSON API over the Service — POST /v1/query, POST /v1/validate,
+//     GET /v1/corpora, GET /v1/corpora/{name}/stats,
+//     POST /v1/corpora/{name}/reload, GET /v1/healthz, GET /v1/metrics —
+//     served by cmd/kokod.
+package server

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/koko"
+)
+
+// Handler returns the kokod HTTP API over the service.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/validate", s.handleValidate)
+	mux.HandleFunc("GET /v1/corpora", s.handleCorpora)
+	mux.HandleFunc("GET /v1/corpora/{name}/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/corpora/{name}/reload", s.handleReload)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return mux
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrBadQuery):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrNotReloadable):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// maxBodyBytes bounds request bodies: queries are text a human wrote, not
+// bulk data.
+const maxBodyBytes = 1 << 20
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if req.Corpus == "" || req.Query == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `"corpus" and "query" are required`})
+		return
+	}
+	resp, err := s.Query(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type validateRequest struct {
+	Query string `json:"query"`
+}
+
+type validateResponse struct {
+	Valid bool   `json:"valid"`
+	Error string `json:"error,omitempty"`
+	// Canonical is the normalized form the result cache keys on.
+	Canonical string `json:"canonical,omitempty"`
+}
+
+func (s *Service) handleValidate(w http.ResponseWriter, r *http.Request) {
+	var req validateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if err := s.Validate(req.Query); err != nil {
+		writeJSON(w, http.StatusOK, validateResponse{Valid: false, Error: err.Error()})
+		return
+	}
+	canon, _ := koko.Canonical(req.Query)
+	writeJSON(w, http.StatusOK, validateResponse{Valid: true, Canonical: canon})
+}
+
+func (s *Service) handleCorpora(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"corpora": s.reg.List()})
+}
+
+type statsResponse struct {
+	CorpusInfo
+	Index indexStatsJSON `json:"index"`
+}
+
+type indexStatsJSON struct {
+	Words          int     `json:"words"`
+	Entities       int     `json:"entities"`
+	PLNodes        int     `json:"pl_nodes"`
+	POSNodes       int     `json:"pos_nodes"`
+	PLCompression  float64 `json:"pl_compression"`
+	POSCompression float64 `json:"pos_compression"`
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	info, err := s.reg.Info(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := s.reg.Stats(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		CorpusInfo: info,
+		Index: indexStatsJSON{
+			Words: st.Words, Entities: st.Entities,
+			PLNodes: st.PLNodes, POSNodes: st.POSNodes,
+			PLCompression: st.PLCompression, POSCompression: st.POSCompression,
+		},
+	})
+}
+
+func (s *Service) handleReload(w http.ResponseWriter, r *http.Request) {
+	info, err := s.Reload(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "corpora": s.reg.Len()})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

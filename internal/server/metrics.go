@@ -1,0 +1,47 @@
+package server
+
+import "sync/atomic"
+
+// Metrics counts service activity. All fields are updated atomically; a
+// consistent point-in-time view is obtained with Snapshot.
+type Metrics struct {
+	queriesTotal   atomic.Int64
+	queryErrors    atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	validateTotal  atomic.Int64
+	reloadsTotal   atomic.Int64
+	tuplesReturned atomic.Int64
+	queryNanos     atomic.Int64
+	inFlight       atomic.Int64
+	peakInFlight   atomic.Int64
+}
+
+// MetricsSnapshot is the JSON form served by GET /v1/metrics.
+type MetricsSnapshot struct {
+	QueriesTotal   int64 `json:"queries_total"`
+	QueryErrors    int64 `json:"query_errors"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEntries   int   `json:"cache_entries"`
+	ValidateTotal  int64 `json:"validate_total"`
+	ReloadsTotal   int64 `json:"reloads_total"`
+	TuplesReturned int64 `json:"tuples_returned"`
+	// QueryMillisTotal is summed engine evaluation time over cache misses.
+	QueryMillisTotal float64 `json:"query_millis_total"`
+	InFlight         int64   `json:"in_flight"`
+	PeakInFlight     int64   `json:"peak_in_flight"`
+	Corpora          int     `json:"corpora"`
+}
+
+func (m *Metrics) enter() {
+	n := m.inFlight.Add(1)
+	for {
+		peak := m.peakInFlight.Load()
+		if n <= peak || m.peakInFlight.CompareAndSwap(peak, n) {
+			return
+		}
+	}
+}
+
+func (m *Metrics) exit() { m.inFlight.Add(-1) }

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/koko"
+)
+
+// CorpusInfo describes one registry entry.
+type CorpusInfo struct {
+	Name string `json:"name"`
+	// Source is the .koko file the corpus was loaded from, or "" for
+	// in-memory corpora.
+	Source string `json:"source,omitempty"`
+	// Generation is the registry-wide load counter at the time this entry
+	// was (re)loaded. It strictly increases across loads, so caches keyed
+	// on (name, generation) are implicitly invalidated by a reload.
+	Generation uint64    `json:"generation"`
+	Documents  int       `json:"documents"`
+	Sentences  int       `json:"sentences"`
+	LoadedAt   time.Time `json:"loaded_at"`
+}
+
+// Registry maps corpus names to query engines. It supports hot loading:
+// corpora can be added, replaced, and reloaded from disk while queries are
+// in flight — in-flight queries keep the engine they resolved, new queries
+// see the new generation.
+type Registry struct {
+	mu      sync.RWMutex
+	gen     uint64
+	entries map[string]*regEntry
+	// loadOpts are the engine options applied to every file load (dicts,
+	// ontology, default workers).
+	loadOpts *koko.Options
+}
+
+type regEntry struct {
+	eng  *koko.Engine
+	info CorpusInfo
+}
+
+// NewRegistry creates an empty registry. opts (may be nil) is applied to
+// every engine loaded from disk.
+func NewRegistry(opts *koko.Options) *Registry {
+	return &Registry{entries: map[string]*regEntry{}, loadOpts: opts}
+}
+
+// DefaultName derives a registry name from a .koko path: the base name
+// without the extension ("/data/cafes.koko" -> "cafes").
+func DefaultName(path string) string {
+	return strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+}
+
+// LoadFile loads a persisted .koko store and registers it under name
+// (DefaultName(path) if name is ""). An existing entry with the same name
+// is replaced at a new generation.
+func (r *Registry) LoadFile(name, path string) error {
+	if name == "" {
+		name = DefaultName(path)
+	}
+	eng, err := koko.Load(path, r.loadOpts)
+	if err != nil {
+		return fmt.Errorf("load corpus %q: %w", name, err)
+	}
+	r.install(name, path, eng)
+	return nil
+}
+
+// Register adds an in-memory engine under name, replacing any existing
+// entry at a new generation.
+func (r *Registry) Register(name string, eng *koko.Engine) {
+	r.install(name, "", eng)
+}
+
+func (r *Registry) install(name, source string, eng *koko.Engine) CorpusInfo {
+	c := eng.Corpus()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gen++
+	info := CorpusInfo{
+		Name:       name,
+		Source:     source,
+		Generation: r.gen,
+		Documents:  c.NumDocuments(),
+		Sentences:  c.NumSentences(),
+		LoadedAt:   time.Now().UTC(),
+	}
+	r.entries[name] = &regEntry{eng: eng, info: info}
+	return info
+}
+
+// Reload re-reads a file-backed corpus from its source path and swaps it in
+// at a new generation. In-memory corpora cannot be reloaded.
+func (r *Registry) Reload(name string) (CorpusInfo, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	var source string
+	if ok {
+		source = e.info.Source
+	}
+	r.mu.RUnlock()
+	if !ok {
+		return CorpusInfo{}, fmt.Errorf("corpus %q: %w", name, ErrNotFound)
+	}
+	if source == "" {
+		return CorpusInfo{}, fmt.Errorf("corpus %q is in-memory and cannot be reloaded: %w", name, ErrNotReloadable)
+	}
+	// Load outside the lock: index loading is the slow part and must not
+	// block concurrent queries against other corpora (or the old engine).
+	eng, err := koko.Load(source, r.loadOpts)
+	if err != nil {
+		return CorpusInfo{}, fmt.Errorf("reload corpus %q: %w", name, err)
+	}
+	return r.install(name, source, eng), nil
+}
+
+// Engine resolves a corpus name to its engine and current generation.
+func (r *Registry) Engine(name string) (*koko.Engine, uint64, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("corpus %q: %w", name, ErrNotFound)
+	}
+	return e.eng, e.info.Generation, nil
+}
+
+// Info returns the metadata of one entry.
+func (r *Registry) Info(name string) (CorpusInfo, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return CorpusInfo{}, fmt.Errorf("corpus %q: %w", name, ErrNotFound)
+	}
+	return e.info, nil
+}
+
+// Stats returns the index statistics of one entry's engine.
+func (r *Registry) Stats(name string) (koko.IndexStats, error) {
+	eng, _, err := r.Engine(name)
+	if err != nil {
+		return koko.IndexStats{}, err
+	}
+	return eng.Stats(), nil
+}
+
+// List returns all entries sorted by name.
+func (r *Registry) List() []CorpusInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]CorpusInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len reports the number of registered corpora.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

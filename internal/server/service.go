@@ -1,0 +1,287 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/koko"
+)
+
+// Sentinel errors: the HTTP layer maps these to status codes.
+var (
+	// ErrNotFound marks an unknown corpus name (404).
+	ErrNotFound = errors.New("not found")
+	// ErrBadQuery marks a malformed KOKO query (400).
+	ErrBadQuery = errors.New("bad query")
+	// ErrNotReloadable marks a reload of an in-memory corpus (409).
+	ErrNotReloadable = errors.New("not reloadable")
+)
+
+// Config sizes a Service.
+type Config struct {
+	// MaxConcurrent bounds how many queries evaluate at once (the worker
+	// pool). Excess requests wait (or fail when their context is done).
+	// Default: 2 × GOMAXPROCS.
+	MaxConcurrent int
+	// CacheSize is the result-cache capacity in entries. 0 means the
+	// default (256); negative disables caching.
+	CacheSize int
+	// DefaultWorkers is the per-query intra-engine worker count applied
+	// when a request does not specify one. Default 1 (sequential): under
+	// concurrent load, cross-request parallelism already saturates cores.
+	DefaultWorkers int
+	// LoadOptions is applied to every corpus loaded from disk.
+	LoadOptions *koko.Options
+}
+
+// Service executes queries against a Registry through a result cache and a
+// bounded worker pool. It is the shared execution path of kokod's HTTP
+// handlers, the koko CLI, and the kokobench load experiment.
+type Service struct {
+	reg        *Registry
+	cache      *resultCache
+	sem        chan struct{}
+	metrics    Metrics
+	defWorkers int
+}
+
+// NewService builds a Service with an empty registry.
+func NewService(cfg Config) *Service {
+	maxc := cfg.MaxConcurrent
+	if maxc <= 0 {
+		maxc = 2 * runtime.GOMAXPROCS(0)
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = 256
+	}
+	workers := cfg.DefaultWorkers
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Service{
+		reg:        NewRegistry(cfg.LoadOptions),
+		cache:      newResultCache(size),
+		sem:        make(chan struct{}, maxc),
+		defWorkers: workers,
+	}
+}
+
+// Registry exposes the corpus registry for loading and listing.
+func (s *Service) Registry() *Registry { return s.reg }
+
+// QueryRequest is one query against a named corpus.
+type QueryRequest struct {
+	Corpus string `json:"corpus"`
+	Query  string `json:"query"`
+	// Explain attaches per-condition evidence to every tuple.
+	Explain bool `json:"explain,omitempty"`
+	// Workers overrides the per-query worker count (0 = service default).
+	Workers int `json:"workers,omitempty"`
+	// NoCache bypasses the result cache (read and write) for this request.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// TupleResult is the JSON form of one output tuple.
+type TupleResult struct {
+	SentenceID int                `json:"sentence_id"`
+	Document   int                `json:"document"`
+	Values     []string           `json:"values"`
+	Scores     map[string]float64 `json:"scores,omitempty"`
+	Evidence   []EvidenceResult   `json:"evidence,omitempty"`
+}
+
+// EvidenceResult is the JSON form of one explanation row.
+type EvidenceResult struct {
+	Variable     string  `json:"variable"`
+	Condition    string  `json:"condition"`
+	Weight       float64 `json:"weight"`
+	Confidence   float64 `json:"confidence"`
+	Contribution float64 `json:"contribution"`
+}
+
+// PhaseMillis is the Table 2 per-phase breakdown in milliseconds.
+type PhaseMillis struct {
+	Normalize   float64 `json:"normalize_ms"`
+	DPLI        float64 `json:"dpli_ms"`
+	LoadArticle float64 `json:"load_article_ms"`
+	GSP         float64 `json:"gsp_ms"`
+	Extract     float64 `json:"extract_ms"`
+	Satisfying  float64 `json:"satisfying_ms"`
+	Total       float64 `json:"total_ms"`
+}
+
+// QueryResponse is the outcome of one QueryRequest.
+type QueryResponse struct {
+	Corpus     string        `json:"corpus"`
+	Generation uint64        `json:"generation"`
+	Tuples     []TupleResult `json:"tuples"`
+	Candidates int           `json:"candidates"`
+	Matched    int           `json:"matched"`
+	// Cached reports whether the result came from the result cache; Phases
+	// then describes the original (cached) evaluation.
+	Cached bool        `json:"cached"`
+	Phases PhaseMillis `json:"phases"`
+	// ServiceMillis is this request's wall time inside the service,
+	// including any wait for a worker slot.
+	ServiceMillis float64 `json:"service_ms"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func phasesOf(r *koko.Result) PhaseMillis {
+	return PhaseMillis{
+		Normalize:   ms(r.Phases.Normalize),
+		DPLI:        ms(r.Phases.DPLI),
+		LoadArticle: ms(r.Phases.LoadArticle),
+		GSP:         ms(r.Phases.GSP),
+		Extract:     ms(r.Phases.Extract),
+		Satisfying:  ms(r.Phases.Satisfying),
+		Total:       ms(r.Elapsed),
+	}
+}
+
+// Query canonicalizes, consults the cache, and evaluates on miss under the
+// worker-pool bound. ctx cancellation is honored while waiting for a slot.
+func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	t0 := time.Now()
+	s.metrics.queriesTotal.Add(1)
+
+	parsed, err := koko.ParseQuery(req.Query)
+	if err != nil {
+		s.metrics.queryErrors.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	eng, gen, err := s.reg.Engine(req.Corpus)
+	if err != nil {
+		s.metrics.queryErrors.Add(1)
+		return nil, err
+	}
+
+	// Workers changes only scheduling, never results, so it is excluded
+	// from the key; Explain changes the tuples' evidence, so it is part
+	// of it.
+	key := fmt.Sprintf("%s|%d|%t|%s", req.Corpus, gen, req.Explain, parsed.Canonical())
+	if !req.NoCache {
+		if res, ok := s.cache.get(key); ok {
+			s.metrics.cacheHits.Add(1)
+			resp := s.respond(req.Corpus, gen, res, true)
+			resp.ServiceMillis = ms(time.Since(t0))
+			return resp, nil
+		}
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.metrics.queryErrors.Add(1)
+		return nil, ctx.Err()
+	}
+	s.metrics.enter()
+	res, err := eng.RunParsed(parsed, &koko.QueryOptions{
+		Explain: req.Explain,
+		Workers: s.workersFor(req.Workers),
+	})
+	s.metrics.exit()
+	<-s.sem
+	if err != nil {
+		s.metrics.queryErrors.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	s.metrics.queryNanos.Add(res.Elapsed.Nanoseconds())
+	if !req.NoCache {
+		s.cache.put(key, res)
+	}
+	resp := s.respond(req.Corpus, gen, res, false)
+	resp.ServiceMillis = ms(time.Since(t0))
+	return resp, nil
+}
+
+func (s *Service) workersFor(reqWorkers int) int {
+	w := s.defWorkers
+	if reqWorkers > 0 {
+		w = reqWorkers
+	}
+	// Clamp request-supplied fan-out: a client must not be able to spawn
+	// unbounded goroutines per query.
+	if max := runtime.GOMAXPROCS(0); w > max {
+		w = max
+	}
+	return w
+}
+
+// respond renders a (possibly shared, cached) engine result without
+// mutating it.
+func (s *Service) respond(corpus string, gen uint64, res *koko.Result, cached bool) *QueryResponse {
+	resp := &QueryResponse{
+		Corpus:     corpus,
+		Generation: gen,
+		Tuples:     make([]TupleResult, 0, len(res.Tuples)),
+		Candidates: res.Candidates,
+		Matched:    res.Matched,
+		Cached:     cached,
+		Phases:     phasesOf(res),
+	}
+	s.metrics.tuplesReturned.Add(int64(len(res.Tuples)))
+	for _, t := range res.Tuples {
+		tr := TupleResult{
+			SentenceID: t.SentenceID,
+			Document:   t.Document,
+			Values:     t.Values,
+			Scores:     t.Scores,
+		}
+		for _, ev := range t.Evidence {
+			tr.Evidence = append(tr.Evidence, EvidenceResult{
+				Variable:     ev.Variable,
+				Condition:    ev.Condition,
+				Weight:       ev.Weight,
+				Confidence:   ev.Confidence,
+				Contribution: ev.Contribution,
+			})
+		}
+		resp.Tuples = append(resp.Tuples, tr)
+	}
+	return resp
+}
+
+// Validate checks query syntax; a nil error means the query parses.
+func (s *Service) Validate(query string) error {
+	s.metrics.validateTotal.Add(1)
+	if err := koko.Validate(query); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	return nil
+}
+
+// Reload hot-swaps a file-backed corpus; the generation bump invalidates
+// its cache entries.
+func (s *Service) Reload(name string) (CorpusInfo, error) {
+	info, err := s.reg.Reload(name)
+	if err == nil {
+		s.metrics.reloadsTotal.Add(1)
+	}
+	return info, err
+}
+
+// Metrics returns a point-in-time counter snapshot.
+func (s *Service) Metrics() MetricsSnapshot {
+	m := &s.metrics
+	return MetricsSnapshot{
+		QueriesTotal:     m.queriesTotal.Load(),
+		QueryErrors:      m.queryErrors.Load(),
+		CacheHits:        m.cacheHits.Load(),
+		CacheMisses:      m.cacheMisses.Load(),
+		CacheEntries:     s.cache.len(),
+		ValidateTotal:    m.validateTotal.Load(),
+		ReloadsTotal:     m.reloadsTotal.Load(),
+		TuplesReturned:   m.tuplesReturned.Load(),
+		QueryMillisTotal: float64(m.queryNanos.Load()) / 1e6,
+		InFlight:         m.inFlight.Load(),
+		PeakInFlight:     m.peakInFlight.Load(),
+		Corpora:          s.reg.Len(),
+	}
+}

@@ -49,6 +49,14 @@ func (c *Corpus) NumDocuments() int { return c.c.NumDocs() }
 // NumSentences returns the number of sentences.
 func (c *Corpus) NumSentences() int { return c.c.NumSentences() }
 
+// DocumentName returns the name of document i ("" if out of range).
+func (c *Corpus) DocumentName(i int) string {
+	if i < 0 || i >= len(c.c.Docs) {
+		return ""
+	}
+	return c.c.Docs[i].Name
+}
+
 // Sentence renders sentence sid as text.
 func (c *Corpus) Sentence(sid int) string { return c.c.Sentence(sid).String() }
 
@@ -73,12 +81,24 @@ type Options struct {
 }
 
 // Engine indexes a corpus and evaluates KOKO queries against it.
+//
+// An Engine is safe for concurrent use: Query and QueryWith may be called
+// from multiple goroutines sharing one Engine (the cross-run regexp and
+// score caches are internally synchronized). Save is also read-only with
+// respect to query state.
 type Engine struct {
 	corpus *Corpus
 	ix     *index.Index
 	model  *embed.Model
 	eng    *engine.Engine
+	// optExplain / optWorkers retain the Options defaults so QueryWith can
+	// fall back to them per field.
+	optExplain bool
+	optWorkers int
 }
+
+// Corpus returns the corpus the engine was built over.
+func (e *Engine) Corpus() *Corpus { return e.corpus }
 
 // NewEngine builds the multi-index over the corpus and returns an engine.
 // opts may be nil.
@@ -99,7 +119,7 @@ func NewEngine(c *Corpus, opts *Options) *Engine {
 		dicts[name] = m
 	}
 	ix := index.Build(c.c)
-	e := &Engine{corpus: c, ix: ix, model: model}
+	e := &Engine{corpus: c, ix: ix, model: model, optExplain: opts.Explain, optWorkers: opts.Workers}
 	e.eng = engine.New(c.c, ix, model, engine.Options{
 		DisableSkipPlan: opts.DisableSkipPlan,
 		ExpansionLimit:  opts.ExpansionLimit,
@@ -134,6 +154,17 @@ type Tuple struct {
 	Evidence []Evidence
 }
 
+// PhaseTimes is the per-phase execution breakdown of a query (the paper's
+// Table 2 columns).
+type PhaseTimes struct {
+	Normalize   time.Duration
+	DPLI        time.Duration
+	LoadArticle time.Duration
+	GSP         time.Duration
+	Extract     time.Duration
+	Satisfying  time.Duration
+}
+
 // Result is the outcome of a query.
 type Result struct {
 	Tuples []Tuple
@@ -143,15 +174,69 @@ type Result struct {
 	Matched    int
 	// Elapsed is the total evaluation time.
 	Elapsed time.Duration
+	// Phases breaks Elapsed into the pipeline's phases. With Workers > 1
+	// the per-document phases report summed CPU time across workers.
+	Phases PhaseTimes
 }
 
-// Query parses and evaluates a KOKO query.
-func (e *Engine) Query(src string) (*Result, error) {
+// QueryOptions overrides per-query evaluation knobs; the zero value falls
+// back to the engine's Options for each field.
+type QueryOptions struct {
+	// Explain attaches per-condition evidence to this query's tuples.
+	Explain bool
+	// Workers > 1 evaluates candidate documents concurrently for this query.
+	Workers int
+}
+
+// ParsedQuery is a parsed, reusable KOKO query. Parsing once and running
+// many times avoids re-parsing on hot paths (the server does this to share
+// one parse between cache keying and evaluation).
+type ParsedQuery struct {
+	q     *lang.Query
+	canon string
+}
+
+// ParseQuery parses a KOKO query without running it.
+func ParseQuery(src string) (*ParsedQuery, error) {
 	q, err := lang.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.eng.Run(q)
+	return &ParsedQuery{q: q, canon: q.String()}, nil
+}
+
+// Canonical returns the query's canonical rendering: two queries differing
+// only in whitespace or formatting canonicalize identically.
+func (p *ParsedQuery) Canonical() string { return p.canon }
+
+// Query parses and evaluates a KOKO query with the engine's options.
+func (e *Engine) Query(src string) (*Result, error) {
+	return e.QueryWith(src, nil)
+}
+
+// QueryWith parses and evaluates a KOKO query with per-query overrides.
+// qo may be nil (engine defaults).
+func (e *Engine) QueryWith(src string, qo *QueryOptions) (*Result, error) {
+	p, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunParsed(p, qo)
+}
+
+// RunParsed evaluates an already-parsed query with per-query overrides.
+// qo may be nil (engine defaults). Safe for concurrent use.
+func (e *Engine) RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, error) {
+	ro := engine.RunOptions{Explain: e.optExplain, Workers: e.optWorkers}
+	if qo != nil {
+		if qo.Explain {
+			ro.Explain = true
+		}
+		if qo.Workers > 0 {
+			ro.Workers = qo.Workers
+		}
+	}
+	res, err := e.eng.RunWith(p.q, ro)
 	if err != nil {
 		return nil, err
 	}
@@ -159,6 +244,14 @@ func (e *Engine) Query(src string) (*Result, error) {
 		Candidates: res.CandidateSentences,
 		Matched:    res.MatchedSentences,
 		Elapsed:    res.Times.Total(),
+		Phases: PhaseTimes{
+			Normalize:   res.Times.Normalize,
+			DPLI:        res.Times.DPLI,
+			LoadArticle: res.Times.LoadArticle,
+			GSP:         res.Times.GSP,
+			Extract:     res.Times.Extract,
+			Satisfying:  res.Times.Satisfying,
+		},
 	}
 	for _, t := range res.Tuples {
 		tp := Tuple{
@@ -186,6 +279,17 @@ func (e *Engine) Query(src string) (*Result, error) {
 func Validate(src string) error {
 	_, err := lang.Parse(src)
 	return err
+}
+
+// Canonical parses a query and renders it back in canonical form: two
+// queries differing only in whitespace, comments, or clause formatting
+// canonicalize identically. Result caches key on this text.
+func Canonical(src string) (string, error) {
+	p, err := ParseQuery(src)
+	if err != nil {
+		return "", err
+	}
+	return p.Canonical(), nil
 }
 
 // IndexStats summarizes the built multi-index.
@@ -246,7 +350,7 @@ func Load(path string, opts *Options) (*Engine, error) {
 		}
 		dicts[name] = m
 	}
-	e := &Engine{corpus: &Corpus{c: c}, ix: ix, model: model}
+	e := &Engine{corpus: &Corpus{c: c}, ix: ix, model: model, optExplain: opts.Explain, optWorkers: opts.Workers}
 	e.eng = engine.New(c, ix, model, engine.Options{
 		DisableSkipPlan: opts.DisableSkipPlan,
 		ExpansionLimit:  opts.ExpansionLimit,
