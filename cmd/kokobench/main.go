@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig3 fig4 fig5 nell fig6 fig7 fig8 tab1 tab2 odin ablation server all")
+	exp := flag.String("exp", "all", "experiment id: fig3 fig4 fig5 nell fig6 fig7 fig8 tab1 tab2 odin ablation server hotpath all")
 	scale := flag.Int("scale", 1, "corpus scale multiplier")
 	seed := flag.Int64("seed", 1, "generator seed")
 	flag.Parse()
@@ -74,6 +74,12 @@ func main() {
 	if run("server") {
 		any = true
 		serverLoad(*seed, *scale)
+	}
+	if *exp == "hotpath" {
+		// Not part of -exp all: emits pure JSON (the committed
+		// BENCH_engine.json snapshot) on stdout for redirection.
+		any = true
+		hotpath()
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "kokobench: unknown experiment %q\n", *exp)
@@ -214,6 +220,17 @@ func ablation(seed int64, scale int) {
 	header("Ablation — DPLI with index families removed")
 	c := corpus.GenHappyDB(3000*scale, seed)
 	fmt.Print(experiments.FormatAblation(experiments.RunIndexAblation(c, seed+5)))
+}
+
+// hotpath writes the engine hot-path perf snapshot as JSON:
+//
+//	kokobench -exp hotpath > BENCH_engine.json
+//
+// The snapshot pairs the current engine's ns/op, B/op, allocs/op on the
+// HappyDB extract workload with the committed pre-refactor baseline, so
+// future PRs have a trajectory to beat.
+func hotpath() {
+	fmt.Print(experiments.FormatHotPath(experiments.RunHotPathBench()))
 }
 
 func check(err error) {

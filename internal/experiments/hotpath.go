@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/embed"
+	"repro/internal/koko/engine"
+	"repro/internal/koko/index"
+	"repro/internal/koko/lang"
+)
+
+// The hot-path perf snapshot (kokobench -exp hotpath): programmatic
+// testing.Benchmark runs over the same HappyDB workload as the engine
+// package's BenchmarkExtractHotPath / BenchmarkExtractSatisfying micro-
+// benchmarks, rendered as BENCH_engine.json so every PR leaves a
+// comparable ns/op–B/op–allocs/op trajectory behind.
+
+// HotPathCorpusSents / HotPathCorpusSeed pin the workload corpus. Keep in
+// sync with the engine package's bench_test.go.
+const (
+	HotPathCorpusSents = 1000
+	HotPathCorpusSeed  = 42
+)
+
+// HotPathExtractQuery exercises the extract hot path: two node loops, a
+// subtree derivation, and a horizontal condition whose two elastic spans
+// the skip plan eliminates.
+const HotPathExtractQuery = `
+	extract d:Str, s:Str from "happydb" if (
+	/ROOT:{ v = //verb, o = v/dobj, d = (o.subtree), s = "i" + ^ + v + ^ + o })`
+
+// HotPathSatisfyingQuery adds the aggregator-backed satisfying path.
+const HotPathSatisfyingQuery = `
+	extract o:Str from "happydb" if (
+	/ROOT:{ v = //verb, b = v/dobj, o = (b.subtree) })
+	satisfying o ("ate" o {0.7}) or (o near "delicious" {1}) with threshold 0.2`
+
+// HotPathJoinQueries exercise the three DPLI join shapes (word-word
+// ancestor join, hierarchy⋈word same-token join, final P⋈Q ancestor join);
+// the snapshot measures them through Candidates (normalize + DPLI).
+var HotPathJoinQueries = []string{
+	`extract d:Str from "happydb" if (/ROOT:{ v = //"ate", o = v//"cake", d = (o.subtree) })`,
+	`extract d:Str from "happydb" if (/ROOT:{ v = //verb, o = v/dobj[text="cake"], d = (o.subtree) })`,
+	`extract d:Str from "happydb" if (/ROOT:{ o = //"ate"/dobj, d = (o.subtree) })`,
+}
+
+// BenchPoint is one benchmark's cost profile.
+type BenchPoint struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// BenchSnapshot is the BENCH_engine.json document.
+type BenchSnapshot struct {
+	Workload string       `json:"workload"`
+	Note     string       `json:"note"`
+	Baseline []BenchPoint `json:"baseline_pr2_seed"`
+	Current  []BenchPoint `json:"current"`
+}
+
+// HotPathBaseline pins the pre-refactor (PR 2 seed) numbers, measured on
+// the same workload before the slot/merge-join rework, so the snapshot
+// always shows the trajectory the refactor has to beat.
+var HotPathBaseline = []BenchPoint{
+	{Name: "extract_hot_path", NsPerOp: 8591960, BytesPerOp: 3430447, AllocsPerOp: 36040},
+	{Name: "extract_satisfying", NsPerOp: 10160778, BytesPerOp: 4124950, AllocsPerOp: 51226},
+	{Name: "dpli_candidates", NsPerOp: 1113381, BytesPerOp: 940136, AllocsPerOp: 299},
+}
+
+// RunHotPathBench measures the current engine and returns the full
+// snapshot.
+func RunHotPathBench() *BenchSnapshot {
+	c := corpus.GenHappyDB(HotPathCorpusSents, HotPathCorpusSeed)
+	ix := index.Build(c)
+	eng := engine.New(c, ix, embed.NewModel(), engine.Options{})
+
+	qx := lang.MustParse(HotPathExtractQuery)
+	qs := lang.MustParse(HotPathSatisfyingQuery)
+	qj := make([]*lang.Query, 0, len(HotPathJoinQueries))
+	for _, src := range HotPathJoinQueries {
+		qj = append(qj, lang.MustParse(src))
+	}
+
+	measure := func(name string, f func(b *testing.B)) BenchPoint {
+		r := testing.Benchmark(f)
+		return BenchPoint{
+			Name:        name,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+	}
+	snap := &BenchSnapshot{
+		Workload: "GenHappyDB(1000, 42); see internal/experiments/hotpath.go for the query text",
+		Note: "refresh with `go run ./cmd/kokobench -exp hotpath > BENCH_engine.json`; " +
+			"baseline_pr2_seed is the pre-refactor engine on the identical workload",
+		Baseline: HotPathBaseline,
+	}
+	snap.Current = append(snap.Current,
+		measure("extract_hot_path", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(qx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		measure("extract_satisfying", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(qs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		measure("dpli_candidates", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, q := range qj {
+					if _, err := eng.Candidates(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}),
+	)
+	return snap
+}
+
+// FormatHotPath renders the snapshot as indented JSON (the committed
+// BENCH_engine.json format).
+func FormatHotPath(s *BenchSnapshot) string {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "{}"
+	}
+	return string(out) + "\n"
+}

@@ -1,7 +1,8 @@
 package engine
 
 import (
-	"fmt"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -49,10 +50,21 @@ type aggregator struct {
 	clauses  map[int][]decompose.Clause // sid -> canonical clauses
 	mentions map[string][]mention       // value -> mentions in the document
 	scores   map[scoreKey]float64
+
+	// tokIdx maps each lowercase token to its occurrences across the
+	// document, in (sentence, position) order. Built lazily on the first
+	// mention probe, it turns valueMentions / near / adjacency into index
+	// probes instead of full-document scans per candidate value.
+	tokIdx map[string][]tokOcc
 }
+
+// tokOcc is one token occurrence: sentence index within docSents + token
+// position.
+type tokOcc struct{ si, pos int32 }
 
 type mention struct {
 	sent *nlp.Sentence
+	si   int32 // index into docSents
 	l, r int
 }
 
@@ -107,7 +119,7 @@ func (ag *aggregator) confidence(c lang.SatCond, value string) float64 {
 	case lang.CondContains, lang.CondMentions, lang.CondMatches,
 		lang.CondSimilarTo, lang.CondInDict:
 		if ag.global != nil {
-			key := fmt.Sprintf("%d|%s|%s", c.Kind, c.Arg, value)
+			key := strconv.Itoa(int(c.Kind)) + "|" + c.Arg + "|" + value
 			if s, ok := ag.global.get(key); ok {
 				return s
 			}
@@ -192,8 +204,49 @@ func (ag *aggregator) confidenceUncached(c lang.SatCond, value string) float64 {
 	return 0
 }
 
+// tokenIndex returns (building on first use) the document's token →
+// occurrences index.
+func (ag *aggregator) tokenIndex() map[string][]tokOcc {
+	if ag.tokIdx == nil {
+		ag.tokIdx = make(map[string][]tokOcc)
+		for si, s := range ag.docSents {
+			for pos := range s.Tokens {
+				w := s.Tokens[pos].Lower
+				ag.tokIdx[w] = append(ag.tokIdx[w], tokOcc{si: int32(si), pos: int32(pos)})
+			}
+		}
+	}
+	return ag.tokIdx
+}
+
+// occurrencesIn returns the occurrences of word within sentence si (a run
+// of the sorted occurrence list, located by binary search).
+func (ag *aggregator) occurrencesIn(word string, si int32) []tokOcc {
+	occ := ag.tokenIndex()[word]
+	lo := sort.Search(len(occ), func(i int) bool { return occ[i].si >= si })
+	hi := lo
+	for hi < len(occ) && occ[hi].si == si {
+		hi++
+	}
+	return occ[lo:hi]
+}
+
+// seqAt reports whether the word sequence occurs in s starting at pos.
+func seqAt(s *nlp.Sentence, pos int, words []string) bool {
+	if pos+len(words) > len(s.Tokens) {
+		return false
+	}
+	for j, w := range words {
+		if s.Tokens[pos+j].Lower != w {
+			return false
+		}
+	}
+	return true
+}
+
 // valueMentions finds (and caches) every occurrence of the value's token
-// sequence in the document.
+// sequence in the document, probing the token index by the sequence's first
+// word instead of scanning every sentence.
 func (ag *aggregator) valueMentions(value string) []mention {
 	key := strings.ToLower(value)
 	if ms, ok := ag.mentions[key]; ok {
@@ -202,9 +255,10 @@ func (ag *aggregator) valueMentions(value string) []mention {
 	words := tokensOfValue(value)
 	var ms []mention
 	if len(words) > 0 {
-		for _, s := range ag.docSents {
-			for _, pos := range findTokenSeq(s, words) {
-				ms = append(ms, mention{sent: s, l: pos, r: pos + len(words) - 1})
+		for _, oc := range ag.tokenIndex()[words[0]] {
+			s := ag.docSents[oc.si]
+			if seqAt(s, int(oc.pos), words) {
+				ms = append(ms, mention{sent: s, si: oc.si, l: int(oc.pos), r: int(oc.pos) + len(words) - 1})
 			}
 		}
 	}
@@ -253,7 +307,8 @@ func (ag *aggregator) adjacency(value, arg string, followed bool) float64 {
 
 // near implements the proximity condition: 1/(1+distance) for the closest
 // co-occurrence of the value and the string within a sentence, maximized
-// over the document.
+// over the document. The string's positions come from the token index
+// (restricted to the mention's sentence) instead of a sentence scan.
 func (ag *aggregator) near(value, arg string) float64 {
 	argToks := lowerTokens(arg)
 	if len(argToks) == 0 {
@@ -261,7 +316,11 @@ func (ag *aggregator) near(value, arg string) float64 {
 	}
 	best := 0.0
 	for _, m := range ag.valueMentions(value) {
-		for _, pos := range findTokenSeq(m.sent, argToks) {
+		for _, oc := range ag.occurrencesIn(argToks[0], m.si) {
+			pos := int(oc.pos)
+			if !seqAt(m.sent, pos, argToks) {
+				continue
+			}
 			var dist int
 			end := pos + len(argToks) - 1
 			switch {
@@ -293,28 +352,27 @@ func (ag *aggregator) descriptorScore(value, desc string, right bool) float64 {
 	if d == nil {
 		return 0
 	}
-	// Group mentions by sentence: one conf per sentence.
-	bySent := map[*nlp.Sentence][]mention{}
-	var order []*nlp.Sentence
-	for _, m := range ag.valueMentions(value) {
-		if _, ok := bySent[m.sent]; !ok {
-			order = append(order, m.sent)
-		}
-		bySent[m.sent] = append(bySent[m.sent], m)
-	}
+	// Mentions arrive in (sentence, position) order, so per-sentence groups
+	// are consecutive runs — no map grouping needed.
+	ms := ag.valueMentions(value)
 	var total float64
-	for _, s := range order {
+	for i := 0; i < len(ms); {
+		j := i + 1
+		for j < len(ms) && ms[j].si == ms[i].si {
+			j++
+		}
+		s := ms[i].sent
 		clauses := ag.decompose(s)
 		best := 0.0
-		for i, seq := range d.seqs {
-			ki := d.expansions[i].Score
+		for di, seq := range d.seqs {
+			ki := d.expansions[di].Score
 			var sum float64
 			for _, cl := range clauses {
 				// The distance between the mention and the matched terms
 				// damps the confidence (§2.2: "the distance between x and
 				// the terms similar to descriptor affects the confidence").
 				bestProx := 0.0
-				for _, m := range bySent[s] {
+				for _, m := range ms[i:j] {
 					if ok, dist := clauseContainsDirectional(&cl, seq, m, right); ok {
 						if prox := 1.0 / float64(1+dist); prox > bestProx {
 							bestProx = prox
@@ -328,6 +386,7 @@ func (ag *aggregator) descriptorScore(value, desc string, right bool) float64 {
 			}
 		}
 		total += best
+		i = j
 	}
 	return total
 }

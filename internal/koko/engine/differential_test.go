@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/koko/index"
+	"repro/internal/koko/lang"
+)
+
+// The slot-based hot path must reproduce the seed map-based evaluator
+// byte-for-byte: same assignments, same bindings, same emission order, on
+// every sentence. refeval_test.go holds the frozen seed implementation.
+
+var diffQueries = []string{
+	// Node loops + subtree + horizontal with two skippable elastic gaps.
+	`extract d:Str, s:Str from f if (/ROOT:{ v = //verb, o = v/dobj, d = (o.subtree), s = "i" + ^ + v + ^ + o })`,
+	// Anchored paths (parent/ancestor constraints) + user in-constraint.
+	`extract e:Entity, d:Str from f if (/ROOT:{ a = //verb, b = a/dobj, c = b//"delicious", d = (b.subtree) } (b) in (e))`,
+	// Entity variable inside a horizontal condition.
+	`extract x:Str from f if (/ROOT:{ a = Entity, v = //verb, x = a + ^ + v })`,
+	// Literal token variable + elastic with bracket conditions.
+	`extract x:Str from f if (/ROOT:{ v = //verb, w = "the", x = v + ^[max=2] + w })`,
+	// Wildcard-heavy path and a plain subtree output.
+	`extract w:Str from f if (/ROOT:{ n = //noun, w = (n.subtree) })`,
+	// Equality constraint between a horizontal span and a subtree.
+	`extract x:Str from f if (/ROOT:{ v = //verb, o = v/dobj, s = (o.subtree), x = o + ^ } (x) eq (s))`,
+}
+
+func diffCorpora() map[string]*index.Corpus {
+	return map[string]*index.Corpus{
+		"happydb": benchHappyDB(120, 7),
+		"cafes": index.NewCorpus(nil, []string{
+			"Juniper Lane, a cafe in Portland, serves coffee and fresh pastry.",
+			"The barista at Sightglass poured a delicious espresso for Maria.",
+			"I visited a cafe called Heart Roasters and ate a chocolate croissant.",
+			"Ritual Coffee hired a barista who won the championship in Boston.",
+			"The coffee menu at Blue Bottle lists a delicious single-origin pour-over.",
+		}),
+		"tweets": index.NewCorpus(nil, []string{
+			"The Sounders beat Portland at the stadium tonight.",
+			"We went to the arena and watched the game with friends.",
+			"Arsenal vs Chelsea was a delicious match to watch.",
+			"I am at Camp Nou watching Barcelona play soccer.",
+			"Go Hawks! The team played great at CenturyLink Field.",
+		}),
+	}
+}
+
+// refCountOf adapts the slot-indexed DPLI count arrays back to the seed's
+// by-name interface for the frozen reference evaluator.
+func refCountOf(d *dpliResult, nq *normQuery, sid int32) func(string) int {
+	return func(name string) int {
+		v := nq.byName[name]
+		if v == nil || v.slot >= len(d.counts) {
+			return 0
+		}
+		vc := d.counts[v.slot]
+		i := sort.Search(len(vc.sids), func(i int) bool { return vc.sids[i] >= sid })
+		if i < len(vc.sids) && vc.sids[i] == sid {
+			return int(vc.counts[i])
+		}
+		return 0
+	}
+}
+
+func TestSlotEvalMatchesSeedSemantics(t *testing.T) {
+	model := embed.NewModel()
+	for cname, c := range diffCorpora() {
+		ix := index.Build(c)
+		for _, src := range diffQueries {
+			for _, gspOff := range []bool{false, true} {
+				nq, err := normalize(lang.MustParse(src), model, 0)
+				if err != nil {
+					t.Fatalf("%s: normalize(%s): %v", cname, src, err)
+				}
+				dpli := runDPLI(nq, ix)
+				rc := newRECache()
+				cc := newCountCursor(dpli, len(nq.vars))
+				ev := newSentEval(nq, rc, gspOff)
+				total := 0
+				for sid := 0; sid < c.NumSentences(); sid++ {
+					s := c.Sentence(sid)
+					want := refEvalSentence(nq, s, rc, refCountOf(dpli, nq, int32(sid)), gspOff)
+					got := ev.evalSentence(s, &cc, int32(sid))
+					if got != len(want) {
+						t.Fatalf("%s gspOff=%v sid=%d: %d assignments, seed emitted %d\nquery: %s",
+							cname, gspOff, sid, got, len(want), src)
+					}
+					for i := 0; i < got; i++ {
+						a := ev.out(i)
+						for _, v := range nq.vars {
+							wb, ok := want[i][v.name]
+							if !ok {
+								t.Fatalf("%s sid=%d: seed assignment %d misses %q", cname, sid, i, v.name)
+							}
+							if a[v.slot] != wb {
+								t.Fatalf("%s gspOff=%v sid=%d assignment %d var %q: slot=%+v seed=%+v\nquery: %s",
+									cname, gspOff, sid, i, v.name, a[v.slot], wb, src)
+							}
+						}
+					}
+					total += got
+				}
+				if cname == "happydb" && !gspOff && total == 0 && src == diffQueries[0] {
+					t.Fatalf("%s: workload query matched nothing — test corpus too weak", cname)
+				}
+			}
+		}
+	}
+}
+
+// TestSlotEvalRandomizedCorpora fuzzes sentence shapes: random token soups
+// (plus template sentences) keep the parser producing varied trees; slot
+// and seed evaluators must agree everywhere.
+func TestSlotEvalRandomizedCorpora(t *testing.T) {
+	model := embed.NewModel()
+	for seed := int64(1); seed <= 5; seed++ {
+		c := benchHappyDB(60, seed*101)
+		ix := index.Build(c)
+		for _, src := range diffQueries {
+			nq, err := normalize(lang.MustParse(src), model, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dpli := runDPLI(nq, ix)
+			rc := newRECache()
+			cc := newCountCursor(dpli, len(nq.vars))
+			ev := newSentEval(nq, rc, false)
+			for sid := 0; sid < c.NumSentences(); sid++ {
+				s := c.Sentence(sid)
+				want := refEvalSentence(nq, s, rc, refCountOf(dpli, nq, int32(sid)), false)
+				got := ev.evalSentence(s, &cc, int32(sid))
+				if got != len(want) {
+					t.Fatalf("seed=%d sid=%d: %d vs %d assignments (%s)", seed, sid, got, len(want), src)
+				}
+				for i := 0; i < got; i++ {
+					a := ev.out(i)
+					for _, v := range nq.vars {
+						if a[v.slot] != want[i][v.name] {
+							t.Fatalf("seed=%d sid=%d assignment %d var %q differs", seed, sid, i, v.name)
+						}
+					}
+				}
+			}
+		}
+	}
+}

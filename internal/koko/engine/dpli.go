@@ -7,6 +7,16 @@ import (
 	"repro/internal/koko/lang"
 )
 
+// varCounts estimates |bindings[v][sid]| for one variable as two parallel
+// arrays sorted by sid — the flat replacement for the seed's
+// map[string]map[int32]int count tables. Lookups during evaluation walk the
+// arrays with a per-worker cursor (sids are visited in ascending order), so
+// the GSP cost model costs O(1) amortized per probe and zero allocations.
+type varCounts struct {
+	sids   []int32
+	counts []int32
+}
+
 // dpliResult carries the outcome of the Decompose-Paths-and-Lookup-Indices
 // module (Algorithm 1): candidate sentences and per-variable binding
 // estimates.
@@ -19,25 +29,47 @@ type dpliResult struct {
 	// allSentences is set when no variable constrains the candidate set
 	// (empty extract clause): every sentence must be considered.
 	allSentences bool
-	// countBySid[var][sid] estimates |bindings[v][sid]| for the GSP cost
-	// model; counts come from the variable's dominant path (Example 4.5).
-	countBySid map[string]map[int32]int
+	// counts[slot] estimates |bindings[v][sid]| for the GSP cost model;
+	// counts come from the variable's dominant path (Example 4.5). nil for
+	// a run without estimates (RunNaive).
+	counts []varCounts
+}
+
+// countsOfPostings collapses a (sid,tid)-sorted posting list into per-sid
+// occurrence counts in one linear pass.
+func countsOfPostings(ps []index.Posting) varCounts {
+	var vc varCounts
+	for i := 0; i < len(ps); {
+		j := i + 1
+		for j < len(ps) && ps[j].Sid == ps[i].Sid {
+			j++
+		}
+		vc.sids = append(vc.sids, ps[i].Sid)
+		vc.counts = append(vc.counts, int32(j-i))
+		i = j
+	}
+	return vc
+}
+
+// countsOfEntities is countsOfPostings for (sid,u)-sorted entity postings.
+func countsOfEntities(eps []index.EntityPosting) varCounts {
+	var vc varCounts
+	for i := 0; i < len(eps); {
+		j := i + 1
+		for j < len(eps) && eps[j].Sid == eps[i].Sid {
+			j++
+		}
+		vc.sids = append(vc.sids, eps[i].Sid)
+		vc.counts = append(vc.counts, int32(j-i))
+		i = j
+	}
+	return vc
 }
 
 // runDPLI implements §4.2 over the multi-index.
 func runDPLI(nq *normQuery, ix *index.Index) *dpliResult {
-	res := &dpliResult{countBySid: map[string]map[int32]int{}}
+	res := &dpliResult{counts: make([]varCounts, len(nq.vars))}
 	var sidSets [][]int32
-	addCounts := func(name string, ps []index.Posting) {
-		m := res.countBySid[name]
-		if m == nil {
-			m = map[int32]int{}
-			res.countBySid[name] = m
-		}
-		for _, p := range ps {
-			m[p.Sid]++
-		}
-	}
 
 	// Entity variables: posting lists from the entity index.
 	for _, v := range nq.vars {
@@ -49,17 +81,9 @@ func runDPLI(nq *normQuery, ix *index.Index) *dpliResult {
 			res.exhausted = true
 			return res
 		}
-		m := map[int32]int{}
-		var sids []int32
-		for _, ep := range eps {
-			if m[ep.Sid] == 0 {
-				sids = append(sids, ep.Sid)
-			}
-			m[ep.Sid]++
-		}
-		res.countBySid[v.name] = m
-		sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
-		sidSets = append(sidSets, sids)
+		vc := countsOfEntities(eps)
+		res.counts[v.slot] = vc
+		sidSets = append(sidSets, vc.sids)
 	}
 
 	// Literal token-sequence variables prune through the word index.
@@ -72,33 +96,41 @@ func runDPLI(nq *normQuery, ix *index.Index) *dpliResult {
 			res.exhausted = true
 			return res
 		}
-		addCounts(v.name, ix.LookupWord(v.words[0]))
+		res.counts[v.slot] = countsOfPostings(ix.LookupWord(v.words[0]))
 		sidSets = append(sidSets, sids)
 	}
 
 	// Dominant paths (§4.2.1): decompose and look up each; dominated
 	// variables inherit their dominant path's bindings.
 	dominant, repOf := nq.dominantPaths()
-	domPostings := map[string][]index.Posting{}
+	domCounts := map[string]varCounts{}
 	for _, dv := range dominant {
 		ps, ok := LookupDecomposed(ix, dv.path)
 		if !ok {
 			res.exhausted = true
 			return res
 		}
-		domPostings[dv.name] = ps
-		sidSets = append(sidSets, index.SidsOf(ps))
+		vc := countsOfPostings(ps)
+		domCounts[dv.name] = vc
+		sidSets = append(sidSets, vc.sids)
 	}
 	for _, v := range nq.nodeVars() {
-		addCounts(v.name, domPostings[repOf[v.name].name])
+		res.counts[v.slot] = domCounts[repOf[v.name].name]
 	}
 
 	if len(sidSets) == 0 {
 		res.allSentences = true
 		return res
 	}
+	// Intersect smallest-first: start from the most selective set so every
+	// later intersection (galloping inside IntersectSids) works on the
+	// smallest possible frontier.
+	sort.Slice(sidSets, func(i, j int) bool { return len(sidSets[i]) < len(sidSets[j]) })
 	cand := sidSets[0]
 	for _, s := range sidSets[1:] {
+		if len(cand) == 0 {
+			break
+		}
 		cand = index.IntersectSids(cand, s)
 	}
 	res.candSids = cand
@@ -106,6 +138,36 @@ func runDPLI(nq *normQuery, ix *index.Index) *dpliResult {
 		res.exhausted = true
 	}
 	return res
+}
+
+// countCursor walks the per-slot count arrays for one worker. Sentence ids
+// ascend within a worker's document stream, so each slot needs only a
+// forward cursor — no map lookups, no binary search in the common case.
+type countCursor struct {
+	d   *dpliResult
+	pos []int
+}
+
+func newCountCursor(d *dpliResult, numVars int) countCursor {
+	return countCursor{d: d, pos: make([]int, numVars)}
+}
+
+// at returns the binding estimate for (slot, sid). sid must be
+// non-decreasing across calls for a given slot.
+func (cc *countCursor) at(slot int, sid int32) int {
+	if cc.d == nil || slot >= len(cc.d.counts) {
+		return 0
+	}
+	vc := &cc.d.counts[slot]
+	p := cc.pos[slot]
+	for p < len(vc.sids) && vc.sids[p] < sid {
+		p++
+	}
+	cc.pos[slot] = p
+	if p < len(vc.sids) && vc.sids[p] == sid {
+		return int(vc.counts[p])
+	}
+	return 0
 }
 
 // AblationMode selects which index families DPLI may consult — the
@@ -284,20 +346,7 @@ func LookupDecomposedMode(ix *index.Index, steps []lang.PathStep, mode AblationM
 	}
 	// Otherwise the last word is an ancestor of the path's final token:
 	// return p's quintuples that have a suitable ancestor in Q.
-	gap := int32(m - 1 - last.step)
-	exact := exactBetween(last.step, m-1)
-	out := p[:0:0]
-	for _, pp := range p {
-		for _, qq := range q {
-			if qq.Sid != pp.Sid {
-				continue
-			}
-			if qq.U <= pp.U && qq.V >= pp.V && depthOK(pp.D, qq.D, gap, exact) {
-				out = append(out, pp)
-				break
-			}
-		}
-	}
+	out := joinHasAncestor(p, q, int32(m-1-last.step), exactBetween(last.step, m-1))
 	if len(out) == 0 {
 		return nil, false
 	}
@@ -335,16 +384,55 @@ func filterByDepth(ps []index.Posting, step int32, exact bool) []index.Posting {
 	return out
 }
 
+// seekSid returns the smallest index i >= from with ps[i].Sid >= sid,
+// galloping forward then binary searching — the merge joins use it to skip
+// runs instead of scanning posting by posting.
+func seekSid(ps []index.Posting, from int, sid int32) int {
+	if from >= len(ps) || ps[from].Sid >= sid {
+		return from
+	}
+	// Gallop: double the step until we overshoot.
+	step := 1
+	lo, hi := from, from+1
+	for hi < len(ps) && ps[hi].Sid < sid {
+		lo = hi
+		step *= 2
+		hi += step
+	}
+	if hi > len(ps) {
+		hi = len(ps)
+	}
+	// Binary search within (lo, hi].
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ps[mid].Sid < sid {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // joinSameToken intersects two sorted posting lists on (sid, tid), keeping
-// the quintuples of the first list.
+// the quintuples of the first list. Runs of non-matching sentences are
+// skipped with a galloping seek rather than element-by-element.
 func joinSameToken(a, b []index.Posting) []index.Posting {
 	var out []index.Posting
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
+		if a[i].Sid != b[j].Sid {
+			if a[i].Sid < b[j].Sid {
+				i = seekSid(a, i, b[j].Sid)
+			} else {
+				j = seekSid(b, j, a[i].Sid)
+			}
+			continue
+		}
 		switch {
-		case a[i].Sid < b[j].Sid || (a[i].Sid == b[j].Sid && a[i].Tid < b[j].Tid):
+		case a[i].Tid < b[j].Tid:
 			i++
-		case b[j].Sid < a[i].Sid || (b[j].Sid == a[i].Sid && b[j].Tid < a[i].Tid):
+		case b[j].Tid < a[i].Tid:
 			j++
 		default:
 			out = append(out, a[i])
@@ -357,23 +445,69 @@ func joinSameToken(a, b []index.Posting) []index.Posting {
 
 // joinAncestorDescendant returns the quintuples of next that have an
 // ancestor in cur at the required depth difference (Example 4.4's join:
-// x1=x2, u1<=u2, v1>=v2, l2 >= l1+gap, or equality when exact).
+// x1=x2, u1<=u2, v1>=v2, l2 >= l1+gap, or equality when exact). Both lists
+// are (sid,tid)-sorted; the join aligns per-sentence runs with galloping
+// seeks and only does quadratic work within one sentence's (small) runs.
 func joinAncestorDescendant(cur, next []index.Posting, gap int32, exact bool) []index.Posting {
 	var out []index.Posting
-	// Both lists are sorted by sid; sweep per sentence.
-	i := 0
-	for j := 0; j < len(next); j++ {
-		q := next[j]
-		for i < len(cur) && cur[i].Sid < q.Sid {
-			i++
+	i, j := 0, 0
+	for i < len(cur) && j < len(next) {
+		if cur[i].Sid < next[j].Sid {
+			i = seekSid(cur, i, next[j].Sid)
+			continue
 		}
-		for k := i; k < len(cur) && cur[k].Sid == q.Sid; k++ {
-			c := cur[k]
-			if c.U <= q.U && c.V >= q.V && depthOK(q.D, c.D, gap, exact) {
-				out = append(out, q)
-				break
+		if next[j].Sid < cur[i].Sid {
+			j = seekSid(next, j, cur[i].Sid)
+			continue
+		}
+		sid := cur[i].Sid
+		ie := seekSid(cur, i, sid+1)
+		je := seekSid(next, j, sid+1)
+		for jj := j; jj < je; jj++ {
+			q := next[jj]
+			for k := i; k < ie; k++ {
+				c := cur[k]
+				if c.U <= q.U && c.V >= q.V && depthOK(q.D, c.D, gap, exact) {
+					out = append(out, q)
+					break
+				}
 			}
 		}
+		i, j = ie, je
+	}
+	return out
+}
+
+// joinHasAncestor keeps the quintuples of p that have an ancestor in q at
+// the required depth difference — the final P⋈Q join of §4.2.2. Like
+// joinAncestorDescendant it is a per-sid merge join: q's matching run is
+// found by galloping seek instead of rescanning the whole list per posting.
+func joinHasAncestor(p, q []index.Posting, gap int32, exact bool) []index.Posting {
+	var out []index.Posting
+	i, j := 0, 0
+	for i < len(p) && j < len(q) {
+		if p[i].Sid < q[j].Sid {
+			i = seekSid(p, i, q[j].Sid)
+			continue
+		}
+		if q[j].Sid < p[i].Sid {
+			j = seekSid(q, j, p[i].Sid)
+			continue
+		}
+		sid := p[i].Sid
+		ie := seekSid(p, i, sid+1)
+		je := seekSid(q, j, sid+1)
+		for ii := i; ii < ie; ii++ {
+			pp := p[ii]
+			for k := j; k < je; k++ {
+				qq := q[k]
+				if qq.U <= pp.U && qq.V >= pp.V && depthOK(pp.D, qq.D, gap, exact) {
+					out = append(out, pp)
+					break
+				}
+			}
+		}
+		i, j = ie, je
 	}
 	return out
 }

@@ -166,49 +166,62 @@ func (e *Engine) RunNaive(q *lang.Query) (*Result, error) {
 		cands[i] = int32(i)
 	}
 	res.CandidateSentences = len(cands)
-	e.evaluateCandidates(nq, &dpliResult{countBySid: map[string]map[int32]int{}}, cands, res,
+	e.evaluateCandidates(nq, &dpliResult{}, cands, res,
 		RunOptions{Workers: e.opts.Workers, Explain: e.opts.Explain})
 	return res, nil
 }
 
+// docRange is one document's contiguous slice of the candidate list.
+type docRange struct {
+	doc    int
+	lo, hi int
+}
+
 func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int32, res *Result, ro RunOptions) {
 	// Group candidate sentences by document (evidence aggregation and
-	// article loading are document-scoped).
-	byDoc := map[int][]int32{}
-	var docOrder []int
-	for _, sid := range cands {
-		d := e.corpus.DocOfSent[sid]
-		if _, ok := byDoc[d]; !ok {
-			docOrder = append(docOrder, d)
+	// article loading are document-scoped). cands is sorted and DocOfSent is
+	// non-decreasing in sid, so grouping is one linear pass — no map, no
+	// re-sort, and document order falls out ascending.
+	var ranges []docRange
+	for i := 0; i < len(cands); {
+		d := e.corpus.DocOfSent[cands[i]]
+		j := i + 1
+		for j < len(cands) && e.corpus.DocOfSent[cands[j]] == d {
+			j++
 		}
-		byDoc[d] = append(byDoc[d], sid)
+		ranges = append(ranges, docRange{doc: d, lo: i, hi: j})
+		i = j
 	}
-	sort.Ints(docOrder)
 
 	workers := ro.Workers
 	if workers <= 1 {
-		for _, d := range docOrder {
-			dr := e.evalDoc(nq, dpli, d, byDoc[d], ro)
+		w := e.newDocWorker(nq, dpli, ro)
+		for _, r := range ranges {
+			dr := w.evalDoc(r.doc, cands[r.lo:r.hi])
 			mergeDocResult(res, dr)
 		}
 		return
 	}
 	// Parallel mode: one goroutine per worker pulls documents from a shared
 	// cursor; results merge in document order so output is deterministic.
-	results := make([]docEvalResult, len(docOrder))
+	// Each worker owns a private sentEval scratch and count cursor — shared
+	// state is read-only, so workers share nothing mutable and allocate
+	// almost nothing per sentence.
+	results := make([]docEvalResult, len(ranges))
 	var next int64
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			w := e.newDocWorker(nq, dpli, ro)
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(docOrder) {
+				if i >= len(ranges) {
 					return
 				}
-				d := docOrder[i]
-				results[i] = e.evalDoc(nq, dpli, d, byDoc[d], ro)
+				r := ranges[i]
+				results[i] = w.evalDoc(r.doc, cands[r.lo:r.hi])
 			}
 		}()
 	}
@@ -236,90 +249,59 @@ func mergeDocResult(res *Result, dr docEvalResult) {
 	res.EvaluatedSentences += dr.evaluated
 }
 
+// docWorker is one evaluation worker's private state: the reusable
+// per-sentence scratch and the forward cursor into the DPLI count tables.
+// One exists per goroutine in parallel mode, so nothing here needs locks.
+type docWorker struct {
+	e  *Engine
+	nq *normQuery
+	ro RunOptions
+	ev *sentEval
+	cc countCursor
+}
+
+func (e *Engine) newDocWorker(nq *normQuery, dpli *dpliResult, ro RunOptions) *docWorker {
+	return &docWorker{
+		e:  e,
+		nq: nq,
+		ro: ro,
+		ev: newSentEval(nq, e.rc, e.opts.DisableSkipPlan),
+		cc: newCountCursor(dpli, len(nq.vars)),
+	}
+}
+
 // evalDoc evaluates every candidate sentence of one document: GSP + nested
 // loops per sentence, then satisfying/excluding per assignment against the
 // document-scoped aggregator.
-func (e *Engine) evalDoc(nq *normQuery, dpli *dpliResult, d int, sids []int32, ro RunOptions) docEvalResult {
+func (w *docWorker) evalDoc(d int, sids []int32) docEvalResult {
+	e, nq := w.e, w.nq
 	var dr docEvalResult
-	docSents, sentAt, loadDur := e.loadDoc(d)
-	dr.times.LoadArticle = loadDur
-
-	var ag *aggregator
-	if len(nq.satisfying) > 0 || len(nq.excluding) > 0 {
-		ag = newAggregator(nq, e.model, e.opts.Dicts, e.rc, e.globalScores, docSents)
-	}
-	for _, sid := range sids {
-		s := sentAt(sid)
-		if s == nil {
-			continue
-		}
-		dr.evaluated++
-		counts := dpli.countBySid
-		countOf := func(name string) int {
-			if m, ok := counts[name]; ok {
-				return m[sid]
-			}
-			return 0
-		}
-		ev := &sentEval{
-			nq: nq, s: s, rc: e.rc,
-			skip:    map[string]bool{},
-			cands:   map[string][]binding{},
-			nodeSet: map[string]map[int]bool{},
-			gspOff:  e.opts.DisableSkipPlan,
-		}
-		// GSP timing: the plan-generation step is measured apart from the
-		// nested-loop evaluation (Table 2's GSP vs extract columns).
-		if !e.opts.DisableSkipPlan {
-			tg := time.Now()
-			ev.generateSkipPlan(countOf)
-			dr.times.GSP += time.Since(tg)
-		}
-		tx := time.Now()
-		if ev.buildCandidates() {
-			var enum []*normVar
-			for _, v := range nq.vars {
-				if ev.isEnumerable(v) {
-					enum = append(enum, v)
-				}
-			}
-			ev.enumerate(enum, 0, assignment{})
-		}
-		asgs := ev.out
-		dr.times.Extract += time.Since(tx)
-		if len(asgs) == 0 {
-			continue
-		}
-		dr.matched++
-
-		ts := time.Now()
-		for _, a := range asgs {
-			tuple, ok := e.finishTuple(nq, s, d, a, ag, ro.Explain)
-			if ok {
-				dr.tuples = append(dr.tuples, tuple)
-			}
-		}
-		dr.times.Satisfying += time.Since(ts)
-	}
-	return dr
-}
-
-// loadDoc returns the document's sentences (loading from the article DB when
-// configured), a sid→sentence accessor, and the load duration.
-func (e *Engine) loadDoc(d int) ([]*nlp.Sentence, func(int32) *nlp.Sentence, time.Duration) {
+	needAg := len(nq.satisfying) > 0 || len(nq.excluding) > 0
 	first, end := e.corpus.DocSentences(d)
+
 	if e.opts.ArticleDB == nil {
-		sents := make([]*nlp.Sentence, 0, end-first)
-		for sid := first; sid < end; sid++ {
-			sents = append(sents, e.corpus.Sentence(sid))
-		}
-		return sents, func(sid int32) *nlp.Sentence {
-			if int(sid) < first || int(sid) >= end {
-				return nil
+		// In-memory corpus: sentences are addressed directly — no sentence
+		// slice and no accessor closure, so a document with no aggregate
+		// clauses costs zero allocations to set up.
+		var ag *aggregator
+		if needAg {
+			sents := make([]*nlp.Sentence, 0, end-first)
+			for sid := first; sid < end; sid++ {
+				sents = append(sents, e.corpus.Sentence(sid))
 			}
-			return e.corpus.Sentence(int(sid))
-		}, 0
+			ag = newAggregator(nq, e.model, e.opts.Dicts, e.rc, e.globalScores, sents)
+		}
+		for _, sid := range sids {
+			if int(sid) < first || int(sid) >= end {
+				continue
+			}
+			w.evalOneSentence(&dr, d, e.corpus.Sentence(int(sid)), sid, ag)
+		}
+		return dr
 	}
+
+	// Article-DB mode: candidate articles load from the on-disk parsed
+	// corpus (the paper's LoadArticle phase).
 	t0 := time.Now()
 	sents := make([]*nlp.Sentence, 0, end-first)
 	bySid := map[int32]*nlp.Sentence{}
@@ -331,30 +313,67 @@ func (e *Engine) loadDoc(d int) ([]*nlp.Sentence, func(int32) *nlp.Sentence, tim
 		sents = append(sents, s)
 		bySid[int32(sid)] = s
 	}
-	return sents, func(sid int32) *nlp.Sentence { return bySid[sid] }, time.Since(t0)
+	dr.times.LoadArticle = time.Since(t0)
+	var ag *aggregator
+	if needAg {
+		ag = newAggregator(nq, e.model, e.opts.Dicts, e.rc, e.globalScores, sents)
+	}
+	for _, sid := range sids {
+		s := bySid[sid]
+		if s == nil {
+			continue
+		}
+		w.evalOneSentence(&dr, d, s, sid, ag)
+	}
+	return dr
+}
+
+// evalOneSentence runs GSP + extract + satisfying over one sentence,
+// accumulating phase times and tuples into dr.
+func (w *docWorker) evalOneSentence(dr *docEvalResult, d int, s *nlp.Sentence, sid int32, ag *aggregator) {
+	e, nq, ev := w.e, w.nq, w.ev
+	dr.evaluated++
+	// GSP timing: the plan-generation step is measured apart from the
+	// nested-loop evaluation (Table 2's GSP vs extract columns).
+	if !e.opts.DisableSkipPlan {
+		tg := time.Now()
+		ev.prepare(s, &w.cc, sid)
+		dr.times.GSP += time.Since(tg)
+	} else {
+		ev.prepare(s, &w.cc, sid)
+	}
+	tx := time.Now()
+	nout := ev.extract()
+	dr.times.Extract += time.Since(tx)
+	if nout == 0 {
+		return
+	}
+	dr.matched++
+
+	ts := time.Now()
+	for i := 0; i < nout; i++ {
+		tuple, ok := e.finishTuple(nq, s, d, ev.out(i), ag, w.ro.Explain)
+		if ok {
+			dr.tuples = append(dr.tuples, tuple)
+		}
+	}
+	dr.times.Satisfying += time.Since(ts)
 }
 
 // finishTuple renders output values, applies satisfying clauses (threshold)
-// and excluding conditions.
+// and excluding conditions. The assignment is fully bound (deriveAndEmit
+// only emits complete assignments), so every access is a direct slot index.
 func (e *Engine) finishTuple(nq *normQuery, s *nlp.Sentence, doc int, a assignment, ag *aggregator, explain bool) (Tuple, bool) {
 	t := Tuple{Sid: s.ID, Doc: doc, Values: make([]string, len(nq.outputs))}
-	for i, o := range nq.outputs {
-		b, ok := a[o.Name]
-		if !ok {
-			return t, false
-		}
-		t.Values[i] = valueOf(s, b)
+	for i, slot := range nq.outSlots {
+		t.Values[i] = valueOf(s, a[slot])
 	}
-	// Satisfying clauses: one per variable; the clause's variable must be
-	// bound, its value must accumulate enough evidence.
+	// Satisfying clauses: one per variable; the clause's value must
+	// accumulate enough evidence.
 	if len(nq.satisfying) > 0 {
 		t.Scores = map[string]float64{}
 		for i, sc := range nq.satisfying {
-			b, ok := a[sc.Var]
-			if !ok {
-				return t, false
-			}
-			val := valueOf(s, b)
+			val := valueOf(s, a[nq.satSlots[i]])
 			score := ag.clauseScore(i, val)
 			t.Scores[sc.Var] = score
 			if score < sc.Threshold {
@@ -365,12 +384,12 @@ func (e *Engine) finishTuple(nq *normQuery, s *nlp.Sentence, doc int, a assignme
 			}
 		}
 	}
-	for _, c := range nq.excluding {
-		b, ok := a[c.Var]
-		if !ok {
+	for i, c := range nq.excluding {
+		slot := nq.exclSlots[i]
+		if slot < 0 {
 			continue
 		}
-		if ag != nil && ag.excluded(c, valueOf(s, b)) {
+		if ag != nil && ag.excluded(c, valueOf(s, a[slot])) {
 			return t, false
 		}
 	}

@@ -1,10 +1,10 @@
 package engine
 
 import (
-	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/koko/lang"
 	"repro/internal/nlp"
 )
 
@@ -22,51 +22,144 @@ type binding struct {
 	tid int // token id for node variables, -1 otherwise
 }
 
-// assignment maps variable names to bindings.
-type assignment map[string]binding
+// assignment is a slot-indexed binding vector: entry v.slot holds variable
+// v's binding. Assignments handed to finishTuple are always fully bound
+// (deriveAndEmit only emits complete assignments); partially-bound working
+// state tracks boundness in a separate bitmask.
+type assignment []binding
 
-// sentEval evaluates the extract clause over one sentence (§4.3: skip plan,
-// nested loops, alignment, validation).
-type sentEval struct {
-	nq    *normQuery
-	s     *nlp.Sentence
-	rc    *reCache
-	skip  map[string]bool
-	cands map[string][]binding
-	// nodeSet caches matchPathTokens results per node variable for O(1)
-	// validation of skipped node variables.
-	nodeSet map[string]map[int]bool
-	out     []assignment
-	gspOff  bool
+// bitmask is a variable-count bound set. Queries rarely exceed one word.
+type bitmask []uint64
+
+func newBitmask(n int) bitmask   { return make(bitmask, (n+63)/64) }
+func (m bitmask) set(i int)      { m[i>>6] |= 1 << (uint(i) & 63) }
+func (m bitmask) clear(i int)    { m[i>>6] &^= 1 << (uint(i) & 63) }
+func (m bitmask) has(i int) bool { return m[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (m bitmask) reset() {
+	for i := range m {
+		m[i] = 0
+	}
+}
+func (m bitmask) copyFrom(o bitmask) { copy(m, o) }
+
+// gspCost is one skip-plan cost entry (generateSkipPlan scratch): a
+// component's variable slot, its position within the horizontal, and its
+// estimated binding count.
+type gspCost struct {
+	slot int
+	pos  int
+	cost float64
 }
 
-// evalSentence runs the extract clause over sentence s and returns all
-// satisfying assignments. countOf supplies the GSP cost estimates
-// (|bindings[v][sid]|); it may be nil (cost 0 → never skipped).
-func evalSentence(nq *normQuery, s *nlp.Sentence, rc *reCache, countOf func(name string) int, gspOff bool) []assignment {
+// sentEval evaluates the extract clause over one sentence (§4.3: skip plan,
+// nested loops, alignment, validation). It is a reusable per-worker scratch:
+// all slices below are allocated once per worker, reset per sentence, and
+// shared with nothing — Workers>1 runs allocate almost nothing per sentence.
+type sentEval struct {
+	nq     *normQuery
+	rc     *reCache
+	gspOff bool
+	s      *nlp.Sentence
+
+	skip  []bool      // slot -> skipped by the plan this sentence
+	cands [][]binding // slot -> candidate bindings (buffers reused)
+
+	// nodeTids caches the sorted matchPathTokens result per node-variable
+	// slot for O(log n) validation of skipped node variables; nodeDone marks
+	// which slots are valid for the current sentence.
+	nodeTids [][]int32
+	nodeDone []bool
+
+	// path-matching scratch (matchPath): the memo table and match bitmap.
+	pathSeen    []bool
+	pathMatched []bool
+
+	enum []*normVar // enumerable variables this sentence
+
+	work    assignment // nested-loop working assignment
+	workSet bitmask
+	full    assignment // derivation scratch
+	fullSet bitmask
+
+	alignSp []span // alignSpan tiling scratch
+	alignOk []bool
+
+	costs []gspCost // generateSkipPlan scratch
+
+	// outB is the flat emission arena: assignment i is
+	// outB[i*numVars : (i+1)*numVars]. Consumed per sentence, reused.
+	outB []binding
+	nout int
+}
+
+// newSentEval builds the reusable scratch for one worker.
+func newSentEval(nq *normQuery, rc *reCache, gspOff bool) *sentEval {
+	n := len(nq.vars)
 	ev := &sentEval{
-		nq:      nq,
-		s:       s,
-		rc:      rc,
-		skip:    map[string]bool{},
-		cands:   map[string][]binding{},
-		nodeSet: map[string]map[int]bool{},
-		gspOff:  gspOff,
+		nq:       nq,
+		rc:       rc,
+		gspOff:   gspOff,
+		skip:     make([]bool, n),
+		cands:    make([][]binding, n),
+		nodeTids: make([][]int32, n),
+		nodeDone: make([]bool, n),
+		enum:     make([]*normVar, 0, n),
+		work:     make(assignment, n),
+		workSet:  newBitmask(n),
+		full:     make(assignment, n),
+		fullSet:  newBitmask(n),
+		alignSp:  make([]span, nq.maxComps),
+		alignOk:  make([]bool, nq.maxComps),
+		costs:    make([]gspCost, 0, nq.maxComps),
 	}
-	if !gspOff {
-		ev.generateSkipPlan(countOf)
+	return ev
+}
+
+// prepare resets the scratch for sentence sid and generates the skip plan
+// (unless GSP is off). cc supplies the DPLI binding estimates; a cursor
+// with no data (RunNaive) makes every non-elastic cost 0.
+func (ev *sentEval) prepare(s *nlp.Sentence, cc *countCursor, sid int32) {
+	ev.s = s
+	for i := range ev.skip {
+		ev.skip[i] = false
+		ev.nodeDone[i] = false
 	}
+	ev.workSet.reset()
+	ev.outB = ev.outB[:0]
+	ev.nout = 0
+	if !ev.gspOff {
+		ev.generateSkipPlan(cc, sid)
+	}
+}
+
+// extract runs candidate building and the nested loops. It returns the
+// number of emitted assignments, which live in the scratch arena (read them
+// with out) and stay valid until the next prepare call.
+func (ev *sentEval) extract() int {
 	if !ev.buildCandidates() {
-		return nil
+		return 0
 	}
-	var enum []*normVar
-	for _, v := range nq.vars {
+	ev.enum = ev.enum[:0]
+	for _, v := range ev.nq.vars {
 		if ev.isEnumerable(v) {
-			enum = append(enum, v)
+			ev.enum = append(ev.enum, v)
 		}
 	}
-	ev.enumerate(enum, 0, assignment{})
-	return ev.out
+	ev.enumerate(0)
+	return ev.nout
+}
+
+// evalSentence is prepare + extract in one call, for callers that don't
+// split phase timing (tests).
+func (ev *sentEval) evalSentence(s *nlp.Sentence, cc *countCursor, sid int32) int {
+	ev.prepare(s, cc, sid)
+	return ev.extract()
+}
+
+// out returns emitted assignment i (valid until the next evalSentence).
+func (ev *sentEval) out(i int) assignment {
+	n := len(ev.nq.vars)
+	return assignment(ev.outB[i*n : (i+1)*n])
 }
 
 // isEnumerable reports whether a variable gets its own nested loop. Derived
@@ -76,7 +169,7 @@ func (ev *sentEval) isEnumerable(v *normVar) bool {
 	if v.kind == vkSubtree || v.kind == vkSpan {
 		return false
 	}
-	return !ev.skip[v.name]
+	return !ev.skip[v.slot]
 }
 
 // generateSkipPlan implements Algorithm 2 with one soundness refinement: a
@@ -84,52 +177,56 @@ func (ev *sentEval) isEnumerable(v *normVar) bool {
 // the horizontal condition (boundary variables would leave the span's
 // extent undetermined, making alignment ambiguous). The paper's own
 // examples (v1, v2 in Example 4.6) skip interior variables only.
-func (ev *sentEval) generateSkipPlan(countOf func(string) int) {
+func (ev *sentEval) generateSkipPlan(cc *countCursor, sid int32) {
 	t := len(ev.s.Tokens)
 	for _, h := range ev.nq.horizontals {
-		type vc struct {
-			name string
-			cost float64
-		}
-		costs := make([]vc, 0, len(h.comps))
-		for _, cn := range h.comps {
-			v := ev.nq.byName[cn]
+		costs := ev.costs[:0]
+		for pos, cs := range h.compSlots {
+			v := ev.nq.vars[cs]
 			var c float64
 			switch v.kind {
 			case vkElastic:
 				c = float64(t) * float64(t+1) / 2
 			case vkSubtree:
-				if countOf != nil {
-					c = float64(countOf(v.base))
+				if cc != nil {
+					c = float64(cc.at(v.baseSlot, sid))
 				}
 			default:
-				if countOf != nil {
-					c = float64(countOf(cn))
+				if cc != nil {
+					c = float64(cc.at(cs, sid))
 				}
 			}
-			costs = append(costs, vc{name: cn, cost: c})
+			costs = append(costs, gspCost{slot: cs, pos: pos, cost: c})
 		}
-		sort.Slice(costs, func(i, j int) bool {
-			if costs[i].cost != costs[j].cost {
-				return costs[i].cost > costs[j].cost
+		// Insertion sort by (cost desc, name asc) — the same total order the
+		// seed engine used; component counts are tiny, and this allocates
+		// nothing.
+		for i := 1; i < len(costs); i++ {
+			for j := i; j > 0 && ev.costLess(costs[j], costs[j-1]); j-- {
+				costs[j], costs[j-1] = costs[j-1], costs[j]
 			}
-			return costs[i].name < costs[j].name
-		})
-		pos := map[string]int{}
-		for i, cn := range h.comps {
-			pos[cn] = i
 		}
 		for _, c := range costs {
-			i := pos[c.name]
-			if i == 0 || i == len(h.comps)-1 {
+			i := c.pos
+			if i == 0 || i == len(h.compSlots)-1 {
 				continue // boundary: not skippable
 			}
-			vl, vr := h.comps[i-1], h.comps[i+1]
+			vl, vr := h.compSlots[i-1], h.compSlots[i+1]
 			if !ev.skip[vl] && !ev.skip[vr] {
-				ev.skip[c.name] = true
+				ev.skip[c.slot] = true
 			}
 		}
+		ev.costs = costs[:0]
 	}
+}
+
+// costLess orders skip-plan candidates: higher cost first, variable name as
+// the deterministic tiebreak (matching the seed semantics).
+func (ev *sentEval) costLess(a, b gspCost) bool {
+	if a.cost != b.cost {
+		return a.cost > b.cost
+	}
+	return ev.nq.vars[a.slot].name < ev.nq.vars[b.slot].name
 }
 
 // buildCandidates fills per-variable candidate bindings. Returns false when
@@ -138,14 +235,18 @@ func (ev *sentEval) buildCandidates() bool {
 	s := ev.s
 	t := len(s.Tokens)
 	for _, v := range ev.nq.vars {
-		if !ev.isEnumerable(v) {
+		if v.kind == vkSubtree || v.kind == vkSpan {
 			continue
 		}
-		var list []binding
+		list := ev.cands[v.slot][:0]
+		if !ev.isEnumerable(v) {
+			ev.cands[v.slot] = list
+			continue
+		}
 		switch v.kind {
 		case vkNode:
 			for _, tid := range ev.nodeMatches(v) {
-				list = append(list, binding{sp: span{tid, tid}, tid: tid})
+				list = append(list, binding{sp: span{int(tid), int(tid)}, tid: int(tid)})
 			}
 		case vkEntity:
 			for ei := range s.Entities {
@@ -155,8 +256,10 @@ func (ev *sentEval) buildCandidates() bool {
 				}
 			}
 		case vkTokens:
-			for _, pos := range findTokenSeq(s, v.words) {
-				list = append(list, binding{sp: span{pos, pos + len(v.words) - 1}, tid: -1})
+			for i := 0; i+len(v.words) <= t; i++ {
+				if seqAt(s, i, v.words) {
+					list = append(list, binding{sp: span{i, i + len(v.words) - 1}, tid: -1})
+				}
 			}
 		case vkElastic:
 			// Un-skipped elastic (or NOGSP): enumerate every span,
@@ -173,37 +276,75 @@ func (ev *sentEval) buildCandidates() bool {
 				}
 			}
 		}
+		ev.cands[v.slot] = list
 		if len(list) == 0 {
 			return false
 		}
-		ev.cands[v.name] = list
 	}
 	return true
 }
 
 // nodeMatches returns (and caches) the sound per-sentence matches of a node
-// variable's absolute path.
-func (ev *sentEval) nodeMatches(v *normVar) []int {
-	if set, ok := ev.nodeSet[v.name]; ok {
-		out := make([]int, 0, len(set))
-		for tid := range set {
-			out = append(out, tid)
-		}
-		sort.Ints(out)
-		return out
+// variable's absolute path, ascending.
+func (ev *sentEval) nodeMatches(v *normVar) []int32 {
+	if ev.nodeDone[v.slot] {
+		return ev.nodeTids[v.slot]
 	}
-	tids := matchPathTokens(ev.s, v.path, ev.rc)
-	set := make(map[int]bool, len(tids))
-	for _, tid := range tids {
-		set[tid] = true
-	}
-	ev.nodeSet[v.name] = set
-	return tids
+	ev.nodeTids[v.slot] = ev.matchPath(v.path, ev.nodeTids[v.slot][:0])
+	ev.nodeDone[v.slot] = true
+	return ev.nodeTids[v.slot]
 }
 
-func (ev *sentEval) nodeMatchSet(v *normVar) map[int]bool {
-	ev.nodeMatches(v)
-	return ev.nodeSet[v.name]
+// nodeMatchHas reports whether tid matches node variable v, via binary
+// search of the cached sorted match list.
+func (ev *sentEval) nodeMatchHas(v *normVar, tid int) bool {
+	tids := ev.nodeMatches(v)
+	lo, hi := 0, len(tids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tids[mid] < int32(tid) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(tids) && tids[lo] == int32(tid)
+}
+
+// matchPath is matchPathTokens against the scratch buffers: the memo table
+// and match bitmap are reused across sentences and the matching tids are
+// appended to dst, ascending.
+func (ev *sentEval) matchPath(steps []lang.PathStep, dst []int32) []int32 {
+	s := ev.s
+	n := len(s.Tokens)
+	if n == 0 || len(steps) == 0 {
+		return dst
+	}
+	m := len(steps)
+	need := (n + 1) * (m + 1)
+	if cap(ev.pathSeen) < need {
+		ev.pathSeen = make([]bool, need)
+	} else {
+		ev.pathSeen = ev.pathSeen[:need]
+		for i := range ev.pathSeen {
+			ev.pathSeen[i] = false
+		}
+	}
+	if cap(ev.pathMatched) < n {
+		ev.pathMatched = make([]bool, n)
+	} else {
+		ev.pathMatched = ev.pathMatched[:n]
+		for i := range ev.pathMatched {
+			ev.pathMatched[i] = false
+		}
+	}
+	matchPathVisit(ev.s, steps, ev.rc, ev.pathSeen, ev.pathMatched, -1, 0)
+	for i, ok := range ev.pathMatched {
+		if ok {
+			dst = append(dst, int32(i))
+		}
+	}
+	return dst
 }
 
 // elasticOK checks an elastic span's bracket conditions.
@@ -245,42 +386,42 @@ func (ev *sentEval) elasticOK(v *normVar, sp span) bool {
 // enumerate is the nested-loop evaluation over enumerable variables with
 // eager constraint checking, followed by derivation (subtrees, alignment of
 // skipped variables) and final validation.
-func (ev *sentEval) enumerate(vars []*normVar, i int, a assignment) {
-	if i == len(vars) {
-		ev.deriveAndEmit(a)
+func (ev *sentEval) enumerate(i int) {
+	if i == len(ev.enum) {
+		ev.deriveAndEmit()
 		return
 	}
-	v := vars[i]
-	for _, b := range ev.cands[v.name] {
-		a[v.name] = b
-		if ev.constraintsOK(a, v.name) {
-			ev.enumerate(vars, i+1, a)
+	v := ev.enum[i]
+	for _, b := range ev.cands[v.slot] {
+		ev.work[v.slot] = b
+		ev.workSet.set(v.slot)
+		if ev.constraintsOK(v.slot) {
+			ev.enumerate(i + 1)
 		}
-		delete(a, v.name)
 	}
+	ev.workSet.clear(v.slot)
 }
 
 // constraintsOK checks every constraint whose two sides are both bound,
-// touching the just-bound variable.
-func (ev *sentEval) constraintsOK(a assignment, justBound string) bool {
-	for _, c := range ev.nq.constraints {
-		if c.a != justBound && c.b != justBound {
+// touching the just-bound variable slot.
+func (ev *sentEval) constraintsOK(justBound int) bool {
+	for ci := range ev.nq.constraints {
+		c := &ev.nq.constraints[ci]
+		if c.aSlot != justBound && c.bSlot != justBound {
 			continue
 		}
-		ba, okA := a[c.a]
-		bb, okB := a[c.b]
-		if !okA || !okB {
+		if !ev.workSet.has(c.aSlot) || !ev.workSet.has(c.bSlot) {
 			continue
 		}
-		if !ev.checkConstraint(c, ba, bb) {
+		if !ev.checkConstraint(c.kind, ev.work[c.aSlot], ev.work[c.bSlot]) {
 			return false
 		}
 	}
 	return true
 }
 
-func (ev *sentEval) checkConstraint(c normConstraint, ba, bb binding) bool {
-	switch c.kind {
+func (ev *sentEval) checkConstraint(kind consKind, ba, bb binding) bool {
+	switch kind {
 	case ckParentOf:
 		return ba.tid >= 0 && bb.tid >= 0 && ev.s.Tokens[bb.tid].Head == ba.tid
 	case ckAncestorOf:
@@ -297,30 +438,32 @@ func (ev *sentEval) checkConstraint(c normConstraint, ba, bb binding) bool {
 // spans, then horizontal alignments (which also bind the skipped component
 // variables). Skipped components are left for their span's alignment pass.
 // Once every variable is bound, all constraints are re-checked and the
-// assignment is emitted.
-func (ev *sentEval) deriveAndEmit(a assignment) {
-	full := assignment{}
-	for k, v := range a {
-		full[k] = v
-	}
+// assignment is appended to the emission arena.
+func (ev *sentEval) deriveAndEmit() {
+	copy(ev.full, ev.work)
+	ev.fullSet.copyFrom(ev.workSet)
 	for _, v := range ev.nq.vars {
-		if _, bound := full[v.name]; bound {
+		if ev.fullSet.has(v.slot) {
 			continue
 		}
 		switch v.kind {
 		case vkSubtree:
-			base, ok := full[v.base]
-			if !ok || base.tid < 0 {
+			if !ev.fullSet.has(v.baseSlot) {
+				return
+			}
+			base := ev.full[v.baseSlot]
+			if base.tid < 0 {
 				return
 			}
 			tok := &ev.s.Tokens[base.tid]
-			full[v.name] = binding{sp: span{tok.SubL, tok.SubR}, tid: -1}
+			ev.full[v.slot] = binding{sp: span{tok.SubL, tok.SubR}, tid: -1}
+			ev.fullSet.set(v.slot)
 		case vkSpan:
-			if !ev.alignSpan(v, full) {
+			if !ev.alignSpan(v) {
 				return
 			}
 		default:
-			if ev.skip[v.name] {
+			if ev.skip[v.slot] {
 				continue // bound later by its horizontal's alignment
 			}
 			return // enumerable var missing: empty candidate list
@@ -329,35 +472,37 @@ func (ev *sentEval) deriveAndEmit(a assignment) {
 	// Every variable must be bound by now (a skipped variable whose
 	// horizontal never aligned would be missing).
 	for _, v := range ev.nq.vars {
-		if _, ok := full[v.name]; !ok {
+		if !ev.fullSet.has(v.slot) {
 			return
 		}
 	}
 	// Final full constraint check (bindings produced by alignment were not
 	// covered by the eager checks during enumeration).
-	for _, c := range ev.nq.constraints {
-		ba, okA := full[c.a]
-		bb, okB := full[c.b]
-		if !okA || !okB || !ev.checkConstraint(c, ba, bb) {
+	for ci := range ev.nq.constraints {
+		c := &ev.nq.constraints[ci]
+		if !ev.checkConstraint(c.kind, ev.full[c.aSlot], ev.full[c.bSlot]) {
 			return
 		}
 	}
-	ev.out = append(ev.out, full)
+	ev.outB = append(ev.outB, ev.full...)
+	ev.nout++
 }
 
 // alignSpan derives a horizontal span variable: bound components must tile
 // left to right; single skipped components between two bound neighbors take
 // exactly the gap, then validate (§4.3 "Align skipped variables and check
-// constraints").
-func (ev *sentEval) alignSpan(v *normVar, a assignment) bool {
-	comps := v.comps
+// constraints"). Bindings land in ev.full.
+func (ev *sentEval) alignSpan(v *normVar) bool {
+	comps := v.compSlots
 	n := len(comps)
-	spans := make([]span, n)
-	bound := make([]bool, n)
-	for i, cn := range comps {
-		if b, ok := a[cn]; ok {
-			spans[i] = b.sp
+	spans := ev.alignSp[:n]
+	bound := ev.alignOk[:n]
+	for i, cs := range comps {
+		if ev.fullSet.has(cs) {
+			spans[i] = ev.full[cs].sp
 			bound[i] = true
+		} else {
+			bound[i] = false
 		}
 	}
 	if n == 0 || !bound[0] || !bound[n-1] {
@@ -376,13 +521,14 @@ func (ev *sentEval) alignSpan(v *normVar, a assignment) bool {
 		if gap.r < gap.l-1 {
 			return false // negative gap: neighbors overlap
 		}
-		cv := ev.nq.byName[comps[i]]
-		if !ev.validateDerived(cv, gap, a) {
+		cv := ev.nq.vars[comps[i]]
+		if !ev.validateDerived(cv, gap) {
 			return false
 		}
 		spans[i] = gap
 		bound[i] = true
-		a[comps[i]] = binding{sp: gap, tid: derivedTid(cv, gap)}
+		ev.full[comps[i]] = binding{sp: gap, tid: derivedTid(cv, gap)}
+		ev.fullSet.set(comps[i])
 	}
 	// Adjacency of the full tiling.
 	pos := spans[0].l
@@ -394,7 +540,8 @@ func (ev *sentEval) alignSpan(v *normVar, a assignment) bool {
 			pos = spans[i].r + 1
 		}
 	}
-	a[v.name] = binding{sp: span{spans[0].l, spans[n-1].r}, tid: -1}
+	ev.full[v.slot] = binding{sp: span{spans[0].l, spans[n-1].r}, tid: -1}
+	ev.fullSet.set(v.slot)
 	return true
 }
 
@@ -408,7 +555,7 @@ func derivedTid(v *normVar, sp span) int {
 // validateDerived checks that a gap span is a legitimate binding for a
 // skipped variable — the validation step that restores soundness after the
 // index-level approximation.
-func (ev *sentEval) validateDerived(v *normVar, sp span, a assignment) bool {
+func (ev *sentEval) validateDerived(v *normVar, sp span) bool {
 	switch v.kind {
 	case vkElastic:
 		if sp.r < sp.l-1 {
@@ -416,7 +563,7 @@ func (ev *sentEval) validateDerived(v *normVar, sp span, a assignment) bool {
 		}
 		return ev.elasticOK(v, sp)
 	case vkNode:
-		return sp.length() == 1 && ev.nodeMatchSet(v)[sp.l]
+		return sp.length() == 1 && ev.nodeMatchHas(v, sp.l)
 	case vkTokens:
 		if sp.length() != len(v.words) {
 			return false
@@ -436,8 +583,11 @@ func (ev *sentEval) validateDerived(v *normVar, sp span, a assignment) bool {
 		}
 		return false
 	case vkSubtree:
-		base, ok := a[v.base]
-		if !ok || base.tid < 0 {
+		if !ev.fullSet.has(v.baseSlot) {
+			return false
+		}
+		base := ev.full[v.baseSlot]
+		if base.tid < 0 {
 			return false
 		}
 		tok := &ev.s.Tokens[base.tid]

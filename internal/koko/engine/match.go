@@ -162,42 +162,9 @@ func matchPathTokens(s *nlp.Sentence, steps []lang.PathStep, rc *reCache) []int 
 	if n == 0 || len(steps) == 0 {
 		return nil
 	}
-	m := len(steps)
-	// seen[(tok+1)*(m+1)+step]
-	seen := make([]bool, (n+1)*(m+1))
+	seen := make([]bool, (n+1)*(len(steps)+1))
 	matched := make([]bool, n)
-	var visit func(tok, step int)
-	visit = func(tok, step int) {
-		idx := (tok+1)*(m+1) + step
-		if seen[idx] {
-			return
-		}
-		seen[idx] = true
-		if step == m {
-			if tok >= 0 {
-				matched[tok] = true
-			}
-			return
-		}
-		st := steps[step]
-		var kids []int
-		if tok < 0 {
-			if r := s.Root(); r >= 0 {
-				kids = []int{r}
-			}
-		} else {
-			kids = s.Children(tok)
-		}
-		for _, c := range kids {
-			if stepMatchesToken(s, c, st, rc) {
-				visit(c, step+1)
-			}
-			if st.Desc {
-				visit(c, step)
-			}
-		}
-	}
-	visit(-1, 0)
+	matchPathVisit(s, steps, rc, seen, matched, -1, 0)
 	var out []int
 	for i, ok := range matched {
 		if ok {
@@ -205,6 +172,46 @@ func matchPathTokens(s *nlp.Sentence, steps []lang.PathStep, rc *reCache) []int 
 		}
 	}
 	return out
+}
+
+// matchPathVisit is the shared memoized traversal behind matchPathTokens
+// and the hot path's scratch-backed sentEval.matchPath: seen is the
+// (n+1)×(m+1) memo indexed [(tok+1)*(m+1)+step], matched collects the
+// tokens reaching the end of the pattern. It is a plain recursive function
+// (no closure) so scratch-buffer callers allocate nothing.
+func matchPathVisit(s *nlp.Sentence, steps []lang.PathStep, rc *reCache, seen, matched []bool, tok, step int) {
+	m := len(steps)
+	idx := (tok+1)*(m+1) + step
+	if seen[idx] {
+		return
+	}
+	seen[idx] = true
+	if step == m {
+		if tok >= 0 {
+			matched[tok] = true
+		}
+		return
+	}
+	st := steps[step]
+	if tok < 0 {
+		if r := s.Root(); r >= 0 {
+			if stepMatchesToken(s, r, st, rc) {
+				matchPathVisit(s, steps, rc, seen, matched, r, step+1)
+			}
+			if st.Desc {
+				matchPathVisit(s, steps, rc, seen, matched, r, step)
+			}
+		}
+		return
+	}
+	for _, c := range s.Children(tok) {
+		if stepMatchesToken(s, c, st, rc) {
+			matchPathVisit(s, steps, rc, seen, matched, c, step+1)
+		}
+		if st.Desc {
+			matchPathVisit(s, steps, rc, seen, matched, c, step)
+		}
+	}
 }
 
 // findTokenSeq returns every start position where the lowercase word

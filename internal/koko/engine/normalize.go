@@ -21,9 +21,13 @@ const (
 	vkSpan                   // concatenation of component variables
 )
 
-// normVar is a normalized variable.
+// normVar is a normalized variable. Every variable is interned at
+// normalization time: slot is its ordinal in normQuery.vars, and the
+// evaluation hot path indexes assignments, candidate lists, and skip masks
+// by slot instead of by name.
 type normVar struct {
 	name      string
+	slot      int
 	kind      varKind
 	synthetic bool
 
@@ -34,6 +38,10 @@ type normVar struct {
 	conds  []lang.LabelCond
 	words  []string // vkTokens: lowercase words
 	comps  []string // vkSpan: component variable names, in order
+
+	// Slot-compiled views, filled by compileSlots after normalization.
+	baseSlot  int   // vkSubtree: slot of base (-1 otherwise)
+	compSlots []int // vkSpan: slots of comps, in order
 }
 
 // constraint kinds derived during normalization plus the user's in/eq.
@@ -49,6 +57,8 @@ const (
 type normConstraint struct {
 	kind consKind
 	a, b string
+	// aSlot/bSlot are the interned sides, filled by compileSlots.
+	aSlot, bSlot int
 }
 
 // descriptor is a pre-expanded descriptor condition.
@@ -69,6 +79,13 @@ type normQuery struct {
 	descriptors map[string]*descriptor
 	satisfying  []lang.SatClause
 	excluding   []lang.SatCond
+
+	// Slot-compiled views, filled by compileSlots: the hot path never
+	// touches byName.
+	outSlots  []int // slot per output, aligned with outputs
+	satSlots  []int // slot per satisfying clause's variable
+	exclSlots []int // slot per excluding condition's variable
+	maxComps  int   // widest horizontal (scratch sizing)
 }
 
 // normalize implements §4.1: absolute-form expansion, synthesized variables
@@ -91,6 +108,8 @@ func normalize(q *lang.Query, model *embed.Model, expansionLimit int) (*normQuer
 		if _, dup := nq.byName[v.name]; dup {
 			return nil, fmt.Errorf("koko: variable %q defined twice", v.name)
 		}
+		v.slot = len(nq.vars)
+		v.baseSlot = -1
 		nq.vars = append(nq.vars, v)
 		nq.byName[v.name] = v
 		return v, nil
@@ -306,7 +325,48 @@ func normalize(q *lang.Query, model *embed.Model, expansionLimit int) (*normQuer
 			return nil, fmt.Errorf("koko: excluding condition over undefined variable %q", c.Var)
 		}
 	}
+	nq.compileSlots()
 	return nq, nil
+}
+
+// compileSlots interns every by-name reference into a variable slot so the
+// evaluation hot path is free of map lookups. Called once per query, after
+// all variables and constraints exist.
+func (nq *normQuery) compileSlots() {
+	for _, v := range nq.vars {
+		if v.base != "" {
+			v.baseSlot = nq.byName[v.base].slot
+		}
+		if len(v.comps) > 0 {
+			v.compSlots = make([]int, len(v.comps))
+			for i, cn := range v.comps {
+				v.compSlots[i] = nq.byName[cn].slot
+			}
+			if len(v.comps) > nq.maxComps {
+				nq.maxComps = len(v.comps)
+			}
+		}
+	}
+	for i := range nq.constraints {
+		c := &nq.constraints[i]
+		c.aSlot = nq.byName[c.a].slot
+		c.bSlot = nq.byName[c.b].slot
+	}
+	nq.outSlots = make([]int, len(nq.outputs))
+	for i, o := range nq.outputs {
+		nq.outSlots[i] = nq.byName[o.Name].slot
+	}
+	nq.satSlots = make([]int, len(nq.satisfying))
+	for i, sc := range nq.satisfying {
+		nq.satSlots[i] = nq.byName[sc.Var].slot
+	}
+	nq.exclSlots = make([]int, len(nq.excluding))
+	for i, c := range nq.excluding {
+		nq.exclSlots[i] = -1
+		if c.Var != "" {
+			nq.exclSlots[i] = nq.byName[c.Var].slot
+		}
+	}
 }
 
 // addDescriptor pre-expands a descriptor through the paraphrase model

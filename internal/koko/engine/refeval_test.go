@@ -1,0 +1,389 @@
+package engine
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/nlp"
+)
+
+// This file freezes the seed (pre-slot) extract-clause evaluator: the
+// map-based assignment representation and the allocating per-sentence
+// evaluation it used. It exists purely as the reference semantics for the
+// differential tests — the hot path must emit byte-identical assignments,
+// in the same order, as this implementation.
+
+// refAssignment is the seed assignment representation: variable name →
+// binding.
+type refAssignment map[string]binding
+
+// refSentEval is the seed per-sentence evaluator state, rebuilt from
+// scratch for every sentence exactly as the seed engine did.
+type refSentEval struct {
+	nq      *normQuery
+	s       *nlp.Sentence
+	rc      *reCache
+	skip    map[string]bool
+	cands   map[string][]binding
+	nodeSet map[string]map[int]bool
+	out     []refAssignment
+	gspOff  bool
+}
+
+// refEvalSentence runs the seed evaluator over one sentence and returns all
+// satisfying assignments in emission order.
+func refEvalSentence(nq *normQuery, s *nlp.Sentence, rc *reCache, countOf func(name string) int, gspOff bool) []refAssignment {
+	ev := &refSentEval{
+		nq:      nq,
+		s:       s,
+		rc:      rc,
+		skip:    map[string]bool{},
+		cands:   map[string][]binding{},
+		nodeSet: map[string]map[int]bool{},
+		gspOff:  gspOff,
+	}
+	if !gspOff {
+		ev.generateSkipPlan(countOf)
+	}
+	if !ev.buildCandidates() {
+		return nil
+	}
+	var enum []*normVar
+	for _, v := range nq.vars {
+		if ev.isEnumerable(v) {
+			enum = append(enum, v)
+		}
+	}
+	ev.enumerate(enum, 0, refAssignment{})
+	return ev.out
+}
+
+func (ev *refSentEval) isEnumerable(v *normVar) bool {
+	if v.kind == vkSubtree || v.kind == vkSpan {
+		return false
+	}
+	return !ev.skip[v.name]
+}
+
+func (ev *refSentEval) generateSkipPlan(countOf func(string) int) {
+	t := len(ev.s.Tokens)
+	for _, h := range ev.nq.horizontals {
+		type vc struct {
+			name string
+			cost float64
+		}
+		costs := make([]vc, 0, len(h.comps))
+		for _, cn := range h.comps {
+			v := ev.nq.byName[cn]
+			var c float64
+			switch v.kind {
+			case vkElastic:
+				c = float64(t) * float64(t+1) / 2
+			case vkSubtree:
+				if countOf != nil {
+					c = float64(countOf(v.base))
+				}
+			default:
+				if countOf != nil {
+					c = float64(countOf(cn))
+				}
+			}
+			costs = append(costs, vc{name: cn, cost: c})
+		}
+		sort.Slice(costs, func(i, j int) bool {
+			if costs[i].cost != costs[j].cost {
+				return costs[i].cost > costs[j].cost
+			}
+			return costs[i].name < costs[j].name
+		})
+		pos := map[string]int{}
+		for i, cn := range h.comps {
+			pos[cn] = i
+		}
+		for _, c := range costs {
+			i := pos[c.name]
+			if i == 0 || i == len(h.comps)-1 {
+				continue
+			}
+			vl, vr := h.comps[i-1], h.comps[i+1]
+			if !ev.skip[vl] && !ev.skip[vr] {
+				ev.skip[c.name] = true
+			}
+		}
+	}
+}
+
+func (ev *refSentEval) buildCandidates() bool {
+	s := ev.s
+	t := len(s.Tokens)
+	for _, v := range ev.nq.vars {
+		if !ev.isEnumerable(v) {
+			continue
+		}
+		var list []binding
+		switch v.kind {
+		case vkNode:
+			for _, tid := range ev.nodeMatches(v) {
+				list = append(list, binding{sp: span{tid, tid}, tid: tid})
+			}
+		case vkEntity:
+			for ei := range s.Entities {
+				e := &s.Entities[ei]
+				if nlp.GPEAlias(v.etype, e.Type) {
+					list = append(list, binding{sp: span{e.L, e.R}, tid: -1})
+				}
+			}
+		case vkTokens:
+			for _, pos := range findTokenSeq(s, v.words) {
+				list = append(list, binding{sp: span{pos, pos + len(v.words) - 1}, tid: -1})
+			}
+		case vkElastic:
+			for l := 0; l <= t; l++ {
+				if ev.elasticOK(v, emptySpanAt(l)) {
+					list = append(list, binding{sp: emptySpanAt(l), tid: -1})
+				}
+				for r := l; r < t; r++ {
+					if ev.elasticOK(v, span{l, r}) {
+						list = append(list, binding{sp: span{l, r}, tid: -1})
+					}
+				}
+			}
+		}
+		if len(list) == 0 {
+			return false
+		}
+		ev.cands[v.name] = list
+	}
+	return true
+}
+
+func (ev *refSentEval) nodeMatches(v *normVar) []int {
+	if set, ok := ev.nodeSet[v.name]; ok {
+		out := make([]int, 0, len(set))
+		for tid := range set {
+			out = append(out, tid)
+		}
+		sort.Ints(out)
+		return out
+	}
+	tids := matchPathTokens(ev.s, v.path, ev.rc)
+	set := make(map[int]bool, len(tids))
+	for _, tid := range tids {
+		set[tid] = true
+	}
+	ev.nodeSet[v.name] = set
+	return tids
+}
+
+func (ev *refSentEval) nodeMatchSet(v *normVar) map[int]bool {
+	ev.nodeMatches(v)
+	return ev.nodeSet[v.name]
+}
+
+func (ev *refSentEval) elasticOK(v *normVar, sp span) bool {
+	for _, c := range v.conds {
+		switch c.Key {
+		case "min":
+			if n, err := strconv.Atoi(c.Value); err == nil && sp.length() < n {
+				return false
+			}
+		case "max":
+			if n, err := strconv.Atoi(c.Value); err == nil && sp.length() > n {
+				return false
+			}
+		case "regex":
+			if sp.empty() || !ev.rc.fullMatch(c.Value, ev.s.Text(sp.l, sp.r)) {
+				return false
+			}
+		case "etype":
+			if sp.empty() {
+				return false
+			}
+			ok := false
+			for ei := range ev.s.Entities {
+				e := &ev.s.Entities[ei]
+				if e.L == sp.l && e.R == sp.r && nlp.GPEAlias(nlp.CanonicalEntityType(c.Value), e.Type) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (ev *refSentEval) enumerate(vars []*normVar, i int, a refAssignment) {
+	if i == len(vars) {
+		ev.deriveAndEmit(a)
+		return
+	}
+	v := vars[i]
+	for _, b := range ev.cands[v.name] {
+		a[v.name] = b
+		if ev.constraintsOK(a, v.name) {
+			ev.enumerate(vars, i+1, a)
+		}
+		delete(a, v.name)
+	}
+}
+
+func (ev *refSentEval) constraintsOK(a refAssignment, justBound string) bool {
+	for _, c := range ev.nq.constraints {
+		if c.a != justBound && c.b != justBound {
+			continue
+		}
+		ba, okA := a[c.a]
+		bb, okB := a[c.b]
+		if !okA || !okB {
+			continue
+		}
+		if !ev.checkConstraint(c, ba, bb) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ev *refSentEval) checkConstraint(c normConstraint, ba, bb binding) bool {
+	switch c.kind {
+	case ckParentOf:
+		return ba.tid >= 0 && bb.tid >= 0 && ev.s.Tokens[bb.tid].Head == ba.tid
+	case ckAncestorOf:
+		return ba.tid >= 0 && bb.tid >= 0 && ev.s.IsAncestor(ba.tid, bb.tid)
+	case ckInSpan:
+		return !ba.sp.empty() && ba.sp.l >= bb.sp.l && ba.sp.r <= bb.sp.r
+	case ckEqSpan:
+		return ba.sp == bb.sp
+	}
+	return false
+}
+
+func (ev *refSentEval) deriveAndEmit(a refAssignment) {
+	full := refAssignment{}
+	for k, v := range a {
+		full[k] = v
+	}
+	for _, v := range ev.nq.vars {
+		if _, bound := full[v.name]; bound {
+			continue
+		}
+		switch v.kind {
+		case vkSubtree:
+			base, ok := full[v.base]
+			if !ok || base.tid < 0 {
+				return
+			}
+			tok := &ev.s.Tokens[base.tid]
+			full[v.name] = binding{sp: span{tok.SubL, tok.SubR}, tid: -1}
+		case vkSpan:
+			if !ev.alignSpan(v, full) {
+				return
+			}
+		default:
+			if ev.skip[v.name] {
+				continue
+			}
+			return
+		}
+	}
+	for _, v := range ev.nq.vars {
+		if _, ok := full[v.name]; !ok {
+			return
+		}
+	}
+	for _, c := range ev.nq.constraints {
+		ba, okA := full[c.a]
+		bb, okB := full[c.b]
+		if !okA || !okB || !ev.checkConstraint(c, ba, bb) {
+			return
+		}
+	}
+	ev.out = append(ev.out, full)
+}
+
+func (ev *refSentEval) alignSpan(v *normVar, a refAssignment) bool {
+	comps := v.comps
+	n := len(comps)
+	spans := make([]span, n)
+	bound := make([]bool, n)
+	for i, cn := range comps {
+		if b, ok := a[cn]; ok {
+			spans[i] = b.sp
+			bound[i] = true
+		}
+	}
+	if n == 0 || !bound[0] || !bound[n-1] {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if bound[i] {
+			continue
+		}
+		if i == 0 || i == n-1 || !bound[i-1] || !bound[i+1] {
+			return false
+		}
+		gap := span{l: spans[i-1].r + 1, r: spans[i+1].l - 1}
+		if gap.r < gap.l-1 {
+			return false
+		}
+		cv := ev.nq.byName[comps[i]]
+		if !ev.validateDerived(cv, gap, a) {
+			return false
+		}
+		spans[i] = gap
+		bound[i] = true
+		a[comps[i]] = binding{sp: gap, tid: derivedTid(cv, gap)}
+	}
+	pos := spans[0].l
+	for i := 0; i < n; i++ {
+		if spans[i].l != pos && !(spans[i].empty() && spans[i].l == pos) {
+			return false
+		}
+		if !spans[i].empty() {
+			pos = spans[i].r + 1
+		}
+	}
+	a[v.name] = binding{sp: span{spans[0].l, spans[n-1].r}, tid: -1}
+	return true
+}
+
+func (ev *refSentEval) validateDerived(v *normVar, sp span, a refAssignment) bool {
+	switch v.kind {
+	case vkElastic:
+		if sp.r < sp.l-1 {
+			return false
+		}
+		return ev.elasticOK(v, sp)
+	case vkNode:
+		return sp.length() == 1 && ev.nodeMatchSet(v)[sp.l]
+	case vkTokens:
+		if sp.length() != len(v.words) {
+			return false
+		}
+		for j, w := range v.words {
+			if ev.s.Tokens[sp.l+j].Lower != w {
+				return false
+			}
+		}
+		return true
+	case vkEntity:
+		for ei := range ev.s.Entities {
+			e := &ev.s.Entities[ei]
+			if e.L == sp.l && e.R == sp.r && nlp.GPEAlias(v.etype, e.Type) {
+				return true
+			}
+		}
+		return false
+	case vkSubtree:
+		base, ok := a[v.base]
+		if !ok || base.tid < 0 {
+			return false
+		}
+		tok := &ev.s.Tokens[base.tid]
+		return sp.l == tok.SubL && sp.r == tok.SubR
+	}
+	return false
+}

@@ -109,7 +109,10 @@ func SortEntityPostings(es []EntityPosting) {
 	})
 }
 
-// SidsOf returns the sorted distinct sentence ids of a posting list.
+// SidsOf returns the sorted distinct sentence ids of a posting list. The
+// input must be (sid,tid)-sorted — true of every index posting list after
+// Finish and of every join result — so a single linear emit-distinct pass
+// suffices; no re-sort, no second dedup.
 func SidsOf(ps []Posting) []int32 {
 	var out []int32
 	for _, p := range ps {
@@ -117,20 +120,34 @@ func SidsOf(ps []Posting) []int32 {
 			out = append(out, p.Sid)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	w := 0
-	for i, s := range out {
-		if i == 0 || s != out[i-1] {
-			out[w] = s
-			w++
-		}
-	}
-	return out[:w]
+	return out
 }
 
-// IntersectSids intersects two sorted sid lists.
+// IntersectSids intersects two sorted sid lists. When the lists are badly
+// skewed it walks the smaller list and gallops (exponential probe + binary
+// search) through the larger one; otherwise it is a plain linear merge.
 func IntersectSids(a, b []int32) []int32 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return nil
+	}
 	var out []int32
+	if len(b) >= 16*len(a) {
+		j := 0
+		for _, x := range a {
+			j = seekSidIn(b, j, x)
+			if j >= len(b) {
+				break
+			}
+			if b[j] == x {
+				out = append(out, x)
+				j++
+			}
+		}
+		return out
+	}
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -145,4 +162,31 @@ func IntersectSids(a, b []int32) []int32 {
 		}
 	}
 	return out
+}
+
+// seekSidIn returns the smallest index i >= from with s[i] >= sid, by
+// galloping forward then binary searching the overshot range.
+func seekSidIn(s []int32, from int, sid int32) int {
+	if from >= len(s) || s[from] >= sid {
+		return from
+	}
+	step := 1
+	lo, hi := from, from+1
+	for hi < len(s) && s[hi] < sid {
+		lo = hi
+		step *= 2
+		hi += step
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < sid {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
