@@ -20,9 +20,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig3 fig4 fig5 nell fig6 fig7 fig8 tab1 tab2 odin ablation server hotpath all")
+	exp := flag.String("exp", "all", "experiment id: fig3 fig4 fig5 nell fig6 fig7 fig8 tab1 tab2 odin ablation server all, or hotpath / shard (JSON snapshots, excluded from all)")
 	scale := flag.Int("scale", 1, "corpus scale multiplier")
 	seed := flag.Int64("seed", 1, "generator seed")
+	iters := flag.Int("iters", 3, "timing iterations per point for -exp shard (best-of-N)")
 	flag.Parse()
 
 	run := func(id string) bool { return *exp == "all" || *exp == id }
@@ -80,6 +81,12 @@ func main() {
 		// BENCH_engine.json snapshot) on stdout for redirection.
 		any = true
 		hotpath()
+	}
+	if *exp == "shard" {
+		// Not part of -exp all: emits pure JSON (the committed
+		// BENCH_shard.json snapshot) on stdout for redirection.
+		any = true
+		shard(*iters)
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "kokobench: unknown experiment %q\n", *exp)
@@ -231,6 +238,16 @@ func ablation(seed int64, scale int) {
 // future PRs have a trajectory to beat.
 func hotpath() {
 	fmt.Print(experiments.FormatHotPath(experiments.RunHotPathBench()))
+}
+
+// shard writes the sharded-execution scaling snapshot as JSON:
+//
+//	kokobench -exp shard > BENCH_shard.json
+//
+// The snapshot records wall-clock time and speedup of the HappyDB extract
+// workload at K ∈ {1,2,4,8} doc-range shards.
+func shard(iters int) {
+	fmt.Print(experiments.FormatShardBench(experiments.RunShardBench(iters)))
 }
 
 func check(err error) {

@@ -3,7 +3,6 @@ package main
 import (
 	"context"
 	"fmt"
-	"strings"
 	"sync"
 	"time"
 
@@ -78,23 +77,9 @@ func serverLoad(seed int64, scale int) {
 		after.PeakInFlight, after.QueryMillisTotal, after.CacheMisses)
 }
 
-// engineFromIndexed re-renders an already-parsed corpus back to document
-// texts and builds a public engine over them (the service API accepts
-// corpora only through the public koko package).
+// engineFromIndexed builds a public engine directly over an already-parsed
+// generator corpus (koko.WrapCorpus skips re-rendering and re-parsing the
+// documents).
 func engineFromIndexed(c *index.Corpus) *koko.Engine {
-	names := make([]string, 0, c.NumDocs())
-	texts := make([]string, 0, c.NumDocs())
-	for d := 0; d < c.NumDocs(); d++ {
-		first, end := c.DocSentences(d)
-		var sb strings.Builder
-		for sid := first; sid < end; sid++ {
-			if sb.Len() > 0 {
-				sb.WriteByte(' ')
-			}
-			sb.WriteString(c.Sentence(sid).String())
-		}
-		names = append(names, c.Docs[d].Name)
-		texts = append(texts, sb.String())
-	}
-	return koko.NewEngine(koko.NewCorpus(names, texts), nil)
+	return koko.NewEngine(koko.WrapCorpus(c), nil)
 }

@@ -5,6 +5,8 @@
 //	kokod -load cafes=cafes.koko -load wiki=wiki.koko
 //	kokod -dir /data/corpora           # registers every *.koko in the dir
 //	kokod -demo                        # two small in-memory demo corpora
+//	kokod -demo -shards 4              # partition each corpus into 4 doc-range
+//	                                   # shards; queries fan out and merge
 //
 //	curl -s localhost:7333/v1/corpora
 //	curl -s localhost:7333/v1/query -d '{
@@ -48,14 +50,20 @@ func main() {
 	demo := flag.Bool("demo", false, "register two built-in in-memory demo corpora")
 	pool := flag.Int("pool", 0, "max queries evaluating concurrently (0 = 2×GOMAXPROCS)")
 	cache := flag.Int("cache", 0, "result-cache entries (0 = default 256, negative = disabled)")
+	cacheTuples := flag.Int("cache-tuples", 0, "result-cache tuple budget across all entries (0 = default 100000, negative = unbounded)")
 	workers := flag.Int("workers", 1, "default per-query document-evaluation workers")
+	shards := flag.Int("shards", 1, "doc-range shards per loaded corpus; queries fan out across shards (sharded manifests keep their on-disk count)")
+	shardPar := flag.Int("shard-parallel", 0, "per-query shard fan-out bound (0 = auto-scale inversely with -pool, negative = min(shards, GOMAXPROCS))")
 	flag.Var(&loads, "load", "corpus to serve, as name=path.koko or path.koko (repeatable)")
 	flag.Parse()
 
 	svc := server.NewService(server.Config{
 		MaxConcurrent:  *pool,
 		CacheSize:      *cache,
+		CacheMaxTuples: *cacheTuples,
 		DefaultWorkers: *workers,
+		Shards:         *shards,
+		ShardParallel:  *shardPar,
 	})
 	reg := svc.Registry()
 
@@ -80,7 +88,7 @@ func main() {
 		}
 	}
 	if *demo {
-		registerDemoCorpora(reg)
+		registerDemoCorpora(reg, *shards)
 	}
 	if reg.Len() == 0 {
 		fmt.Fprintln(os.Stderr, "kokod: no corpora registered; use -load, -dir, or -demo")
@@ -91,8 +99,8 @@ func main() {
 		if src == "" {
 			src = "(in-memory)"
 		}
-		log.Printf("kokod: corpus %q gen=%d docs=%d sentences=%d %s",
-			info.Name, info.Generation, info.Documents, info.Sentences, src)
+		log.Printf("kokod: corpus %q gen=%d shards=%d docs=%d sentences=%d %s",
+			info.Name, info.Generation, info.Shards, info.Documents, info.Sentences, src)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
@@ -111,22 +119,29 @@ func main() {
 }
 
 // registerDemoCorpora installs two small in-memory corpora so the server is
-// queryable out of the box (and exercises the multi-corpus path).
-func registerDemoCorpora(reg *server.Registry) {
-	cafes := koko.NewEngine(koko.NewCorpus(
+// queryable out of the box (and exercises the multi-corpus path). shards > 1
+// partitions them so the fan-out path is also demoable without a store file.
+func registerDemoCorpora(reg *server.Registry, shards int) {
+	build := func(c *koko.Corpus) koko.Querier {
+		if shards > 1 {
+			return koko.NewShardedEngine(c, shards, nil)
+		}
+		return koko.NewEngine(c, nil)
+	}
+	cafes := build(koko.NewCorpus(
 		[]string{"seattle.txt", "portland.txt"},
 		[]string{
 			"Cafe Vita serves smooth espresso daily. Cafe Juanita hired a champion barista. " +
 				"The neighborhood bakery sells fresh bread.",
 			"Cafe Umbria opened a second location. The baristas at Cafe Umbria won a latte art championship.",
-		}), nil)
+		}))
 	reg.Register("demo-cafes", cafes)
 
-	food := koko.NewEngine(koko.NewCorpus(
+	food := build(koko.NewCorpus(
 		[]string{"reviews.txt"},
 		[]string{
 			"I ate a chocolate ice cream, which was delicious, and also ate a pie. " +
 				"Anna ate some delicious cheesecake that she bought at a grocery store.",
-		}), nil)
+		}))
 	reg.Register("demo-food", food)
 }

@@ -115,8 +115,10 @@ func TestFig6Shape(t *testing.T) {
 		t.Errorf("size ordering broken: koko=%d inv=%d adv=%d sub=%d",
 			koko.SizeBytes, inv.SizeBytes, adv.SizeBytes, sub.SizeBytes)
 	}
-	if !raceDetectorEnabled && sub.BuildTime < koko.BuildTime {
-		t.Errorf("SUBTREE built faster than KOKO: %v vs %v", sub.BuildTime, koko.BuildTime)
+	// 2× margin: the two build times are a few ms each, and scheduler noise
+	// on a loaded machine can flip a head-to-head comparison.
+	if !raceDetectorEnabled && sub.BuildTime*2 < koko.BuildTime {
+		t.Errorf("SUBTREE built decisively faster than KOKO: %v vs %v", sub.BuildTime, koko.BuildTime)
 	}
 }
 

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"encoding/json"
+	"runtime"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/koko"
+)
+
+// The shard scaling snapshot (kokobench -exp shard): the HappyDB extract
+// workload evaluated by a single engine (K=1) and by sharded engines at
+// increasing shard counts, rendered as BENCH_shard.json so the fan-out /
+// fan-in overhead and speedup stay measurable across PRs.
+
+// ShardBenchSents sizes the workload corpus: large enough that per-shard
+// evaluation dominates coordination, small enough for a CI smoke run.
+const ShardBenchSents = 4000
+
+// ShardBenchCounts are the shard counts measured; 1 is the single-engine
+// baseline every speedup is relative to.
+var ShardBenchCounts = []int{1, 2, 4, 8}
+
+// ShardPoint is one shard count's cost profile.
+type ShardPoint struct {
+	Shards int `json:"shards"`
+	// WallMs is the best-of-iters wall time of one query evaluation.
+	WallMs float64 `json:"wall_ms"`
+	// SpeedupVs1 is the K=1 wall time divided by this point's wall time.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+	Tuples     int     `json:"tuples"`
+	Candidates int     `json:"candidates"`
+}
+
+// ShardSnapshot is the BENCH_shard.json document.
+type ShardSnapshot struct {
+	Workload  string       `json:"workload"`
+	Note      string       `json:"note"`
+	GoMaxProc int          `json:"gomaxprocs"`
+	Points    []ShardPoint `json:"points"`
+}
+
+// RunShardBench builds the workload corpus once, partitions it at each
+// shard count, and measures wall-clock query time (best of iters runs per
+// count). Per-shard Workers stays 1 so any speedup is attributable to the
+// shard fan-out alone. It also cross-checks that every sharded run returns
+// exactly as many tuples as the single-engine baseline.
+func RunShardBench(iters int) *ShardSnapshot {
+	if iters < 1 {
+		iters = 1
+	}
+	c := koko.WrapCorpus(corpus.GenHappyDB(ShardBenchSents, HotPathCorpusSeed))
+	p, err := koko.ParseQuery(HotPathExtractQuery)
+	if err != nil {
+		panic(err)
+	}
+
+	snap := &ShardSnapshot{
+		Workload: "GenHappyDB(4000, 42) + the hotpath extract query (see internal/experiments/hotpath.go)",
+		Note: "refresh with `go run ./cmd/kokobench -exp shard > BENCH_shard.json`; " +
+			"wall_ms is best-of-N wall time of one evaluation, per-shard Workers=1; " +
+			"fan-out speedup is bounded by gomaxprocs (a 1-core runner measures coordination overhead only)",
+		GoMaxProc: runtime.GOMAXPROCS(0),
+	}
+
+	measure := func(run func() (*koko.Result, error)) (float64, *koko.Result) {
+		best := time.Duration(0)
+		var res *koko.Result
+		for i := 0; i < iters; i++ {
+			t0 := time.Now()
+			r, err := run()
+			if err != nil {
+				panic(err)
+			}
+			if d := time.Since(t0); best == 0 || d < best {
+				best = d
+			}
+			res = r
+		}
+		return float64(best.Nanoseconds()) / 1e6, res
+	}
+
+	var base float64
+	var baseTuples int
+	for _, k := range ShardBenchCounts {
+		var wall float64
+		var res *koko.Result
+		if k == 1 {
+			eng := koko.NewEngine(c, nil)
+			wall, res = measure(func() (*koko.Result, error) { return eng.RunParsed(p, nil) })
+			base, baseTuples = wall, len(res.Tuples)
+		} else {
+			eng := koko.NewShardedEngine(c, k, nil)
+			wall, res = measure(func() (*koko.Result, error) { return eng.RunParsed(p, nil) })
+			if len(res.Tuples) != baseTuples {
+				panic("shard bench: sharded tuple count diverged from single-engine baseline")
+			}
+		}
+		pt := ShardPoint{
+			Shards:     k,
+			WallMs:     wall,
+			Tuples:     len(res.Tuples),
+			Candidates: res.Candidates,
+		}
+		if wall > 0 {
+			pt.SpeedupVs1 = base / wall
+		}
+		snap.Points = append(snap.Points, pt)
+	}
+	return snap
+}
+
+// FormatShardBench renders the snapshot as indented JSON (the committed
+// BENCH_shard.json format).
+func FormatShardBench(s *ShardSnapshot) string {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "{}"
+	}
+	return string(out) + "\n"
+}

@@ -1,0 +1,185 @@
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/nlp"
+	"repro/internal/store"
+)
+
+// Sharding: a corpus is split on document boundaries into contiguous
+// doc-range shards. KOKO evaluates queries document-by-document (evidence
+// aggregation never crosses documents), so each shard can be indexed and
+// queried as a fully independent corpus and the per-shard results
+// recombined exactly by rebasing shard-local document and sentence ids.
+
+// ShardSpec describes one shard: the global document range [LoDoc, HiDoc)
+// it covers and the offsets needed to rebase shard-local ids back to
+// corpus-global ones.
+type ShardSpec struct {
+	// LoDoc / HiDoc bound the global document range (HiDoc exclusive).
+	LoDoc, HiDoc int
+	// FirstSID is the global sentence id of the shard's first sentence;
+	// shard-local sentence s corresponds to global sentence FirstSID+s.
+	FirstSID int
+	// NumSents / Tokens report the shard's size (Tokens is the balance
+	// weight the partitioner optimizes).
+	NumSents int
+	Tokens   int
+}
+
+// NumDocs returns the number of documents the shard covers.
+func (sp ShardSpec) NumDocs() int { return sp.HiDoc - sp.LoDoc }
+
+// PartitionDocs splits c's documents into at most k contiguous doc ranges,
+// balancing total token count per shard rather than document count: one
+// giant article should not ride with a full share of small ones. Every
+// returned shard covers at least one document, so fewer than k shards come
+// back when the corpus has fewer than k documents. k <= 1 yields a single
+// shard covering everything.
+func PartitionDocs(c *Corpus, k int) []ShardSpec {
+	nd := c.NumDocs()
+	if nd == 0 {
+		return []ShardSpec{{}}
+	}
+	if k > nd {
+		k = nd
+	}
+	if k < 1 {
+		k = 1
+	}
+	docTokens := make([]int, nd)
+	total := 0
+	for d := 0; d < nd; d++ {
+		first, end := c.DocSentences(d)
+		w := 0
+		for sid := first; sid < end; sid++ {
+			w += len(c.Sentences[sid].Tokens)
+		}
+		docTokens[d] = w
+		total += w
+	}
+	specs := make([]ShardSpec, 0, k)
+	remaining := total
+	lo := 0
+	for i := 0; i < k; i++ {
+		shardsLeft := k - i
+		// maxHi leaves at least one document for every shard still to cut.
+		maxHi := nd - (shardsLeft - 1)
+		target := float64(remaining) / float64(shardsLeft)
+		acc := 0
+		hi := lo
+		for hi < maxHi {
+			w := docTokens[hi]
+			// Take the next document unless stopping here is closer to the
+			// (re-balanced) per-shard target than taking it would be.
+			if hi > lo && float64(acc)+float64(w)/2 > target {
+				break
+			}
+			acc += w
+			hi++
+		}
+		if hi == lo { // always make progress
+			acc = docTokens[hi]
+			hi++
+		}
+		first := c.Docs[lo].FirstSID
+		last := c.Docs[hi-1]
+		specs = append(specs, ShardSpec{
+			LoDoc: lo, HiDoc: hi,
+			FirstSID: first,
+			NumSents: last.FirstSID + last.NumSents - first,
+			Tokens:   acc,
+		})
+		remaining -= acc
+		lo = hi
+	}
+	return specs
+}
+
+// ShardCorpus materializes spec's document range as a self-contained corpus
+// with shard-local document and sentence ids (both starting at 0). Sentence
+// structs are copied so renumbering never touches the parent corpus; token
+// and entity slices are shared read-only.
+func ShardCorpus(c *Corpus, spec ShardSpec) *Corpus {
+	out := &Corpus{}
+	for d := spec.LoDoc; d < spec.HiDoc; d++ {
+		first, end := c.DocSentences(d)
+		sents := make([]nlp.Sentence, end-first)
+		copy(sents, c.Sentences[first:end])
+		out.AppendDoc(c.Docs[d].Name, sents)
+	}
+	return out
+}
+
+// --- sharded store layout ---
+//
+// A sharded corpus persists as a tiny manifest store plus one ordinary
+// .koko store per shard. The manifest's SHARDS table names each shard file
+// (relative to the manifest's directory, so the layout is relocatable) and
+// records its ShardSpec; shard files are complete stand-alone stores, so a
+// single shard can also be opened directly for debugging.
+
+const shardManifestTable = "SHARDS"
+
+// SaveShardManifest writes the sharded-layout manifest into db: one SHARDS
+// row per shard with its file name and spec.
+func SaveShardManifest(db *store.DB, files []string, specs []ShardSpec) {
+	t := db.Create(shardManifestTable,
+		store.Column{Name: "shard", Type: store.ColInt},
+		store.Column{Name: "file", Type: store.ColString},
+		store.Column{Name: "lo_doc", Type: store.ColInt},
+		store.Column{Name: "hi_doc", Type: store.ColInt},
+		store.Column{Name: "first_sid", Type: store.ColInt},
+		store.Column{Name: "num_sents", Type: store.ColInt},
+		store.Column{Name: "tokens", Type: store.ColInt},
+	)
+	for i, sp := range specs {
+		t.MustInsert(
+			store.IntVal(int64(i)), store.StrVal(files[i]),
+			store.IntVal(int64(sp.LoDoc)), store.IntVal(int64(sp.HiDoc)),
+			store.IntVal(int64(sp.FirstSID)), store.IntVal(int64(sp.NumSents)),
+			store.IntVal(int64(sp.Tokens)),
+		)
+	}
+}
+
+// IsShardManifest reports whether db is a sharded-layout manifest rather
+// than a plain single-corpus store.
+func IsShardManifest(db *store.DB) bool {
+	return db.Table(shardManifestTable) != nil
+}
+
+// LoadShardManifest reads back the shard file names and specs written by
+// SaveShardManifest, in shard order.
+func LoadShardManifest(db *store.DB) ([]string, []ShardSpec, error) {
+	t := db.Table(shardManifestTable)
+	if t == nil {
+		return nil, nil, fmt.Errorf("index: no %s table (not a shard manifest)", shardManifestTable)
+	}
+	var files []string
+	var specs []ShardSpec
+	prev := -1
+	ok := true
+	t.Scan(func(rid int, row []store.Value) bool {
+		if int(row[0].I) != prev+1 {
+			ok = false
+			return false
+		}
+		prev++
+		files = append(files, row[1].S)
+		specs = append(specs, ShardSpec{
+			LoDoc: int(row[2].I), HiDoc: int(row[3].I),
+			FirstSID: int(row[4].I), NumSents: int(row[5].I),
+			Tokens: int(row[6].I),
+		})
+		return true
+	})
+	if !ok {
+		return nil, nil, fmt.Errorf("index: shard manifest rows out of order")
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("index: shard manifest is empty")
+	}
+	return files, specs, nil
+}

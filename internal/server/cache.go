@@ -10,23 +10,38 @@ import (
 // resultCache is an LRU cache of query results, keyed on
 // corpus|generation|explain|canonical-query by the Service. Values are
 // shared between requests and MUST be treated as immutable by readers.
+//
+// The cache is bounded two ways: by entry count and by the total number of
+// cached tuples (the dominant memory cost of a result). When either budget
+// is exceeded, least-recently-used entries are evicted until both hold — so
+// one query returning a huge tuple table pushes out many small results, and
+// a result larger than the whole tuple budget is simply not retained
+// (admission by size, the ROADMAP's memory-bounds item).
 type resultCache struct {
-	mu  sync.Mutex
-	max int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	mu         sync.Mutex
+	maxEntries int
+	maxTuples  int        // <= 0 means no tuple budget
+	tuples     int        // current total tuple count across entries
+	ll         *list.List // front = most recently used
+	m          map[string]*list.Element
 }
 
 type cacheEntry struct {
-	key string
-	res *koko.Result
+	key    string
+	res    *koko.Result
+	tuples int
 }
 
-func newResultCache(max int) *resultCache {
-	if max <= 0 {
+func newResultCache(maxEntries, maxTuples int) *resultCache {
+	if maxEntries <= 0 {
 		return nil // caching disabled
 	}
-	return &resultCache{max: max, ll: list.New(), m: map[string]*list.Element{}}
+	return &resultCache{
+		maxEntries: maxEntries,
+		maxTuples:  maxTuples,
+		ll:         list.New(),
+		m:          map[string]*list.Element{},
+	}
 }
 
 func (c *resultCache) get(key string) (*koko.Result, bool) {
@@ -47,18 +62,38 @@ func (c *resultCache) put(key string, res *koko.Result) {
 	if c == nil {
 		return
 	}
+	n := len(res.Tuples)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.m[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).res = res
+	// Admission by size: a result larger than the whole tuple budget can
+	// never fit, so refuse it up front instead of letting the eviction loop
+	// drain the entire warm set before dropping it anyway. The stale-entry
+	// removal below is unreachable under the Service's deterministic keying
+	// (same key ⇒ same tuple count ⇒ it was refused too) but keeps the
+	// cache's accounting self-contained for any other caller.
+	if c.maxTuples > 0 && n > c.maxTuples {
+		if el, ok := c.m[key]; ok {
+			c.ll.Remove(el)
+			c.tuples -= el.Value.(*cacheEntry).tuples
+			delete(c.m, key)
+		}
 		return
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
-	for c.ll.Len() > c.max {
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.tuples += n - e.tuples
+		e.res, e.tuples = res, n
+	} else {
+		c.m[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, tuples: n})
+		c.tuples += n
+	}
+	for c.ll.Len() > 0 && (c.ll.Len() > c.maxEntries || (c.maxTuples > 0 && c.tuples > c.maxTuples)) {
 		el := c.ll.Back()
 		c.ll.Remove(el)
-		delete(c.m, el.Value.(*cacheEntry).key)
+		e := el.Value.(*cacheEntry)
+		c.tuples -= e.tuples
+		delete(c.m, e.key)
 	}
 }
 
@@ -69,4 +104,14 @@ func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// tupleCount reports the total tuples held across all entries.
+func (c *resultCache) tupleCount() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tuples
 }

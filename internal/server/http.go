@@ -99,7 +99,10 @@ func (s *Service) handleCorpora(w http.ResponseWriter, r *http.Request) {
 
 type statsResponse struct {
 	CorpusInfo
-	Index indexStatsJSON `json:"index"`
+	// Index aggregates across shards (summed sizes for a sharded corpus);
+	// Shards breaks the same numbers out per shard.
+	Index  indexStatsJSON   `json:"index"`
+	Shards []shardStatsJSON `json:"shard_stats"`
 }
 
 type indexStatsJSON struct {
@@ -111,26 +114,41 @@ type indexStatsJSON struct {
 	POSCompression float64 `json:"pos_compression"`
 }
 
+type shardStatsJSON struct {
+	Shard     int            `json:"shard"`
+	Documents int            `json:"documents"`
+	Sentences int            `json:"sentences"`
+	Tokens    int            `json:"tokens,omitempty"`
+	Index     indexStatsJSON `json:"index"`
+}
+
+func indexStatsOf(st koko.IndexStats) indexStatsJSON {
+	return indexStatsJSON{
+		Words: st.Words, Entities: st.Entities,
+		PLNodes: st.PLNodes, POSNodes: st.POSNodes,
+		PLCompression: st.PLCompression, POSCompression: st.POSCompression,
+	}
+}
+
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	info, err := s.reg.Info(name)
+	// One registry resolution for all three pieces, so a concurrent reload
+	// can never produce a response mixing two generations.
+	info, st, sh, err := s.reg.Describe(r.PathValue("name"))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	st, err := s.reg.Stats(name)
-	if err != nil {
-		writeError(w, err)
-		return
+	resp := statsResponse{CorpusInfo: info, Index: indexStatsOf(st)}
+	for _, ss := range sh {
+		resp.Shards = append(resp.Shards, shardStatsJSON{
+			Shard:     ss.Shard,
+			Documents: ss.Documents,
+			Sentences: ss.Sentences,
+			Tokens:    ss.Tokens,
+			Index:     indexStatsOf(ss.Index),
+		})
 	}
-	writeJSON(w, http.StatusOK, statsResponse{
-		CorpusInfo: info,
-		Index: indexStatsJSON{
-			Words: st.Words, Entities: st.Entities,
-			PLNodes: st.PLNodes, POSNodes: st.POSNodes,
-			PLCompression: st.PLCompression, POSCompression: st.POSCompression,
-		},
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Service) handleReload(w http.ResponseWriter, r *http.Request) {

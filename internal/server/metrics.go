@@ -19,11 +19,14 @@ type Metrics struct {
 
 // MetricsSnapshot is the JSON form served by GET /v1/metrics.
 type MetricsSnapshot struct {
-	QueriesTotal   int64 `json:"queries_total"`
-	QueryErrors    int64 `json:"query_errors"`
-	CacheHits      int64 `json:"cache_hits"`
-	CacheMisses    int64 `json:"cache_misses"`
-	CacheEntries   int   `json:"cache_entries"`
+	QueriesTotal int64 `json:"queries_total"`
+	QueryErrors  int64 `json:"query_errors"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+	// CacheTuples is the total tuples held across cache entries (the
+	// quantity the cache's memory budget bounds).
+	CacheTuples    int   `json:"cache_tuples"`
 	ValidateTotal  int64 `json:"validate_total"`
 	ReloadsTotal   int64 `json:"reloads_total"`
 	TuplesReturned int64 `json:"tuples_returned"`

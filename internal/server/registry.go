@@ -20,16 +20,21 @@ type CorpusInfo struct {
 	// Generation is the registry-wide load counter at the time this entry
 	// was (re)loaded. It strictly increases across loads, so caches keyed
 	// on (name, generation) are implicitly invalidated by a reload.
-	Generation uint64    `json:"generation"`
-	Documents  int       `json:"documents"`
-	Sentences  int       `json:"sentences"`
-	LoadedAt   time.Time `json:"loaded_at"`
+	Generation uint64 `json:"generation"`
+	// Shards is how many doc-range shards serve this corpus (1 = a plain
+	// unpartitioned engine). A reload swaps the whole shard set at once.
+	Shards    int       `json:"shards"`
+	Documents int       `json:"documents"`
+	Sentences int       `json:"sentences"`
+	LoadedAt  time.Time `json:"loaded_at"`
 }
 
-// Registry maps corpus names to query engines. It supports hot loading:
-// corpora can be added, replaced, and reloaded from disk while queries are
-// in flight — in-flight queries keep the engine they resolved, new queries
-// see the new generation.
+// Registry maps corpus names to query engines — plain or sharded, held
+// uniformly as koko.Querier. It supports hot loading: corpora can be added,
+// replaced, and reloaded from disk while queries are in flight — in-flight
+// queries keep the engine (or whole shard set) they resolved, new queries
+// see the new generation. A sharded corpus always swaps atomically as one
+// generation; there is never a mixed-generation shard set.
 type Registry struct {
 	mu      sync.RWMutex
 	gen     uint64
@@ -37,10 +42,18 @@ type Registry struct {
 	// loadOpts are the engine options applied to every file load (dicts,
 	// ontology, default workers).
 	loadOpts *koko.Options
+	// defShards > 1 re-partitions plain stores into that many doc-range
+	// shards at load time. Stores persisted as sharded manifests keep their
+	// on-disk shard count regardless.
+	defShards int
+	// shardParallel > 0 bounds each sharded entry's per-query shard
+	// fan-out at install time (the service sets it from its pool size so
+	// concurrent requests don't oversubscribe the CPU).
+	shardParallel int
 }
 
 type regEntry struct {
-	eng  *koko.Engine
+	eng  koko.Querier
 	info CorpusInfo
 }
 
@@ -50,20 +63,39 @@ func NewRegistry(opts *koko.Options) *Registry {
 	return &Registry{entries: map[string]*regEntry{}, loadOpts: opts}
 }
 
+// SetDefaultShards makes LoadFile partition plain (non-manifest) stores
+// into k doc-range shards (k <= 1 disables re-sharding).
+func (r *Registry) SetDefaultShards(k int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.defShards = k
+}
+
+// SetShardParallelism bounds the per-query shard fan-out applied to every
+// sharded engine installed from now on (n <= 0 leaves the engine default,
+// min(shards, GOMAXPROCS)).
+func (r *Registry) SetShardParallelism(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.shardParallel = n
+}
+
 // DefaultName derives a registry name from a .koko path: the base name
 // without the extension ("/data/cafes.koko" -> "cafes").
 func DefaultName(path string) string {
 	return strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 }
 
-// LoadFile loads a persisted .koko store and registers it under name
-// (DefaultName(path) if name is ""). An existing entry with the same name
-// is replaced at a new generation.
+// LoadFile loads a persisted store — a plain .koko file or a sharded
+// manifest — and registers it under name (DefaultName(path) if name is "").
+// With SetDefaultShards(k>1), plain stores are re-partitioned into k
+// doc-range shards before registration. An existing entry with the same
+// name is replaced at a new generation.
 func (r *Registry) LoadFile(name, path string) error {
 	if name == "" {
 		name = DefaultName(path)
 	}
-	eng, err := koko.Load(path, r.loadOpts)
+	eng, err := r.open(path)
 	if err != nil {
 		return fmt.Errorf("load corpus %q: %w", name, err)
 	}
@@ -71,23 +103,36 @@ func (r *Registry) LoadFile(name, path string) error {
 	return nil
 }
 
-// Register adds an in-memory engine under name, replacing any existing
-// entry at a new generation.
-func (r *Registry) Register(name string, eng *koko.Engine) {
+// open loads a store under the registry's default sharding policy: plain
+// stores come up partitioned into defShards doc-range shards, manifests
+// keep their on-disk shard count.
+func (r *Registry) open(path string) (koko.Querier, error) {
+	r.mu.RLock()
+	k := r.defShards
+	r.mu.RUnlock()
+	return koko.OpenWithShards(path, r.loadOpts, k)
+}
+
+// Register adds an in-memory engine — plain or sharded — under name,
+// replacing any existing entry at a new generation.
+func (r *Registry) Register(name string, eng koko.Querier) {
 	r.install(name, "", eng)
 }
 
-func (r *Registry) install(name, source string, eng *koko.Engine) CorpusInfo {
-	c := eng.Corpus()
+func (r *Registry) install(name, source string, eng koko.Querier) CorpusInfo {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if se, ok := eng.(*koko.ShardedEngine); ok && r.shardParallel > 0 {
+		se.SetParallelism(r.shardParallel)
+	}
 	r.gen++
 	info := CorpusInfo{
 		Name:       name,
 		Source:     source,
 		Generation: r.gen,
-		Documents:  c.NumDocuments(),
-		Sentences:  c.NumSentences(),
+		Shards:     eng.NumShards(),
+		Documents:  eng.NumDocuments(),
+		Sentences:  eng.NumSentences(),
 		LoadedAt:   time.Now().UTC(),
 	}
 	r.entries[name] = &regEntry{eng: eng, info: info}
@@ -112,15 +157,18 @@ func (r *Registry) Reload(name string) (CorpusInfo, error) {
 	}
 	// Load outside the lock: index loading is the slow part and must not
 	// block concurrent queries against other corpora (or the old engine).
-	eng, err := koko.Load(source, r.loadOpts)
+	// For a sharded corpus the whole new shard set is assembled here before
+	// install swaps it in — one atomic generation flip, never a mix.
+	eng, err := r.open(source)
 	if err != nil {
 		return CorpusInfo{}, fmt.Errorf("reload corpus %q: %w", name, err)
 	}
 	return r.install(name, source, eng), nil
 }
 
-// Engine resolves a corpus name to its engine and current generation.
-func (r *Registry) Engine(name string) (*koko.Engine, uint64, error) {
+// Engine resolves a corpus name to its engine (plain or sharded) and
+// current generation.
+func (r *Registry) Engine(name string) (koko.Querier, uint64, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	e, ok := r.entries[name]
@@ -141,7 +189,8 @@ func (r *Registry) Info(name string) (CorpusInfo, error) {
 	return e.info, nil
 }
 
-// Stats returns the index statistics of one entry's engine.
+// Stats returns the index statistics of one entry's engine (summed across
+// shards for a sharded corpus).
 func (r *Registry) Stats(name string) (koko.IndexStats, error) {
 	eng, _, err := r.Engine(name)
 	if err != nil {
@@ -150,7 +199,25 @@ func (r *Registry) Stats(name string) (koko.IndexStats, error) {
 	return eng.Stats(), nil
 }
 
-// List returns all entries sorted by name.
+// Describe returns one entry's info, aggregate index stats, and per-shard
+// stats as a consistent snapshot: all three come from the same generation,
+// even if a reload swaps the entry concurrently. (Entries are immutable
+// once installed, so resolving the entry once under the lock suffices.)
+// The aggregate is derived from the per-shard stats — one index walk per
+// shard, not two.
+func (r *Registry) Describe(name string) (CorpusInfo, koko.IndexStats, []koko.ShardStat, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return CorpusInfo{}, koko.IndexStats{}, nil, fmt.Errorf("corpus %q: %w", name, ErrNotFound)
+	}
+	sh := e.eng.ShardStats()
+	return e.info, koko.MergeShardStats(sh), sh, nil
+}
+
+// List returns all entries sorted by name. The order is deterministic so
+// /v1/corpora output and startup logs are stable across runs.
 func (r *Registry) List() []CorpusInfo {
 	r.mu.RLock()
 	defer r.mu.RUnlock()

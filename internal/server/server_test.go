@@ -286,7 +286,7 @@ func TestReloadInvalidatesCache(t *testing.T) {
 // TestLRUEviction fills the cache past capacity and checks the oldest
 // entry is evicted while recently used ones survive.
 func TestLRUEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, 0)
 	r := &koko.Result{}
 	c.put("a", r)
 	c.put("b", r)

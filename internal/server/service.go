@@ -29,10 +29,27 @@ type Config struct {
 	// CacheSize is the result-cache capacity in entries. 0 means the
 	// default (256); negative disables caching.
 	CacheSize int
+	// CacheMaxTuples bounds the total tuples retained across all cache
+	// entries (the dominant memory cost of a cached result). 0 means the
+	// default (100000); negative disables the tuple budget, leaving only
+	// the entry-count bound.
+	CacheMaxTuples int
 	// DefaultWorkers is the per-query intra-engine worker count applied
 	// when a request does not specify one. Default 1 (sequential): under
 	// concurrent load, cross-request parallelism already saturates cores.
 	DefaultWorkers int
+	// Shards > 1 partitions every corpus loaded from disk (from a plain,
+	// non-manifest store) into that many doc-range shards; queries then fan
+	// out across shard engines and merge in document order. Stores saved as
+	// sharded manifests keep their on-disk shard count.
+	Shards int
+	// ShardParallel bounds how many shards evaluate concurrently within one
+	// query. 0 means auto: the fan-out scales inversely with the worker
+	// pool (pool × fan-out ≈ 2 × GOMAXPROCS), so a saturated server keeps
+	// total evaluation goroutines near the pre-sharding level and an
+	// interactive one (small -pool) gets low-latency wide fan-out.
+	// Negative leaves the engine default, min(shards, GOMAXPROCS).
+	ShardParallel int
 	// LoadOptions is applied to every corpus loaded from disk.
 	LoadOptions *koko.Options
 }
@@ -58,13 +75,26 @@ func NewService(cfg Config) *Service {
 	if size == 0 {
 		size = 256
 	}
+	maxTuples := cfg.CacheMaxTuples
+	if maxTuples == 0 {
+		maxTuples = 100000
+	}
 	workers := cfg.DefaultWorkers
 	if workers <= 0 {
 		workers = 1
 	}
+	reg := NewRegistry(cfg.LoadOptions)
+	reg.SetDefaultShards(cfg.Shards)
+	sp := cfg.ShardParallel
+	if sp == 0 {
+		if sp = 2 * runtime.GOMAXPROCS(0) / maxc; sp < 1 {
+			sp = 1
+		}
+	}
+	reg.SetShardParallelism(sp)
 	return &Service{
-		reg:        NewRegistry(cfg.LoadOptions),
-		cache:      newResultCache(size),
+		reg:        reg,
+		cache:      newResultCache(size, maxTuples),
 		sem:        make(chan struct{}, maxc),
 		defWorkers: workers,
 	}
@@ -184,7 +214,7 @@ func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 	s.metrics.enter()
 	res, err := eng.RunParsed(parsed, &koko.QueryOptions{
 		Explain: req.Explain,
-		Workers: s.workersFor(req.Workers),
+		Workers: s.workersFor(req.Workers, fanoutOf(eng)),
 	})
 	s.metrics.exit()
 	<-s.sem
@@ -201,14 +231,34 @@ func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 	return resp, nil
 }
 
-func (s *Service) workersFor(reqWorkers int) int {
+// fanoutOf reports how many shard evaluations eng actually runs at once
+// for one query (1 for a plain engine).
+func fanoutOf(eng koko.Querier) int {
+	if se, ok := eng.(*koko.ShardedEngine); ok {
+		return se.Parallelism()
+	}
+	return 1
+}
+
+func (s *Service) workersFor(reqWorkers, fanout int) int {
 	w := s.defWorkers
 	if reqWorkers > 0 {
 		w = reqWorkers
 	}
 	// Clamp request-supplied fan-out: a client must not be able to spawn
-	// unbounded goroutines per query.
-	if max := runtime.GOMAXPROCS(0); w > max {
+	// unbounded goroutines per query. Workers applies inside each of the
+	// fanout concurrently-evaluating shards, so the budget divides by the
+	// engine's effective fan-out (not its shard count — shards that queue
+	// behind the fan-out bound cost nothing extra) to keep total per-query
+	// parallelism at GOMAXPROCS.
+	max := runtime.GOMAXPROCS(0)
+	if fanout > 1 {
+		max /= fanout
+		if max < 1 {
+			max = 1
+		}
+	}
+	if w > max {
 		w = max
 	}
 	return w
@@ -276,6 +326,7 @@ func (s *Service) Metrics() MetricsSnapshot {
 		CacheHits:        m.cacheHits.Load(),
 		CacheMisses:      m.cacheMisses.Load(),
 		CacheEntries:     s.cache.len(),
+		CacheTuples:      s.cache.tupleCount(),
 		ValidateTotal:    m.validateTotal.Load(),
 		ReloadsTotal:     m.reloadsTotal.Load(),
 		TuplesReturned:   m.tuplesReturned.Load(),

@@ -43,6 +43,11 @@ func NewCorpus(names []string, texts []string) *Corpus {
 	return &Corpus{c: index.NewCorpus(names, texts)}
 }
 
+// WrapCorpus adopts an already-parsed internal corpus without re-running the
+// NLP pipeline. It is the bridge the experiment harness and corpus
+// generators use; regular callers should use NewCorpus.
+func WrapCorpus(c *index.Corpus) *Corpus { return &Corpus{c: c} }
+
 // NumDocuments returns the number of documents.
 func (c *Corpus) NumDocuments() int { return c.c.NumDocs() }
 
@@ -99,6 +104,30 @@ type Engine struct {
 
 // Corpus returns the corpus the engine was built over.
 func (e *Engine) Corpus() *Corpus { return e.corpus }
+
+// NumDocuments returns the number of documents in the engine's corpus.
+func (e *Engine) NumDocuments() int { return e.corpus.NumDocuments() }
+
+// NumSentences returns the number of sentences in the engine's corpus.
+func (e *Engine) NumSentences() int { return e.corpus.NumSentences() }
+
+// DocumentName returns the name of document i ("" if out of range).
+func (e *Engine) DocumentName(i int) string { return e.corpus.DocumentName(i) }
+
+// NumShards reports 1: a plain Engine is a single shard. The method makes
+// Engine and ShardedEngine interchangeable behind Querier.
+func (e *Engine) NumShards() int { return 1 }
+
+// ShardStats describes the engine as a one-shard set (shard 0 covering the
+// whole corpus), mirroring ShardedEngine.ShardStats.
+func (e *Engine) ShardStats() []ShardStat {
+	return []ShardStat{{
+		Shard:     0,
+		Documents: e.corpus.NumDocuments(),
+		Sentences: e.corpus.NumSentences(),
+		Index:     e.Stats(),
+	}}
+}
 
 // NewEngine builds the multi-index over the corpus and returns an engine.
 // opts may be nil.
@@ -240,6 +269,13 @@ func (e *Engine) RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return resultFromEngine(res), nil
+}
+
+// resultFromEngine converts the internal engine result to the public form.
+// Both Engine.RunParsed and the per-shard partials of ShardedEngine produce
+// results through this one conversion.
+func resultFromEngine(res *engine.Result) *Result {
 	out := &Result{
 		Candidates: res.CandidateSentences,
 		Matched:    res.MatchedSentences,
@@ -271,7 +307,7 @@ func (e *Engine) RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, error) {
 		}
 		out.Tuples = append(out.Tuples, tp)
 	}
-	return out, nil
+	return out
 }
 
 // Validate parses a query without running it, returning a descriptive error
@@ -321,12 +357,51 @@ func (e *Engine) Save(path string) error {
 	return db.Save(path)
 }
 
-// Load reopens an engine from a file written by Save.
+// Load reopens an engine from a file written by Engine.Save. For a file
+// that may be either a plain store or a sharded manifest, use Open.
 func Load(path string, opts *Options) (*Engine, error) {
 	db, err := store.Load(path)
 	if err != nil {
 		return nil, err
 	}
+	if index.IsShardManifest(db) {
+		return nil, fmt.Errorf("koko: %s is a sharded store manifest; use Open or LoadSharded", path)
+	}
+	return engineFromDB(db, opts)
+}
+
+// Open reopens any persisted store: a plain .koko file yields an *Engine, a
+// sharded manifest (written by ShardedEngine.Save) yields a *ShardedEngine.
+func Open(path string, opts *Options) (Querier, error) {
+	return OpenWithShards(path, opts, 1)
+}
+
+// OpenWithShards reopens a persisted store like Open but, for k > 1,
+// re-partitions a plain store into k doc-range shards. Only the parsed
+// corpus is read in that case — the plain store's single index is never
+// assembled just to be thrown away; the per-shard indices are built
+// directly. A sharded manifest keeps its on-disk shard count regardless
+// of k.
+func OpenWithShards(path string, opts *Options, k int) (Querier, error) {
+	db, err := store.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if index.IsShardManifest(db) {
+		return loadShardedFromDB(db, path, opts)
+	}
+	if k > 1 {
+		c, err := loadCorpus(db)
+		if err != nil {
+			return nil, err
+		}
+		return NewShardedEngine(&Corpus{c: c}, k, opts), nil
+	}
+	return engineFromDB(db, opts)
+}
+
+// engineFromDB assembles an Engine from an in-memory store image.
+func engineFromDB(db *store.DB, opts *Options) (*Engine, error) {
 	ix, err := index.LoadIndex(db)
 	if err != nil {
 		return nil, err

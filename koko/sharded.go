@@ -1,0 +1,379 @@
+package koko
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/koko/index"
+	"repro/internal/store"
+)
+
+// Querier is the query surface shared by Engine and ShardedEngine: a
+// registry (or any caller) can hold either behind one type and route
+// queries without knowing whether the corpus is partitioned.
+type Querier interface {
+	Query(src string) (*Result, error)
+	QueryWith(src string, qo *QueryOptions) (*Result, error)
+	RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, error)
+	Stats() IndexStats
+	ShardStats() []ShardStat
+	Save(path string) error
+	NumDocuments() int
+	NumSentences() int
+	NumShards() int
+	DocumentName(i int) string
+}
+
+var (
+	_ Querier = (*Engine)(nil)
+	_ Querier = (*ShardedEngine)(nil)
+)
+
+// ShardStat describes one shard of a corpus: its size and index shape.
+type ShardStat struct {
+	Shard     int        `json:"shard"`
+	Documents int        `json:"documents"`
+	Sentences int        `json:"sentences"`
+	Tokens    int        `json:"tokens,omitempty"`
+	Index     IndexStats `json:"index"`
+}
+
+// Partial is one shard's contribution to a query: a complete Result in
+// shard-local document and sentence coordinates, plus the offsets that
+// rebase it into the global corpus. Merging partials in shard order yields
+// exactly the single-engine result.
+type Partial struct {
+	Res *Result
+	// DocOffset / SentOffset rebase the shard-local Tuple.Document and
+	// Tuple.SentenceID to corpus-global values.
+	DocOffset  int
+	SentOffset int
+}
+
+// MergePartials concatenates shard partials in the order given, rebasing
+// tuple attribution to global ids. Shards cover ascending doc ranges and
+// each shard emits tuples in document order, so concatenation preserves
+// global document order. Phase times and Elapsed are summed across shards
+// (CPU time, as with Workers > 1); callers that want fan-out wall time
+// overwrite Elapsed afterwards.
+func MergePartials(parts []Partial) *Result {
+	out := &Result{}
+	for _, p := range parts {
+		if p.Res == nil {
+			continue
+		}
+		for _, t := range p.Res.Tuples {
+			t.SentenceID += p.SentOffset
+			t.Document += p.DocOffset
+			out.Tuples = append(out.Tuples, t)
+		}
+		out.Candidates += p.Res.Candidates
+		out.Matched += p.Res.Matched
+		out.Elapsed += p.Res.Elapsed
+		out.Phases.Normalize += p.Res.Phases.Normalize
+		out.Phases.DPLI += p.Res.Phases.DPLI
+		out.Phases.LoadArticle += p.Res.Phases.LoadArticle
+		out.Phases.GSP += p.Res.Phases.GSP
+		out.Phases.Extract += p.Res.Phases.Extract
+		out.Phases.Satisfying += p.Res.Phases.Satisfying
+	}
+	return out
+}
+
+// ShardedEngine partitions a corpus into doc-range shards, each with its own
+// multi-index and engine, and evaluates queries by fanning the parsed query
+// out to every shard on a bounded worker pool, then merging the partial
+// results back in global document order. Results are byte-identical to a
+// single Engine over the unpartitioned corpus (modulo timing fields).
+//
+// Like Engine, a ShardedEngine is safe for concurrent use.
+type ShardedEngine struct {
+	shards []*Engine
+	specs  []index.ShardSpec
+	// parallel bounds how many shards evaluate at once for one query;
+	// atomic so SetParallelism can retune a served engine mid-flight.
+	parallel atomic.Int32
+}
+
+// NewShardedEngine partitions c into (at most) k token-balanced doc-range
+// shards and builds a per-shard engine over each. opts may be nil and is
+// applied to every shard. Corpora with fewer than k documents get one shard
+// per document.
+func NewShardedEngine(c *Corpus, k int, opts *Options) *ShardedEngine {
+	specs := index.PartitionDocs(c.c, k)
+	shards := make([]*Engine, len(specs))
+	// Shards are independent, so their indices build concurrently (bounded
+	// by GOMAXPROCS) — this is what keeps registry load/reload latency flat
+	// as the shard count grows.
+	sem := make(chan struct{}, buildParallelism(len(specs)))
+	var wg sync.WaitGroup
+	for i, sp := range specs {
+		wg.Add(1)
+		go func(i int, sp index.ShardSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			shards[i] = NewEngine(&Corpus{c: index.ShardCorpus(c.c, sp)}, opts)
+		}(i, sp)
+	}
+	wg.Wait()
+	return newSharded(shards, specs)
+}
+
+func buildParallelism(n int) int {
+	if max := runtime.GOMAXPROCS(0); n > max {
+		n = max
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func newSharded(shards []*Engine, specs []index.ShardSpec) *ShardedEngine {
+	e := &ShardedEngine{shards: shards, specs: specs}
+	e.parallel.Store(int32(buildParallelism(len(shards))))
+	return e
+}
+
+// SetParallelism bounds how many shards evaluate concurrently per query
+// (default: min(shards, GOMAXPROCS)). n < 1 means sequential. Safe to call
+// while queries are in flight; in-flight fan-outs keep the bound they read.
+func (e *ShardedEngine) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.parallel.Store(int32(n))
+}
+
+// Parallelism reports the current per-query shard fan-out bound.
+func (e *ShardedEngine) Parallelism() int { return int(e.parallel.Load()) }
+
+// NumShards returns the shard count.
+func (e *ShardedEngine) NumShards() int { return len(e.shards) }
+
+// Shard returns shard i's engine (for inspection and tests).
+func (e *ShardedEngine) Shard(i int) *Engine { return e.shards[i] }
+
+// Spec returns shard i's doc-range spec.
+func (e *ShardedEngine) Spec(i int) index.ShardSpec { return e.specs[i] }
+
+// NumDocuments sums document counts across shards.
+func (e *ShardedEngine) NumDocuments() int {
+	n := 0
+	for _, s := range e.shards {
+		n += s.NumDocuments()
+	}
+	return n
+}
+
+// NumSentences sums sentence counts across shards.
+func (e *ShardedEngine) NumSentences() int {
+	n := 0
+	for _, s := range e.shards {
+		n += s.NumSentences()
+	}
+	return n
+}
+
+// DocumentName resolves a global document index to its name ("" if out of
+// range).
+func (e *ShardedEngine) DocumentName(i int) string {
+	for si, sp := range e.specs {
+		if i >= sp.LoDoc && i < sp.HiDoc {
+			return e.shards[si].DocumentName(i - sp.LoDoc)
+		}
+	}
+	return ""
+}
+
+// Query parses and evaluates a KOKO query across all shards.
+func (e *ShardedEngine) Query(src string) (*Result, error) {
+	return e.QueryWith(src, nil)
+}
+
+// QueryWith parses and evaluates with per-query overrides (qo may be nil).
+// Workers applies within each shard; shard fan-out is bounded separately by
+// SetParallelism.
+func (e *ShardedEngine) QueryWith(src string, qo *QueryOptions) (*Result, error) {
+	p, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunParsed(p, qo)
+}
+
+// RunParsed fans an already-parsed query out to every shard on a bounded
+// pool and merges the partials in document order. Phases report summed CPU
+// time across shards; Elapsed reports the fan-out's wall time. Safe for
+// concurrent use.
+func (e *ShardedEngine) RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, error) {
+	t0 := time.Now()
+	parts := make([]Partial, len(e.shards))
+	sem := make(chan struct{}, e.parallel.Load())
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := range e.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mu.Lock()
+			failed := firstErr != nil
+			mu.Unlock()
+			if failed {
+				return
+			}
+			res, err := e.shards[i].RunParsed(p, qo)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("shard %d: %w", i, err)
+				}
+				mu.Unlock()
+				return
+			}
+			parts[i] = Partial{Res: res, DocOffset: e.specs[i].LoDoc, SentOffset: e.specs[i].FirstSID}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out := MergePartials(parts)
+	out.Elapsed = time.Since(t0)
+	return out, nil
+}
+
+// Stats sums index statistics across shards. Counts are per-shard sizes
+// added up: a word indexed in every shard contributes once per shard, so
+// the sum reflects total index footprint rather than distinct terms.
+// Compression ratios are averaged weighted by node count.
+func (e *ShardedEngine) Stats() IndexStats {
+	return MergeShardStats(e.ShardStats())
+}
+
+// MergeShardStats aggregates per-shard index statistics into one summary
+// (summed sizes, node-count-weighted compression ratios). Callers that
+// already hold a ShardStats slice should aggregate it with this instead of
+// calling Stats again — each per-shard stat costs a full index walk.
+func MergeShardStats(ss []ShardStat) IndexStats {
+	var out IndexStats
+	var plW, posW float64
+	for _, s := range ss {
+		st := s.Index
+		out.Words += st.Words
+		out.Entities += st.Entities
+		out.PLNodes += st.PLNodes
+		out.POSNodes += st.POSNodes
+		plW += st.PLCompression * float64(st.PLNodes)
+		posW += st.POSCompression * float64(st.POSNodes)
+	}
+	if out.PLNodes > 0 {
+		out.PLCompression = plW / float64(out.PLNodes)
+	}
+	if out.POSNodes > 0 {
+		out.POSCompression = posW / float64(out.POSNodes)
+	}
+	return out
+}
+
+// ShardStats reports per-shard sizes and index shapes in shard order.
+func (e *ShardedEngine) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = ShardStat{
+			Shard:     i,
+			Documents: s.NumDocuments(),
+			Sentences: s.NumSentences(),
+			Tokens:    e.specs[i].Tokens,
+			Index:     s.Stats(),
+		}
+	}
+	return out
+}
+
+// shardFileName names shard i's store relative to the manifest. The suffix
+// deliberately does not end in ".koko" so directory scans for *.koko pick
+// up only the manifest.
+func shardFileName(base string, i int) string {
+	return fmt.Sprintf("%s.shard%d", base, i)
+}
+
+// Save persists the sharded layout: path becomes a small manifest store and
+// each shard writes a complete stand-alone store next to it as
+// path.shard<i>. Load the set back with Open or LoadSharded on the manifest
+// path.
+func (e *ShardedEngine) Save(path string) error {
+	base := filepath.Base(path)
+	files := make([]string, len(e.shards))
+	for i, s := range e.shards {
+		files[i] = shardFileName(base, i)
+		if err := s.Save(filepath.Join(filepath.Dir(path), files[i])); err != nil {
+			return fmt.Errorf("koko: save shard %d: %w", i, err)
+		}
+	}
+	db := store.NewDB()
+	index.SaveShardManifest(db, files, e.specs)
+	return db.Save(path)
+}
+
+// LoadSharded reopens a sharded engine from a manifest written by Save.
+// opts (may be nil) applies to every shard.
+func LoadSharded(path string, opts *Options) (*ShardedEngine, error) {
+	db, err := store.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return loadShardedFromDB(db, path, opts)
+}
+
+func loadShardedFromDB(db *store.DB, path string, opts *Options) (*ShardedEngine, error) {
+	files, specs, err := index.LoadShardManifest(db)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	shards := make([]*Engine, len(files))
+	sem := make(chan struct{}, buildParallelism(len(files)))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i, f := range files {
+		wg.Add(1)
+		go func(i int, f string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s, err := Load(filepath.Join(dir, f), opts)
+			if err == nil {
+				// A shard file that disagrees with its manifest spec would
+				// silently rebase tuples onto the wrong global ids; refuse it.
+				if s.NumDocuments() != specs[i].NumDocs() || s.NumSentences() != specs[i].NumSents {
+					err = fmt.Errorf("shard file %s has %d docs/%d sents, manifest expects %d/%d",
+						f, s.NumDocuments(), s.NumSentences(), specs[i].NumDocs(), specs[i].NumSents)
+				}
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("koko: load shard %d of %s: %w", i, path, err)
+				}
+				mu.Unlock()
+				return
+			}
+			shards[i] = s
+		}(i, f)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return newSharded(shards, specs), nil
+}
