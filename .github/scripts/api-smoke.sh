@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the kokod HTTP surface: boot the server on the demo
+# corpora (sharded, so streaming and jobs exercise the fan-out path), run
+# one buffered query, one streamed NDJSON query, and one async job to
+# completion, failing on any non-2xx response (curl -f) or missing payload.
+set -euo pipefail
+
+ADDR="127.0.0.1:7333"
+BASE="http://$ADDR/v1"
+
+go build -o /tmp/kokod ./cmd/kokod
+/tmp/kokod -demo -shards 3 -addr "$ADDR" &
+KOKOD_PID=$!
+trap 'kill $KOKOD_PID 2>/dev/null || true' EXIT
+
+for i in $(seq 1 100); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if [ "$i" = 100 ]; then echo "kokod never became healthy" >&2; exit 1; fi
+  sleep 0.1
+done
+# Guard against a stale listener answering for us: the kokod we spawned
+# must be the process that is alive and serving.
+if ! kill -0 "$KOKOD_PID" 2>/dev/null; then
+  echo "spawned kokod died (port already in use?); refusing to smoke a stale server" >&2
+  exit 1
+fi
+
+QUERY_TEXT='extract x:Entity from \"blogs\" if () satisfying x (str(x) contains \"Cafe\" {1.0}) with threshold 0.5'
+
+echo "== buffered query"
+curl -sf "$BASE/query" -d "{\"corpus\":\"demo-cafes\",\"query\":\"$QUERY_TEXT\"}" | grep -q '"Cafe Vita"'
+
+echo "== streamed NDJSON query"
+STREAM=$(curl -sf "$BASE/query?stream=1" -d "{\"corpus\":\"demo-cafes\",\"query\":\"$QUERY_TEXT\",\"no_cache\":true}")
+echo "$STREAM" | grep -q '"tuple"'
+echo "$STREAM" | grep -q '"shard"'
+echo "$STREAM" | tail -n 1 | grep -q '"done"'
+
+echo "== async job"
+JOB_ID=$(curl -sf -X POST "$BASE/jobs" -d "{\"corpus\":\"demo-cafes\",\"queries\":[\"$QUERY_TEXT\"]}" \
+  | sed -E 's/.*"id":"([^"]+)".*/\1/')
+if [ -z "$JOB_ID" ]; then echo "job submit returned no id" >&2; exit 1; fi
+for i in $(seq 1 100); do
+  STATE=$(curl -sf "$BASE/jobs/$JOB_ID" | sed -E 's/.*"state":"([^"]+)".*/\1/')
+  case "$STATE" in
+    done) break ;;
+    failed|cancelled) echo "job ended $STATE" >&2; exit 1 ;;
+  esac
+  if [ "$i" = 100 ]; then echo "job never finished (state $STATE)" >&2; exit 1; fi
+  sleep 0.1
+done
+curl -sf "$BASE/jobs/$JOB_ID/results" | grep -q '"Cafe Vita"'
+curl -sf -X DELETE "$BASE/jobs/$JOB_ID" >/dev/null
+curl -sf "$BASE/metrics" | grep -q '"jobs"'
+
+echo "api smoke OK"

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/internal/server"
+	"repro/internal/server/jobs"
+	"repro/koko"
+)
+
+// jobsBench measures the batch/interactive split the jobs subsystem exists
+// for: a heavy query batch runs as an async job (shard-at-a-time on the
+// shared worker pool) while light interactive queries keep arriving. The
+// snapshot records batch throughput (shard evaluations per second) next to
+// interactive tail latency with and without the job running — the number
+// that shows whether shard-at-a-time scheduling actually keeps the
+// interactive path responsive.
+//
+//	kokobench -exp jobs -iters 3 > BENCH_jobs.json
+
+const (
+	jobsBenchSents   = 2000
+	jobsBenchShards  = 4
+	jobsBenchQueries = 4 // per job: shard evals = queries × shards
+)
+
+// jobsBenchInteractive is the light probe query (index-pruned, small
+// result) standing in for a human-facing request.
+const jobsBenchInteractive = `extract x:Str from "moments" if
+	(/ROOT:{ a = //"ate", b = a/dobj, x = (b.subtree) } (b) eq (b))`
+
+type jobsLatencies struct {
+	Queries int     `json:"queries"`
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MaxMs   float64 `json:"max_ms"`
+}
+
+type jobsJobStats struct {
+	Queries      int     `json:"queries"`
+	Shards       int     `json:"shards"`
+	ShardEvals   int     `json:"shard_evals"`
+	WallMs       float64 `json:"wall_ms"`
+	ShardsPerSec float64 `json:"shards_per_sec"`
+	Tuples       int     `json:"tuples"`
+}
+
+type jobsSnapshot struct {
+	Workload   string        `json:"workload"`
+	Note       string        `json:"note"`
+	GoMaxProc  int           `json:"gomaxprocs"`
+	Pool       int           `json:"pool"`
+	Baseline   jobsLatencies `json:"interactive_baseline"`
+	WithJob    jobsLatencies `json:"interactive_with_job"`
+	Job        jobsJobStats  `json:"job"`
+	P99RatioVs float64       `json:"p99_with_job_vs_baseline"`
+}
+
+func percentile(ms []float64, q float64) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), ms...)
+	sort.Float64s(s)
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+func summarizeLatencies(ms []float64) jobsLatencies {
+	out := jobsLatencies{Queries: len(ms)}
+	out.P50Ms = percentile(ms, 0.50)
+	out.P99Ms = percentile(ms, 0.99)
+	for _, v := range ms {
+		if v > out.MaxMs {
+			out.MaxMs = v
+		}
+	}
+	return out
+}
+
+func jobsBench(iters int) {
+	if iters < 1 {
+		iters = 1
+	}
+	pool := runtime.GOMAXPROCS(0)
+	svc := server.NewService(server.Config{MaxConcurrent: pool, CacheSize: -1})
+	c := koko.WrapCorpus(corpus.GenHappyDB(jobsBenchSents, experiments.HotPathCorpusSeed))
+	svc.Registry().Register("happy", koko.NewShardedEngine(c, jobsBenchShards, nil))
+
+	interactive := server.QueryRequest{Corpus: "happy", Query: jobsBenchInteractive, NoCache: true}
+	probe := func(n int) []float64 {
+		ms := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			t0 := time.Now()
+			if _, err := svc.Query(context.Background(), interactive); err != nil {
+				check(err)
+			}
+			ms = append(ms, float64(time.Since(t0).Nanoseconds())/1e6)
+		}
+		return ms
+	}
+
+	// Warm the engines (first evaluation pays one-time caches), then take
+	// the no-job baseline.
+	probe(3)
+	nProbe := 50 * iters
+	baseline := summarizeLatencies(probe(nProbe))
+
+	// Submit the batch job and probe interactive latency while it runs.
+	batch := make([]string, jobsBenchQueries)
+	for i := range batch {
+		batch[i] = experiments.HotPathExtractQuery
+	}
+	t0 := time.Now()
+	st, err := svc.Jobs().Submit(jobs.Spec{Corpus: "happy", Queries: batch})
+	check(err)
+	// Probe before checking for termination so even a job that finishes
+	// within one probe contributes at least one with-job sample — an empty
+	// series would render as "p99 = 0ms", which reads as no interference
+	// rather than no data.
+	var during []float64
+	for {
+		tq := time.Now()
+		if _, err := svc.Query(context.Background(), interactive); err != nil {
+			check(err)
+		}
+		during = append(during, float64(time.Since(tq).Nanoseconds())/1e6)
+		cur, err := svc.Jobs().Get(st.ID)
+		check(err)
+		if cur.State.Terminal() {
+			break
+		}
+	}
+	wall := time.Since(t0)
+	final, err := svc.Jobs().Get(st.ID)
+	check(err)
+	if final.State != jobs.StateDone {
+		check(fmt.Errorf("jobs bench: job finished %s (%s)", final.State, final.Error))
+	}
+	res, err := svc.Jobs().Results(st.ID)
+	check(err)
+	tuples := 0
+	for _, q := range res.Queries {
+		tuples += len(q.Result.Tuples)
+	}
+
+	snap := jobsSnapshot{
+		Workload: fmt.Sprintf("GenHappyDB(%d, %d) in %d shards; job = %d × hotpath extract query; interactive probe = light dobj-subtree extract",
+			jobsBenchSents, experiments.HotPathCorpusSeed, jobsBenchShards, jobsBenchQueries),
+		Note: "refresh with `go run ./cmd/kokobench -exp jobs -iters 3 > BENCH_jobs.json`; " +
+			"interactive_with_job probes run while the job occupies the shared pool shard-at-a-time; " +
+			"p99 on a 1-core CI runner mostly measures queueing behind one shard evaluation",
+		GoMaxProc:  runtime.GOMAXPROCS(0),
+		Pool:       pool,
+		Baseline:   baseline,
+		WithJob:    summarizeLatencies(during),
+		P99RatioVs: 0,
+		Job: jobsJobStats{
+			Queries:      jobsBenchQueries,
+			Shards:       final.Shards,
+			ShardEvals:   final.ShardsDone,
+			WallMs:       float64(wall.Nanoseconds()) / 1e6,
+			ShardsPerSec: float64(final.ShardsDone) / wall.Seconds(),
+			Tuples:       tuples,
+		},
+	}
+	if snap.Baseline.P99Ms > 0 {
+		snap.P99RatioVs = snap.WithJob.P99Ms / snap.Baseline.P99Ms
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	check(enc.Encode(snap))
+	fmt.Print(buf.String())
+}

@@ -20,10 +20,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig3 fig4 fig5 nell fig6 fig7 fig8 tab1 tab2 odin ablation server all, or hotpath / shard (JSON snapshots, excluded from all)")
+	exp := flag.String("exp", "all", "experiment id: fig3 fig4 fig5 nell fig6 fig7 fig8 tab1 tab2 odin ablation server all, or hotpath / shard / jobs (JSON snapshots, excluded from all)")
 	scale := flag.Int("scale", 1, "corpus scale multiplier")
 	seed := flag.Int64("seed", 1, "generator seed")
-	iters := flag.Int("iters", 3, "timing iterations per point for -exp shard (best-of-N)")
+	iters := flag.Int("iters", 3, "timing iterations for -exp shard (best-of-N) and -exp jobs (probe count multiplier)")
 	flag.Parse()
 
 	run := func(id string) bool { return *exp == "all" || *exp == id }
@@ -87,6 +87,12 @@ func main() {
 		// BENCH_shard.json snapshot) on stdout for redirection.
 		any = true
 		shard(*iters)
+	}
+	if *exp == "jobs" {
+		// Not part of -exp all: emits pure JSON (the committed
+		// BENCH_jobs.json snapshot) on stdout for redirection.
+		any = true
+		jobsBench(*iters)
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "kokobench: unknown experiment %q\n", *exp)

@@ -14,9 +14,17 @@
 //	  "query": "extract x:Entity from \"blogs\" if () satisfying x (str(x) contains \"Cafe\" {1.0}) with threshold 0.5"
 //	}'
 //
-// Endpoints: POST /v1/query, POST /v1/validate, GET /v1/corpora,
+// Endpoints: POST /v1/query (buffered, or NDJSON streaming with ?stream=1 /
+// Accept: application/x-ndjson), POST /v1/validate, GET /v1/corpora,
 // GET /v1/corpora/{name}/stats, POST /v1/corpora/{name}/reload,
+// POST/GET /v1/jobs, GET /v1/jobs/{id}[/results], DELETE /v1/jobs/{id},
 // GET /v1/healthz, GET /v1/metrics.
+//
+// Async jobs: POST /v1/jobs with {"corpus": ..., "queries": [...]} runs a
+// query batch shard-at-a-time on the same worker pool as interactive
+// queries; poll GET /v1/jobs/{id}, fetch (partial) results at
+// GET /v1/jobs/{id}/results, cancel with DELETE. -max-jobs bounds active
+// jobs, -job-results-ttl how long finished ones stay fetchable.
 package main
 
 import (
@@ -34,7 +42,6 @@ import (
 	"time"
 
 	"repro/internal/server"
-	"repro/koko"
 )
 
 // loadFlags accumulates repeated -load values ("name=path" or bare "path").
@@ -42,6 +49,48 @@ type loadFlags []string
 
 func (l *loadFlags) String() string     { return strings.Join(*l, ",") }
 func (l *loadFlags) Set(v string) error { *l = append(*l, v); return nil }
+
+// ttlFlags accumulates repeated -cache-ttl values: a bare duration sets the
+// default TTL for every corpus, "name=duration" overrides it per corpus
+// ("name=0" disables expiry for that corpus).
+type ttlFlags struct {
+	def time.Duration
+	per map[string]time.Duration
+}
+
+func (t *ttlFlags) String() string {
+	if t == nil || (t.def == 0 && len(t.per) == 0) {
+		return ""
+	}
+	parts := []string{}
+	if t.def != 0 {
+		parts = append(parts, t.def.String())
+	}
+	for name, d := range t.per {
+		parts = append(parts, name+"="+d.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t *ttlFlags) Set(v string) error {
+	if i := strings.IndexByte(v, '='); i >= 0 {
+		d, err := time.ParseDuration(v[i+1:])
+		if err != nil {
+			return fmt.Errorf("cache-ttl %q: %w", v, err)
+		}
+		if t.per == nil {
+			t.per = map[string]time.Duration{}
+		}
+		t.per[v[:i]] = d
+		return nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return fmt.Errorf("cache-ttl %q: %w", v, err)
+	}
+	t.def = d
+	return nil
+}
 
 func main() {
 	var loads loadFlags
@@ -54,16 +103,26 @@ func main() {
 	workers := flag.Int("workers", 1, "default per-query document-evaluation workers")
 	shards := flag.Int("shards", 1, "doc-range shards per loaded corpus; queries fan out across shards (sharded manifests keep their on-disk count)")
 	shardPar := flag.Int("shard-parallel", 0, "per-query shard fan-out bound (0 = auto-scale inversely with -pool, negative = min(shards, GOMAXPROCS))")
+	maxJobs := flag.Int("max-jobs", 0, "max async jobs pending or running at once (0 = default 16)")
+	jobTTL := flag.Duration("job-results-ttl", 0, "how long finished jobs stay fetchable (0 = default 15m, negative = until deleted)")
+	jobTuples := flag.Int("job-retained-tuples", 0, "total tuples retained across finished jobs; oldest evicted beyond it (0 = default 200000, negative = unbounded)")
+	var cacheTTL ttlFlags
+	flag.Var(&cacheTTL, "cache-ttl", "result-cache entry TTL, as a duration or name=duration per corpus (repeatable; entries expire lazily on lookup)")
 	flag.Var(&loads, "load", "corpus to serve, as name=path.koko or path.koko (repeatable)")
 	flag.Parse()
 
 	svc := server.NewService(server.Config{
-		MaxConcurrent:  *pool,
-		CacheSize:      *cache,
-		CacheMaxTuples: *cacheTuples,
-		DefaultWorkers: *workers,
-		Shards:         *shards,
-		ShardParallel:  *shardPar,
+		MaxConcurrent:     *pool,
+		CacheSize:         *cache,
+		CacheMaxTuples:    *cacheTuples,
+		DefaultWorkers:    *workers,
+		Shards:            *shards,
+		ShardParallel:     *shardPar,
+		MaxJobs:           *maxJobs,
+		JobResultsTTL:     *jobTTL,
+		JobRetainedTuples: *jobTuples,
+		CacheTTL:          cacheTTL.def,
+		CacheTTLPerCorpus: cacheTTL.per,
 	})
 	reg := svc.Registry()
 
@@ -88,7 +147,7 @@ func main() {
 		}
 	}
 	if *demo {
-		registerDemoCorpora(reg, *shards)
+		server.RegisterDemoCorpora(reg, *shards)
 	}
 	if reg.Len() == 0 {
 		fmt.Fprintln(os.Stderr, "kokod: no corpora registered; use -load, -dir, or -demo")
@@ -116,32 +175,4 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("kokod: %v", err)
 	}
-}
-
-// registerDemoCorpora installs two small in-memory corpora so the server is
-// queryable out of the box (and exercises the multi-corpus path). shards > 1
-// partitions them so the fan-out path is also demoable without a store file.
-func registerDemoCorpora(reg *server.Registry, shards int) {
-	build := func(c *koko.Corpus) koko.Querier {
-		if shards > 1 {
-			return koko.NewShardedEngine(c, shards, nil)
-		}
-		return koko.NewEngine(c, nil)
-	}
-	cafes := build(koko.NewCorpus(
-		[]string{"seattle.txt", "portland.txt"},
-		[]string{
-			"Cafe Vita serves smooth espresso daily. Cafe Juanita hired a champion barista. " +
-				"The neighborhood bakery sells fresh bread.",
-			"Cafe Umbria opened a second location. The baristas at Cafe Umbria won a latte art championship.",
-		}))
-	reg.Register("demo-cafes", cafes)
-
-	food := build(koko.NewCorpus(
-		[]string{"reviews.txt"},
-		[]string{
-			"I ate a chocolate ice cream, which was delicious, and also ate a pie. " +
-				"Anna ate some delicious cheesecake that she bought at a grocery store.",
-		}))
-	reg.Register("demo-food", food)
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -111,6 +112,20 @@ type RunOptions struct {
 	Workers int
 	// Explain attaches per-condition evidence to this run's tuples.
 	Explain bool
+	// Ctx, when non-nil, cancels the run: evaluation checks it between
+	// documents (the natural unit — aggregation is document-scoped) and the
+	// run returns ctx.Err() instead of a partial result. This is what makes
+	// a cancelled job or a disconnected streaming client actually stop
+	// burning CPU mid-evaluation rather than at the next request boundary.
+	Ctx context.Context
+}
+
+// ctxErr reports the cancellation state of an optional context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Run evaluates a parsed query with the engine's configured options. It is
@@ -124,6 +139,9 @@ func (e *Engine) Run(q *lang.Query) (*Result, error) {
 // RunWith evaluates a parsed query with per-run overrides. Like Run it is
 // safe for concurrent use.
 func (e *Engine) RunWith(q *lang.Query, ro RunOptions) (*Result, error) {
+	if err := ctxErr(ro.Ctx); err != nil {
+		return nil, err
+	}
 	res := &Result{}
 	t0 := time.Now()
 	nq, err := normalize(q, e.model, e.opts.ExpansionLimit)
@@ -148,7 +166,9 @@ func (e *Engine) RunWith(q *lang.Query, ro RunOptions) (*Result, error) {
 		cands = dpli.candSids
 	}
 	res.CandidateSentences = len(cands)
-	e.evaluateCandidates(nq, dpli, cands, res, ro)
+	if err := e.evaluateCandidates(nq, dpli, cands, res, ro); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -166,8 +186,10 @@ func (e *Engine) RunNaive(q *lang.Query) (*Result, error) {
 		cands[i] = int32(i)
 	}
 	res.CandidateSentences = len(cands)
-	e.evaluateCandidates(nq, &dpliResult{}, cands, res,
-		RunOptions{Workers: e.opts.Workers, Explain: e.opts.Explain})
+	if err := e.evaluateCandidates(nq, &dpliResult{}, cands, res,
+		RunOptions{Workers: e.opts.Workers, Explain: e.opts.Explain}); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -177,7 +199,7 @@ type docRange struct {
 	lo, hi int
 }
 
-func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int32, res *Result, ro RunOptions) {
+func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int32, res *Result, ro RunOptions) error {
 	// Group candidate sentences by document (evidence aggregation and
 	// article loading are document-scoped). cands is sorted and DocOfSent is
 	// non-decreasing in sid, so grouping is one linear pass — no map, no
@@ -197,16 +219,20 @@ func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int
 	if workers <= 1 {
 		w := e.newDocWorker(nq, dpli, ro)
 		for _, r := range ranges {
+			if err := ctxErr(ro.Ctx); err != nil {
+				return err
+			}
 			dr := w.evalDoc(r.doc, cands[r.lo:r.hi])
 			mergeDocResult(res, dr)
 		}
-		return
+		return nil
 	}
 	// Parallel mode: one goroutine per worker pulls documents from a shared
 	// cursor; results merge in document order so output is deterministic.
 	// Each worker owns a private sentEval scratch and count cursor — shared
 	// state is read-only, so workers share nothing mutable and allocate
-	// almost nothing per sentence.
+	// almost nothing per sentence. A done context stops workers between
+	// documents; the partial results array is then discarded.
 	results := make([]docEvalResult, len(ranges))
 	var next int64
 	var wg sync.WaitGroup
@@ -216,6 +242,9 @@ func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int
 			defer wg.Done()
 			w := e.newDocWorker(nq, dpli, ro)
 			for {
+				if ctxErr(ro.Ctx) != nil {
+					return
+				}
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(ranges) {
 					return
@@ -226,9 +255,13 @@ func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int
 		}()
 	}
 	wg.Wait()
+	if err := ctxErr(ro.Ctx); err != nil {
+		return err
+	}
 	for i := range results {
 		mergeDocResult(res, results[i])
 	}
+	return nil
 }
 
 // docEvalResult is one document's evaluation outcome.

@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"repro/koko"
 )
@@ -17,6 +18,11 @@ import (
 // one query returning a huge tuple table pushes out many small results, and
 // a result larger than the whole tuple budget is simply not retained
 // (admission by size, the ROADMAP's memory-bounds item).
+//
+// Entries may additionally carry a TTL (chosen per put, so per-corpus
+// policies compose): an expired entry is treated as a miss and removed
+// lazily at lookup — no sweeper goroutine, time-sensitive corpora simply
+// stop serving stale results.
 type resultCache struct {
 	mu         sync.Mutex
 	maxEntries int
@@ -30,6 +36,8 @@ type cacheEntry struct {
 	key    string
 	res    *koko.Result
 	tuples int
+	// expires is the entry's lazy expiry deadline; zero means no TTL.
+	expires time.Time
 }
 
 func newResultCache(maxEntries, maxTuples int) *resultCache {
@@ -54,11 +62,21 @@ func (c *resultCache) get(key string) (*koko.Result, bool) {
 	if !ok {
 		return nil, false
 	}
+	e := el.Value.(*cacheEntry)
+	if !e.expires.IsZero() && time.Now().After(e.expires) {
+		c.ll.Remove(el)
+		c.tuples -= e.tuples
+		delete(c.m, key)
+		return nil, false
+	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	return e.res, true
 }
 
-func (c *resultCache) put(key string, res *koko.Result) {
+// put stores res under key. ttl > 0 gives the entry a lazy expiry deadline;
+// ttl <= 0 means the entry lives until evicted or invalidated by a
+// generation bump.
+func (c *resultCache) put(key string, res *koko.Result, ttl time.Duration) {
 	if c == nil {
 		return
 	}
@@ -79,13 +97,17 @@ func (c *resultCache) put(key string, res *koko.Result) {
 		}
 		return
 	}
+	var expires time.Time
+	if ttl > 0 {
+		expires = time.Now().Add(ttl)
+	}
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
 		c.tuples += n - e.tuples
-		e.res, e.tuples = res, n
+		e.res, e.tuples, e.expires = res, n, expires
 	} else {
-		c.m[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, tuples: n})
+		c.m[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, tuples: n, expires: expires})
 		c.tuples += n
 	}
 	for c.ll.Len() > 0 && (c.ll.Len() > c.maxEntries || (c.maxTuples > 0 && c.tuples > c.maxTuples)) {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 
+	"repro/internal/server/jobs"
 	"repro/koko"
 )
 
@@ -16,6 +17,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/corpora", s.handleCorpora)
 	mux.HandleFunc("GET /v1/corpora/{name}/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/corpora/{name}/reload", s.handleReload)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return mux
@@ -36,12 +42,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, ErrNotFound):
+	case errors.Is(err, ErrNotFound), errors.Is(err, jobs.ErrNotFound):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrBadQuery):
+	case errors.Is(err, ErrBadQuery), errors.Is(err, jobs.ErrBadSpec):
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrNotReloadable):
 		status = http.StatusConflict
+	case errors.Is(err, jobs.ErrLimit):
+		status = http.StatusTooManyRequests
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
@@ -58,6 +66,10 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Corpus == "" || req.Query == "" {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `"corpus" and "query" are required`})
+		return
+	}
+	if wantsStream(r) {
+		s.handleQueryStream(w, r, req)
 		return
 	}
 	resp, err := s.Query(r.Context(), req)

@@ -1,12 +1,21 @@
 package server
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/server/jobs"
+)
 
 // Metrics counts service activity. All fields are updated atomically; a
 // consistent point-in-time view is obtained with Snapshot.
 type Metrics struct {
-	queriesTotal   atomic.Int64
-	queryErrors    atomic.Int64
+	queriesTotal atomic.Int64
+	queryErrors  atomic.Int64
+	// queryCancels counts queries abandoned by their caller (context
+	// cancelled, streaming client disconnected) — routine client behavior,
+	// kept out of queryErrors so error dashboards track real failures.
+	queryCancels   atomic.Int64
+	streamsTotal   atomic.Int64
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
 	validateTotal  atomic.Int64
@@ -35,6 +44,15 @@ type MetricsSnapshot struct {
 	InFlight         int64   `json:"in_flight"`
 	PeakInFlight     int64   `json:"peak_in_flight"`
 	Corpora          int     `json:"corpora"`
+	// StreamsTotal counts queries served in NDJSON streaming mode (a subset
+	// of QueriesTotal); QueriesCancelled counts caller-abandoned queries
+	// (cancelled contexts, disconnected streaming clients), which are not
+	// query errors.
+	StreamsTotal     int64 `json:"streams_total"`
+	QueriesCancelled int64 `json:"queries_cancelled"`
+	// Jobs is the async job subsystem's view: lifetime counters, jobs by
+	// state, and queue depth in shard evaluations.
+	Jobs jobs.Snapshot `json:"jobs"`
 }
 
 func (m *Metrics) enter() {

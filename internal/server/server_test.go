@@ -288,12 +288,12 @@ func TestReloadInvalidatesCache(t *testing.T) {
 func TestLRUEviction(t *testing.T) {
 	c := newResultCache(2, 0)
 	r := &koko.Result{}
-	c.put("a", r)
-	c.put("b", r)
+	c.put("a", r, 0)
+	c.put("b", r, 0)
 	if _, ok := c.get("a"); !ok { // a is now most recently used
 		t.Fatal("a missing")
 	}
-	c.put("c", r) // evicts b
+	c.put("c", r, 0) // evicts b
 	if _, ok := c.get("b"); ok {
 		t.Error("b should have been evicted")
 	}

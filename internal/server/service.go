@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/server/jobs"
 	"repro/koko"
 )
 
@@ -50,19 +51,41 @@ type Config struct {
 	// interactive one (small -pool) gets low-latency wide fan-out.
 	// Negative leaves the engine default, min(shards, GOMAXPROCS).
 	ShardParallel int
+	// CacheTTL, when > 0, expires result-cache entries that many seconds'
+	// worth of time after they are stored (lazily, at lookup). 0 disables
+	// expiry. Per-corpus overrides in CacheTTLPerCorpus win over this
+	// default.
+	CacheTTL time.Duration
+	// CacheTTLPerCorpus overrides CacheTTL for named corpora (the
+	// time-sensitive ones); a zero value for a name disables expiry for it.
+	CacheTTLPerCorpus map[string]time.Duration
+	// MaxJobs bounds how many async jobs may be pending or running at once
+	// (0 = default 16).
+	MaxJobs int
+	// JobResultsTTL is how long finished jobs stay fetchable (0 = default
+	// 15m, negative = until deleted).
+	JobResultsTTL time.Duration
+	// JobRetainedTuples bounds the total tuples retained across finished
+	// jobs' results; oldest-finished jobs are purged beyond it (0 = default
+	// 200000, negative = unbounded).
+	JobRetainedTuples int
 	// LoadOptions is applied to every corpus loaded from disk.
 	LoadOptions *koko.Options
 }
 
 // Service executes queries against a Registry through a result cache and a
 // bounded worker pool. It is the shared execution path of kokod's HTTP
-// handlers, the koko CLI, and the kokobench load experiment.
+// handlers, the koko CLI, the async job executor, and the kokobench load
+// experiment.
 type Service struct {
 	reg        *Registry
 	cache      *resultCache
 	sem        chan struct{}
 	metrics    Metrics
 	defWorkers int
+	jobs       *jobs.Manager
+	cacheTTL   time.Duration
+	cacheTTLBy map[string]time.Duration
 }
 
 // NewService builds a Service with an empty registry.
@@ -92,16 +115,67 @@ func NewService(cfg Config) *Service {
 		}
 	}
 	reg.SetShardParallelism(sp)
-	return &Service{
+	s := &Service{
 		reg:        reg,
 		cache:      newResultCache(size, maxTuples),
 		sem:        make(chan struct{}, maxc),
 		defWorkers: workers,
+		cacheTTL:   cfg.CacheTTL,
+		cacheTTLBy: cfg.CacheTTLPerCorpus,
 	}
+	s.jobs = jobs.New(s, jobs.Config{
+		MaxActive:         cfg.MaxJobs,
+		ResultsTTL:        cfg.JobResultsTTL,
+		MaxRetainedTuples: cfg.JobRetainedTuples,
+	})
+	return s
 }
 
 // Registry exposes the corpus registry for loading and listing.
 func (s *Service) Registry() *Registry { return s.reg }
+
+// Jobs exposes the async job manager (the /v1/jobs endpoints and the jobs
+// benchmark drive it directly).
+func (s *Service) Jobs() *jobs.Manager { return s.jobs }
+
+// The Service is the job executor's runtime: it hands out corpus engines
+// and worker-pool slots so batch jobs and interactive queries contend for
+// exactly the same bounded resources.
+var _ jobs.Runtime = (*Service)(nil)
+
+// Engine resolves a corpus name to its engine and current generation.
+func (s *Service) Engine(name string) (koko.Querier, uint64, error) {
+	return s.reg.Engine(name)
+}
+
+// Acquire claims one worker-pool slot, honoring ctx while waiting.
+func (s *Service) Acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed with Acquire.
+func (s *Service) Release() { <-s.sem }
+
+// ShardWorkers clamps a requested worker count for a single-shard
+// evaluation (jobs evaluate shards one at a time, so the whole per-query
+// budget applies).
+func (s *Service) ShardWorkers(requested int) int {
+	return s.workersFor(requested, 1)
+}
+
+// ttlFor resolves the result-cache TTL for a corpus: per-corpus override
+// first, then the service default (0 = no expiry).
+func (s *Service) ttlFor(corpus string) time.Duration {
+	if ttl, ok := s.cacheTTLBy[corpus]; ok {
+		return ttl
+	}
+	return s.cacheTTL
+}
 
 // QueryRequest is one query against a named corpus.
 type QueryRequest struct {
@@ -174,61 +248,95 @@ func phasesOf(r *koko.Result) PhaseMillis {
 	}
 }
 
+// prepare is the shared prologue of buffered and streamed evaluation:
+// count the query, parse it, resolve the corpus, and derive the cache key.
+// Keeping it in one place is what keeps the two modes' error
+// classification and cache keying from drifting apart.
+func (s *Service) prepare(req QueryRequest) (parsed *koko.ParsedQuery, eng koko.Querier, gen uint64, key string, err error) {
+	s.metrics.queriesTotal.Add(1)
+	parsed, err = koko.ParseQuery(req.Query)
+	if err != nil {
+		s.metrics.queryErrors.Add(1)
+		return nil, nil, 0, "", fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	eng, gen, err = s.reg.Engine(req.Corpus)
+	if err != nil {
+		s.metrics.queryErrors.Add(1)
+		return nil, nil, 0, "", err
+	}
+	return parsed, eng, gen, cacheKey(req, gen, parsed), nil
+}
+
+// cacheLookup consults the result cache (unless bypassed) and keeps the
+// hit/miss counters for both evaluation modes.
+func (s *Service) cacheLookup(key string, noCache bool) (*koko.Result, bool) {
+	if !noCache {
+		if res, ok := s.cache.get(key); ok {
+			s.metrics.cacheHits.Add(1)
+			return res, true
+		}
+	}
+	s.metrics.cacheMisses.Add(1)
+	return nil, false
+}
+
 // Query canonicalizes, consults the cache, and evaluates on miss under the
 // worker-pool bound. ctx cancellation is honored while waiting for a slot.
 func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
 	t0 := time.Now()
-	s.metrics.queriesTotal.Add(1)
-
-	parsed, err := koko.ParseQuery(req.Query)
+	parsed, eng, gen, key, err := s.prepare(req)
 	if err != nil {
-		s.metrics.queryErrors.Add(1)
-		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
-	}
-	eng, gen, err := s.reg.Engine(req.Corpus)
-	if err != nil {
-		s.metrics.queryErrors.Add(1)
 		return nil, err
 	}
-
-	// Workers changes only scheduling, never results, so it is excluded
-	// from the key; Explain changes the tuples' evidence, so it is part
-	// of it.
-	key := fmt.Sprintf("%s|%d|%t|%s", req.Corpus, gen, req.Explain, parsed.Canonical())
-	if !req.NoCache {
-		if res, ok := s.cache.get(key); ok {
-			s.metrics.cacheHits.Add(1)
-			resp := s.respond(req.Corpus, gen, res, true)
-			resp.ServiceMillis = ms(time.Since(t0))
-			return resp, nil
-		}
+	if res, ok := s.cacheLookup(key, req.NoCache); ok {
+		resp := s.respond(req.Corpus, gen, res, true)
+		resp.ServiceMillis = ms(time.Since(t0))
+		return resp, nil
 	}
-	s.metrics.cacheMisses.Add(1)
 
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		s.metrics.queryErrors.Add(1)
-		return nil, ctx.Err()
+	if err := s.Acquire(ctx); err != nil {
+		s.metrics.queryCancels.Add(1)
+		return nil, err
 	}
 	s.metrics.enter()
-	res, err := eng.RunParsed(parsed, &koko.QueryOptions{
+	res, err := eng.RunParsedCtx(ctx, parsed, &koko.QueryOptions{
 		Explain: req.Explain,
 		Workers: s.workersFor(req.Workers, fanoutOf(eng)),
 	})
 	s.metrics.exit()
-	<-s.sem
+	s.Release()
 	if err != nil {
+		if ctxDone(err) {
+			s.metrics.queryCancels.Add(1)
+			return nil, err
+		}
 		s.metrics.queryErrors.Add(1)
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	s.metrics.queryNanos.Add(res.Elapsed.Nanoseconds())
 	if !req.NoCache {
-		s.cache.put(key, res)
+		s.cache.put(key, res, s.ttlFor(req.Corpus))
 	}
 	resp := s.respond(req.Corpus, gen, res, false)
 	resp.ServiceMillis = ms(time.Since(t0))
 	return resp, nil
+}
+
+// cacheKey derives the result-cache key for a request: buffered and
+// streamed evaluations of the same query MUST share one key derivation so
+// the two modes populate and hit one cache, not two. Workers changes only
+// scheduling, never results, so it is excluded; Explain changes the
+// tuples' evidence, so it is part of it; the generation makes reloads an
+// implicit invalidation.
+func cacheKey(req QueryRequest, gen uint64, parsed *koko.ParsedQuery) string {
+	return fmt.Sprintf("%s|%d|%t|%s", req.Corpus, gen, req.Explain, parsed.Canonical())
+}
+
+// ctxDone reports whether err is a context cancellation/deadline error
+// (possibly wrapped with shard attribution) — those are the caller's doing,
+// not a bad query.
+func ctxDone(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // fanoutOf reports how many shard evaluations eng actually runs at once
@@ -278,24 +386,33 @@ func (s *Service) respond(corpus string, gen uint64, res *koko.Result, cached bo
 	}
 	s.metrics.tuplesReturned.Add(int64(len(res.Tuples)))
 	for _, t := range res.Tuples {
-		tr := TupleResult{
-			SentenceID: t.SentenceID,
-			Document:   t.Document,
-			Values:     t.Values,
-			Scores:     t.Scores,
-		}
-		for _, ev := range t.Evidence {
-			tr.Evidence = append(tr.Evidence, EvidenceResult{
-				Variable:     ev.Variable,
-				Condition:    ev.Condition,
-				Weight:       ev.Weight,
-				Confidence:   ev.Confidence,
-				Contribution: ev.Contribution,
-			})
-		}
-		resp.Tuples = append(resp.Tuples, tr)
+		resp.Tuples = append(resp.Tuples, tupleResultOf(t, 0, 0))
 	}
 	return resp
+}
+
+// tupleResultOf renders one engine tuple as its JSON form, rebasing
+// shard-local attribution by the given offsets (0,0 for an already-global
+// tuple). Buffered responses, NDJSON stream events, and job results all
+// encode tuples through this one conversion — that is what makes the three
+// surfaces byte-identical.
+func tupleResultOf(t koko.Tuple, docOff, sentOff int) TupleResult {
+	tr := TupleResult{
+		SentenceID: t.SentenceID + sentOff,
+		Document:   t.Document + docOff,
+		Values:     t.Values,
+		Scores:     t.Scores,
+	}
+	for _, ev := range t.Evidence {
+		tr.Evidence = append(tr.Evidence, EvidenceResult{
+			Variable:     ev.Variable,
+			Condition:    ev.Condition,
+			Weight:       ev.Weight,
+			Confidence:   ev.Confidence,
+			Contribution: ev.Contribution,
+		})
+	}
+	return tr
 }
 
 // Validate checks query syntax; a nil error means the query parses.
@@ -334,5 +451,8 @@ func (s *Service) Metrics() MetricsSnapshot {
 		InFlight:         m.inFlight.Load(),
 		PeakInFlight:     m.peakInFlight.Load(),
 		Corpora:          s.reg.Len(),
+		StreamsTotal:     m.streamsTotal.Load(),
+		QueriesCancelled: m.queryCancels.Load(),
+		Jobs:             s.jobs.Metrics(),
 	}
 }

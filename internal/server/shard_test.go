@@ -233,13 +233,13 @@ func TestCacheTupleBudget(t *testing.T) {
 	}
 	c := newResultCache(100, 10)
 
-	c.put("a", mkRes(4))
-	c.put("b", mkRes(4))
+	c.put("a", mkRes(4), 0)
+	c.put("b", mkRes(4), 0)
 	if c.len() != 2 || c.tupleCount() != 8 {
 		t.Fatalf("len=%d tuples=%d, want 2/8", c.len(), c.tupleCount())
 	}
 	// +4 tuples exceeds 10: the LRU entry "a" must go.
-	c.put("c", mkRes(4))
+	c.put("c", mkRes(4), 0)
 	if _, ok := c.get("a"); ok {
 		t.Error("a should have been evicted by the tuple budget")
 	}
@@ -252,7 +252,7 @@ func TestCacheTupleBudget(t *testing.T) {
 
 	// An oversized result is refused at admission — and must NOT drain the
 	// warm entries to make room for something that can never fit.
-	c.put("huge", mkRes(50))
+	c.put("huge", mkRes(50), 0)
 	if _, ok := c.get("huge"); ok {
 		t.Error("oversized result must not be retained")
 	}
@@ -266,31 +266,31 @@ func TestCacheTupleBudget(t *testing.T) {
 		t.Errorf("tuples = %d over budget", c.tupleCount())
 	}
 	// An oversized replacement drops the stale entry under the same key.
-	c.put("b", mkRes(50))
+	c.put("b", mkRes(50), 0)
 	if _, ok := c.get("b"); ok {
 		t.Error("oversized replacement must evict the stale entry")
 	}
 
 	// Replacing an entry adjusts the accounting instead of double counting.
 	c2 := newResultCache(100, 10)
-	c2.put("k", mkRes(3))
-	c2.put("k", mkRes(5))
+	c2.put("k", mkRes(3), 0)
+	c2.put("k", mkRes(5), 0)
 	if c2.len() != 1 || c2.tupleCount() != 5 {
 		t.Errorf("after replace: len=%d tuples=%d, want 1/5", c2.len(), c2.tupleCount())
 	}
 
 	// Zero-tuple results still obey the entry bound.
 	c3 := newResultCache(2, 10)
-	c3.put("x", mkRes(0))
-	c3.put("y", mkRes(0))
-	c3.put("z", mkRes(0))
+	c3.put("x", mkRes(0), 0)
+	c3.put("y", mkRes(0), 0)
+	c3.put("z", mkRes(0), 0)
 	if c3.len() != 2 {
 		t.Errorf("entry bound ignored: len=%d", c3.len())
 	}
 
 	// Negative budget disables the tuple bound entirely.
 	c4 := newResultCache(100, -1)
-	c4.put("big", mkRes(1000))
+	c4.put("big", mkRes(1000), 0)
 	if _, ok := c4.get("big"); !ok {
 		t.Error("tuple bound should be disabled when negative")
 	}

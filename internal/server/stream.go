@@ -1,0 +1,240 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/koko"
+)
+
+// Streaming query mode: POST /v1/query with Accept: application/x-ndjson
+// (or ?stream=1) answers as newline-delimited JSON, flushing each shard's
+// tuples as its doc range completes. The shard merge is already ordered by
+// document, so streaming is a flush per shard — the tuples arrive in
+// exactly the order (and encoding) of the buffered response, followed by a
+// summary line.
+
+// StreamEvent is one NDJSON line of a streamed query response. Exactly one
+// field is set per line:
+//
+//	{"tuple": {...}}   one output tuple, same encoding as the buffered mode
+//	{"shard": {...}}   a shard's doc range completed (progress marker)
+//	{"done": {...}}    the query finished; summary counters and timings
+//	{"error": "..."}   evaluation failed mid-stream (terminal)
+type StreamEvent struct {
+	Tuple *TupleResult   `json:"tuple,omitempty"`
+	Shard *ShardProgress `json:"shard,omitempty"`
+	Done  *StreamSummary `json:"done,omitempty"`
+	Error string         `json:"error,omitempty"`
+}
+
+// ShardProgress marks one shard's completion within a streamed response.
+type ShardProgress struct {
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Tuples is this shard's flush size; TotalTuples the cumulative count.
+	Tuples      int `json:"tuples"`
+	TotalTuples int `json:"total_tuples"`
+}
+
+// StreamSummary is the terminal line of a streamed response — the buffered
+// QueryResponse minus the tuple table that already went over the wire.
+type StreamSummary struct {
+	Corpus        string      `json:"corpus"`
+	Generation    uint64      `json:"generation"`
+	Tuples        int         `json:"tuples"`
+	Candidates    int         `json:"candidates"`
+	Matched       int         `json:"matched"`
+	Cached        bool        `json:"cached"`
+	Phases        PhaseMillis `json:"phases"`
+	ServiceMillis float64     `json:"service_ms"`
+}
+
+// wantsStream reports whether the request asked for NDJSON streaming.
+func wantsStream(r *http.Request) bool {
+	if r.URL.Query().Get("stream") == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// QueryStream evaluates req and delivers the response as a sequence of
+// StreamEvents: per-shard tuple flushes in global document order, then a
+// summary. A cache hit streams the cached tuples in one flush; a miss
+// evaluates shard-at-a-time under the worker pool and (on completion)
+// populates the cache, so streamed and buffered modes stay interchangeable.
+// An emit error (client disconnect) or ctx cancellation stops the remaining
+// shard evaluations; QueryStream does not return until they have exited.
+func (s *Service) QueryStream(ctx context.Context, req QueryRequest, emit func(StreamEvent) error) error {
+	t0 := time.Now()
+	s.metrics.streamsTotal.Add(1)
+	parsed, eng, gen, key, err := s.prepare(req)
+	if err != nil {
+		return err
+	}
+	if res, ok := s.cacheLookup(key, req.NoCache); ok {
+		return s.streamResult(req.Corpus, gen, res, true, t0, emit)
+	}
+
+	if err := s.Acquire(ctx); err != nil {
+		s.metrics.queryCancels.Add(1)
+		return err
+	}
+	s.metrics.enter()
+
+	// Producer/consumer split: the fan-out evaluates shards in a background
+	// goroutine and hands completed partials over a channel buffered to the
+	// shard count (each shard sends exactly once, so the producer never
+	// blocks on the consumer). The worker-pool slot is therefore held for
+	// evaluation time only — a client draining the response at modem speed
+	// cannot pin a slot and starve interactive queries or job shards.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	shards := eng.NumShards()
+	type delivery struct {
+		shard int
+		part  koko.Partial
+	}
+	ch := make(chan delivery, shards)
+	evalErr := make(chan error, 1)
+	var evalElapsed time.Duration
+	go func() {
+		defer s.metrics.exit()
+		defer s.Release()
+		tEval := time.Now()
+		err := eng.RunParsedEach(cctx, parsed, &koko.QueryOptions{
+			Explain: req.Explain,
+			Workers: s.workersFor(req.Workers, fanoutOf(eng)),
+		}, func(shard int, part koko.Partial) error {
+			ch <- delivery{shard: shard, part: part}
+			return nil
+		})
+		evalElapsed = time.Since(tEval)
+		close(ch)
+		evalErr <- err
+	}()
+
+	parts := make([]koko.Partial, 0, shards)
+	total := 0
+	var emitErr error
+	for d := range ch {
+		if emitErr != nil {
+			continue // evaluation is cancelled; drain the channel
+		}
+		parts = append(parts, d.part)
+		for _, t := range d.part.Res.Tuples {
+			tr := tupleResultOf(t, d.part.DocOffset, d.part.SentOffset)
+			total++
+			if emitErr = emit(StreamEvent{Tuple: &tr}); emitErr != nil {
+				break
+			}
+		}
+		if emitErr == nil {
+			emitErr = emit(StreamEvent{Shard: &ShardProgress{
+				Shard: d.shard, Shards: shards,
+				Tuples: len(d.part.Res.Tuples), TotalTuples: total,
+			}})
+		}
+		if emitErr != nil {
+			cancel() // stop the remaining shard evaluations
+		}
+	}
+	err = <-evalErr
+	if emitErr != nil {
+		// The consumer went away (disconnect, write failure) — routine
+		// client behavior, not a query error.
+		s.metrics.queryCancels.Add(1)
+		return emitErr
+	}
+	if err != nil {
+		if ctxDone(err) {
+			s.metrics.queryCancels.Add(1)
+			return err
+		}
+		s.metrics.queryErrors.Add(1)
+		return fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+
+	// Cache and account evaluation wall time, not client-drain time: the
+	// stored Result's Elapsed/Phases must mean the same thing as in
+	// buffered mode, whatever the first consumer's network speed.
+	res := koko.MergePartials(parts)
+	res.Elapsed = evalElapsed
+	s.metrics.queryNanos.Add(res.Elapsed.Nanoseconds())
+	s.metrics.tuplesReturned.Add(int64(total))
+	if !req.NoCache {
+		s.cache.put(key, res, s.ttlFor(req.Corpus))
+	}
+	return emit(StreamEvent{Done: &StreamSummary{
+		Corpus:        req.Corpus,
+		Generation:    gen,
+		Tuples:        total,
+		Candidates:    res.Candidates,
+		Matched:       res.Matched,
+		Phases:        phasesOf(res),
+		ServiceMillis: ms(time.Since(t0)),
+	}})
+}
+
+// streamResult flushes an already-evaluated (cached) result as one stream.
+func (s *Service) streamResult(corpus string, gen uint64, res *koko.Result, cached bool, t0 time.Time, emit func(StreamEvent) error) error {
+	s.metrics.tuplesReturned.Add(int64(len(res.Tuples)))
+	for i := range res.Tuples {
+		tr := tupleResultOf(res.Tuples[i], 0, 0)
+		if err := emit(StreamEvent{Tuple: &tr}); err != nil {
+			return err
+		}
+	}
+	return emit(StreamEvent{Done: &StreamSummary{
+		Corpus:        corpus,
+		Generation:    gen,
+		Tuples:        len(res.Tuples),
+		Candidates:    res.Candidates,
+		Matched:       res.Matched,
+		Cached:        cached,
+		Phases:        phasesOf(res),
+		ServiceMillis: ms(time.Since(t0)),
+	}})
+}
+
+// handleQueryStream answers a query as NDJSON. Errors before the first
+// byte become ordinary HTTP error responses; errors after it are appended
+// as a terminal {"error": ...} line (the status line is long gone).
+func (s *Service) handleQueryStream(w http.ResponseWriter, r *http.Request, req QueryRequest) {
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	started := false
+	err := s.QueryStream(r.Context(), req, func(ev StreamEvent) error {
+		if !started {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			started = true
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+		// Flush on shard boundaries and at the end — the semantics the mode
+		// exists for: a shard's tuples become visible when its doc range
+		// completes, not when the whole query does.
+		if flusher != nil && (ev.Shard != nil || ev.Done != nil) {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err == nil {
+		return
+	}
+	if !started {
+		writeError(w, err)
+		return
+	}
+	_ = enc.Encode(StreamEvent{Error: err.Error()})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

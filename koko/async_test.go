@@ -1,0 +1,165 @@
+package koko
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+// The async surface: RunShard partials must concatenate into the exact
+// RunParsed result, RunParsedEach must deliver shards in order, and
+// cancellation must stop evaluation — mid-run, not at the next call.
+
+func asyncTestEngine(t *testing.T, k int) (*ShardedEngine, *ParsedQuery) {
+	t.Helper()
+	c := WrapCorpus(corpus.GenHappyDB(120, 3))
+	p, err := ParseQuery(`extract x:Str from "moments" if
+		(/ROOT:{ a = //"ate", b = a/dobj, x = (b.subtree) } (b) eq (b))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewShardedEngine(c, k, nil), p
+}
+
+// TestRunShardPrefixMerge: evaluating shard-at-a-time in shard order and
+// merging the accumulated partials reproduces the fan-out result exactly —
+// the invariant the server's job progress/partial-fetch design rests on.
+func TestRunShardPrefixMerge(t *testing.T) {
+	for _, k := range []int{1, 3} {
+		eng, p := asyncTestEngine(t, k)
+		want, err := eng.RunParsed(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Tuples) == 0 {
+			t.Fatal("workload produced no tuples")
+		}
+		var parts []Partial
+		for i := 0; i < eng.NumShards(); i++ {
+			part, err := eng.RunShard(context.Background(), i, p, nil)
+			if err != nil {
+				t.Fatalf("shard %d: %v", i, err)
+			}
+			parts = append(parts, part)
+			// Every completed prefix must merge cleanly (tuples in global
+			// doc order, no duplicate attribution).
+			prefix := MergePartials(parts)
+			for j := 1; j < len(prefix.Tuples); j++ {
+				if prefix.Tuples[j].Document < prefix.Tuples[j-1].Document {
+					t.Fatalf("k=%d prefix %d: tuples out of document order", k, i)
+				}
+			}
+		}
+		got := MergePartials(parts)
+		if !reflect.DeepEqual(got.Tuples, want.Tuples) {
+			t.Fatalf("k=%d: shard-at-a-time merge differs from fan-out:\n got %v\nwant %v", k, got.Tuples, want.Tuples)
+		}
+		if got.Candidates != want.Candidates || got.Matched != want.Matched {
+			t.Fatalf("k=%d: counts differ: %d/%d vs %d/%d", k, got.Candidates, got.Matched, want.Candidates, want.Matched)
+		}
+	}
+}
+
+// TestRunParsedEachOrderAndEquivalence: partials arrive in strict shard
+// order and concatenate into the RunParsed result, with Workers > 1 inside
+// shards so -race exercises the nested parallelism.
+func TestRunParsedEachOrderAndEquivalence(t *testing.T) {
+	for _, k := range []int{1, 3} {
+		eng, p := asyncTestEngine(t, k)
+		qo := &QueryOptions{Workers: 2}
+		want, err := eng.RunParsed(p, qo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var parts []Partial
+		next := 0
+		err = eng.RunParsedEach(context.Background(), p, qo, func(shard int, part Partial) error {
+			if shard != next {
+				t.Fatalf("k=%d: shard %d delivered out of order (want %d)", k, shard, next)
+			}
+			next++
+			parts = append(parts, part)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next != eng.NumShards() {
+			t.Fatalf("k=%d: delivered %d shards, want %d", k, next, eng.NumShards())
+		}
+		got := MergePartials(parts)
+		if !reflect.DeepEqual(got.Tuples, want.Tuples) {
+			t.Fatalf("k=%d: streamed partials differ from RunParsed", k)
+		}
+	}
+}
+
+// TestRunParsedEachCallbackError: an error from the consumer (a disconnected
+// streaming client) cancels the remaining shards and surfaces as the return
+// value; the call does not deliver further partials.
+func TestRunParsedEachCallbackError(t *testing.T) {
+	eng, p := asyncTestEngine(t, 3)
+	boom := errors.New("client went away")
+	calls := 0
+	err := eng.RunParsedEach(context.Background(), p, nil, func(shard int, part Partial) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after erroring, want 1", calls)
+	}
+}
+
+// TestCancelStopsEvaluation: a context cancelled before (and during) a run
+// aborts it with ctx.Err instead of a result.
+func TestCancelStopsEvaluation(t *testing.T) {
+	eng, p := asyncTestEngine(t, 3)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.RunParsedCtx(ctx, p, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunParsedCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := eng.Shard(0).RunParsedCtx(ctx, p, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled plain-engine run err = %v, want context.Canceled", err)
+	}
+	err := eng.RunParsedEach(ctx, p, nil, func(int, Partial) error {
+		t.Fatal("callback ran under a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunParsedEach err = %v, want context.Canceled", err)
+	}
+
+	// Cancel from inside the first delivery: later shards must not be
+	// delivered and the call must return promptly (bounded by one shard's
+	// remaining work, not the whole corpus).
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	delivered := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- eng.RunParsedEach(ctx2, p, nil, func(shard int, part Partial) error {
+			delivered++
+			cancel2()
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if delivered < 1 {
+			t.Fatalf("no shard delivered before cancellation (err=%v)", err)
+		}
+		// Either the remaining shards were cancelled (ctx error) or the
+		// whole run had already finished — both leave no goroutines behind.
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunParsedEach did not return after cancellation")
+	}
+}

@@ -21,6 +21,7 @@
 package koko
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -256,7 +257,15 @@ func (e *Engine) QueryWith(src string, qo *QueryOptions) (*Result, error) {
 // RunParsed evaluates an already-parsed query with per-query overrides.
 // qo may be nil (engine defaults). Safe for concurrent use.
 func (e *Engine) RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, error) {
-	ro := engine.RunOptions{Explain: e.optExplain, Workers: e.optWorkers}
+	return e.RunParsedCtx(context.Background(), p, qo)
+}
+
+// RunParsedCtx evaluates like RunParsed but honors ctx: a done context stops
+// the evaluation between documents and the call returns ctx.Err(). This is
+// the cancellation point the server's jobs and streaming modes rely on — a
+// deleted job or disconnected client stops consuming CPU mid-run.
+func (e *Engine) RunParsedCtx(ctx context.Context, p *ParsedQuery, qo *QueryOptions) (*Result, error) {
+	ro := engine.RunOptions{Explain: e.optExplain, Workers: e.optWorkers, Ctx: ctx}
 	if qo != nil {
 		if qo.Explain {
 			ro.Explain = true
@@ -270,6 +279,33 @@ func (e *Engine) RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, error) {
 		return nil, err
 	}
 	return resultFromEngine(res), nil
+}
+
+// RunShard evaluates one shard of the corpus. A plain Engine is a single
+// shard, so only shard 0 is valid and the returned Partial has zero offsets.
+// The method makes Engine and ShardedEngine interchangeable for callers —
+// like the server's job executor — that schedule work shard-at-a-time.
+func (e *Engine) RunShard(ctx context.Context, shard int, p *ParsedQuery, qo *QueryOptions) (Partial, error) {
+	if shard != 0 {
+		return Partial{}, fmt.Errorf("koko: shard %d out of range (plain engine has 1 shard)", shard)
+	}
+	res, err := e.RunParsedCtx(ctx, p, qo)
+	if err != nil {
+		return Partial{}, err
+	}
+	return Partial{Res: res}, nil
+}
+
+// RunParsedEach evaluates the query and delivers the result as a single
+// shard-0 Partial through each — the one-shard form of
+// ShardedEngine.RunParsedEach, so streaming callers handle plain and sharded
+// corpora identically.
+func (e *Engine) RunParsedEach(ctx context.Context, p *ParsedQuery, qo *QueryOptions, each func(shard int, part Partial) error) error {
+	part, err := e.RunShard(ctx, 0, p, qo)
+	if err != nil {
+		return err
+	}
+	return each(0, part)
 }
 
 // resultFromEngine converts the internal engine result to the public form.

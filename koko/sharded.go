@@ -1,6 +1,7 @@
 package koko
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"runtime"
@@ -15,10 +16,19 @@ import (
 // Querier is the query surface shared by Engine and ShardedEngine: a
 // registry (or any caller) can hold either behind one type and route
 // queries without knowing whether the corpus is partitioned.
+//
+// The three context-taking methods are the async surface: RunParsedCtx is a
+// cancellable whole-query evaluation, RunShard evaluates exactly one shard
+// (the progress unit of the server's job executor), and RunParsedEach
+// delivers per-shard partials in shard order as their doc ranges complete
+// (the flush unit of streaming responses).
 type Querier interface {
 	Query(src string) (*Result, error)
 	QueryWith(src string, qo *QueryOptions) (*Result, error)
 	RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, error)
+	RunParsedCtx(ctx context.Context, p *ParsedQuery, qo *QueryOptions) (*Result, error)
+	RunShard(ctx context.Context, shard int, p *ParsedQuery, qo *QueryOptions) (Partial, error)
+	RunParsedEach(ctx context.Context, p *ParsedQuery, qo *QueryOptions, each func(shard int, part Partial) error) error
 	Stats() IndexStats
 	ShardStats() []ShardStat
 	Save(path string) error
@@ -212,43 +222,115 @@ func (e *ShardedEngine) QueryWith(src string, qo *QueryOptions) (*Result, error)
 // time across shards; Elapsed reports the fan-out's wall time. Safe for
 // concurrent use.
 func (e *ShardedEngine) RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, error) {
+	return e.RunParsedCtx(context.Background(), p, qo)
+}
+
+// RunParsedCtx fans out like RunParsed but honors ctx: shards not yet
+// started are skipped and in-flight shard evaluations stop between
+// documents; the call then returns ctx.Err() (possibly wrapped with the
+// failing shard's number). It is RunParsedEach with a collect-everything
+// consumer — one fan-out implementation serves both surfaces.
+func (e *ShardedEngine) RunParsedCtx(ctx context.Context, p *ParsedQuery, qo *QueryOptions) (*Result, error) {
 	t0 := time.Now()
 	parts := make([]Partial, len(e.shards))
-	sem := make(chan struct{}, e.parallel.Load())
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for i := range e.shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			mu.Lock()
-			failed := firstErr != nil
-			mu.Unlock()
-			if failed {
-				return
-			}
-			res, err := e.shards[i].RunParsed(p, qo)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("shard %d: %w", i, err)
-				}
-				mu.Unlock()
-				return
-			}
-			parts[i] = Partial{Res: res, DocOffset: e.specs[i].LoDoc, SentOffset: e.specs[i].FirstSID}
-		}(i)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	err := e.RunParsedEach(ctx, p, qo, func(i int, part Partial) error {
+		parts[i] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := MergePartials(parts)
 	out.Elapsed = time.Since(t0)
 	return out, nil
+}
+
+// RunShard evaluates shard i only, returning its Partial with the offsets
+// that rebase it into the global corpus. It is the unit of progress for
+// callers that schedule a query shard-at-a-time (the server's job executor):
+// K calls in shard order, each individually cancellable, whose accumulated
+// prefix is always mergeable with MergePartials.
+func (e *ShardedEngine) RunShard(ctx context.Context, shard int, p *ParsedQuery, qo *QueryOptions) (Partial, error) {
+	if shard < 0 || shard >= len(e.shards) {
+		return Partial{}, fmt.Errorf("koko: shard %d out of range (engine has %d)", shard, len(e.shards))
+	}
+	res, err := e.shards[shard].RunParsedCtx(ctx, p, qo)
+	if err != nil {
+		return Partial{}, err
+	}
+	return Partial{Res: res, DocOffset: e.specs[shard].LoDoc, SentOffset: e.specs[shard].FirstSID}, nil
+}
+
+// RunParsedEach fans the query out across shards (bounded by the engine's
+// parallelism) and delivers each shard's Partial to each in strict shard
+// order as its doc range completes — shard i is delivered only after shards
+// 0..i-1, so the stream of partials concatenates into the exact merged
+// result. A shard that finishes early is buffered until its turn. A shard
+// error cancels the rest of the fan-out immediately (shards not yet started
+// are skipped) and is the returned error regardless of which shard index
+// the in-order delivery stops at. If each returns an error (e.g. a
+// disconnected client), remaining shard evaluations are likewise cancelled
+// and the error is returned; all fan-out goroutines have exited by the time
+// RunParsedEach returns.
+func (e *ShardedEngine) RunParsedEach(ctx context.Context, p *ParsedQuery, qo *QueryOptions, each func(shard int, part Partial) error) error {
+	ready := make([]chan struct{}, len(e.shards))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	parts := make([]Partial, len(e.shards))
+	errs := make([]error, len(e.shards))
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// record notes the first real failure; skipped and later-failing shards
+	// resolve to it, so the consumer loop below reports the root cause even
+	// when a lower-indexed shard was merely cancelled in its wake.
+	var mu sync.Mutex
+	var firstErr error
+	record := func(err error) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		return firstErr
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.parallel.Load())
+	for i := range e.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer close(ready[i])
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := cctx.Err(); err != nil {
+				errs[i] = record(err)
+				return
+			}
+			part, err := e.RunShard(cctx, i, p, qo)
+			if err != nil {
+				errs[i] = record(fmt.Errorf("shard %d: %w", i, err))
+				cancel() // fast-fail: don't start shards whose result is already moot
+				return
+			}
+			parts[i] = part
+		}(i)
+	}
+	var err error
+	for i := range e.shards {
+		<-ready[i]
+		if err = errs[i]; err != nil {
+			break
+		}
+		if err = each(i, parts[i]); err != nil {
+			break
+		}
+	}
+	// Cancel whatever is still running (no-op on clean completion) and wait:
+	// no shard goroutine may outlive the call.
+	cancel()
+	wg.Wait()
+	return err
 }
 
 // Stats sums index statistics across shards. Counts are per-shard sizes
