@@ -53,4 +53,27 @@ curl -sf "$BASE/jobs/$JOB_ID/results" | grep -q '"Cafe Vita"'
 curl -sf -X DELETE "$BASE/jobs/$JOB_ID" >/dev/null
 curl -sf "$BASE/metrics" | grep -q '"jobs"'
 
+echo "== live ingestion (delta index)"
+INGEST=$(curl -sf -X POST "$BASE/corpora/demo-cafes/documents" \
+  -d '{"name":"ladro.txt","text":"Cafe Ladro opened a new roastery downtown."}')
+echo "$INGEST" | grep -q '"delta_docs":1'
+# The ingested document is queryable immediately, at a new generation.
+curl -sf "$BASE/query" -d "{\"corpus\":\"demo-cafes\",\"query\":\"$QUERY_TEXT\"}" | grep -q '"Cafe Ladro"'
+curl -sf "$BASE/corpora/demo-cafes/stats" | grep -q '"delta":true'
+
+echo "== compaction (delta folded into base shards)"
+COMPACT=$(curl -sf -X POST "$BASE/corpora/demo-cafes/compact")
+echo "$COMPACT" | grep -q '"compacted_docs":1'
+echo "$COMPACT" | grep -q '"delta_docs":0'
+# Identical results after the fold.
+curl -sf "$BASE/query" -d "{\"corpus\":\"demo-cafes\",\"query\":\"$QUERY_TEXT\"}" | grep -q '"Cafe Ladro"'
+curl -sf "$BASE/corpora/demo-cafes/stats" | grep -q '"compactions":1'
+
+echo "== corpus deletion"
+curl -sf -X DELETE "$BASE/corpora/demo-food" | grep -q '"deleted":"demo-food"'
+STATUS=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/query" \
+  -d '{"corpus":"demo-food","query":"extract x:Entity from \"reviews\" if ()"}')
+if [ "$STATUS" != 404 ]; then echo "deleted corpus answered $STATUS, want 404" >&2; exit 1; fi
+curl -sf "$BASE/metrics" | grep -q '"ingests_total":1'
+
 echo "api smoke OK"

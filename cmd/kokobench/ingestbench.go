@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/internal/server"
+	"repro/koko"
+)
+
+// ingestBench measures the split the mutable-corpus design exists for:
+// sustained single-document ingestion (delta appends + per-document seals +
+// auto-compactions) running concurrently with interactive queries. The
+// snapshot records ingest throughput (docs/sec) next to interactive tail
+// latency with and without the ingest storm — the number that shows
+// snapshot reads are actually never blocked by writers.
+//
+//	kokobench -exp ingest -iters 3 > BENCH_ingest.json
+
+const (
+	ingestBenchSents    = 1500
+	ingestBenchShards   = 4
+	ingestBenchMaxDelta = 64 // low threshold so auto-compaction is exercised
+)
+
+// ingestBenchDoc renders a deterministic synthetic "happy moment" document
+// for the text-ingestion path (NLP parse included in the measured cost).
+func ingestBenchDoc(rng *rand.Rand) string {
+	foods := []string{"cheesecake", "pie", "ice cream", "ramen", "cappuccino", "bagel"}
+	moods := []string{"delicious", "fresh", "warm", "perfect"}
+	places := []string{"a grocery store", "the corner cafe", "the farmers market"}
+	n := 2 + rng.Intn(3)
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "I ate a %s %s that I bought at %s. ",
+			moods[rng.Intn(len(moods))], foods[rng.Intn(len(foods))], places[rng.Intn(len(places))])
+	}
+	return b.String()
+}
+
+type ingestStats struct {
+	Docs        int     `json:"docs"`
+	WallMs      float64 `json:"wall_ms"`
+	DocsPerSec  float64 `json:"docs_per_sec"`
+	Compactions int64   `json:"compactions"`
+	FinalDocs   int     `json:"final_docs"`
+	FinalDelta  int     `json:"final_delta_docs"`
+}
+
+type ingestSnapshot struct {
+	Workload   string        `json:"workload"`
+	Note       string        `json:"note"`
+	GoMaxProc  int           `json:"gomaxprocs"`
+	Pool       int           `json:"pool"`
+	MaxDelta   int           `json:"max_delta_docs"`
+	Baseline   jobsLatencies `json:"interactive_baseline"`
+	WithIngest jobsLatencies `json:"interactive_with_ingest"`
+	Ingest     ingestStats   `json:"ingest"`
+	P99RatioVs float64       `json:"p99_with_ingest_vs_baseline"`
+}
+
+func ingestBench(iters int) {
+	if iters < 1 {
+		iters = 1
+	}
+	pool := runtime.GOMAXPROCS(0)
+	svc := server.NewService(server.Config{MaxConcurrent: pool, CacheSize: -1, MaxDeltaDocs: ingestBenchMaxDelta})
+	c := koko.WrapCorpus(corpus.GenHappyDB(ingestBenchSents, experiments.HotPathCorpusSeed))
+	svc.Registry().Register("happy", koko.NewShardedEngine(c, ingestBenchShards, nil))
+
+	interactive := server.QueryRequest{Corpus: "happy", Query: jobsBenchInteractive, NoCache: true}
+	probe := func(n int) []float64 {
+		ms := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			t0 := time.Now()
+			if _, err := svc.Query(context.Background(), interactive); err != nil {
+				check(err)
+			}
+			ms = append(ms, float64(time.Since(t0).Nanoseconds())/1e6)
+		}
+		return ms
+	}
+
+	// Warm the engines, then take the no-ingest baseline.
+	probe(3)
+	baseline := summarizeLatencies(probe(50 * iters))
+
+	// Sustained ingestion: one writer appending documents flat out (each
+	// ingest parses, appends to the delta, and seals a new generation;
+	// every ingestBenchMaxDelta docs a background compaction folds the
+	// delta into re-partitioned base shards). Interactive probes run
+	// against whatever snapshot is current until the writer finishes.
+	nDocs := 120 * iters
+	rng := rand.New(rand.NewSource(experiments.HotPathCorpusSeed))
+	docs := make([]string, nDocs)
+	for i := range docs {
+		docs[i] = ingestBenchDoc(rng)
+	}
+	done := make(chan struct{})
+	t0 := time.Now()
+	go func() {
+		defer close(done)
+		for i, txt := range docs {
+			if _, _, err := svc.Ingest("happy", fmt.Sprintf("ingest-%d.txt", i), txt); err != nil {
+				check(err)
+			}
+		}
+	}()
+	var during []float64
+	for {
+		tq := time.Now()
+		if _, err := svc.Query(context.Background(), interactive); err != nil {
+			check(err)
+		}
+		during = append(during, float64(time.Since(tq).Nanoseconds())/1e6)
+		select {
+		case <-done:
+		default:
+			continue
+		}
+		break
+	}
+	wall := time.Since(t0)
+
+	// Quiesce: fold the remaining delta and report the final shape.
+	info, _, err := svc.Compact("happy")
+	check(err)
+	m := svc.Metrics()
+
+	snap := ingestSnapshot{
+		Workload: fmt.Sprintf("GenHappyDB(%d, %d) in %d shards; ingest = %d synthetic docs via the NLP pipeline; interactive probe = light dobj-subtree extract",
+			ingestBenchSents, experiments.HotPathCorpusSeed, ingestBenchShards, nDocs),
+		Note: "refresh with `go run ./cmd/kokobench -exp ingest -iters 3 > BENCH_ingest.json`; " +
+			"interactive_with_ingest probes run while a writer ingests flat out (per-doc delta seal, auto-compaction every " +
+			fmt.Sprintf("%d", ingestBenchMaxDelta) + " docs); docs_per_sec includes NLP parsing and sealing",
+		GoMaxProc:  runtime.GOMAXPROCS(0),
+		Pool:       pool,
+		MaxDelta:   ingestBenchMaxDelta,
+		Baseline:   baseline,
+		WithIngest: summarizeLatencies(during),
+		Ingest: ingestStats{
+			Docs:        nDocs,
+			WallMs:      float64(wall.Nanoseconds()) / 1e6,
+			DocsPerSec:  float64(nDocs) / wall.Seconds(),
+			Compactions: m.CompactionsTotal,
+			FinalDocs:   info.Documents,
+			FinalDelta:  info.DeltaDocs,
+		},
+	}
+	if snap.Baseline.P99Ms > 0 {
+		snap.P99RatioVs = snap.WithIngest.P99Ms / snap.Baseline.P99Ms
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	check(enc.Encode(snap))
+	fmt.Print(buf.String())
+}

@@ -17,6 +17,8 @@
 // Endpoints: POST /v1/query (buffered, or NDJSON streaming with ?stream=1 /
 // Accept: application/x-ndjson), POST /v1/validate, GET /v1/corpora,
 // GET /v1/corpora/{name}/stats, POST /v1/corpora/{name}/reload,
+// POST /v1/corpora/{name}/documents (live ingestion),
+// POST /v1/corpora/{name}/compact, DELETE /v1/corpora/{name},
 // POST/GET /v1/jobs, GET /v1/jobs/{id}[/results], DELETE /v1/jobs/{id},
 // GET /v1/healthz, GET /v1/metrics.
 //
@@ -25,6 +27,13 @@
 // queries; poll GET /v1/jobs/{id}, fetch (partial) results at
 // GET /v1/jobs/{id}/results, cancel with DELETE. -max-jobs bounds active
 // jobs, -job-results-ttl how long finished ones stay fetchable.
+//
+// Mutable corpora: POST /v1/corpora/{name}/documents with {"name": ...,
+// "text": ...} appends one document to the corpus's delta index and seals
+// a new generation — the document is queryable immediately and queries are
+// never blocked by ingestion. The delta folds into the base shards when it
+// reaches -max-delta-docs, every -compact-interval, or on an explicit
+// POST /v1/corpora/{name}/compact.
 package main
 
 import (
@@ -106,6 +115,9 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 0, "max async jobs pending or running at once (0 = default 16)")
 	jobTTL := flag.Duration("job-results-ttl", 0, "how long finished jobs stay fetchable (0 = default 15m, negative = until deleted)")
 	jobTuples := flag.Int("job-retained-tuples", 0, "total tuples retained across finished jobs; oldest evicted beyond it (0 = default 200000, negative = unbounded)")
+	maxDelta := flag.Int("max-delta-docs", 0, "ingested docs a corpus's delta may hold before auto-compaction (0 = default 256, negative = no auto-compaction)")
+	compactEvery := flag.Duration("compact-interval", 0, "background compaction loop period; folds every pending delta into its base shards (0 = disabled)")
+	cacheMinCost := flag.Duration("cache-min-cost", 0, "cost-aware cache admission: only cache results whose evaluation took at least this long (0 = cache everything)")
 	var cacheTTL ttlFlags
 	flag.Var(&cacheTTL, "cache-ttl", "result-cache entry TTL, as a duration or name=duration per corpus (repeatable; entries expire lazily on lookup)")
 	flag.Var(&loads, "load", "corpus to serve, as name=path.koko or path.koko (repeatable)")
@@ -123,6 +135,8 @@ func main() {
 		JobRetainedTuples: *jobTuples,
 		CacheTTL:          cacheTTL.def,
 		CacheTTLPerCorpus: cacheTTL.per,
+		CacheMinCost:      *cacheMinCost,
+		MaxDeltaDocs:      *maxDelta,
 	})
 	reg := svc.Registry()
 
@@ -165,6 +179,10 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *compactEvery > 0 {
+		log.Printf("kokod: background compaction every %s", *compactEvery)
+		go svc.CompactLoop(ctx, *compactEvery)
+	}
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

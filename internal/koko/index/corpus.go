@@ -52,6 +52,20 @@ func (c *Corpus) AppendDoc(name string, sents []nlp.Sentence) {
 	c.Docs = append(c.Docs, DocMeta{Name: name, FirstSID: first, NumSents: len(sents)})
 }
 
+// AppendDocsFrom copies documents [lo, hi) of src onto the end of c,
+// renumbering them to c's global ids. Sentence structs are copied before
+// renumbering (token and entity slices are shared read-only), so src is
+// never mutated — the same discipline as ShardCorpus. This is how the
+// compactor assembles base + delta into one corpus for re-partitioning.
+func (c *Corpus) AppendDocsFrom(src *Corpus, lo, hi int) {
+	for d := lo; d < hi; d++ {
+		first, end := src.DocSentences(d)
+		sents := make([]nlp.Sentence, end-first)
+		copy(sents, src.Sentences[first:end])
+		c.AppendDoc(src.Docs[d].Name, sents)
+	}
+}
+
 // NumSentences returns the sentence count.
 func (c *Corpus) NumSentences() int { return len(c.Sentences) }
 

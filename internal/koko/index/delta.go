@@ -1,0 +1,134 @@
+package index
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/nlp"
+)
+
+// Delta is the write side of a mutable corpus: a small corpus-plus-index
+// that absorbs newly ingested documents one at a time, LSM-style, while the
+// (much larger) base shards stay immutable. AddDocument appends straight
+// into the existing posting and hierarchy structures — no rebuild — and
+// Seal cuts an immutable read view that concurrent queries evaluate against
+// while ingestion keeps appending. A compactor periodically folds the
+// sealed prefix into the base shards (see Rebase).
+//
+// Document and sentence ids are delta-local, starting at 0; readers rebase
+// them onto the global corpus by the base's document/sentence counts.
+//
+// A Delta is not itself safe for concurrent use: callers (koko.Mutable)
+// serialize writers and hand readers only sealed views.
+type Delta struct {
+	c  *Corpus
+	ix *Index
+}
+
+// NewDelta returns an empty delta.
+func NewDelta() *Delta {
+	return &Delta{c: &Corpus{}, ix: NewIndex()}
+}
+
+// NumDocs returns the number of documents in the delta.
+func (d *Delta) NumDocs() int { return d.c.NumDocs() }
+
+// NumSents returns the number of sentences in the delta.
+func (d *Delta) NumSents() int { return d.c.NumSentences() }
+
+// AddDocument appends one parsed document, merging its sentences into the
+// delta's posting and hierarchy structures incrementally. Because sentence
+// ids are assigned in increasing order, appended word postings land already
+// (sid, tid)-sorted; only the hierarchy-node and entity lists touched by
+// each sentence need their trailing run repaired — O(sentence), never a
+// full re-sort. sents is renumbered in place (pass copies if the caller
+// retains them, as AppendDoc does for shards).
+func (d *Delta) AddDocument(name string, sents []nlp.Sentence) {
+	first := len(d.c.Sentences)
+	d.c.AppendDoc(name, sents)
+	for sid := first; sid < len(d.c.Sentences); sid++ {
+		s := &d.c.Sentences[sid]
+		d.ix.AddSentence(s)
+		d.repairTails(s)
+	}
+}
+
+// repairTails restores sorted order on the lists AddSentence appended to
+// out of order: hierarchy nodes visit tokens in BFS order (not tid order),
+// and entity postings follow annotation order (not span order).
+func (d *Delta) repairTails(s *nlp.Sentence) {
+	sid := int32(s.ID)
+	sortHierTails(d.ix.PL, d.ix.plidOf[sid], sid)
+	sortHierTails(d.ix.POS, d.ix.posidOf[sid], sid)
+	texts := map[string]bool{}
+	types := map[string]bool{}
+	for _, e := range s.Entities {
+		texts[strings.ToLower(e.Text)] = true
+		types[e.Type] = true
+	}
+	for k := range texts {
+		sortEntityTail(d.ix.Entity[k], sid)
+	}
+	for t := range types {
+		sortEntityTail(d.ix.ByType[t], sid)
+	}
+}
+
+// sortHierTails sorts the just-appended run of each hierarchy node touched
+// by the sentence (ids holds one node id per token, with repeats).
+func sortHierTails(h *Hierarchy, ids []int32, sid int32) {
+	seen := map[int32]bool{}
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			h.SortTail(id, sid)
+		}
+	}
+}
+
+// sortEntityTail sorts the trailing run of entries with the given sid by U
+// (everything before it has smaller sids and is already ordered).
+func sortEntityTail(es []EntityPosting, sid int32) {
+	lo := len(es)
+	for lo > 0 && es[lo-1].Sid == sid {
+		lo--
+	}
+	if tail := es[lo:]; len(tail) > 1 {
+		sort.Slice(tail, func(i, j int) bool { return tail[i].U < tail[j].U })
+	}
+}
+
+// Seal cuts an immutable read view of the delta: a corpus and index that
+// concurrent readers may use freely while AddDocument keeps appending to
+// the original. The corpus copy is three slice headers; the index clone
+// copies maps and hierarchy skeletons but shares all posting data (see
+// Index.Clone for why later appends cannot reach a sealed view).
+func (d *Delta) Seal() (*Corpus, *Index) {
+	c := &Corpus{
+		Sentences: d.c.Sentences,
+		Docs:      d.c.Docs,
+		DocOfSent: d.c.DocOfSent,
+	}
+	return c, d.ix.Clone()
+}
+
+// AppendTo copies documents [lo, hi) of the delta onto dst, renumbered to
+// dst's global ids (the compactor's merge step).
+func (d *Delta) AppendTo(dst *Corpus, lo, hi int) {
+	dst.AppendDocsFrom(d.c, lo, hi)
+}
+
+// Rebase returns a new delta holding only the documents from index n on,
+// renumbered to start at doc 0 — what remains after a compaction folded the
+// first n documents into the base. The surviving documents are re-appended
+// through AddDocument, rebuilding their (small) index with delta-local ids.
+func (d *Delta) Rebase(n int) *Delta {
+	out := NewDelta()
+	for doc := n; doc < d.c.NumDocs(); doc++ {
+		first, end := d.c.DocSentences(doc)
+		sents := make([]nlp.Sentence, end-first)
+		copy(sents, d.c.Sentences[first:end])
+		out.AddDocument(d.c.Docs[doc].Name, sents)
+	}
+	return out
+}

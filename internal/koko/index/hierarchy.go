@@ -223,3 +223,44 @@ func (h *Hierarchy) SortAllPostings() {
 		SortPostings(h.Postings[i])
 	}
 }
+
+// SortTail restores (sid, tid) order on node's posting list after appending
+// sentence sid: everything before the sentence's entries is already sorted
+// (smaller sids), so only the trailing run with that sid needs sorting.
+// This is the incremental counterpart of SortAllPostings for the delta
+// index, where sentences arrive one at a time in sid order.
+func (h *Hierarchy) SortTail(node int32, sid int32) {
+	ps := h.Postings[node]
+	lo := len(ps)
+	for lo > 0 && ps[lo-1].Sid == sid {
+		lo--
+	}
+	if tail := ps[lo:]; len(tail) > 1 {
+		sort.Slice(tail, func(i, j int) bool { return tail[i].Tid < tail[j].Tid })
+	}
+}
+
+// Clone returns an immutable read view of the hierarchy. The per-node
+// children maps are deep-copied (merging a new sentence mutates them in
+// place) and the outer postings slice is fresh (an append rewrites the
+// node's slice header); node postings and the label/depth/parent columns
+// are shared — further appends only ever add entries beyond the clone's
+// recorded lengths.
+func (h *Hierarchy) Clone() *Hierarchy {
+	out := &Hierarchy{
+		Labels:      h.Labels,
+		Depths:      h.Depths,
+		Parents:     h.Parents,
+		Children:    make([]map[string]int32, len(h.Children)),
+		Postings:    append([][]Posting(nil), h.Postings...),
+		TotalTokens: h.TotalTokens,
+	}
+	for i, m := range h.Children {
+		cm := make(map[string]int32, len(m))
+		for label, id := range m {
+			cm[label] = id
+		}
+		out.Children[i] = cm
+	}
+	return out
+}

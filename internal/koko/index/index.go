@@ -22,10 +22,9 @@ type Index struct {
 	posidOf map[int32][]int32
 }
 
-// Build constructs the multi-index over a corpus. The corpus must already be
-// parsed.
-func Build(c *Corpus) *Index {
-	ix := &Index{
+// NewIndex returns an empty multi-index ready for AddSentence.
+func NewIndex() *Index {
+	return &Index{
 		Word:    map[string][]Posting{},
 		Entity:  map[string][]EntityPosting{},
 		ByType:  map[string][]EntityPosting{},
@@ -34,11 +33,51 @@ func Build(c *Corpus) *Index {
 		plidOf:  map[int32][]int32{},
 		posidOf: map[int32][]int32{},
 	}
+}
+
+// Build constructs the multi-index over a corpus. The corpus must already be
+// parsed.
+func Build(c *Corpus) *Index {
+	ix := NewIndex()
 	for sid := range c.Sentences {
 		ix.AddSentence(&c.Sentences[sid])
 	}
 	ix.Finish()
 	return ix
+}
+
+// Clone returns an immutable read view of the index: fresh maps and outer
+// slices, shared posting data. Appending further sentences (with strictly
+// larger sids) to the original never mutates anything a clone can reach —
+// appends either land beyond every cloned slice's length or relocate the
+// backing array — so clones serve concurrent readers while the original
+// keeps growing. This is the seal operation of the delta index.
+func (ix *Index) Clone() *Index {
+	out := &Index{
+		Word:    make(map[string][]Posting, len(ix.Word)),
+		Entity:  make(map[string][]EntityPosting, len(ix.Entity)),
+		ByType:  make(map[string][]EntityPosting, len(ix.ByType)),
+		PL:      ix.PL.Clone(),
+		POS:     ix.POS.Clone(),
+		plidOf:  make(map[int32][]int32, len(ix.plidOf)),
+		posidOf: make(map[int32][]int32, len(ix.posidOf)),
+	}
+	for k, v := range ix.Word {
+		out.Word[k] = v
+	}
+	for k, v := range ix.Entity {
+		out.Entity[k] = v
+	}
+	for k, v := range ix.ByType {
+		out.ByType[k] = v
+	}
+	for k, v := range ix.plidOf {
+		out.plidOf[k] = v
+	}
+	for k, v := range ix.posidOf {
+		out.posidOf[k] = v
+	}
+	return out
 }
 
 // AddSentence merges one sentence into all four indices. The sentence's ID

@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 	"time"
 
@@ -116,6 +117,26 @@ func (c *resultCache) put(key string, res *koko.Result, ttl time.Duration) {
 		e := el.Value.(*cacheEntry)
 		c.tuples -= e.tuples
 		delete(c.m, e.key)
+	}
+}
+
+// dropCorpus removes every entry belonging to the named corpus (keys are
+// "corpus|generation|..."). Generation bumps already make such entries
+// unreachable; dropping them on corpus deletion returns their tuple budget
+// to live corpora immediately instead of waiting for LRU pressure.
+func (c *resultCache) dropCorpus(name string) {
+	if c == nil {
+		return
+	}
+	prefix := name + "|"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.m {
+		if strings.HasPrefix(key, prefix) {
+			c.ll.Remove(el)
+			c.tuples -= el.Value.(*cacheEntry).tuples
+			delete(c.m, key)
+		}
 	}
 }
 

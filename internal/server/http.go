@@ -17,6 +17,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/corpora", s.handleCorpora)
 	mux.HandleFunc("GET /v1/corpora/{name}/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/corpora/{name}/reload", s.handleReload)
+	mux.HandleFunc("POST /v1/corpora/{name}/documents", s.handleIngest)
+	mux.HandleFunc("POST /v1/corpora/{name}/compact", s.handleCompact)
+	mux.HandleFunc("DELETE /v1/corpora/{name}", s.handleCorpusDelete)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -44,7 +47,7 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrNotFound), errors.Is(err, jobs.ErrNotFound):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrBadQuery), errors.Is(err, jobs.ErrBadSpec):
+	case errors.Is(err, ErrBadQuery), errors.Is(err, jobs.ErrBadSpec), errors.Is(err, koko.ErrEmptyDocument):
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrNotReloadable):
 		status = http.StatusConflict
@@ -132,6 +135,9 @@ type shardStatsJSON struct {
 	Sentences int            `json:"sentences"`
 	Tokens    int            `json:"tokens,omitempty"`
 	Index     indexStatsJSON `json:"index"`
+	// Delta marks the mutable corpus's sealed delta riding along as the
+	// last shard (ingested documents awaiting compaction).
+	Delta bool `json:"delta,omitempty"`
 }
 
 func indexStatsOf(st koko.IndexStats) indexStatsJSON {
@@ -158,6 +164,7 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 			Sentences: ss.Sentences,
 			Tokens:    ss.Tokens,
 			Index:     indexStatsOf(ss.Index),
+			Delta:     ss.Delta,
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)

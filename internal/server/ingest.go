@@ -1,0 +1,84 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Mutable-corpus HTTP surface:
+//
+//	POST   /v1/corpora/{name}/documents   ingest one document into the delta
+//	POST   /v1/corpora/{name}/compact     fold the delta into the base shards
+//	DELETE /v1/corpora/{name}             unregister the corpus
+//
+// Ingestion seals a new generation per document: the response carries the
+// corpus info whose Generation the next query will see. Compaction merges
+// by re-partition; results are byte-identical before and after.
+
+// IngestRequest is one document to append to a corpus.
+type IngestRequest struct {
+	// Name is the document's name ("" defaults to "doc<global index>").
+	Name string `json:"name,omitempty"`
+	// Text is the raw document text, parsed by the NLP pipeline on ingest.
+	Text string `json:"text"`
+}
+
+// IngestResponse reports the corpus state after the ingest.
+type IngestResponse struct {
+	Corpus CorpusInfo `json:"corpus"`
+	// Document is the ingested document's global index (queries attribute
+	// tuples from it to this document id).
+	Document int `json:"document"`
+}
+
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if req.Text == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `"text" is required`})
+		return
+	}
+	info, doc, err := s.Ingest(r.PathValue("name"), req.Name, req.Text)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Corpus: info, Document: doc})
+}
+
+// CompactResponse reports what a manual compaction did.
+type CompactResponse struct {
+	Corpus CorpusInfo `json:"corpus"`
+	// CompactedDocs / CompactedSentences are how many delta documents were
+	// folded into the base (0 = the delta was already empty).
+	CompactedDocs      int `json:"compacted_docs"`
+	CompactedSentences int `json:"compacted_sentences"`
+	// Millis is the rebuild wall time.
+	Millis float64 `json:"millis"`
+}
+
+func (s *Service) handleCompact(w http.ResponseWriter, r *http.Request) {
+	info, st, err := s.Compact(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CompactResponse{
+		Corpus:             info,
+		CompactedDocs:      st.Docs,
+		CompactedSentences: st.Sentences,
+		Millis:             ms(st.Elapsed),
+	})
+}
+
+func (s *Service) handleCorpusDelete(w http.ResponseWriter, r *http.Request) {
+	info, err := s.DeleteCorpus(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": info.Name, "corpus": info})
+}

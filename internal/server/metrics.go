@@ -24,6 +24,16 @@ type Metrics struct {
 	queryNanos     atomic.Int64
 	inFlight       atomic.Int64
 	peakInFlight   atomic.Int64
+	// cacheCostSkips counts evaluated results refused cache admission
+	// because they were cheaper than the configured minimum cost.
+	cacheCostSkips atomic.Int64
+	// Mutable-corpus lifecycle counters: documents ingested, compactions
+	// completed (delta folded into base), background compaction failures,
+	// corpora deleted.
+	ingestsTotal     atomic.Int64
+	compactionsTotal atomic.Int64
+	compactionErrors atomic.Int64
+	deletesTotal     atomic.Int64
 }
 
 // MetricsSnapshot is the JSON form served by GET /v1/metrics.
@@ -50,6 +60,18 @@ type MetricsSnapshot struct {
 	// query errors.
 	StreamsTotal     int64 `json:"streams_total"`
 	QueriesCancelled int64 `json:"queries_cancelled"`
+	// CacheCostSkips counts results evaluated but not cached because their
+	// evaluation time fell under the cost-aware admission threshold.
+	CacheCostSkips int64 `json:"cache_cost_skips"`
+	// Mutable-corpus counters: IngestsTotal documents appended via the
+	// ingestion API, CompactionsTotal delta-into-base folds completed,
+	// CorporaDeleted corpora unregistered, DeltaDocs the current total of
+	// ingested-but-uncompacted documents across all corpora.
+	IngestsTotal     int64 `json:"ingests_total"`
+	CompactionsTotal int64 `json:"compactions_total"`
+	CompactionErrors int64 `json:"compaction_errors"`
+	CorporaDeleted   int64 `json:"corpora_deleted"`
+	DeltaDocs        int   `json:"delta_docs"`
 	// Jobs is the async job subsystem's view: lifetime counters, jobs by
 	// state, and queue depth in shard evaluations.
 	Jobs jobs.Snapshot `json:"jobs"`

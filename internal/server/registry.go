@@ -17,24 +17,32 @@ type CorpusInfo struct {
 	// Source is the .koko file the corpus was loaded from, or "" for
 	// in-memory corpora.
 	Source string `json:"source,omitempty"`
-	// Generation is the registry-wide load counter at the time this entry
-	// was (re)loaded. It strictly increases across loads, so caches keyed
-	// on (name, generation) are implicitly invalidated by a reload.
+	// Generation is the registry-wide mutation counter at the time this
+	// entry's current snapshot was installed. It strictly increases across
+	// loads, ingests, and compactions, so caches keyed on (name,
+	// generation) are implicitly invalidated by any of them.
 	Generation uint64 `json:"generation"`
-	// Shards is how many doc-range shards serve this corpus (1 = a plain
-	// unpartitioned engine). A reload swaps the whole shard set at once.
+	// Shards is how many doc-range shards serve this corpus, counting a
+	// live delta as one extra shard (1 = a plain unpartitioned engine).
 	Shards    int       `json:"shards"`
 	Documents int       `json:"documents"`
 	Sentences int       `json:"sentences"`
 	LoadedAt  time.Time `json:"loaded_at"`
+	// DeltaDocs / DeltaSentences size the ingested-but-uncompacted delta;
+	// Ingests and Compactions are the entry's lifetime counters.
+	DeltaDocs      int    `json:"delta_docs"`
+	DeltaSentences int    `json:"delta_sentences"`
+	Ingests        uint64 `json:"ingests"`
+	Compactions    uint64 `json:"compactions"`
 }
 
-// Registry maps corpus names to query engines — plain or sharded, held
-// uniformly as koko.Querier. It supports hot loading: corpora can be added,
-// replaced, and reloaded from disk while queries are in flight — in-flight
-// queries keep the engine (or whole shard set) they resolved, new queries
-// see the new generation. A sharded corpus always swaps atomically as one
-// generation; there is never a mixed-generation shard set.
+// Registry maps corpus names to mutable corpora, each served through an
+// immutable koko.Snapshot. It supports hot mutation at two granularities:
+// whole-store swaps (load, reload) and live ingestion (one document into
+// the corpus's delta index, sealed into a new snapshot) plus compaction
+// (delta folded into the base shards). Every mutation installs a new
+// snapshot at a new generation while in-flight queries and pinned jobs
+// keep the snapshot they resolved; readers are never blocked by writers.
 type Registry struct {
 	mu      sync.RWMutex
 	gen     uint64
@@ -43,8 +51,9 @@ type Registry struct {
 	// ontology, default workers).
 	loadOpts *koko.Options
 	// defShards > 1 re-partitions plain stores into that many doc-range
-	// shards at load time. Stores persisted as sharded manifests keep their
-	// on-disk shard count regardless.
+	// shards at load time (and is the compaction target for corpora that
+	// came up with fewer shards). Stores persisted as sharded manifests
+	// keep their on-disk shard count.
 	defShards int
 	// shardParallel > 0 bounds each sharded entry's per-query shard
 	// fan-out at install time (the service sets it from its pool size so
@@ -52,8 +61,15 @@ type Registry struct {
 	shardParallel int
 }
 
+// regEntry is one corpus: the mutable lifecycle object plus a mirrored
+// (snapshot, seq, info) triple that readers resolve under the registry
+// lock. seq is the Mutable's seal sequence of the mirrored snapshot — the
+// guard that keeps racing ingest/compact installs from regressing the
+// mirror to an older snapshot.
 type regEntry struct {
-	eng  koko.Querier
+	mut  *koko.Mutable
+	eng  *koko.Snapshot
+	seq  uint64
 	info CorpusInfo
 }
 
@@ -90,7 +106,8 @@ func DefaultName(path string) string {
 // manifest — and registers it under name (DefaultName(path) if name is "").
 // With SetDefaultShards(k>1), plain stores are re-partitioned into k
 // doc-range shards before registration. An existing entry with the same
-// name is replaced at a new generation.
+// name is replaced at a new generation (any un-compacted delta documents of
+// the old entry are discarded — reload means "what the file says").
 func (r *Registry) LoadFile(name, path string) error {
 	if name == "" {
 		name = DefaultName(path)
@@ -114,7 +131,11 @@ func (r *Registry) open(path string) (koko.Querier, error) {
 }
 
 // Register adds an in-memory engine — plain or sharded — under name,
-// replacing any existing entry at a new generation.
+// replacing any existing entry at a new generation. The engine becomes the
+// base of a fresh mutable corpus (empty delta), so the entry is immediately
+// ingestible. Note that delta engines and compacted bases are built with
+// the registry's load options; register engines built with the same options
+// if the corpus will be ingested into.
 func (r *Registry) Register(name string, eng koko.Querier) {
 	r.install(name, "", eng)
 }
@@ -122,25 +143,130 @@ func (r *Registry) Register(name string, eng koko.Querier) {
 func (r *Registry) install(name, source string, eng koko.Querier) CorpusInfo {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if se, ok := eng.(*koko.ShardedEngine); ok && r.shardParallel > 0 {
-		se.SetParallelism(r.shardParallel)
+	mut := koko.NewMutable(eng, r.loadOpts)
+	if r.defShards > eng.NumShards() {
+		mut.SetCompactShards(r.defShards)
 	}
+	if r.shardParallel > 0 {
+		// Retunes the installed base (sharded engines use atomics, so the
+		// already-sealed snapshot picks it up) and every compacted rebuild.
+		mut.SetShardParallelism(r.shardParallel)
+	}
+	snap, _ := mut.Current()
 	r.gen++
-	info := CorpusInfo{
-		Name:       name,
-		Source:     source,
-		Generation: r.gen,
-		Shards:     eng.NumShards(),
-		Documents:  eng.NumDocuments(),
-		Sentences:  eng.NumSentences(),
-		LoadedAt:   time.Now().UTC(),
+	e := &regEntry{
+		mut: mut,
+		info: CorpusInfo{
+			Name:     name,
+			Source:   source,
+			LoadedAt: time.Now().UTC(),
+		},
 	}
-	r.entries[name] = &regEntry{eng: eng, info: info}
-	return info
+	e.applySnapshot(snap, mut, r.gen)
+	r.entries[name] = e
+	return e.info
+}
+
+// applySnapshot mirrors a snapshot's shape into the entry info at the
+// given generation. Caller holds r.mu.
+func (e *regEntry) applySnapshot(snap *koko.Snapshot, mut *koko.Mutable, gen uint64) {
+	e.eng = snap
+	e.seq = snap.Seq()
+	e.info.Generation = gen
+	e.info.Shards = snap.NumShards()
+	e.info.Documents = snap.NumDocuments()
+	e.info.Sentences = snap.NumSentences()
+	e.info.DeltaDocs = snap.DeltaDocs()
+	e.info.DeltaSentences = snap.DeltaSentences()
+	e.info.Ingests = mut.Ingests()
+	e.info.Compactions = mut.Compactions()
+}
+
+// refresh mirrors mut's current snapshot into the named entry at a new
+// generation. A stale call (another mutation already installed a newer
+// seal) keeps the newer state; a call racing a Delete or replacement of the
+// corpus reports ErrNotFound rather than resurrecting the entry.
+func (r *Registry) refresh(name string, mut *koko.Mutable) (CorpusInfo, error) {
+	snap, _ := mut.Current()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok || e.mut != mut {
+		return CorpusInfo{}, fmt.Errorf("corpus %q: %w", name, ErrNotFound)
+	}
+	if snap.Seq() > e.seq {
+		r.gen++
+		e.applySnapshot(snap, mut, r.gen)
+	}
+	return e.info, nil
+}
+
+// mutable resolves the entry's lifecycle object.
+func (r *Registry) mutable(name string) (*koko.Mutable, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("corpus %q: %w", name, ErrNotFound)
+	}
+	return e.mut, nil
+}
+
+// Ingest parses one document and appends it to the named corpus's delta
+// index, sealing a new snapshot at a new generation: the document is
+// visible to every query from this call on, while queries and jobs already
+// running keep their pinned snapshot. The parse and seal never block
+// concurrent readers (or writers of other corpora). The returned doc index
+// is the ingested document's global id, taken from the seal in which it is
+// the last document — precise even when ingests race (the returned info
+// may already reflect later seals).
+func (r *Registry) Ingest(name, docName, text string) (CorpusInfo, int, error) {
+	mut, err := r.mutable(name)
+	if err != nil {
+		return CorpusInfo{}, 0, err
+	}
+	snap, err := mut.AddDocument(docName, text)
+	if err != nil {
+		return CorpusInfo{}, 0, fmt.Errorf("corpus %q: %w", name, err)
+	}
+	info, err := r.refresh(name, mut)
+	return info, snap.NumDocuments() - 1, err
+}
+
+// Compact folds the named corpus's delta into its base shards (see
+// koko.Mutable.Compact) and installs the compacted snapshot at a new
+// generation. An empty delta is a cheap no-op.
+func (r *Registry) Compact(name string) (CorpusInfo, koko.CompactionStats, error) {
+	mut, err := r.mutable(name)
+	if err != nil {
+		return CorpusInfo{}, koko.CompactionStats{}, err
+	}
+	st, err := mut.Compact()
+	if err != nil {
+		return CorpusInfo{}, koko.CompactionStats{}, fmt.Errorf("compact corpus %q: %w", name, err)
+	}
+	info, err := r.refresh(name, mut)
+	return info, st, err
+}
+
+// Delete unregisters a corpus. New queries, ingests, and job submissions
+// against the name fail with ErrNotFound immediately; anything already
+// holding the entry's snapshot (running jobs, in-flight queries) finishes
+// on it undisturbed.
+func (r *Registry) Delete(name string) (CorpusInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return CorpusInfo{}, fmt.Errorf("corpus %q: %w", name, ErrNotFound)
+	}
+	delete(r.entries, name)
+	return e.info, nil
 }
 
 // Reload re-reads a file-backed corpus from its source path and swaps it in
-// at a new generation. In-memory corpora cannot be reloaded.
+// at a new generation. In-memory corpora cannot be reloaded. Un-compacted
+// delta documents are discarded — the reloaded state is the file's.
 func (r *Registry) Reload(name string) (CorpusInfo, error) {
 	r.mu.RLock()
 	e, ok := r.entries[name]
@@ -166,8 +292,9 @@ func (r *Registry) Reload(name string) (CorpusInfo, error) {
 	return r.install(name, source, eng), nil
 }
 
-// Engine resolves a corpus name to its engine (plain or sharded) and
-// current generation.
+// Engine resolves a corpus name to its current snapshot and generation.
+// The snapshot is immutable: holding it across later ingests, compactions,
+// and reloads is exactly how jobs pin the corpus state they started on.
 func (r *Registry) Engine(name string) (koko.Querier, uint64, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -190,7 +317,7 @@ func (r *Registry) Info(name string) (CorpusInfo, error) {
 }
 
 // Stats returns the index statistics of one entry's engine (summed across
-// shards for a sharded corpus).
+// shards for a sharded corpus, delta included).
 func (r *Registry) Stats(name string) (koko.IndexStats, error) {
 	eng, _, err := r.Engine(name)
 	if err != nil {
@@ -201,19 +328,24 @@ func (r *Registry) Stats(name string) (koko.IndexStats, error) {
 
 // Describe returns one entry's info, aggregate index stats, and per-shard
 // stats as a consistent snapshot: all three come from the same generation,
-// even if a reload swaps the entry concurrently. (Entries are immutable
-// once installed, so resolving the entry once under the lock suffices.)
-// The aggregate is derived from the per-shard stats — one index walk per
-// shard, not two.
+// even if an ingest or reload swaps the entry concurrently. (Snapshots are
+// immutable once installed, so resolving the entry once under the lock
+// suffices.) The aggregate is derived from the per-shard stats — one index
+// walk per shard, not two.
 func (r *Registry) Describe(name string) (CorpusInfo, koko.IndexStats, []koko.ShardStat, error) {
 	r.mu.RLock()
 	e, ok := r.entries[name]
+	var info CorpusInfo
+	var eng *koko.Snapshot
+	if ok {
+		info, eng = e.info, e.eng
+	}
 	r.mu.RUnlock()
 	if !ok {
 		return CorpusInfo{}, koko.IndexStats{}, nil, fmt.Errorf("corpus %q: %w", name, ErrNotFound)
 	}
-	sh := e.eng.ShardStats()
-	return e.info, koko.MergeShardStats(sh), sh, nil
+	sh := eng.ShardStats()
+	return info, koko.MergeShardStats(sh), sh, nil
 }
 
 // List returns all entries sorted by name. The order is deterministic so

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/server/jobs"
@@ -56,6 +58,15 @@ type Config struct {
 	// expiry. Per-corpus overrides in CacheTTLPerCorpus win over this
 	// default.
 	CacheTTL time.Duration
+	// CacheMinCost is the cost-aware admission threshold: only results
+	// whose evaluation took at least this long are cached, so cheap
+	// queries stop evicting expensive warm entries. 0 admits everything.
+	CacheMinCost time.Duration
+	// MaxDeltaDocs caps how many ingested documents a corpus's delta index
+	// may accumulate before a background compaction is kicked off
+	// automatically. 0 means the default (256); negative disables
+	// auto-compaction (compact via the API or the interval loop).
+	MaxDeltaDocs int
 	// CacheTTLPerCorpus overrides CacheTTL for named corpora (the
 	// time-sensitive ones); a zero value for a name disables expiry for it.
 	CacheTTLPerCorpus map[string]time.Duration
@@ -78,14 +89,19 @@ type Config struct {
 // handlers, the koko CLI, the async job executor, and the kokobench load
 // experiment.
 type Service struct {
-	reg        *Registry
-	cache      *resultCache
-	sem        chan struct{}
-	metrics    Metrics
-	defWorkers int
-	jobs       *jobs.Manager
-	cacheTTL   time.Duration
-	cacheTTLBy map[string]time.Duration
+	reg          *Registry
+	cache        *resultCache
+	sem          chan struct{}
+	metrics      Metrics
+	defWorkers   int
+	jobs         *jobs.Manager
+	cacheTTL     time.Duration
+	cacheTTLBy   map[string]time.Duration
+	cacheMinCost time.Duration
+	maxDeltaDocs int
+	// compacting tracks corpora with an auto-compaction in flight so a
+	// burst of ingests kicks off at most one background fold per corpus.
+	compacting sync.Map
 }
 
 // NewService builds a Service with an empty registry.
@@ -115,13 +131,19 @@ func NewService(cfg Config) *Service {
 		}
 	}
 	reg.SetShardParallelism(sp)
+	maxDelta := cfg.MaxDeltaDocs
+	if maxDelta == 0 {
+		maxDelta = 256
+	}
 	s := &Service{
-		reg:        reg,
-		cache:      newResultCache(size, maxTuples),
-		sem:        make(chan struct{}, maxc),
-		defWorkers: workers,
-		cacheTTL:   cfg.CacheTTL,
-		cacheTTLBy: cfg.CacheTTLPerCorpus,
+		reg:          reg,
+		cache:        newResultCache(size, maxTuples),
+		sem:          make(chan struct{}, maxc),
+		defWorkers:   workers,
+		cacheTTL:     cfg.CacheTTL,
+		cacheTTLBy:   cfg.CacheTTLPerCorpus,
+		cacheMinCost: cfg.CacheMinCost,
+		maxDeltaDocs: maxDelta,
 	}
 	s.jobs = jobs.New(s, jobs.Config{
 		MaxActive:         cfg.MaxJobs,
@@ -314,12 +336,26 @@ func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	s.metrics.queryNanos.Add(res.Elapsed.Nanoseconds())
-	if !req.NoCache {
-		s.cache.put(key, res, s.ttlFor(req.Corpus))
-	}
+	s.cachePut(key, req, res)
 	resp := s.respond(req.Corpus, gen, res, false)
 	resp.ServiceMillis = ms(time.Since(t0))
 	return resp, nil
+}
+
+// cachePut admits an evaluated result to the cache — unless the request
+// bypassed caching, or the evaluation was cheaper than the cost-aware
+// admission threshold (re-running it costs less than the warm entries it
+// would evict). Buffered and streamed evaluation share this one admission
+// path.
+func (s *Service) cachePut(key string, req QueryRequest, res *koko.Result) {
+	if req.NoCache {
+		return
+	}
+	if s.cacheMinCost > 0 && res.Elapsed < s.cacheMinCost {
+		s.metrics.cacheCostSkips.Add(1)
+		return
+	}
+	s.cache.put(key, res, s.ttlFor(req.Corpus))
 }
 
 // cacheKey derives the result-cache key for a request: buffered and
@@ -340,10 +376,14 @@ func ctxDone(err error) bool {
 }
 
 // fanoutOf reports how many shard evaluations eng actually runs at once
-// for one query (1 for a plain engine).
+// for one query (1 for a plain engine; a mutable-corpus snapshot adds one
+// for a live delta).
 func fanoutOf(eng koko.Querier) int {
-	if se, ok := eng.(*koko.ShardedEngine); ok {
-		return se.Parallelism()
+	switch e := eng.(type) {
+	case *koko.ShardedEngine:
+		return e.Parallelism()
+	case *koko.Snapshot:
+		return e.Fanout()
 	}
 	return 1
 }
@@ -434,10 +474,117 @@ func (s *Service) Reload(name string) (CorpusInfo, error) {
 	return info, err
 }
 
+// Ingest appends one document to a corpus's delta index and seals a new
+// generation: the document is queryable immediately, the corpus's cache
+// entries are invalidated by the generation bump, and queries or jobs
+// already running keep their pinned snapshot. The returned doc index is
+// the ingested document's global id. When the delta has grown past the
+// auto-compaction threshold, a background fold into the base shards is
+// kicked off (at most one per corpus at a time).
+func (s *Service) Ingest(corpus, docName, text string) (CorpusInfo, int, error) {
+	info, doc, err := s.reg.Ingest(corpus, docName, text)
+	if err != nil {
+		return CorpusInfo{}, 0, err
+	}
+	s.metrics.ingestsTotal.Add(1)
+	if s.maxDeltaDocs > 0 && info.DeltaDocs >= s.maxDeltaDocs {
+		s.kickCompaction(corpus)
+	}
+	return info, doc, nil
+}
+
+// Compact synchronously folds a corpus's delta into its base shards,
+// installing the compacted snapshot at a new generation. An empty delta is
+// a cheap no-op (Docs == 0 in the returned stats).
+func (s *Service) Compact(name string) (CorpusInfo, koko.CompactionStats, error) {
+	info, st, err := s.reg.Compact(name)
+	if err == nil && st.Docs > 0 {
+		s.metrics.compactionsTotal.Add(1)
+	}
+	return info, st, err
+}
+
+// kickCompaction starts a background compaction of the named corpus unless
+// one is already in flight. No caller can see a background failure, so it
+// is logged and counted (compaction_errors) rather than swallowed — a
+// persistently failing auto-compaction would otherwise let the delta grow
+// in silence.
+func (s *Service) kickCompaction(name string) {
+	if _, inflight := s.compacting.LoadOrStore(name, struct{}{}); inflight {
+		return
+	}
+	go func() {
+		defer s.compacting.Delete(name)
+		s.compactLogged(name)
+	}()
+}
+
+// compactLogged runs one compaction on behalf of a background caller,
+// logging and counting any failure. A corpus deleted or replaced meanwhile
+// surfaces here as ErrNotFound — routine, but still the operator's only
+// signal, so it is logged too.
+func (s *Service) compactLogged(name string) {
+	if _, _, err := s.Compact(name); err != nil {
+		s.metrics.compactionErrors.Add(1)
+		log.Printf("server: background compaction of corpus %q: %v", name, err)
+	}
+}
+
+// CompactLoop folds every corpus's pending delta into its base shards each
+// interval, until ctx is done. kokod runs this as the background compaction
+// loop when -compact-interval is set.
+func (s *Service) CompactLoop(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.CompactAll()
+		}
+	}
+}
+
+// CompactAll compacts every corpus with a non-empty delta, sequentially (a
+// compaction rebuilds shard indices in parallel internally; running corpora
+// back-to-back keeps the CPU pressure bounded). Failures are logged and
+// counted per corpus.
+func (s *Service) CompactAll() {
+	for _, info := range s.reg.List() {
+		if info.DeltaDocs > 0 {
+			s.compactLogged(info.Name)
+		}
+	}
+}
+
+// DeleteCorpus unregisters a corpus and drops its result-cache entries.
+// New queries, ingests, and jobs against the name fail with ErrNotFound;
+// running jobs finish on their pinned snapshot.
+func (s *Service) DeleteCorpus(name string) (CorpusInfo, error) {
+	info, err := s.reg.Delete(name)
+	if err != nil {
+		return CorpusInfo{}, err
+	}
+	s.cache.dropCorpus(name)
+	s.metrics.deletesTotal.Add(1)
+	return info, nil
+}
+
 // Metrics returns a point-in-time counter snapshot.
 func (s *Service) Metrics() MetricsSnapshot {
 	m := &s.metrics
+	deltaDocs := 0
+	for _, info := range s.reg.List() {
+		deltaDocs += info.DeltaDocs
+	}
 	return MetricsSnapshot{
+		CacheCostSkips:   m.cacheCostSkips.Load(),
+		IngestsTotal:     m.ingestsTotal.Load(),
+		CompactionsTotal: m.compactionsTotal.Load(),
+		CompactionErrors: m.compactionErrors.Load(),
+		CorporaDeleted:   m.deletesTotal.Load(),
+		DeltaDocs:        deltaDocs,
 		QueriesTotal:     m.queriesTotal.Load(),
 		QueryErrors:      m.queryErrors.Load(),
 		CacheHits:        m.cacheHits.Load(),

@@ -166,9 +166,7 @@ func (s *Service) QueryStream(ctx context.Context, req QueryRequest, emit func(S
 	res.Elapsed = evalElapsed
 	s.metrics.queryNanos.Add(res.Elapsed.Nanoseconds())
 	s.metrics.tuplesReturned.Add(int64(total))
-	if !req.NoCache {
-		s.cache.put(key, res, s.ttlFor(req.Corpus))
-	}
+	s.cachePut(key, req, res)
 	return emit(StreamEvent{Done: &StreamSummary{
 		Corpus:        req.Corpus,
 		Generation:    gen,

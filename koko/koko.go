@@ -136,6 +136,15 @@ func NewEngine(c *Corpus, opts *Options) *Engine {
 	if opts == nil {
 		opts = &Options{}
 	}
+	model, dicts := deriveModelDicts(opts)
+	return assembleEngine(c, index.Build(c.c), model, dicts, opts)
+}
+
+// deriveModelDicts materializes the similarity model and lowercased
+// dictionaries an Options describes. Both are read-only once built, so one
+// derivation can be shared across engines (the mutable layer reuses them
+// for every sealed delta engine).
+func deriveModelDicts(opts *Options) (*embed.Model, map[string]map[string]bool) {
 	model := embed.NewModel()
 	for term, rel := range opts.Ontology {
 		model.AddOntology(term, rel)
@@ -148,7 +157,13 @@ func NewEngine(c *Corpus, opts *Options) *Engine {
 		}
 		dicts[name] = m
 	}
-	ix := index.Build(c.c)
+	return model, dicts
+}
+
+// assembleEngine wires an already-built index and corpus into an Engine —
+// the one constructor behind NewEngine, store loading, and sealed delta
+// views.
+func assembleEngine(c *Corpus, ix *index.Index, model *embed.Model, dicts map[string]map[string]bool, opts *Options) *Engine {
 	e := &Engine{corpus: c, ix: ix, model: model, optExplain: opts.Explain, optWorkers: opts.Workers}
 	e.eng = engine.New(c.c, ix, model, engine.Options{
 		DisableSkipPlan: opts.DisableSkipPlan,
@@ -449,27 +464,8 @@ func engineFromDB(db *store.DB, opts *Options) (*Engine, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
-	model := embed.NewModel()
-	for term, rel := range opts.Ontology {
-		model.AddOntology(term, rel)
-	}
-	dicts := map[string]map[string]bool{}
-	for name, vals := range opts.Dicts {
-		m := map[string]bool{}
-		for _, v := range vals {
-			m[strings.ToLower(v)] = true
-		}
-		dicts[name] = m
-	}
-	e := &Engine{corpus: &Corpus{c: c}, ix: ix, model: model, optExplain: opts.Explain, optWorkers: opts.Workers}
-	e.eng = engine.New(c, ix, model, engine.Options{
-		DisableSkipPlan: opts.DisableSkipPlan,
-		ExpansionLimit:  opts.ExpansionLimit,
-		Dicts:           dicts,
-		Workers:         opts.Workers,
-		Explain:         opts.Explain,
-	})
-	return e, nil
+	model, dicts := deriveModelDicts(opts)
+	return assembleEngine(&Corpus{c: c}, ix, model, dicts, opts), nil
 }
 
 func loadCorpus(db *store.DB) (*index.Corpus, error) {

@@ -1,0 +1,471 @@
+package koko
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/embed"
+	"repro/internal/koko/index"
+	"repro/internal/nlp"
+)
+
+// ErrEmptyDocument marks an ingested document that parses to no sentences.
+var ErrEmptyDocument = errors.New("koko: document has no sentences")
+
+// Mutable turns an immutable base engine into a live corpus: documents are
+// ingested one at a time into a small delta index (LSM-style) while every
+// query evaluates against an immutable Snapshot of (base shards + sealed
+// delta). Writers never block readers: ingestion appends to the delta and
+// seals a new snapshot; a compaction folds the sealed delta into the base
+// by re-partitioning the combined corpus, with only two brief critical
+// sections around the (slow) shard rebuild. After any sequence of
+// single-document ingests — before or after compaction — query results are
+// byte-identical to an engine rebuilt from scratch over the same documents.
+//
+// All methods are safe for concurrent use. Writers (AddDocument, Compact)
+// serialize against each other; readers hold whatever Snapshot they
+// resolved and are never invalidated.
+type Mutable struct {
+	opts  *Options
+	model *embed.Model
+	dicts map[string]map[string]bool
+
+	// compactMu serializes compactions (held across the whole rebuild);
+	// mu guards the fields below and is held only for short sections.
+	compactMu sync.Mutex
+	mu        sync.Mutex
+	base      Querier
+	delta     *index.Delta
+	cur       *Snapshot
+	seq       uint64
+	// compactShards is the target shard count compaction re-partitions
+	// into (defaults to the base's shard count at wrap time).
+	compactShards int
+	// shardParallel, when > 0, bounds the per-query shard fan-out applied
+	// to rebuilt sharded bases (mirrors Registry.SetShardParallelism).
+	shardParallel int
+	ingests       uint64
+	compactions   uint64
+}
+
+// NewMutable wraps base (an Engine or ShardedEngine, typically fresh from
+// NewEngine/Open) as a mutable corpus with an empty delta. opts may be nil
+// and should match the options base was built with — sealed delta engines
+// are built from it.
+func NewMutable(base Querier, opts *Options) *Mutable {
+	if opts == nil {
+		opts = &Options{}
+	}
+	model, dicts := deriveModelDicts(opts)
+	m := &Mutable{
+		opts:          opts,
+		model:         model,
+		dicts:         dicts,
+		base:          base,
+		delta:         index.NewDelta(),
+		compactShards: base.NumShards(),
+	}
+	m.mu.Lock()
+	m.sealLocked()
+	m.mu.Unlock()
+	return m
+}
+
+// SetCompactShards overrides how many doc-range shards a compaction
+// re-partitions the merged corpus into (the default is the base's shard
+// count when the Mutable was created). k <= 1 compacts to a single plain
+// engine.
+func (m *Mutable) SetCompactShards(k int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if k < 1 {
+		k = 1
+	}
+	m.compactShards = k
+}
+
+// SetShardParallelism bounds the per-query shard fan-out applied to every
+// sharded base a compaction rebuilds (n <= 0 leaves the engine default).
+// The current base is retuned immediately as well.
+func (m *Mutable) SetShardParallelism(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shardParallel = n
+	if se, ok := m.base.(*ShardedEngine); ok && n > 0 {
+		se.SetParallelism(n)
+	}
+}
+
+// Snapshot returns the current immutable read view. The returned value
+// never changes under the caller; later ingests and compactions install new
+// snapshots without touching ones already handed out — this is what pins a
+// running job or streaming query to the corpus state it started on.
+func (m *Mutable) Snapshot() *Snapshot {
+	s, _ := m.Current()
+	return s
+}
+
+// Current returns the current snapshot and its seal sequence number. The
+// sequence increases with every installed snapshot, so callers mirroring
+// the snapshot elsewhere (the server registry) can discard stale installs.
+func (m *Mutable) Current() (*Snapshot, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur, m.seq
+}
+
+// DeltaDocs reports how many ingested documents await compaction.
+func (m *Mutable) DeltaDocs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.delta.NumDocs()
+}
+
+// Ingests reports the lifetime count of ingested documents.
+func (m *Mutable) Ingests() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ingests
+}
+
+// Compactions reports the lifetime count of completed compactions.
+func (m *Mutable) Compactions() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.compactions
+}
+
+// AddDocument parses text with the NLP pipeline and appends it to the
+// delta, sealing a new snapshot in which the document is visible as the
+// corpus's last document. Concurrent queries on earlier snapshots are
+// untouched.
+func (m *Mutable) AddDocument(name, text string) (*Snapshot, error) {
+	doc := nlp.NewPipeline().Annotate(0, name, text, 0)
+	return m.AddParsedDocument(name, doc.Sentences)
+}
+
+// AddParsedDocument ingests an already-parsed document (the bridge corpus
+// generators and differential tests use, mirroring WrapCorpus). An empty
+// name defaults positionally to "doc<global index>", matching NewCorpus.
+// The sentence structs are copied before renumbering, so the caller's
+// slice is never mutated.
+func (m *Mutable) AddParsedDocument(name string, sents []nlp.Sentence) (*Snapshot, error) {
+	if len(sents) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrEmptyDocument, name)
+	}
+	own := make([]nlp.Sentence, len(sents))
+	copy(own, sents)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if name == "" {
+		name = fmt.Sprintf("doc%d", m.base.NumDocuments()+m.delta.NumDocs())
+	}
+	m.delta.AddDocument(name, own)
+	m.ingests++
+	m.sealLocked()
+	return m.cur, nil
+}
+
+// sealLocked installs a fresh snapshot of (base, sealed delta). Caller
+// holds m.mu.
+func (m *Mutable) sealLocked() {
+	m.seq++
+	snap := &Snapshot{
+		base:       m.base,
+		baseShards: m.base.NumShards(),
+		baseDocs:   m.base.NumDocuments(),
+		baseSents:  m.base.NumSentences(),
+		seq:        m.seq,
+	}
+	if m.delta.NumDocs() > 0 {
+		c, ix := m.delta.Seal()
+		snap.delta = assembleEngine(&Corpus{c: c}, ix, m.model, m.dicts, m.opts)
+	}
+	m.cur = snap
+}
+
+// CompactionStats reports what one compaction did.
+type CompactionStats struct {
+	// Docs / Sentences are how many delta documents were folded into the
+	// base (0 means the delta was empty and nothing changed).
+	Docs      int
+	Sentences int
+	// Shards is the rebuilt base's shard count.
+	Shards int
+	// Elapsed is the rebuild wall time.
+	Elapsed time.Duration
+}
+
+// Compact folds the current sealed delta into the base: the base corpus and
+// the delta's documents are merged in ingestion order and re-partitioned
+// into the target shard count, exactly as a from-scratch build over the
+// same documents would be. Queries keep evaluating on their snapshots
+// throughout; documents ingested while the rebuild runs stay in the delta
+// and become the new delta afterwards. Compactions serialize; a concurrent
+// Compact blocks and then likely no-ops on an empty delta.
+func (m *Mutable) Compact() (CompactionStats, error) {
+	m.compactMu.Lock()
+	defer m.compactMu.Unlock()
+	t0 := time.Now()
+
+	// Cut: everything in the delta right now gets folded in. Copying the
+	// cut is O(delta), tiny next to the rebuild, and the only part that
+	// needs the writer lock — ingestion resumes while the shards rebuild.
+	m.mu.Lock()
+	n := m.delta.NumDocs()
+	if n == 0 {
+		m.mu.Unlock()
+		return CompactionStats{}, nil
+	}
+	base := m.base
+	k := m.compactShards
+	sp := m.shardParallel
+	cut := &index.Corpus{}
+	m.delta.AppendTo(cut, 0, n)
+	m.mu.Unlock()
+
+	combined := &index.Corpus{}
+	if err := appendQuerierDocs(combined, base); err != nil {
+		return CompactionStats{}, err
+	}
+	combined.AppendDocsFrom(cut, 0, cut.NumDocs())
+	var newBase Querier
+	if k > 1 {
+		se := NewShardedEngine(&Corpus{c: combined}, k, m.opts)
+		if sp > 0 {
+			se.SetParallelism(sp)
+		}
+		newBase = se
+	} else {
+		newBase = NewEngine(&Corpus{c: combined}, m.opts)
+	}
+
+	m.mu.Lock()
+	m.base = newBase
+	m.delta = m.delta.Rebase(n)
+	m.compactions++
+	m.sealLocked()
+	m.mu.Unlock()
+	return CompactionStats{
+		Docs:      cut.NumDocs(),
+		Sentences: cut.NumSentences(),
+		Shards:    newBase.NumShards(),
+		Elapsed:   time.Since(t0),
+	}, nil
+}
+
+// appendQuerierDocs flattens an immutable base engine's corpus onto dst in
+// global document order. Only the engine shapes the registry installs are
+// supported; anything else cannot be compacted.
+func appendQuerierDocs(dst *index.Corpus, q Querier) error {
+	switch e := q.(type) {
+	case *Engine:
+		dst.AppendDocsFrom(e.corpus.c, 0, e.corpus.c.NumDocs())
+	case *ShardedEngine:
+		for _, s := range e.shards {
+			dst.AppendDocsFrom(s.corpus.c, 0, s.corpus.c.NumDocs())
+		}
+	default:
+		return fmt.Errorf("koko: cannot compact a base engine of type %T", q)
+	}
+	return nil
+}
+
+// Snapshot is an immutable read view of a mutable corpus: the base engine
+// (one or more doc-range shards) plus, when documents await compaction, a
+// sealed delta engine served as one extra shard after the base's. It
+// implements Querier, so queries, NDJSON streams, and shard-at-a-time jobs
+// all evaluate against it exactly as against a ShardedEngine — with results
+// byte-identical to a from-scratch engine over the same documents, delta
+// doc and sentence ids rebased into global order after the base's.
+type Snapshot struct {
+	base  Querier
+	delta *Engine // nil when the delta is empty
+	seq   uint64
+
+	baseShards, baseDocs, baseSents int
+}
+
+var _ Querier = (*Snapshot)(nil)
+
+// Seq returns the snapshot's seal sequence (monotonic per Mutable).
+func (s *Snapshot) Seq() uint64 { return s.seq }
+
+// Base returns the underlying immutable base engine (for stats and tests).
+func (s *Snapshot) Base() Querier { return s.base }
+
+// DeltaDocs reports how many documents the sealed delta holds.
+func (s *Snapshot) DeltaDocs() int {
+	if s.delta == nil {
+		return 0
+	}
+	return s.delta.NumDocuments()
+}
+
+// DeltaSentences reports the sealed delta's sentence count.
+func (s *Snapshot) DeltaSentences() int {
+	if s.delta == nil {
+		return 0
+	}
+	return s.delta.NumSentences()
+}
+
+// NumShards counts the base shards plus the delta (when non-empty).
+func (s *Snapshot) NumShards() int {
+	if s.delta == nil {
+		return s.baseShards
+	}
+	return s.baseShards + 1
+}
+
+// NumDocuments sums base and delta document counts.
+func (s *Snapshot) NumDocuments() int { return s.baseDocs + s.DeltaDocs() }
+
+// NumSentences sums base and delta sentence counts.
+func (s *Snapshot) NumSentences() int { return s.baseSents + s.DeltaSentences() }
+
+// DocumentName resolves a global document index across base and delta.
+func (s *Snapshot) DocumentName(i int) string {
+	if i < s.baseDocs {
+		return s.base.DocumentName(i)
+	}
+	if s.delta != nil {
+		return s.delta.DocumentName(i - s.baseDocs)
+	}
+	return ""
+}
+
+// Fanout reports how many shard evaluations one query effectively runs
+// concurrently: the base's fan-out. The delta does evaluate alongside the
+// base, but it is bounded by the compaction threshold and tiny next to the
+// base shards, so it is not charged a fan-out slot — charging it one would
+// halve a single-shard corpus's intra-shard worker budget for as long as
+// any ingested document awaits compaction.
+func (s *Snapshot) Fanout() int {
+	if se, ok := s.base.(*ShardedEngine); ok {
+		return se.Parallelism()
+	}
+	return 1
+}
+
+// Query parses and evaluates a KOKO query against the snapshot.
+func (s *Snapshot) Query(src string) (*Result, error) { return s.QueryWith(src, nil) }
+
+// QueryWith parses and evaluates with per-query overrides (qo may be nil).
+func (s *Snapshot) QueryWith(src string, qo *QueryOptions) (*Result, error) {
+	p, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunParsed(p, qo)
+}
+
+// RunParsed evaluates an already-parsed query across base and delta.
+func (s *Snapshot) RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, error) {
+	return s.RunParsedCtx(context.Background(), p, qo)
+}
+
+// RunParsedCtx evaluates like RunParsed but honors ctx between documents.
+// Phases report summed CPU time; Elapsed reports wall time (as with the
+// sharded fan-out).
+func (s *Snapshot) RunParsedCtx(ctx context.Context, p *ParsedQuery, qo *QueryOptions) (*Result, error) {
+	t0 := time.Now()
+	parts := make([]Partial, 0, s.NumShards())
+	err := s.RunParsedEach(ctx, p, qo, func(_ int, part Partial) error {
+		parts = append(parts, part)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := MergePartials(parts)
+	out.Elapsed = time.Since(t0)
+	return out, nil
+}
+
+// RunShard evaluates one shard: base shards keep their indices, and the
+// sealed delta is addressable as the last shard, its Partial carrying the
+// offsets that rebase delta-local ids after the base. This is the progress
+// unit the server's job executor schedules — a job submitted against a
+// snapshot stays pinned to it however many ingests happen meanwhile.
+func (s *Snapshot) RunShard(ctx context.Context, shard int, p *ParsedQuery, qo *QueryOptions) (Partial, error) {
+	if shard >= 0 && shard < s.baseShards {
+		return s.base.RunShard(ctx, shard, p, qo)
+	}
+	if s.delta != nil && shard == s.baseShards {
+		res, err := s.delta.RunParsedCtx(ctx, p, qo)
+		if err != nil {
+			return Partial{}, err
+		}
+		return Partial{Res: res, DocOffset: s.baseDocs, SentOffset: s.baseSents}, nil
+	}
+	return Partial{}, fmt.Errorf("koko: shard %d out of range (snapshot has %d)", shard, s.NumShards())
+}
+
+// RunParsedEach fans out like ShardedEngine.RunParsedEach: base partials
+// arrive in shard order, then the delta's partial last — global document
+// order, so the stream concatenates into the exact merged result. The delta
+// evaluates concurrently with the base fan-out but is delivered only after
+// every base shard. An each error or shard failure cancels the rest; no
+// goroutine outlives the call.
+func (s *Snapshot) RunParsedEach(ctx context.Context, p *ParsedQuery, qo *QueryOptions, each func(shard int, part Partial) error) error {
+	if s.delta == nil {
+		return s.base.RunParsedEach(ctx, p, qo, each)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type deltaRes struct {
+		part Partial
+		err  error
+	}
+	ch := make(chan deltaRes, 1)
+	go func() {
+		part, err := s.RunShard(cctx, s.baseShards, p, qo)
+		if err != nil {
+			err = fmt.Errorf("delta shard: %w", err)
+		}
+		ch <- deltaRes{part, err}
+	}()
+	if err := s.base.RunParsedEach(cctx, p, qo, each); err != nil {
+		cancel()
+		<-ch
+		return err
+	}
+	d := <-ch
+	if d.err != nil {
+		return d.err
+	}
+	return each(s.baseShards, d.part)
+}
+
+// Stats aggregates index statistics across base shards and delta.
+func (s *Snapshot) Stats() IndexStats { return MergeShardStats(s.ShardStats()) }
+
+// ShardStats reports the base shards followed by the sealed delta (marked
+// Delta) when one rides along.
+func (s *Snapshot) ShardStats() []ShardStat {
+	out := s.base.ShardStats()
+	if s.delta != nil {
+		out = append(out, ShardStat{
+			Shard:     s.baseShards,
+			Documents: s.delta.NumDocuments(),
+			Sentences: s.delta.NumSentences(),
+			Index:     s.delta.Stats(),
+			Delta:     true,
+		})
+	}
+	return out
+}
+
+// Save persists the snapshot only when no delta documents ride along (the
+// base is then the whole corpus). With a live delta there is no on-disk
+// form for the combined state — compact first, then save.
+func (s *Snapshot) Save(path string) error {
+	if s.delta != nil {
+		return fmt.Errorf("koko: snapshot has %d uncompacted delta documents; compact before saving", s.DeltaDocs())
+	}
+	return s.base.Save(path)
+}

@@ -50,6 +50,9 @@ type ShardStat struct {
 	Sentences int        `json:"sentences"`
 	Tokens    int        `json:"tokens,omitempty"`
 	Index     IndexStats `json:"index"`
+	// Delta marks a mutable corpus's sealed delta riding along as the last
+	// shard (see Snapshot.ShardStats).
+	Delta bool `json:"delta,omitempty"`
 }
 
 // Partial is one shard's contribution to a query: a complete Result in
