@@ -76,4 +76,50 @@ STATUS=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/query" \
 if [ "$STATUS" != 404 ]; then echo "deleted corpus answered $STATUS, want 404" >&2; exit 1; fi
 curl -sf "$BASE/metrics" | grep -q '"ingests_total":1'
 
+echo "== durability: ingest + delete -> kill -9 -> restart -> replayed state"
+ADDR2="127.0.0.1:7334"
+BASE2="http://$ADDR2/v1"
+DATA_DIR=$(mktemp -d)
+# -wal-sync always: every ack is on disk before it reaches the client, so
+# kill -9 at any point after the responses below must lose nothing.
+/tmp/kokod -demo -shards 3 -addr "$ADDR2" -data-dir "$DATA_DIR" -wal-sync always &
+KOKOD2_PID=$!
+trap 'kill $KOKOD_PID 2>/dev/null || true; kill -9 $KOKOD2_PID 2>/dev/null || true; rm -rf "$DATA_DIR"' EXIT
+
+wait_healthy() {
+  for i in $(seq 1 100); do
+    if curl -sf "$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "kokod at $1 never became healthy" >&2
+  return 1
+}
+wait_healthy "$BASE2"
+
+curl -sf -X POST "$BASE2/corpora/demo-cafes/documents" \
+  -d '{"name":"ladro.txt","text":"Cafe Ladro opened a new roastery downtown."}' >/dev/null
+curl -sf "$BASE2/query" -d "{\"corpus\":\"demo-cafes\",\"query\":\"$QUERY_TEXT\"}" | grep -q '"Cafe Ladro"'
+curl -sf "$BASE2/query" -d "{\"corpus\":\"demo-cafes\",\"query\":\"$QUERY_TEXT\",\"no_cache\":true}" | grep -q '"Cafe Umbria"'
+curl -sf -X DELETE "$BASE2/corpora/demo-cafes/documents/portland.txt" | grep -q '"deleted":1'
+# The deleted document's tuples are masked immediately.
+if curl -sf "$BASE2/query" -d "{\"corpus\":\"demo-cafes\",\"query\":\"$QUERY_TEXT\",\"no_cache\":true}" | grep -q '"Cafe Umbria"'; then
+  echo "deleted document still visible before crash" >&2; exit 1
+fi
+
+kill -9 "$KOKOD2_PID"
+wait "$KOKOD2_PID" 2>/dev/null || true
+/tmp/kokod -demo -shards 3 -addr "$ADDR2" -data-dir "$DATA_DIR" -wal-sync always &
+KOKOD2_PID=$!
+wait_healthy "$BASE2"
+
+# The ingested document survived the crash; the deleted one stayed deleted.
+POST=$(curl -sf "$BASE2/query" -d "{\"corpus\":\"demo-cafes\",\"query\":\"$QUERY_TEXT\"}")
+echo "$POST" | grep -q '"Cafe Ladro"'
+echo "$POST" | grep -q '"Cafe Vita"'
+if echo "$POST" | grep -q '"Cafe Umbria"'; then
+  echo "deleted document resurrected by restart" >&2; exit 1
+fi
+curl -sf "$BASE2/metrics" | grep -q '"wal_replayed_docs":[1-9]'
+kill "$KOKOD2_PID" 2>/dev/null || true
+
 echo "api smoke OK"

@@ -73,7 +73,7 @@ func ingestBench(iters int) {
 	pool := runtime.GOMAXPROCS(0)
 	svc := server.NewService(server.Config{MaxConcurrent: pool, CacheSize: -1, MaxDeltaDocs: ingestBenchMaxDelta})
 	c := koko.WrapCorpus(corpus.GenHappyDB(ingestBenchSents, experiments.HotPathCorpusSeed))
-	svc.Registry().Register("happy", koko.NewShardedEngine(c, ingestBenchShards, nil))
+	check(svc.Registry().Register("happy", koko.NewShardedEngine(c, ingestBenchShards, nil)))
 
 	interactive := server.QueryRequest{Corpus: "happy", Query: jobsBenchInteractive, NoCache: true}
 	probe := func(n int) []float64 {
@@ -108,7 +108,7 @@ func ingestBench(iters int) {
 	go func() {
 		defer close(done)
 		for i, txt := range docs {
-			if _, _, err := svc.Ingest("happy", fmt.Sprintf("ingest-%d.txt", i), txt); err != nil {
+			if _, _, _, err := svc.Ingest("happy", fmt.Sprintf("ingest-%d.txt", i), txt); err != nil {
 				check(err)
 			}
 		}

@@ -100,7 +100,7 @@ func jobsBench(iters int) {
 	pool := runtime.GOMAXPROCS(0)
 	svc := server.NewService(server.Config{MaxConcurrent: pool, CacheSize: -1})
 	c := koko.WrapCorpus(corpus.GenHappyDB(jobsBenchSents, experiments.HotPathCorpusSeed))
-	svc.Registry().Register("happy", koko.NewShardedEngine(c, jobsBenchShards, nil))
+	check(svc.Registry().Register("happy", koko.NewShardedEngine(c, jobsBenchShards, nil)))
 
 	interactive := server.QueryRequest{Corpus: "happy", Query: jobsBenchInteractive, NoCache: true}
 	probe := func(n int) []float64 {

@@ -24,8 +24,8 @@ func serverLoad(seed int64, scale int) {
 
 	svc := server.NewService(server.Config{MaxConcurrent: 8, CacheSize: 256})
 	reg := svc.Registry()
-	reg.Register("cafes", engineFromIndexed(corpus.GenCafes(corpus.BaristaMagConfig(seed)).Corpus))
-	reg.Register("happy", engineFromIndexed(corpus.GenHappyDB(500*scale, seed+1)))
+	check(reg.Register("cafes", engineFromIndexed(corpus.GenCafes(corpus.BaristaMagConfig(seed)).Corpus)))
+	check(reg.Register("happy", engineFromIndexed(corpus.GenHappyDB(500*scale, seed+1))))
 
 	for _, info := range reg.List() {
 		fmt.Printf("registered %-6s docs=%d sentences=%d\n", info.Name, info.Documents, info.Sentences)

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/internal/koko/wal"
+	"repro/internal/server"
+	"repro/koko"
+)
+
+// walBench measures what durability costs on the ingest path: sustained
+// single-writer document ingestion (NLP parse + delta append + WAL append +
+// seal) under each WAL fsync policy, next to a memory-only baseline run in
+// the same process. The interesting number is batch_vs_memory — group
+// commit is the default policy, and the snapshot records how close it stays
+// to the no-WAL rate.
+//
+//	kokobench -exp wal -iters 3 > BENCH_wal.json
+
+const (
+	walBenchSents  = 1500
+	walBenchShards = 4
+)
+
+type walPolicyStats struct {
+	Policy     string  `json:"policy"`
+	Docs       int     `json:"docs"`
+	WallMs     float64 `json:"wall_ms"`
+	DocsPerSec float64 `json:"docs_per_sec"`
+	WALBytes   int64   `json:"wal_bytes"`
+	WALAppends uint64  `json:"wal_appends"`
+}
+
+type walSnapshot struct {
+	Workload      string           `json:"workload"`
+	Note          string           `json:"note"`
+	GoMaxProc     int              `json:"gomaxprocs"`
+	Policies      []walPolicyStats `json:"policies"`
+	BatchVsMemory float64          `json:"batch_vs_memory"`
+}
+
+// walBenchRun ingests nDocs synthetic documents into one corpus and reports
+// throughput. dataDir == "" runs the memory-only baseline.
+func walBenchRun(policyName, dataDir string, sync wal.SyncPolicy, docs []string) walPolicyStats {
+	svc := server.NewService(server.Config{
+		MaxConcurrent: runtime.GOMAXPROCS(0),
+		CacheSize:     -1,
+		MaxDeltaDocs:  -1, // no auto-compaction: measure the pure ingest path
+		DataDir:       dataDir,
+		WALSync:       sync,
+	})
+	c := koko.WrapCorpus(corpus.GenHappyDB(walBenchSents, experiments.HotPathCorpusSeed))
+	check(svc.Registry().Register("happy", koko.NewShardedEngine(c, walBenchShards, nil)))
+
+	t0 := time.Now()
+	for i, txt := range docs {
+		if _, _, _, err := svc.Ingest("happy", fmt.Sprintf("wal-%d.txt", i), txt); err != nil {
+			check(err)
+		}
+	}
+	wall := time.Since(t0)
+	m := svc.Metrics()
+	svc.Close()
+	return walPolicyStats{
+		Policy:     policyName,
+		Docs:       len(docs),
+		WallMs:     float64(wall.Nanoseconds()) / 1e6,
+		DocsPerSec: float64(len(docs)) / wall.Seconds(),
+		WALBytes:   m.WALBytes,
+		WALAppends: m.WALAppends,
+	}
+}
+
+func walBench(iters int) {
+	if iters < 1 {
+		iters = 1
+	}
+	nDocs := 120 * iters
+	rng := rand.New(rand.NewSource(experiments.HotPathCorpusSeed))
+	docs := make([]string, nDocs)
+	for i := range docs {
+		docs[i] = ingestBenchDoc(rng)
+	}
+
+	policies := []struct {
+		name string
+		sync wal.SyncPolicy
+	}{
+		{"none", wal.SyncNone},
+		{"batch", wal.SyncBatch},
+		{"always", wal.SyncAlways},
+	}
+	snap := walSnapshot{
+		Workload: fmt.Sprintf("GenHappyDB(%d, %d) in %d shards; ingest = %d synthetic docs via the NLP pipeline, one writer, auto-compaction off",
+			walBenchSents, experiments.HotPathCorpusSeed, walBenchShards, nDocs),
+		Note: "refresh with `go run ./cmd/kokobench -exp wal -iters 3 > BENCH_wal.json`; " +
+			"memory is the no-WAL baseline; batch_vs_memory = batch docs_per_sec / memory docs_per_sec " +
+			"(group commit is the default -wal-sync policy)",
+		GoMaxProc: runtime.GOMAXPROCS(0),
+	}
+	snap.Policies = append(snap.Policies, walBenchRun("memory", "", wal.SyncNone, docs))
+	for _, p := range policies {
+		dir, err := os.MkdirTemp("", "kokobench-wal-")
+		check(err)
+		snap.Policies = append(snap.Policies, walBenchRun(p.name, dir, p.sync, docs))
+		os.RemoveAll(dir)
+	}
+	var memory, batch float64
+	for _, p := range snap.Policies {
+		switch p.Policy {
+		case "memory":
+			memory = p.DocsPerSec
+		case "batch":
+			batch = p.DocsPerSec
+		}
+	}
+	if memory > 0 {
+		snap.BatchVsMemory = batch / memory
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	check(enc.Encode(snap))
+	fmt.Print(buf.String())
+}

@@ -29,11 +29,22 @@
 // jobs, -job-results-ttl how long finished ones stay fetchable.
 //
 // Mutable corpora: POST /v1/corpora/{name}/documents with {"name": ...,
-// "text": ...} appends one document to the corpus's delta index and seals
+// "text": ...} upserts one document into the corpus's delta index and seals
 // a new generation — the document is queryable immediately and queries are
-// never blocked by ingestion. The delta folds into the base shards when it
-// reaches -max-delta-docs, every -compact-interval, or on an explicit
+// never blocked by ingestion (re-using a document name replaces it).
+// DELETE /v1/corpora/{name}/documents/{doc} tombstones a document by name.
+// The delta folds into the base shards when it reaches -max-delta-docs,
+// every -compact-interval, or on an explicit
 // POST /v1/corpora/{name}/compact.
+//
+// Durability: with -data-dir set, every corpus writes ingests and deletes
+// through a per-corpus write-ahead log under <data-dir>/<name>/ before
+// acknowledging them. After a crash or kill -9, restarting with the same
+// -data-dir replays each corpus's WAL and serves exactly the acknowledged
+// state; corpora created purely over the API come back too. -wal-sync
+// picks the fsync policy (none, batch group-commit, always) and
+// -wal-max-bytes bounds the log (a background compaction folds it into the
+// shard files past that size).
 package main
 
 import (
@@ -50,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/koko/wal"
 	"repro/internal/server"
 )
 
@@ -116,6 +128,9 @@ func main() {
 	jobTTL := flag.Duration("job-results-ttl", 0, "how long finished jobs stay fetchable (0 = default 15m, negative = until deleted)")
 	jobTuples := flag.Int("job-retained-tuples", 0, "total tuples retained across finished jobs; oldest evicted beyond it (0 = default 200000, negative = unbounded)")
 	maxDelta := flag.Int("max-delta-docs", 0, "ingested docs a corpus's delta may hold before auto-compaction (0 = default 256, negative = no auto-compaction)")
+	dataDir := flag.String("data-dir", "", "durable corpus state directory: per-corpus WAL + shard store, replayed on restart (empty = memory-only)")
+	walSync := flag.String("wal-sync", "batch", "WAL fsync policy with -data-dir: none, batch (group commit), or always")
+	walMaxBytes := flag.Int64("wal-max-bytes", 64<<20, "WAL size that triggers a background compaction with -data-dir (0 = no size trigger)")
 	compactEvery := flag.Duration("compact-interval", 0, "background compaction loop period; folds every pending delta into its base shards (0 = disabled)")
 	cacheMinCost := flag.Duration("cache-min-cost", 0, "cost-aware cache admission: only cache results whose evaluation took at least this long (0 = cache everything)")
 	var cacheTTL ttlFlags
@@ -123,6 +138,10 @@ func main() {
 	flag.Var(&loads, "load", "corpus to serve, as name=path.koko or path.koko (repeatable)")
 	flag.Parse()
 
+	syncPolicy, err := wal.ParseSyncPolicy(*walSync)
+	if err != nil {
+		log.Fatalf("kokod: %v", err)
+	}
 	svc := server.NewService(server.Config{
 		MaxConcurrent:     *pool,
 		CacheSize:         *cache,
@@ -137,6 +156,9 @@ func main() {
 		CacheTTLPerCorpus: cacheTTL.per,
 		CacheMinCost:      *cacheMinCost,
 		MaxDeltaDocs:      *maxDelta,
+		DataDir:           *dataDir,
+		WALSync:           syncPolicy,
+		WALMaxBytes:       *walMaxBytes,
 	})
 	reg := svc.Registry()
 
@@ -161,16 +183,33 @@ func main() {
 		}
 	}
 	if *demo {
-		server.RegisterDemoCorpora(reg, *shards)
+		if err := server.RegisterDemoCorpora(reg, *shards); err != nil {
+			log.Fatalf("kokod: %v", err)
+		}
+	}
+	if *dataDir != "" {
+		// Recover corpora created over the API in a previous run (the
+		// explicit -load/-dir/-demo registrations above already replayed
+		// their own WALs).
+		recovered, err := reg.LoadDurable()
+		if err != nil {
+			log.Fatalf("kokod: %v", err)
+		}
+		for _, name := range recovered {
+			log.Printf("kokod: recovered durable corpus %q from %s", name, *dataDir)
+		}
 	}
 	if reg.Len() == 0 {
-		fmt.Fprintln(os.Stderr, "kokod: no corpora registered; use -load, -dir, or -demo")
+		fmt.Fprintln(os.Stderr, "kokod: no corpora registered; use -load, -dir, -demo, or a -data-dir with durable state")
 		os.Exit(2)
 	}
 	for _, info := range reg.List() {
 		src := info.Source
 		if src == "" {
 			src = "(in-memory)"
+		}
+		if info.Durable {
+			src += " (durable)"
 		}
 		log.Printf("kokod: corpus %q gen=%d shards=%d docs=%d sentences=%d %s",
 			info.Name, info.Generation, info.Shards, info.Documents, info.Sentences, src)
@@ -193,4 +232,6 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("kokod: %v", err)
 	}
+	// Graceful stop: close WAL handles so batched writes hit disk.
+	svc.Close()
 }

@@ -20,14 +20,18 @@ import (
 
 func main() {
 	svc := server.NewService(server.Config{MaxConcurrent: 4})
-	svc.Registry().Register("cafes", koko.NewEngine(koko.NewCorpus(
+	if err := svc.Registry().Register("cafes", koko.NewEngine(koko.NewCorpus(
 		[]string{"seattle.txt", "portland.txt"},
 		[]string{
 			"Cafe Vita serves smooth espresso daily. Cafe Juanita hired a champion barista.",
 			"Cafe Umbria opened a second location.",
-		}), nil))
-	svc.Registry().Register("food", koko.NewEngine(koko.NewCorpus(nil,
-		[]string{"I ate a chocolate ice cream, which was delicious, and also ate a pie."}), nil))
+		}), nil)); err != nil {
+		log.Fatal(err)
+	}
+	if err := svc.Registry().Register("food", koko.NewEngine(koko.NewCorpus(nil,
+		[]string{"I ate a chocolate ice cream, which was delicious, and also ate a pie."}), nil)); err != nil {
+		log.Fatal(err)
+	}
 
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()

@@ -112,6 +112,16 @@ func (d *Delta) Seal() (*Corpus, *Index) {
 	return c, d.ix.Clone()
 }
 
+// DocName returns delta document i's name.
+func (d *Delta) DocName(i int) string { return d.c.Docs[i].Name }
+
+// DocSpan returns delta document i's first sentence id and sentence count,
+// both delta-local (callers rebase by the base's totals).
+func (d *Delta) DocSpan(i int) (firstSID, nSents int) {
+	m := d.c.Docs[i]
+	return m.FirstSID, m.NumSents
+}
+
 // AppendTo copies documents [lo, hi) of the delta onto dst, renumbered to
 // dst's global ids (the compactor's merge step).
 func (d *Delta) AppendTo(dst *Corpus, lo, hi int) {

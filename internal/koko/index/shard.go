@@ -144,6 +144,39 @@ func SaveShardManifest(db *store.DB, files []string, specs []ShardSpec) {
 	}
 }
 
+const durableMetaTable = "DURABLE"
+
+// SaveDurableMeta marks db as a durable-corpus manifest: gen is the shard
+// set's generation (bumped by every crash-safe compaction swap) and applied
+// is the highest WAL sequence already folded into the shard files — replay
+// skips records at or below it.
+func SaveDurableMeta(db *store.DB, gen, applied uint64) {
+	t := db.Create(durableMetaTable,
+		store.Column{Name: "generation", Type: store.ColInt},
+		store.Column{Name: "wal_applied", Type: store.ColInt},
+	)
+	t.MustInsert(store.IntVal(int64(gen)), store.IntVal(int64(applied)))
+}
+
+// LoadDurableMeta reads back the generation and applied WAL sequence
+// written by SaveDurableMeta.
+func LoadDurableMeta(db *store.DB) (gen, applied uint64, err error) {
+	t := db.Table(durableMetaTable)
+	if t == nil {
+		return 0, 0, fmt.Errorf("index: no %s table (not a durable manifest)", durableMetaTable)
+	}
+	found := false
+	t.Scan(func(rid int, row []store.Value) bool {
+		gen, applied = uint64(row[0].I), uint64(row[1].I)
+		found = true
+		return false
+	})
+	if !found {
+		return 0, 0, fmt.Errorf("index: %s table is empty", durableMetaTable)
+	}
+	return gen, applied, nil
+}
+
 // IsShardManifest reports whether db is a sharded-layout manifest rather
 // than a plain single-corpus store.
 func IsShardManifest(db *store.DB) bool {

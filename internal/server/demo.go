@@ -19,7 +19,10 @@ var DemoQueries = map[string]string{
 // RegisterDemoCorpora installs the demo corpora in reg. shards > 1
 // partitions each into that many doc-range shards so the fan-out (and
 // shard-at-a-time jobs/streaming) path is exercisable without a store file.
-func RegisterDemoCorpora(reg *Registry, shards int) {
+// With durability configured, a demo corpus that already has durable state
+// comes back from disk (with any previous run's ingests and deletes) and
+// the freshly built seed is ignored.
+func RegisterDemoCorpora(reg *Registry, shards int) error {
 	build := func(c *koko.Corpus) koko.Querier {
 		if shards > 1 {
 			return koko.NewShardedEngine(c, shards, nil)
@@ -33,7 +36,9 @@ func RegisterDemoCorpora(reg *Registry, shards int) {
 				"The neighborhood bakery sells fresh bread.",
 			"Cafe Umbria opened a second location. The baristas at Cafe Umbria won a latte art championship.",
 		}))
-	reg.Register("demo-cafes", cafes)
+	if err := reg.Register("demo-cafes", cafes); err != nil {
+		return err
+	}
 
 	food := build(koko.NewCorpus(
 		[]string{"reviews.txt"},
@@ -41,5 +46,5 @@ func RegisterDemoCorpora(reg *Registry, shards int) {
 			"I ate a chocolate ice cream, which was delicious, and also ate a pie. " +
 				"Anna ate some delicious cheesecake that she bought at a grocery store.",
 		}))
-	reg.Register("demo-food", food)
+	return reg.Register("demo-food", food)
 }

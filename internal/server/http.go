@@ -18,6 +18,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/corpora/{name}/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/corpora/{name}/reload", s.handleReload)
 	mux.HandleFunc("POST /v1/corpora/{name}/documents", s.handleIngest)
+	mux.HandleFunc("DELETE /v1/corpora/{name}/documents/{doc}", s.handleDocumentDelete)
 	mux.HandleFunc("POST /v1/corpora/{name}/compact", s.handleCompact)
 	mux.HandleFunc("DELETE /v1/corpora/{name}", s.handleCorpusDelete)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
@@ -45,7 +46,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, ErrNotFound), errors.Is(err, jobs.ErrNotFound):
+	case errors.Is(err, ErrNotFound), errors.Is(err, jobs.ErrNotFound), errors.Is(err, koko.ErrNoDocument):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrBadQuery), errors.Is(err, jobs.ErrBadSpec), errors.Is(err, koko.ErrEmptyDocument):
 		status = http.StatusBadRequest

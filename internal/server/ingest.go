@@ -7,17 +7,23 @@ import (
 
 // Mutable-corpus HTTP surface:
 //
-//	POST   /v1/corpora/{name}/documents   ingest one document into the delta
-//	POST   /v1/corpora/{name}/compact     fold the delta into the base shards
-//	DELETE /v1/corpora/{name}             unregister the corpus
+//	POST   /v1/corpora/{name}/documents          upsert one document
+//	DELETE /v1/corpora/{name}/documents/{doc}    tombstone a document by name
+//	POST   /v1/corpora/{name}/compact            fold delta + tombstones into
+//	                                             the base shards
+//	DELETE /v1/corpora/{name}                    unregister the corpus (and
+//	                                             remove its durable state)
 //
 // Ingestion seals a new generation per document: the response carries the
-// corpus info whose Generation the next query will see. Compaction merges
-// by re-partition; results are byte-identical before and after.
+// corpus info whose Generation the next query will see. Re-ingesting an
+// existing document name replaces it (delete-then-add); deletes mask the
+// document from every query immediately and compaction reclaims the bytes.
+// Compacted results are byte-identical before and after.
 
-// IngestRequest is one document to append to a corpus.
+// IngestRequest is one document to upsert into a corpus.
 type IngestRequest struct {
 	// Name is the document's name ("" defaults to "doc<global index>").
+	// Re-using an existing name replaces that document.
 	Name string `json:"name,omitempty"`
 	// Text is the raw document text, parsed by the NLP pipeline on ingest.
 	Text string `json:"text"`
@@ -29,6 +35,9 @@ type IngestResponse struct {
 	// Document is the ingested document's global index (queries attribute
 	// tuples from it to this document id).
 	Document int `json:"document"`
+	// Updated reports that the ingest replaced an existing document with
+	// the same name rather than adding a new one.
+	Updated bool `json:"updated,omitempty"`
 }
 
 func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -41,12 +50,35 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `"text" is required`})
 		return
 	}
-	info, doc, err := s.Ingest(r.PathValue("name"), req.Name, req.Text)
+	info, doc, updated, err := s.Ingest(r.PathValue("name"), req.Name, req.Text)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, IngestResponse{Corpus: info, Document: doc})
+	writeJSON(w, http.StatusOK, IngestResponse{Corpus: info, Document: doc, Updated: updated})
+}
+
+// DocumentDeleteResponse reports a document tombstoning.
+type DocumentDeleteResponse struct {
+	Corpus CorpusInfo `json:"corpus"`
+	// Document is the deleted document's name; Deleted how many live
+	// documents carried it (ingesting the same name repeatedly before this
+	// endpoint existed could have stacked several).
+	Document string `json:"document"`
+	Deleted  int    `json:"deleted"`
+}
+
+func (s *Service) handleDocumentDelete(w http.ResponseWriter, r *http.Request) {
+	info, n, err := s.DeleteDocument(r.PathValue("name"), r.PathValue("doc"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DocumentDeleteResponse{
+		Corpus:   info,
+		Document: r.PathValue("doc"),
+		Deleted:  n,
+	})
 }
 
 // CompactResponse reports what a manual compaction did.

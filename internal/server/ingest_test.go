@@ -47,7 +47,7 @@ func TestServiceIngestCompactLifecycle(t *testing.T) {
 		t.Fatal("repeat query not cached")
 	}
 
-	info, doc, err := svc.Ingest("demo-cafes", "ladro.txt", "Cafe Ladro opened a new roastery downtown.")
+	info, doc, _, err := svc.Ingest("demo-cafes", "ladro.txt", "Cafe Ladro opened a new roastery downtown.")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestJobPinnedAcrossIngest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := svc.Ingest("demo-cafes", "ladro.txt", "Cafe Ladro opened a new roastery downtown."); err != nil {
+	if _, _, _, err := svc.Ingest("demo-cafes", "ladro.txt", "Cafe Ladro opened a new roastery downtown."); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := svc.Compact("demo-cafes"); err != nil {
@@ -307,7 +307,7 @@ func TestAutoCompaction(t *testing.T) {
 		"Cafe Presse serves espresso at dawn.",
 	}
 	for i, txt := range texts {
-		if _, _, err := svc.Ingest("demo-cafes", "", txt); err != nil {
+		if _, _, _, err := svc.Ingest("demo-cafes", "", txt); err != nil {
 			t.Fatalf("ingest %d: %v", i, err)
 		}
 	}
@@ -341,10 +341,10 @@ func TestAutoCompaction(t *testing.T) {
 func TestIngestDeleteErrors(t *testing.T) {
 	svc := NewService(Config{MaxConcurrent: 2})
 	RegisterDemoCorpora(svc.Registry(), 1)
-	if _, _, err := svc.Ingest("nope", "", "Hello."); !errors.Is(err, ErrNotFound) {
+	if _, _, _, err := svc.Ingest("nope", "", "Hello."); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("unknown corpus: %v", err)
 	}
-	if _, _, err := svc.Ingest("demo-cafes", "", "   \n\t "); !errors.Is(err, koko.ErrEmptyDocument) {
+	if _, _, _, err := svc.Ingest("demo-cafes", "", "   \n\t "); !errors.Is(err, koko.ErrEmptyDocument) {
 		t.Fatalf("unparseable doc: %v", err)
 	}
 	if _, err := svc.DeleteCorpus("nope"); !errors.Is(err, ErrNotFound) {

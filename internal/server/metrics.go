@@ -34,6 +34,10 @@ type Metrics struct {
 	compactionsTotal atomic.Int64
 	compactionErrors atomic.Int64
 	deletesTotal     atomic.Int64
+	// Durability lifecycle counters: documents tombstoned via the delete
+	// endpoint, and ingests that replaced (updated) an existing document.
+	documentDeletes atomic.Int64
+	documentUpdates atomic.Int64
 }
 
 // MetricsSnapshot is the JSON form served by GET /v1/metrics.
@@ -72,6 +76,21 @@ type MetricsSnapshot struct {
 	CompactionErrors int64 `json:"compaction_errors"`
 	CorporaDeleted   int64 `json:"corpora_deleted"`
 	DeltaDocs        int   `json:"delta_docs"`
+	// Durability counters: DocumentDeletes documents tombstoned via
+	// DELETE .../documents/{doc}, DocumentUpdates ingests that replaced an
+	// existing document, WALAppends/WALBytes the write-ahead logs' lifetime
+	// appends and current total size, WALReplayedDocs documents recovered by
+	// WAL replay at startup, TombstonesLive deleted-but-uncompacted
+	// documents still being masked, CompactionSwaps crash-safe manifest
+	// swaps completed, RecoveryMillis total startup WAL replay time.
+	DocumentDeletes int64   `json:"document_deletes"`
+	DocumentUpdates int64   `json:"document_updates"`
+	WALAppends      uint64  `json:"wal_appends"`
+	WALBytes        int64   `json:"wal_bytes"`
+	WALReplayedDocs uint64  `json:"wal_replayed_docs"`
+	TombstonesLive  int64   `json:"tombstones_live"`
+	CompactionSwaps uint64  `json:"compaction_swaps"`
+	RecoveryMillis  float64 `json:"recovery_ms"`
 	// Jobs is the async job subsystem's view: lifetime counters, jobs by
 	// state, and queue depth in shard evaluations.
 	Jobs jobs.Snapshot `json:"jobs"`

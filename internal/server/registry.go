@@ -2,12 +2,14 @@ package server
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/koko/wal"
 	"repro/koko"
 )
 
@@ -34,6 +36,17 @@ type CorpusInfo struct {
 	DeltaSentences int    `json:"delta_sentences"`
 	Ingests        uint64 `json:"ingests"`
 	Compactions    uint64 `json:"compactions"`
+	// Durable marks a corpus backed by an on-disk WAL + shard store;
+	// StoreGeneration is its persisted shard set's generation (bumped by
+	// every crash-safe compaction swap) and WALBytes the current log size —
+	// the quantity the service's WAL-size compaction trigger watches.
+	// Tombstones and Deletes track delete/update masking for every corpus,
+	// durable or not.
+	Durable         bool   `json:"durable,omitempty"`
+	StoreGeneration uint64 `json:"store_generation,omitempty"`
+	WALBytes        int64  `json:"wal_bytes,omitempty"`
+	Tombstones      int    `json:"tombstones"`
+	Deletes         uint64 `json:"deletes"`
 }
 
 // Registry maps corpus names to mutable corpora, each served through an
@@ -59,6 +72,11 @@ type Registry struct {
 	// fan-out at install time (the service sets it from its pool size so
 	// concurrent requests don't oversubscribe the CPU).
 	shardParallel int
+	// dataDir != "" makes every installed corpus durable: its documents are
+	// written through a per-corpus WAL under dataDir/<name> and survive a
+	// crash or restart. walSync is the WAL fsync policy applied at open.
+	dataDir string
+	walSync wal.SyncPolicy
 }
 
 // regEntry is one corpus: the mutable lifecycle object plus a mirrored
@@ -96,6 +114,32 @@ func (r *Registry) SetShardParallelism(n int) {
 	r.shardParallel = n
 }
 
+// SetDurability makes every subsequently installed corpus durable: its
+// WAL and shard store live under dir/<name> with the given fsync policy.
+// A corpus whose durable directory already holds state is recovered from
+// disk at install, ignoring the registered seed engine.
+func (r *Registry) SetDurability(dir string, sync wal.SyncPolicy) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dataDir = dir
+	r.walSync = sync
+}
+
+// durableDir resolves a corpus's durable directory ("" when durability is
+// off), rejecting names that would escape the data dir.
+func (r *Registry) durableDir(name string) (string, error) {
+	r.mu.RLock()
+	dir := r.dataDir
+	r.mu.RUnlock()
+	if dir == "" {
+		return "", nil
+	}
+	if name == "" || name == "." || name == ".." || strings.ContainsAny(name, `/\`) {
+		return "", fmt.Errorf("corpus name %q is not usable as a durable directory", name)
+	}
+	return filepath.Join(dir, name), nil
+}
+
 // DefaultName derives a registry name from a .koko path: the base name
 // without the extension ("/data/cafes.koko" -> "cafes").
 func DefaultName(path string) string {
@@ -108,16 +152,26 @@ func DefaultName(path string) string {
 // doc-range shards before registration. An existing entry with the same
 // name is replaced at a new generation (any un-compacted delta documents of
 // the old entry are discarded — reload means "what the file says").
+// When the corpus has durable state on disk (SetDurability + a previous
+// run), the durable state wins: the source file is not even opened, because
+// the persisted shard set plus WAL replay already reproduce the corpus as
+// last served — including ingests and deletes the source file never saw.
 func (r *Registry) LoadFile(name, path string) error {
 	if name == "" {
 		name = DefaultName(path)
 	}
-	eng, err := r.open(path)
+	dir, err := r.durableDir(name)
 	if err != nil {
 		return fmt.Errorf("load corpus %q: %w", name, err)
 	}
-	r.install(name, path, eng)
-	return nil
+	var eng koko.Querier
+	if dir == "" || !koko.HasDurableState(dir) {
+		if eng, err = r.open(path); err != nil {
+			return fmt.Errorf("load corpus %q: %w", name, err)
+		}
+	}
+	_, err = r.install(name, path, eng)
+	return err
 }
 
 // open loads a store under the registry's default sharding policy: plain
@@ -133,26 +187,69 @@ func (r *Registry) open(path string) (koko.Querier, error) {
 // Register adds an in-memory engine — plain or sharded — under name,
 // replacing any existing entry at a new generation. The engine becomes the
 // base of a fresh mutable corpus (empty delta), so the entry is immediately
-// ingestible. Note that delta engines and compacted bases are built with
-// the registry's load options; register engines built with the same options
-// if the corpus will be ingested into.
-func (r *Registry) Register(name string, eng koko.Querier) {
-	r.install(name, "", eng)
+// ingestible. With durability enabled the engine seeds the corpus's durable
+// directory on first registration; on later runs the recovered disk state
+// wins and the engine is ignored. Note that delta engines and compacted
+// bases are built with the registry's load options; register engines built
+// with the same options if the corpus will be ingested into.
+func (r *Registry) Register(name string, eng koko.Querier) error {
+	_, err := r.install(name, "", eng)
+	return err
 }
 
-func (r *Registry) install(name, source string, eng koko.Querier) CorpusInfo {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	mut := koko.NewMutable(eng, r.loadOpts)
-	if r.defShards > eng.NumShards() {
-		mut.SetCompactShards(r.defShards)
+// install wraps eng in a mutable corpus and swaps it into the registry at a
+// new generation. The wrap happens OUTSIDE the registry lock: for a durable
+// corpus it persists the seed or replays the WAL (disk IO that must not
+// block queries against other corpora).
+func (r *Registry) install(name, source string, eng koko.Querier) (CorpusInfo, error) {
+	mut, err := r.wrap(name, eng)
+	if err != nil {
+		return CorpusInfo{}, err
 	}
-	if r.shardParallel > 0 {
+	return r.installMut(name, source, mut), nil
+}
+
+// wrap builds the mutable lifecycle object for one corpus: durable (WAL +
+// on-disk shard store under the data dir) when durability is configured,
+// memory-only otherwise.
+func (r *Registry) wrap(name string, eng koko.Querier) (*koko.Mutable, error) {
+	dir, err := r.durableDir(name)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	defShards, shardParallel := r.defShards, r.shardParallel
+	sync := r.walSync
+	opts := r.loadOpts
+	r.mu.RUnlock()
+	var mut *koko.Mutable
+	if dir != "" {
+		mut, err = koko.OpenDurable(eng, koko.DurableConfig{Dir: dir, Sync: sync, Opts: opts})
+		if err != nil {
+			return nil, fmt.Errorf("corpus %q: %w", name, err)
+		}
+	} else {
+		mut = koko.NewMutable(eng, opts)
+	}
+	mut.SetName(name)
+	if defShards > mut.Snapshot().NumShards() {
+		mut.SetCompactShards(defShards)
+	}
+	if shardParallel > 0 {
 		// Retunes the installed base (sharded engines use atomics, so the
 		// already-sealed snapshot picks it up) and every compacted rebuild.
-		mut.SetShardParallelism(r.shardParallel)
+		mut.SetShardParallelism(shardParallel)
 	}
+	return mut, nil
+}
+
+// installMut swaps mut into the registry under name at a new generation. A
+// replaced durable entry's WAL is closed — two writers appending to one log
+// file would corrupt it.
+func (r *Registry) installMut(name, source string, mut *koko.Mutable) CorpusInfo {
 	snap, _ := mut.Current()
+	r.mu.Lock()
+	old := r.entries[name]
 	r.gen++
 	e := &regEntry{
 		mut: mut,
@@ -164,6 +261,10 @@ func (r *Registry) install(name, source string, eng koko.Querier) CorpusInfo {
 	}
 	e.applySnapshot(snap, mut, r.gen)
 	r.entries[name] = e
+	r.mu.Unlock()
+	if old != nil && old.mut != mut {
+		old.mut.Close()
+	}
 	return e.info
 }
 
@@ -180,6 +281,12 @@ func (e *regEntry) applySnapshot(snap *koko.Snapshot, mut *koko.Mutable, gen uin
 	e.info.DeltaSentences = snap.DeltaSentences()
 	e.info.Ingests = mut.Ingests()
 	e.info.Compactions = mut.Compactions()
+	e.info.Tombstones = snap.Tombstones()
+	e.info.Deletes = mut.Deletes()
+	ds := mut.Durability()
+	e.info.Durable = ds.Durable
+	e.info.StoreGeneration = ds.Generation
+	e.info.WALBytes = ds.WALBytes
 }
 
 // refresh mirrors mut's current snapshot into the named entry at a new
@@ -212,25 +319,44 @@ func (r *Registry) mutable(name string) (*koko.Mutable, error) {
 	return e.mut, nil
 }
 
-// Ingest parses one document and appends it to the named corpus's delta
+// Ingest parses one document and upserts it into the named corpus's delta
 // index, sealing a new snapshot at a new generation: the document is
 // visible to every query from this call on, while queries and jobs already
-// running keep their pinned snapshot. The parse and seal never block
-// concurrent readers (or writers of other corpora). The returned doc index
-// is the ingested document's global id, taken from the seal in which it is
-// the last document — precise even when ingests race (the returned info
-// may already reflect later seals).
-func (r *Registry) Ingest(name, docName, text string) (CorpusInfo, int, error) {
+// running keep their pinned snapshot. Re-ingesting an existing document
+// name replaces it (the old version is tombstoned; updated reports that).
+// The parse and seal never block concurrent readers (or writers of other
+// corpora). The returned doc index is the ingested document's global id,
+// taken from the seal in which it is the last document — precise even when
+// ingests race (the returned info may already reflect later seals).
+func (r *Registry) Ingest(name, docName, text string) (info CorpusInfo, doc int, updated bool, err error) {
+	mut, err := r.mutable(name)
+	if err != nil {
+		return CorpusInfo{}, 0, false, err
+	}
+	snap, updated, err := mut.PutDocument(docName, text)
+	if err != nil {
+		return CorpusInfo{}, 0, false, fmt.Errorf("corpus %q: %w", name, err)
+	}
+	info, err = r.refresh(name, mut)
+	return info, snap.NumDocuments() - 1, updated, err
+}
+
+// DeleteDocument tombstones every live document with the given name in the
+// corpus and seals a new snapshot: the document's tuples vanish from every
+// query from this call on; the bytes are reclaimed by the next compaction.
+// Returns how many documents were masked. A name with no live document
+// fails with koko.ErrNoDocument.
+func (r *Registry) DeleteDocument(name, doc string) (CorpusInfo, int, error) {
 	mut, err := r.mutable(name)
 	if err != nil {
 		return CorpusInfo{}, 0, err
 	}
-	snap, err := mut.AddDocument(docName, text)
+	_, n, err := mut.DeleteDocument(doc)
 	if err != nil {
 		return CorpusInfo{}, 0, fmt.Errorf("corpus %q: %w", name, err)
 	}
 	info, err := r.refresh(name, mut)
-	return info, snap.NumDocuments() - 1, err
+	return info, n, err
 }
 
 // Compact folds the named corpus's delta into its base shards (see
@@ -252,15 +378,27 @@ func (r *Registry) Compact(name string) (CorpusInfo, koko.CompactionStats, error
 // Delete unregisters a corpus. New queries, ingests, and job submissions
 // against the name fail with ErrNotFound immediately; anything already
 // holding the entry's snapshot (running jobs, in-flight queries) finishes
-// on it undisturbed.
+// on it undisturbed. A durable corpus's on-disk state — persisted shard
+// files, manifest, and WAL — is removed too: delete means gone, not
+// "resurrected at next restart".
 func (r *Registry) Delete(name string) (CorpusInfo, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	e, ok := r.entries[name]
 	if !ok {
+		r.mu.Unlock()
 		return CorpusInfo{}, fmt.Errorf("corpus %q: %w", name, ErrNotFound)
 	}
 	delete(r.entries, name)
+	r.mu.Unlock()
+	// Close first (stops the WAL sync loop and further appends), then remove
+	// the directory.
+	dir := e.mut.Dir()
+	e.mut.Close()
+	if dir != "" {
+		if err := os.RemoveAll(dir); err != nil {
+			return e.info, fmt.Errorf("delete corpus %q durable state: %w", name, err)
+		}
+	}
 	return e.info, nil
 }
 
@@ -281,6 +419,12 @@ func (r *Registry) Reload(name string) (CorpusInfo, error) {
 	if source == "" {
 		return CorpusInfo{}, fmt.Errorf("corpus %q is in-memory and cannot be reloaded: %w", name, ErrNotReloadable)
 	}
+	if e.mut.Dir() != "" {
+		// A durable corpus's authoritative state is its WAL + shard store,
+		// not the source file; "reload from file" would silently discard
+		// ingests and deletes that were durably acknowledged.
+		return CorpusInfo{}, fmt.Errorf("corpus %q is durable; its state comes from the data dir, not the source file: %w", name, ErrNotReloadable)
+	}
 	// Load outside the lock: index loading is the slow part and must not
 	// block concurrent queries against other corpora (or the old engine).
 	// For a sharded corpus the whole new shard set is assembled here before
@@ -289,7 +433,7 @@ func (r *Registry) Reload(name string) (CorpusInfo, error) {
 	if err != nil {
 		return CorpusInfo{}, fmt.Errorf("reload corpus %q: %w", name, err)
 	}
-	return r.install(name, source, eng), nil
+	return r.install(name, source, eng)
 }
 
 // Engine resolves a corpus name to its current snapshot and generation.
@@ -366,4 +510,88 @@ func (r *Registry) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.entries)
+}
+
+// LoadDurable recovers every durable corpus directory under the data dir
+// that is not already registered, in name order. kokod calls it at startup
+// after the explicit -load/-dir/-demo registrations, so corpora created
+// purely through the API in a previous run come back after a restart.
+// Returns the names recovered.
+func (r *Registry) LoadDurable() ([]string, error) {
+	r.mu.RLock()
+	dataDir := r.dataDir
+	r.mu.RUnlock()
+	if dataDir == "" {
+		return nil, nil
+	}
+	dirents, err := os.ReadDir(dataDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("scan data dir %s: %w", dataDir, err)
+	}
+	var names []string
+	for _, de := range dirents {
+		if !de.IsDir() || !koko.HasDurableState(filepath.Join(dataDir, de.Name())) {
+			continue
+		}
+		names = append(names, de.Name())
+	}
+	sort.Strings(names)
+	var recovered []string
+	for _, name := range names {
+		r.mu.RLock()
+		_, exists := r.entries[name]
+		r.mu.RUnlock()
+		if exists {
+			continue
+		}
+		// nil seed: the durable state is the corpus.
+		if _, err := r.install(name, "", nil); err != nil {
+			return recovered, fmt.Errorf("recover corpus %q: %w", name, err)
+		}
+		recovered = append(recovered, name)
+	}
+	return recovered, nil
+}
+
+// CloseAll closes every corpus's durable resources (WAL handles and sync
+// loops). The shutdown path: pending batched WAL writes are fsynced, so a
+// clean stop loses nothing even under -wal-sync=batch.
+func (r *Registry) CloseAll() {
+	r.mu.Lock()
+	muts := make([]*koko.Mutable, 0, len(r.entries))
+	for _, e := range r.entries {
+		muts = append(muts, e.mut)
+	}
+	r.mu.Unlock()
+	for _, m := range muts {
+		m.Close()
+	}
+}
+
+// Durability sums durability counters across all corpora (the /v1/metrics
+// aggregate). Recovery is the total WAL replay time across corpora at their
+// last open.
+func (r *Registry) Durability() koko.DurabilityStats {
+	r.mu.RLock()
+	muts := make([]*koko.Mutable, 0, len(r.entries))
+	for _, e := range r.entries {
+		muts = append(muts, e.mut)
+	}
+	r.mu.RUnlock()
+	var sum koko.DurabilityStats
+	for _, m := range muts {
+		ds := m.Durability()
+		sum.Durable = sum.Durable || ds.Durable
+		sum.WALAppends += ds.WALAppends
+		sum.WALBytes += ds.WALBytes
+		sum.ReplayedDocs += ds.ReplayedDocs
+		sum.ReplayedTombs += ds.ReplayedTombs
+		sum.TombstonesLive += ds.TombstonesLive
+		sum.Swaps += ds.Swaps
+		sum.Recovery += ds.Recovery
+	}
+	return sum
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/koko/wal"
 	"repro/internal/server/jobs"
 	"repro/koko"
 )
@@ -82,6 +83,18 @@ type Config struct {
 	JobRetainedTuples int
 	// LoadOptions is applied to every corpus loaded from disk.
 	LoadOptions *koko.Options
+	// DataDir, when non-empty, makes every corpus durable: ingested
+	// documents and deletes are written through a per-corpus WAL under
+	// DataDir/<name> and recovered by replay at the next startup.
+	DataDir string
+	// WALSync is the WAL fsync policy for durable corpora (none, batch
+	// group-commit, or always). Ignored without DataDir.
+	WALSync wal.SyncPolicy
+	// WALMaxBytes, when > 0, kicks a background compaction whenever a
+	// corpus's WAL grows past this size — compaction folds the log into the
+	// shard files and truncates it, bounding both log size and restart
+	// replay time. Ignored without DataDir.
+	WALMaxBytes int64
 }
 
 // Service executes queries against a Registry through a result cache and a
@@ -99,6 +112,7 @@ type Service struct {
 	cacheTTLBy   map[string]time.Duration
 	cacheMinCost time.Duration
 	maxDeltaDocs int
+	walMaxBytes  int64
 	// compacting tracks corpora with an auto-compaction in flight so a
 	// burst of ingests kicks off at most one background fold per corpus.
 	compacting sync.Map
@@ -124,6 +138,9 @@ func NewService(cfg Config) *Service {
 	}
 	reg := NewRegistry(cfg.LoadOptions)
 	reg.SetDefaultShards(cfg.Shards)
+	if cfg.DataDir != "" {
+		reg.SetDurability(cfg.DataDir, cfg.WALSync)
+	}
 	sp := cfg.ShardParallel
 	if sp == 0 {
 		if sp = 2 * runtime.GOMAXPROCS(0) / maxc; sp < 1 {
@@ -144,6 +161,7 @@ func NewService(cfg Config) *Service {
 		cacheTTLBy:   cfg.CacheTTLPerCorpus,
 		cacheMinCost: cfg.CacheMinCost,
 		maxDeltaDocs: maxDelta,
+		walMaxBytes:  cfg.WALMaxBytes,
 	}
 	s.jobs = jobs.New(s, jobs.Config{
 		MaxActive:         cfg.MaxJobs,
@@ -474,23 +492,43 @@ func (s *Service) Reload(name string) (CorpusInfo, error) {
 	return info, err
 }
 
-// Ingest appends one document to a corpus's delta index and seals a new
+// Ingest upserts one document into a corpus's delta index and seals a new
 // generation: the document is queryable immediately, the corpus's cache
 // entries are invalidated by the generation bump, and queries or jobs
-// already running keep their pinned snapshot. The returned doc index is
-// the ingested document's global id. When the delta has grown past the
-// auto-compaction threshold, a background fold into the base shards is
-// kicked off (at most one per corpus at a time).
-func (s *Service) Ingest(corpus, docName, text string) (CorpusInfo, int, error) {
-	info, doc, err := s.reg.Ingest(corpus, docName, text)
+// already running keep their pinned snapshot. Re-ingesting an existing
+// document name replaces it. The returned doc index is the ingested
+// document's global id. When the delta has grown past the auto-compaction
+// threshold — or a durable corpus's WAL past the configured size bound — a
+// background fold into the base shards is kicked off (at most one per
+// corpus at a time).
+func (s *Service) Ingest(corpus, docName, text string) (CorpusInfo, int, bool, error) {
+	info, doc, updated, err := s.reg.Ingest(corpus, docName, text)
+	if err != nil {
+		return CorpusInfo{}, 0, false, err
+	}
+	s.metrics.ingestsTotal.Add(1)
+	if updated {
+		s.metrics.documentUpdates.Add(1)
+	}
+	if s.maxDeltaDocs > 0 && info.DeltaDocs >= s.maxDeltaDocs {
+		s.kickCompaction(corpus)
+	} else if s.walMaxBytes > 0 && info.WALBytes >= s.walMaxBytes {
+		s.kickCompaction(corpus)
+	}
+	return info, doc, updated, nil
+}
+
+// DeleteDocument tombstones a named document in a corpus and seals a new
+// generation (the bump invalidates the corpus's cache entries); the bytes
+// are reclaimed by the next compaction. Returns how many live documents
+// carried the name. Unknown documents map to koko.ErrNoDocument (404).
+func (s *Service) DeleteDocument(corpus, doc string) (CorpusInfo, int, error) {
+	info, n, err := s.reg.DeleteDocument(corpus, doc)
 	if err != nil {
 		return CorpusInfo{}, 0, err
 	}
-	s.metrics.ingestsTotal.Add(1)
-	if s.maxDeltaDocs > 0 && info.DeltaDocs >= s.maxDeltaDocs {
-		s.kickCompaction(corpus)
-	}
-	return info, doc, nil
+	s.metrics.documentDeletes.Add(1)
+	return info, n, nil
 }
 
 // Compact synchronously folds a corpus's delta into its base shards,
@@ -546,13 +584,13 @@ func (s *Service) CompactLoop(ctx context.Context, interval time.Duration) {
 	}
 }
 
-// CompactAll compacts every corpus with a non-empty delta, sequentially (a
-// compaction rebuilds shard indices in parallel internally; running corpora
-// back-to-back keeps the CPU pressure bounded). Failures are logged and
-// counted per corpus.
+// CompactAll compacts every corpus with a non-empty delta or live
+// tombstones, sequentially (a compaction rebuilds shard indices in parallel
+// internally; running corpora back-to-back keeps the CPU pressure bounded).
+// Failures are logged and counted per corpus.
 func (s *Service) CompactAll() {
 	for _, info := range s.reg.List() {
-		if info.DeltaDocs > 0 {
+		if info.DeltaDocs > 0 || info.Tombstones > 0 {
 			s.compactLogged(info.Name)
 		}
 	}
@@ -571,6 +609,13 @@ func (s *Service) DeleteCorpus(name string) (CorpusInfo, error) {
 	return info, nil
 }
 
+// Close releases every corpus's durable resources (WAL handles, sync
+// loops); pending batched WAL writes are fsynced on the way out. The
+// service is not usable for mutations afterwards — the kokod shutdown path.
+func (s *Service) Close() {
+	s.reg.CloseAll()
+}
+
 // Metrics returns a point-in-time counter snapshot.
 func (s *Service) Metrics() MetricsSnapshot {
 	m := &s.metrics
@@ -578,6 +623,7 @@ func (s *Service) Metrics() MetricsSnapshot {
 	for _, info := range s.reg.List() {
 		deltaDocs += info.DeltaDocs
 	}
+	dur := s.reg.Durability()
 	return MetricsSnapshot{
 		CacheCostSkips:   m.cacheCostSkips.Load(),
 		IngestsTotal:     m.ingestsTotal.Load(),
@@ -600,6 +646,14 @@ func (s *Service) Metrics() MetricsSnapshot {
 		Corpora:          s.reg.Len(),
 		StreamsTotal:     m.streamsTotal.Load(),
 		QueriesCancelled: m.queryCancels.Load(),
+		DocumentDeletes:  m.documentDeletes.Load(),
+		DocumentUpdates:  m.documentUpdates.Load(),
+		WALAppends:       dur.WALAppends,
+		WALBytes:         dur.WALBytes,
+		WALReplayedDocs:  dur.ReplayedDocs,
+		TombstonesLive:   int64(dur.TombstonesLive),
+		CompactionSwaps:  dur.Swaps,
+		RecoveryMillis:   ms(dur.Recovery),
 		Jobs:             s.jobs.Metrics(),
 	}
 }

@@ -9,11 +9,15 @@ import (
 
 	"repro/internal/embed"
 	"repro/internal/koko/index"
+	"repro/internal/koko/wal"
 	"repro/internal/nlp"
 )
 
 // ErrEmptyDocument marks an ingested document that parses to no sentences.
 var ErrEmptyDocument = errors.New("koko: document has no sentences")
+
+// ErrNoDocument marks a delete of a document name with no live document.
+var ErrNoDocument = errors.New("koko: no such document")
 
 // Mutable turns an immutable base engine into a live corpus: documents are
 // ingested one at a time into a small delta index (LSM-style) while every
@@ -49,7 +53,36 @@ type Mutable struct {
 	shardParallel int
 	ingests       uint64
 	compactions   uint64
+
+	// name labels the corpus in errors and durability metadata.
+	name string
+	// tombs is the immutable set of tombstoned documents awaiting
+	// compaction (copy-on-write: sealed snapshots keep the set they saw).
+	tombs *tombSet
+	// names maps each live document name to its raw global indices
+	// (tombstoned documents are removed as they die).
+	names   map[string][]int
+	deletes uint64
+
+	// Durable state — nil/zero for memory-only corpora (see durable.go).
+	wal           *wal.Log
+	dir           string
+	baseFiles     []string
+	storeGen      uint64
+	appliedSeq    uint64
+	replayedDocs  uint64
+	replayedTombs uint64
+	recovery      time.Duration
+	swaps         uint64
+	closed        bool
+	// failpoint, when set by tests, runs at named durable-compaction stages;
+	// a non-nil return simulates a crash at that point.
+	failpoint func(stage string) error
 }
+
+// ErrClosed marks a mutation attempted after Close released the corpus's
+// durable resources.
+var ErrClosed = errors.New("koko: corpus is closed")
 
 // NewMutable wraps base (an Engine or ShardedEngine, typically fresh from
 // NewEngine/Open) as a mutable corpus with an empty delta. opts may be nil
@@ -67,11 +100,38 @@ func NewMutable(base Querier, opts *Options) *Mutable {
 		base:          base,
 		delta:         index.NewDelta(),
 		compactShards: base.NumShards(),
+		names:         namesOf(base),
 	}
 	m.mu.Lock()
 	m.sealLocked()
 	m.mu.Unlock()
 	return m
+}
+
+// namesOf indexes a base engine's live documents by name.
+func namesOf(base Querier) map[string][]int {
+	names := make(map[string][]int, base.NumDocuments())
+	for i := 0; i < base.NumDocuments(); i++ {
+		n := base.DocumentName(i)
+		names[n] = append(names[n], i)
+	}
+	return names
+}
+
+// SetName labels the corpus for error messages and stats; the registry sets
+// it to the corpus's registered name.
+func (m *Mutable) SetName(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.name = name
+	m.sealLocked()
+}
+
+// Name returns the corpus label set with SetName.
+func (m *Mutable) Name() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.name
 }
 
 // SetCompactShards overrides how many doc-range shards a compaction
@@ -138,6 +198,20 @@ func (m *Mutable) Compactions() uint64 {
 	return m.compactions
 }
 
+// Tombstones reports how many tombstoned documents await compaction.
+func (m *Mutable) Tombstones() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tombs.numDocs()
+}
+
+// Deletes reports the lifetime count of delete/update tombstone operations.
+func (m *Mutable) Deletes() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.deletes
+}
+
 // AddDocument parses text with the NLP pipeline and appends it to the
 // delta, sealing a new snapshot in which the document is visible as the
 // corpus's last document. Concurrent queries on earlier snapshots are
@@ -160,13 +234,163 @@ func (m *Mutable) AddParsedDocument(name string, sents []nlp.Sentence) (*Snapsho
 	copy(own, sents)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
 	if name == "" {
 		name = fmt.Sprintf("doc%d", m.base.NumDocuments()+m.delta.NumDocs())
 	}
-	m.delta.AddDocument(name, own)
+	// Write-ahead: a durable corpus logs the document before applying it, so
+	// anything visible to a query is replayable after a crash.
+	if m.wal != nil {
+		if _, err := m.wal.Append(wal.Record{Kind: wal.KindAdd, Name: name, Sents: own}); err != nil {
+			return nil, fmt.Errorf("koko: %s: wal append: %w", m.labelLocked(), err)
+		}
+	}
+	m.addLocked(name, own)
 	m.ingests++
 	m.sealLocked()
 	return m.cur, nil
+}
+
+// addLocked appends an owned, parsed document to the delta and indexes its
+// name. Caller holds m.mu and has already logged the document if durable.
+func (m *Mutable) addLocked(name string, own []nlp.Sentence) {
+	id := m.base.NumDocuments() + m.delta.NumDocs()
+	m.delta.AddDocument(name, own)
+	m.names[name] = append(m.names[name], id)
+}
+
+// tombstoneLocked tombstones every live document named name and returns how
+// many died. Caller holds m.mu and has already logged the tombstone if
+// durable.
+func (m *Mutable) tombstoneLocked(name string) (int, error) {
+	ids := m.names[name]
+	if len(ids) == 0 {
+		return 0, fmt.Errorf("%w: %q", ErrNoDocument, name)
+	}
+	spans := make([]docSpan, 0, len(ids))
+	for _, id := range ids {
+		sp, err := m.docSpanLocked(id)
+		if err != nil {
+			return 0, err
+		}
+		spans = append(spans, sp)
+	}
+	m.tombs = m.tombs.add(spans...)
+	delete(m.names, name)
+	return len(spans), nil
+}
+
+// docSpanLocked resolves a raw global document index to its sentence span.
+// Caller holds m.mu.
+func (m *Mutable) docSpanLocked(id int) (docSpan, error) {
+	rawBase := m.base.NumDocuments()
+	if id >= rawBase {
+		first, n := m.delta.DocSpan(id - rawBase)
+		return docSpan{doc: id, firstSID: m.base.NumSentences() + first, nSents: n}, nil
+	}
+	switch e := m.base.(type) {
+	case *Engine:
+		d := e.corpus.c.Docs[id]
+		return docSpan{doc: id, firstSID: d.FirstSID, nSents: d.NumSents}, nil
+	case *ShardedEngine:
+		for si, sp := range e.specs {
+			if id >= sp.LoDoc && id < sp.HiDoc {
+				d := e.shards[si].corpus.c.Docs[id-sp.LoDoc]
+				return docSpan{doc: id, firstSID: sp.FirstSID + d.FirstSID, nSents: d.NumSents}, nil
+			}
+		}
+		return docSpan{}, fmt.Errorf("koko: document %d outside every shard range", id)
+	default:
+		return docSpan{}, fmt.Errorf("koko: cannot tombstone on a base engine of type %T", m.base)
+	}
+}
+
+// labelLocked names the corpus for error messages. Caller holds m.mu.
+func (m *Mutable) labelLocked() string {
+	if m.name == "" {
+		return "corpus"
+	}
+	return fmt.Sprintf("corpus %q", m.name)
+}
+
+// DeleteDocument tombstones every live document named name. The documents
+// stay physically present in base and delta, but the returned snapshot (and
+// every later one) masks them out of all reads; the next compaction folds
+// them away. Returns how many documents died; ErrNoDocument if none were
+// live.
+func (m *Mutable) DeleteDocument(name string) (*Snapshot, int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, 0, ErrClosed
+	}
+	if len(m.names[name]) == 0 {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNoDocument, name)
+	}
+	if m.wal != nil {
+		if _, err := m.wal.Append(wal.Record{Kind: wal.KindTombstone, Name: name}); err != nil {
+			return nil, 0, fmt.Errorf("koko: %s: wal append: %w", m.labelLocked(), err)
+		}
+	}
+	n, err := m.tombstoneLocked(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	m.deletes++
+	m.sealLocked()
+	return m.cur, n, nil
+}
+
+// PutDocument parses text and upserts it under name: any live documents
+// with that name are tombstoned and the new content ingested in their
+// place, atomically (a durable corpus writes tombstone and add as one WAL
+// batch, so a crash replays both or neither). With no existing document
+// this is a plain add; an empty name always adds positionally. Reports
+// whether an existing document was replaced.
+func (m *Mutable) PutDocument(name, text string) (*Snapshot, bool, error) {
+	doc := nlp.NewPipeline().Annotate(0, name, text, 0)
+	return m.PutParsedDocument(name, doc.Sentences)
+}
+
+// PutParsedDocument upserts an already-parsed document (see PutDocument).
+func (m *Mutable) PutParsedDocument(name string, sents []nlp.Sentence) (*Snapshot, bool, error) {
+	if name == "" {
+		snap, err := m.AddParsedDocument(name, sents)
+		return snap, false, err
+	}
+	if len(sents) == 0 {
+		return nil, false, fmt.Errorf("%w: %q", ErrEmptyDocument, name)
+	}
+	own := make([]nlp.Sentence, len(sents))
+	copy(own, sents)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false, ErrClosed
+	}
+	replacing := len(m.names[name]) > 0
+	if m.wal != nil {
+		recs := make([]wal.Record, 0, 2)
+		if replacing {
+			recs = append(recs, wal.Record{Kind: wal.KindTombstone, Name: name})
+		}
+		recs = append(recs, wal.Record{Kind: wal.KindAdd, Name: name, Sents: own})
+		if _, err := m.wal.Append(recs...); err != nil {
+			return nil, false, fmt.Errorf("koko: %s: wal append: %w", m.labelLocked(), err)
+		}
+	}
+	if replacing {
+		if _, err := m.tombstoneLocked(name); err != nil {
+			return nil, false, err
+		}
+		m.deletes++
+	}
+	m.addLocked(name, own)
+	m.ingests++
+	m.sealLocked()
+	return m.cur, replacing, nil
 }
 
 // sealLocked installs a fresh snapshot of (base, sealed delta). Caller
@@ -175,6 +399,8 @@ func (m *Mutable) sealLocked() {
 	m.seq++
 	snap := &Snapshot{
 		base:       m.base,
+		tombs:      m.tombs,
+		name:       m.name,
 		baseShards: m.base.NumShards(),
 		baseDocs:   m.base.NumDocuments(),
 		baseSents:  m.base.NumSentences(),
@@ -193,6 +419,9 @@ type CompactionStats struct {
 	// base (0 means the delta was empty and nothing changed).
 	Docs      int
 	Sentences int
+	// Tombstones is how many tombstoned documents the compaction removed
+	// for good.
+	Tombstones int
 	// Shards is the rebuilt base's shard count.
 	Shards int
 	// Elapsed is the rebuild wall time.
@@ -209,18 +438,30 @@ type CompactionStats struct {
 func (m *Mutable) Compact() (CompactionStats, error) {
 	m.compactMu.Lock()
 	defer m.compactMu.Unlock()
+	m.mu.Lock()
+	closed, durable := m.closed, m.wal != nil
+	m.mu.Unlock()
+	if closed {
+		return CompactionStats{}, ErrClosed
+	}
+	if durable {
+		return m.compactDurable()
+	}
 	t0 := time.Now()
 
-	// Cut: everything in the delta right now gets folded in. Copying the
-	// cut is O(delta), tiny next to the rebuild, and the only part that
-	// needs the writer lock — ingestion resumes while the shards rebuild.
+	// Cut: everything in the delta right now gets folded in, and every
+	// tombstone taken so far folds away. Copying the cut is O(delta), tiny
+	// next to the rebuild, and the only part that needs the writer lock —
+	// ingestion resumes while the shards rebuild.
 	m.mu.Lock()
 	n := m.delta.NumDocs()
-	if n == 0 {
+	cutTombs := m.tombs
+	if n == 0 && cutTombs.numDocs() == 0 {
 		m.mu.Unlock()
 		return CompactionStats{}, nil
 	}
 	base := m.base
+	rawBase := base.NumDocuments()
 	k := m.compactShards
 	sp := m.shardParallel
 	cut := &index.Corpus{}
@@ -228,10 +469,10 @@ func (m *Mutable) Compact() (CompactionStats, error) {
 	m.mu.Unlock()
 
 	combined := &index.Corpus{}
-	if err := appendQuerierDocs(combined, base); err != nil {
+	if err := appendLiveDocs(combined, base, cutTombs); err != nil {
 		return CompactionStats{}, err
 	}
-	combined.AppendDocsFrom(cut, 0, cut.NumDocs())
+	appendLiveRange(combined, cut, 0, cut.NumDocs(), cutTombs, rawBase)
 	var newBase Querier
 	if k > 1 {
 		se := NewShardedEngine(&Corpus{c: combined}, k, m.opts)
@@ -246,32 +487,66 @@ func (m *Mutable) Compact() (CompactionStats, error) {
 	m.mu.Lock()
 	m.base = newBase
 	m.delta = m.delta.Rebase(n)
+	// Tombstones taken while the rebuild ran still mask the new base; their
+	// raw coordinates just shift down by the documents folded away.
+	m.tombs = renumberTombs(m.tombs, cutTombs)
+	renumberNames(m.names, cutTombs)
 	m.compactions++
 	m.sealLocked()
 	m.mu.Unlock()
 	return CompactionStats{
-		Docs:      cut.NumDocs(),
-		Sentences: cut.NumSentences(),
-		Shards:    newBase.NumShards(),
-		Elapsed:   time.Since(t0),
+		Docs:       n,
+		Sentences:  cut.NumSentences(),
+		Tombstones: cutTombs.numDocs(),
+		Shards:     newBase.NumShards(),
+		Elapsed:    time.Since(t0),
 	}, nil
 }
 
-// appendQuerierDocs flattens an immutable base engine's corpus onto dst in
-// global document order. Only the engine shapes the registry installs are
-// supported; anything else cannot be compacted.
-func appendQuerierDocs(dst *index.Corpus, q Querier) error {
+// appendLiveDocs flattens an immutable base engine's corpus onto dst in
+// global document order, skipping tombstoned documents. Only the engine
+// shapes the registry installs are supported; anything else cannot be
+// compacted.
+func appendLiveDocs(dst *index.Corpus, q Querier, tombs *tombSet) error {
 	switch e := q.(type) {
 	case *Engine:
-		dst.AppendDocsFrom(e.corpus.c, 0, e.corpus.c.NumDocs())
+		appendLiveRange(dst, e.corpus.c, 0, e.corpus.c.NumDocs(), tombs, 0)
 	case *ShardedEngine:
-		for _, s := range e.shards {
-			dst.AppendDocsFrom(s.corpus.c, 0, s.corpus.c.NumDocs())
+		for si, s := range e.shards {
+			appendLiveRange(dst, s.corpus.c, 0, s.corpus.c.NumDocs(), tombs, e.specs[si].LoDoc)
 		}
 	default:
 		return fmt.Errorf("koko: cannot compact a base engine of type %T", q)
 	}
 	return nil
+}
+
+// appendLiveRange copies src documents [lo, hi) onto dst in maximal
+// contiguous live runs, skipping any document tombstoned at raw global
+// index off + local index.
+func appendLiveRange(dst, src *index.Corpus, lo, hi int, tombs *tombSet, off int) {
+	run := lo
+	for i := lo; i <= hi; i++ {
+		if i == hi || tombs.contains(off+i) {
+			if i > run {
+				dst.AppendDocsFrom(src, run, i)
+			}
+			run = i + 1
+		}
+	}
+}
+
+// renumberNames shifts every live name-map entry down by the tombstoned
+// documents a compaction folded away before it.
+func renumberNames(names map[string][]int, cut *tombSet) {
+	if cut.numDocs() == 0 {
+		return
+	}
+	for _, ids := range names {
+		for i, id := range ids {
+			ids[i] = id - cut.docsBefore(id)
+		}
+	}
 }
 
 // Snapshot is an immutable read view of a mutable corpus: the base engine
@@ -284,6 +559,10 @@ func appendQuerierDocs(dst *index.Corpus, q Querier) error {
 type Snapshot struct {
 	base  Querier
 	delta *Engine // nil when the delta is empty
+	// tombs masks deleted documents out of every read until a compaction
+	// folds them away (nil when none are live).
+	tombs *tombSet
+	name  string
 	seq   uint64
 
 	baseShards, baseDocs, baseSents int
@@ -313,6 +592,9 @@ func (s *Snapshot) DeltaSentences() int {
 	return s.delta.NumSentences()
 }
 
+// Tombstones reports how many tombstoned documents the snapshot masks.
+func (s *Snapshot) Tombstones() int { return s.tombs.numDocs() }
+
 // NumShards counts the base shards plus the delta (when non-empty).
 func (s *Snapshot) NumShards() int {
 	if s.delta == nil {
@@ -321,14 +603,16 @@ func (s *Snapshot) NumShards() int {
 	return s.baseShards + 1
 }
 
-// NumDocuments sums base and delta document counts.
-func (s *Snapshot) NumDocuments() int { return s.baseDocs + s.DeltaDocs() }
+// NumDocuments counts live documents: base plus delta, minus tombstones.
+func (s *Snapshot) NumDocuments() int { return s.baseDocs + s.DeltaDocs() - s.tombs.numDocs() }
 
-// NumSentences sums base and delta sentence counts.
-func (s *Snapshot) NumSentences() int { return s.baseSents + s.DeltaSentences() }
+// NumSentences counts live sentences: base plus delta, minus tombstones.
+func (s *Snapshot) NumSentences() int { return s.baseSents + s.DeltaSentences() - s.tombs.numSents() }
 
-// DocumentName resolves a global document index across base and delta.
+// DocumentName resolves a masked global document index across base and
+// delta, skipping tombstoned documents.
 func (s *Snapshot) DocumentName(i int) string {
+	i = s.tombs.rawDoc(i)
 	if i < s.baseDocs {
 		return s.base.DocumentName(i)
 	}
@@ -393,16 +677,59 @@ func (s *Snapshot) RunParsedCtx(ctx context.Context, p *ParsedQuery, qo *QueryOp
 // snapshot stays pinned to it however many ingests happen meanwhile.
 func (s *Snapshot) RunShard(ctx context.Context, shard int, p *ParsedQuery, qo *QueryOptions) (Partial, error) {
 	if shard >= 0 && shard < s.baseShards {
-		return s.base.RunShard(ctx, shard, p, qo)
+		part, err := s.base.RunShard(ctx, shard, p, qo)
+		if err != nil {
+			return Partial{}, err
+		}
+		return s.maskPartial(part), nil
 	}
 	if s.delta != nil && shard == s.baseShards {
 		res, err := s.delta.RunParsedCtx(ctx, p, qo)
 		if err != nil {
 			return Partial{}, err
 		}
-		return Partial{Res: res, DocOffset: s.baseDocs, SentOffset: s.baseSents}, nil
+		return s.maskPartial(Partial{Res: res, DocOffset: s.baseDocs, SentOffset: s.baseSents}), nil
 	}
 	return Partial{}, fmt.Errorf("koko: shard %d out of range (snapshot has %d)", shard, s.NumShards())
+}
+
+// maskPartial filters tombstoned documents out of one shard's partial and
+// renumbers the survivors to masked global coordinates. The returned
+// partial carries zero offsets — its tuples are already global — which
+// keeps MergePartials, the NDJSON stream renderer, and the job executor
+// (all of which apply the offsets downstream) exact without knowing about
+// tombstones. Matched and Candidates are pruning diagnostics, not visible
+// rows: Candidates keeps the raw pre-mask count (the index did scan those
+// sentences), and Matched drops by the distinct tombstoned sentences whose
+// tuples were masked here — a tombstoned sentence whose extractions the
+// satisfying clause already filtered stays counted, so Matched can exceed a
+// from-scratch rebuild's by those sentences.
+func (s *Snapshot) maskPartial(p Partial) Partial {
+	if s.tombs.numDocs() == 0 || p.Res == nil {
+		return p
+	}
+	res := p.Res
+	out := &Result{
+		Tuples:     make([]Tuple, 0, len(res.Tuples)),
+		Candidates: res.Candidates,
+		Matched:    res.Matched,
+		Elapsed:    res.Elapsed,
+		Phases:     res.Phases,
+	}
+	dropped := map[int]bool{}
+	for _, t := range res.Tuples {
+		gd := t.Document + p.DocOffset
+		gs := t.SentenceID + p.SentOffset
+		if s.tombs.contains(gd) {
+			dropped[gs] = true
+			continue
+		}
+		t.Document = gd - s.tombs.docsBefore(gd)
+		t.SentenceID = gs - s.tombs.sentsBefore(gs)
+		out.Tuples = append(out.Tuples, t)
+	}
+	out.Matched -= len(dropped)
+	return Partial{Res: out}
 }
 
 // RunParsedEach fans out like ShardedEngine.RunParsedEach: base partials
@@ -412,8 +739,17 @@ func (s *Snapshot) RunShard(ctx context.Context, shard int, p *ParsedQuery, qo *
 // every base shard. An each error or shard failure cancels the rest; no
 // goroutine outlives the call.
 func (s *Snapshot) RunParsedEach(ctx context.Context, p *ParsedQuery, qo *QueryOptions, each func(shard int, part Partial) error) error {
+	// Base partials come straight from the base engine, so tombstone masking
+	// wraps the consumer here; the delta partial goes through RunShard,
+	// which masks it already.
+	baseEach := each
+	if s.tombs.numDocs() > 0 {
+		baseEach = func(shard int, part Partial) error {
+			return each(shard, s.maskPartial(part))
+		}
+	}
 	if s.delta == nil {
-		return s.base.RunParsedEach(ctx, p, qo, each)
+		return s.base.RunParsedEach(ctx, p, qo, baseEach)
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -429,7 +765,7 @@ func (s *Snapshot) RunParsedEach(ctx context.Context, p *ParsedQuery, qo *QueryO
 		}
 		ch <- deltaRes{part, err}
 	}()
-	if err := s.base.RunParsedEach(cctx, p, qo, each); err != nil {
+	if err := s.base.RunParsedEach(cctx, p, qo, baseEach); err != nil {
 		cancel()
 		<-ch
 		return err
@@ -460,12 +796,22 @@ func (s *Snapshot) ShardStats() []ShardStat {
 	return out
 }
 
-// Save persists the snapshot only when no delta documents ride along (the
-// base is then the whole corpus). With a live delta there is no on-disk
-// form for the combined state — compact first, then save.
+// Save persists the snapshot only when no delta documents or tombstones
+// ride along (the base is then the whole corpus). With a live delta or
+// pending deletes there is no on-disk form for the combined state — compact
+// first, then save; after an explicit Compact, Save always succeeds.
 func (s *Snapshot) Save(path string) error {
-	if s.delta != nil {
-		return fmt.Errorf("koko: snapshot has %d uncompacted delta documents; compact before saving", s.DeltaDocs())
+	if s.delta != nil || s.tombs.numDocs() > 0 {
+		label := "snapshot"
+		if s.name != "" {
+			label = fmt.Sprintf("corpus %q", s.name)
+		}
+		return fmt.Errorf("koko: %s has %d uncompacted delta documents and %d live tombstones; compact before saving", label, s.DeltaDocs(), s.tombs.numDocs())
 	}
 	return s.base.Save(path)
 }
+
+// Save persists the Mutable's current snapshot (see Snapshot.Save): it
+// fails while delta documents or tombstones await compaction, and succeeds
+// right after an explicit Compact.
+func (m *Mutable) Save(path string) error { return m.Snapshot().Save(path) }

@@ -424,7 +424,17 @@ func loadShardedFromDB(db *store.DB, path string, opts *Options) (*ShardedEngine
 	if err != nil {
 		return nil, err
 	}
-	dir := filepath.Dir(path)
+	shards, err := loadShardEngines(filepath.Dir(path), files, specs, opts, path)
+	if err != nil {
+		return nil, err
+	}
+	return newSharded(shards, specs), nil
+}
+
+// loadShardEngines loads each named shard store (relative to dir) in
+// parallel and validates it against its spec; label names the manifest in
+// errors. Shared by the manifest and durable open paths.
+func loadShardEngines(dir string, files []string, specs []index.ShardSpec, opts *Options, label string) ([]*Engine, error) {
 	shards := make([]*Engine, len(files))
 	sem := make(chan struct{}, buildParallelism(len(files)))
 	var wg sync.WaitGroup
@@ -448,7 +458,7 @@ func loadShardedFromDB(db *store.DB, path string, opts *Options) (*ShardedEngine
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
-					firstErr = fmt.Errorf("koko: load shard %d of %s: %w", i, path, err)
+					firstErr = fmt.Errorf("koko: load shard %d of %s: %w", i, label, err)
 				}
 				mu.Unlock()
 				return
@@ -460,5 +470,5 @@ func loadShardedFromDB(db *store.DB, path string, opts *Options) (*ShardedEngine
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return newSharded(shards, specs), nil
+	return shards, nil
 }

@@ -1,0 +1,133 @@
+package koko
+
+import "sort"
+
+// docSpan records one tombstoned document in raw global coordinates — the
+// (base + delta) numbering at the moment the tombstone was applied, before
+// any masking. firstSID/nSents pin the document's sentence range so reads
+// can renumber surviving sentences without consulting the dead document.
+type docSpan struct {
+	doc      int
+	firstSID int
+	nSents   int
+}
+
+// tombSet is an immutable sorted set of tombstoned documents. Snapshots
+// hold a tombSet and mask its documents out of every read; compaction folds
+// the set away and installs a renumbered successor for tombstones that
+// arrived mid-rebuild. All methods are nil-receiver safe (nil = empty), and
+// add copies — a set handed to a sealed snapshot never changes under it.
+type tombSet struct {
+	spans []docSpan // sorted by doc (and therefore by firstSID)
+	// cumSents[i] = total sentences of spans[:i]; cumSents[len(spans)] is
+	// the set's sentence total.
+	cumSents []int
+}
+
+func newTombSet(spans []docSpan) *tombSet {
+	if len(spans) == 0 {
+		return nil
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].doc < spans[j].doc })
+	cum := make([]int, len(spans)+1)
+	for i, sp := range spans {
+		cum[i+1] = cum[i] + sp.nSents
+	}
+	return &tombSet{spans: spans, cumSents: cum}
+}
+
+// add returns a new set with the extra spans (the receiver is unchanged).
+func (t *tombSet) add(spans ...docSpan) *tombSet {
+	if len(spans) == 0 {
+		return t
+	}
+	all := make([]docSpan, 0, t.numDocs()+len(spans))
+	if t != nil {
+		all = append(all, t.spans...)
+	}
+	all = append(all, spans...)
+	return newTombSet(all)
+}
+
+func (t *tombSet) numDocs() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+func (t *tombSet) numSents() int {
+	if t == nil {
+		return 0
+	}
+	return t.cumSents[len(t.spans)]
+}
+
+// contains reports whether raw global document doc is tombstoned.
+func (t *tombSet) contains(doc int) bool {
+	if t == nil {
+		return false
+	}
+	i := sort.Search(len(t.spans), func(i int) bool { return t.spans[i].doc >= doc })
+	return i < len(t.spans) && t.spans[i].doc == doc
+}
+
+// docsBefore counts tombstoned documents with raw index < doc — the shift a
+// live document at raw index doc moves down by under masking.
+func (t *tombSet) docsBefore(doc int) int {
+	if t == nil {
+		return 0
+	}
+	return sort.Search(len(t.spans), func(i int) bool { return t.spans[i].doc >= doc })
+}
+
+// sentsBefore sums the sentences of tombstoned documents whose ranges lie
+// entirely before raw global sentence sid. A live sentence is never inside
+// a tombstoned span, so this is the exact masking shift for sid.
+func (t *tombSet) sentsBefore(sid int) int {
+	if t == nil {
+		return 0
+	}
+	i := sort.Search(len(t.spans), func(i int) bool { return t.spans[i].firstSID >= sid })
+	return t.cumSents[i]
+}
+
+// rawDoc maps a masked document index back to its raw global index: the
+// masked-th live document, skipping tombstoned ones.
+func (t *tombSet) rawDoc(masked int) int {
+	raw := masked
+	if t == nil {
+		return raw
+	}
+	for _, sp := range t.spans {
+		if sp.doc <= raw {
+			raw++
+		} else {
+			break
+		}
+	}
+	return raw
+}
+
+// renumberTombs rebuilds the live tombstone set after a compaction folded
+// the documents of cut away: spans that were folded vanish, and spans that
+// arrived mid-rebuild (deletes racing the compaction) are renumbered into
+// the new base's raw coordinates — every folded document before them moves
+// them down.
+func renumberTombs(cur, cut *tombSet) *tombSet {
+	if cur.numDocs() == 0 {
+		return nil
+	}
+	var out []docSpan
+	for _, sp := range cur.spans {
+		if cut.contains(sp.doc) {
+			continue
+		}
+		out = append(out, docSpan{
+			doc:      sp.doc - cut.docsBefore(sp.doc),
+			firstSID: sp.firstSID - cut.sentsBefore(sp.firstSID),
+			nSents:   sp.nSents,
+		})
+	}
+	return newTombSet(out)
+}
