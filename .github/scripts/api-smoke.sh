@@ -122,4 +122,59 @@ fi
 curl -sf "$BASE2/metrics" | grep -q '"wal_replayed_docs":[1-9]'
 kill "$KOKOD2_PID" 2>/dev/null || true
 
+echo "== chaos drill: coordinator + 2 workers, kill -9 one mid-query"
+W1_ADDR="127.0.0.1:7335"; W1_BASE="http://$W1_ADDR/v1"
+W2_ADDR="127.0.0.1:7336"; W2_BASE="http://$W2_ADDR/v1"
+CO_ADDR="127.0.0.1:7337"; CO_BASE="http://$CO_ADDR/v1"
+
+/tmp/kokod -demo -shards 3 -addr "$W1_ADDR" &
+W1_PID=$!
+/tmp/kokod -demo -shards 3 -addr "$W2_ADDR" &
+W2_PID=$!
+trap 'kill $KOKOD_PID $W1_PID $CO_PID 2>/dev/null || true; kill -9 $KOKOD2_PID $W2_PID 2>/dev/null || true; rm -rf "$DATA_DIR"' EXIT
+wait_healthy "$W1_BASE"
+wait_healthy "$W2_BASE"
+
+/tmp/kokod -role coordinator -worker "http://$W1_ADDR" -worker "http://$W2_ADDR" \
+  -replicas 2 -attempt-timeout 2s -retries 3 -addr "$CO_ADDR" &
+CO_PID=$!
+wait_healthy "$CO_BASE"
+curl -sf "$CO_BASE/corpora" | grep -q '"demo-cafes"'
+
+# Reference tuple set from a worker evaluated locally; the coordinator's
+# distributed answer must match it byte-for-byte, before and after the kill.
+# (Field order is fixed, so the sed slice is the exact tuples array.)
+tuples_of() { sed -n 's/.*"tuples":\(\[.*\]\),"candidates":.*/\1/p'; }
+REF=$(curl -sf "$W1_BASE/query" -d "{\"corpus\":\"demo-cafes\",\"query\":\"$QUERY_TEXT\"}" | tuples_of)
+if [ -z "$REF" ]; then echo "reference query produced no tuples" >&2; exit 1; fi
+DIST=$(curl -sf "$CO_BASE/query" -d "{\"corpus\":\"demo-cafes\",\"query\":\"$QUERY_TEXT\",\"no_cache\":true}" | tuples_of)
+if [ "$DIST" != "$REF" ]; then
+  echo "distributed tuples diverge from single-node before kill:" >&2
+  echo " ref:  $REF" >&2; echo " dist: $DIST" >&2; exit 1
+fi
+
+# Kill one worker with a distributed query in flight: the query must still
+# come back, and with exactly the single-node tuples (replicas absorb it).
+curl -sf "$CO_BASE/query" -d "{\"corpus\":\"demo-cafes\",\"query\":\"$QUERY_TEXT\",\"no_cache\":true}" > /tmp/chaos_inflight.json &
+CURL_PID=$!
+kill -9 "$W2_PID"
+wait "$W2_PID" 2>/dev/null || true
+if ! wait "$CURL_PID"; then echo "in-flight query failed during worker kill" >&2; exit 1; fi
+INFLIGHT=$(tuples_of < /tmp/chaos_inflight.json)
+if [ "$INFLIGHT" != "$REF" ]; then
+  echo "in-flight query lost tuples when the worker died:" >&2
+  echo " ref:  $REF" >&2; echo " got:  $INFLIGHT" >&2; exit 1
+fi
+AFTER=$(curl -sf "$CO_BASE/query" -d "{\"corpus\":\"demo-cafes\",\"query\":\"$QUERY_TEXT\",\"no_cache\":true}" | tuples_of)
+if [ "$AFTER" != "$REF" ]; then
+  echo "post-kill query diverges from single-node:" >&2
+  echo " ref:  $REF" >&2; echo " got:  $AFTER" >&2; exit 1
+fi
+
+# The fault tolerance left fingerprints: attempts and retries in metrics.
+METRICS=$(curl -sf "$CO_BASE/metrics")
+echo "$METRICS" | grep -q '"remote_attempts":[1-9]'
+echo "$METRICS" | grep -q '"remote_retries":[1-9]'
+kill "$W1_PID" "$CO_PID" 2>/dev/null || true
+
 echo "api smoke OK"

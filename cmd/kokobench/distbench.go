@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/server"
+	"repro/koko"
+	"repro/koko/remote"
+)
+
+// distBench measures what hedged requests buy under a slow worker: a
+// coordinator-side remote engine fans shard evaluations over two
+// in-process worker services, with the fault injector making one worker's
+// responses sporadically slow (a deterministic stand-in for a node with a
+// noisy neighbour). The same query stream runs with hedging off and with a
+// fixed hedge delay; the snapshot records p50/p99 for both — the p99 gap
+// is the fault-tolerance payoff the distributed design exists for.
+//
+//	kokobench -exp dist -iters 3 > BENCH_dist.json
+
+const (
+	distBenchShards   = 4
+	distBenchReplicas = 2
+	// distBenchDelay is the injected per-attempt slowdown on the degraded
+	// worker; distBenchDelayProb keeps it a tail event (hits p99, not p50).
+	distBenchDelay     = 40 * time.Millisecond
+	distBenchDelayProb = 0.12
+	// distBenchHedge is the fixed hedge delay for the hedged run — well
+	// under the injected delay, well over a healthy shard eval.
+	distBenchHedge = 12 * time.Millisecond
+)
+
+const distBenchQuery = `extract x:Entity from "blogs" if ()
+	satisfying x
+	(str(x) contains "Cafe" {0.6}) or
+	(x [["serves coffee"]] {0.3}) or
+	(x [["hired barista"]] {0.3})
+	with threshold 0.5`
+
+type distConfigStats struct {
+	Queries     int     `json:"queries"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	HedgesFired int64   `json:"hedges_fired"`
+	HedgeWins   int64   `json:"hedge_wins"`
+	Retries     int64   `json:"retries"`
+}
+
+type distSnapshot struct {
+	Workload     string          `json:"workload"`
+	Note         string          `json:"note"`
+	GoMaxProc    int             `json:"gomaxprocs"`
+	Shards       int             `json:"shards"`
+	Replicas     int             `json:"replicas"`
+	SlowDelayMs  float64         `json:"slow_delay_ms"`
+	SlowProb     float64         `json:"slow_prob"`
+	HedgeAfterMs float64         `json:"hedge_after_ms"`
+	NoHedge      distConfigStats `json:"no_hedge"`
+	Hedge        distConfigStats `json:"hedge"`
+	P99Ratio     float64         `json:"p99_hedge_vs_no_hedge"`
+	Tuples       int             `json:"tuples"`
+}
+
+// distWorker brings up one in-process kokod worker serving the sharded
+// cafes corpus over real HTTP.
+func distWorker(c *koko.Corpus) *httptest.Server {
+	svc := server.NewService(server.Config{MaxConcurrent: distBenchShards})
+	check(svc.Registry().Register("cafes", koko.NewShardedEngine(c, distBenchShards, nil)))
+	return httptest.NewServer(svc.Handler())
+}
+
+// distRun drives n queries through a fresh remote engine with the given
+// hedge setting, the second worker degraded by the fault policy.
+func distRun(c *koko.Corpus, nodes []string, slow string, hedge time.Duration, n int) (distConfigStats, int) {
+	fp := remote.NewFaultPolicy(42)
+	fp.Set(slow, remote.NodeFaults{DelayProb: distBenchDelayProb, Delay: distBenchDelay})
+	pool := remote.NewPool(remote.PoolConfig{
+		AttemptTimeout: 2 * time.Second,
+		MaxAttempts:    3,
+		HedgeAfter:     hedge,
+		Fault:          fp,
+	})
+	eng := remote.NewEngine(pool, remote.EngineConfig{
+		Corpus:    "cafes",
+		Placement: koko.BuildPlacement(distBenchShards, nodes, distBenchReplicas),
+		Meta:      remote.Meta{Documents: c.NumDocuments(), Sentences: c.NumSentences()},
+	})
+	p, err := koko.ParseQuery(distBenchQuery)
+	check(err)
+
+	// Warm connections and worker-side caches before timing.
+	warm, err := eng.RunParsed(p, nil)
+	check(err)
+	ms := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		_, err := eng.RunParsed(p, nil)
+		check(err)
+		ms = append(ms, float64(time.Since(t0).Nanoseconds())/1e6)
+	}
+	ctr := pool.Counters()
+	out := summarizeLatenciesDist(ms)
+	out.HedgesFired = ctr.HedgesFired.Load()
+	out.HedgeWins = ctr.HedgeWins.Load()
+	out.Retries = ctr.Retries.Load()
+	return out, len(warm.Tuples)
+}
+
+func summarizeLatenciesDist(ms []float64) distConfigStats {
+	out := distConfigStats{Queries: len(ms)}
+	out.P50Ms = percentile(ms, 0.50)
+	out.P99Ms = percentile(ms, 0.99)
+	for _, v := range ms {
+		if v > out.MaxMs {
+			out.MaxMs = v
+		}
+	}
+	return out
+}
+
+func distBench(iters int) {
+	if iters < 1 {
+		iters = 1
+	}
+	c := koko.WrapCorpus(corpus.GenCafes(corpus.BaristaMagConfig(11)).Corpus)
+	w1 := distWorker(c)
+	defer w1.Close()
+	w2 := distWorker(c)
+	defer w2.Close()
+	nodes := []string{w1.URL, w2.URL}
+
+	n := 100 * iters
+	noHedge, tuples := distRun(c, nodes, w2.URL, -1, n)
+	hedged, _ := distRun(c, nodes, w2.URL, distBenchHedge, n)
+
+	snap := distSnapshot{
+		Workload: fmt.Sprintf("cafes corpus, %d shards x %d replicas over 2 in-process workers, one worker delayed %v with prob %.2f",
+			distBenchShards, distBenchReplicas, distBenchDelay, distBenchDelayProb),
+		Note: "same query stream with hedging off vs a fixed hedge delay; " +
+			"p99_hedge_vs_no_hedge < 1 means hedging cut the slow-worker tail",
+		GoMaxProc:    runtime.GOMAXPROCS(0),
+		Shards:       distBenchShards,
+		Replicas:     distBenchReplicas,
+		SlowDelayMs:  float64(distBenchDelay.Nanoseconds()) / 1e6,
+		SlowProb:     distBenchDelayProb,
+		HedgeAfterMs: float64(distBenchHedge.Nanoseconds()) / 1e6,
+		NoHedge:      noHedge,
+		Hedge:        hedged,
+		Tuples:       tuples,
+	}
+	if noHedge.P99Ms > 0 {
+		snap.P99Ratio = hedged.P99Ms / noHedge.P99Ms
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	check(enc.Encode(snap))
+}

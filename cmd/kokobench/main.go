@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig3 fig4 fig5 nell fig6 fig7 fig8 tab1 tab2 odin ablation server all, or hotpath / shard / jobs / ingest / wal (JSON snapshots, excluded from all)")
+	exp := flag.String("exp", "all", "experiment id: fig3 fig4 fig5 nell fig6 fig7 fig8 tab1 tab2 odin ablation server all, or hotpath / shard / jobs / ingest / wal / dist (JSON snapshots, excluded from all)")
 	scale := flag.Int("scale", 1, "corpus scale multiplier")
 	seed := flag.Int64("seed", 1, "generator seed")
 	iters := flag.Int("iters", 3, "timing iterations for -exp shard (best-of-N) and -exp jobs (probe count multiplier)")
@@ -105,6 +105,12 @@ func main() {
 		// BENCH_wal.json snapshot) on stdout for redirection.
 		any = true
 		walBench(*iters)
+	}
+	if *exp == "dist" {
+		// Not part of -exp all: emits pure JSON (the committed
+		// BENCH_dist.json snapshot) on stdout for redirection.
+		any = true
+		distBench(*iters)
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "kokobench: unknown experiment %q\n", *exp)

@@ -45,6 +45,17 @@
 // picks the fsync policy (none, batch group-commit, always) and
 // -wal-max-bytes bounds the log (a background compaction folds it into the
 // shard files past that size).
+//
+// Distributed execution: -role coordinator -worker host:port -worker ...
+// discovers the workers' corpora, replicates each shard across -replicas
+// workers, and serves the full query API locally with every shard evaluated
+// remotely (POST /v1/internal/shard-eval on the workers). Failed attempts
+// are retried against replicas with exponential backoff; straggling shards
+// are hedged after -hedge-after (0 = adaptive from observed p95 latency);
+// repeatedly failing workers trip a per-node circuit breaker and are pinged
+// every -health-interval until they recover. ?partial=ok on /v1/query opts
+// into a degraded response when every replica of some shard is down.
+// Workers are plain kokod processes (-role worker is documentation only).
 package main
 
 import (
@@ -133,6 +144,15 @@ func main() {
 	walMaxBytes := flag.Int64("wal-max-bytes", 64<<20, "WAL size that triggers a background compaction with -data-dir (0 = no size trigger)")
 	compactEvery := flag.Duration("compact-interval", 0, "background compaction loop period; folds every pending delta into its base shards (0 = disabled)")
 	cacheMinCost := flag.Duration("cache-min-cost", 0, "cost-aware cache admission: only cache results whose evaluation took at least this long (0 = cache everything)")
+	role := flag.String("role", "standalone", "node role: standalone, worker (serves shard evaluations; same as standalone), or coordinator (fans queries out to -worker nodes)")
+	var workerAddrs loadFlags
+	flag.Var(&workerAddrs, "worker", "worker node address for -role coordinator, as host:port or URL (repeatable or comma-separated)")
+	replicas := flag.Int("replicas", 2, "workers each shard is replicated across with -role coordinator (clamped to the worker count)")
+	attemptTimeout := flag.Duration("attempt-timeout", 0, "per-attempt deadline for one remote shard evaluation (0 = default 2s)")
+	retries := flag.Int("retries", 0, "total attempts per shard against distinct replicas — first try plus retries (0 = default 3)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "launch a hedged shard attempt on another replica after this delay (0 = adaptive from observed p95 latency, negative = no hedging)")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "worker health-check ping period with -role coordinator (0 = no active checks)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget: in-flight requests and running jobs get this long to finish")
 	var cacheTTL ttlFlags
 	flag.Var(&cacheTTL, "cache-ttl", "result-cache entry TTL, as a duration or name=duration per corpus (repeatable; entries expire lazily on lookup)")
 	flag.Var(&loads, "load", "corpus to serve, as name=path.koko or path.koko (repeatable)")
@@ -199,8 +219,45 @@ func main() {
 			log.Printf("kokod: recovered durable corpus %q from %s", name, *dataDir)
 		}
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	switch *role {
+	case "standalone", "worker":
+		if len(workerAddrs) > 0 {
+			log.Fatalf("kokod: -worker requires -role coordinator")
+		}
+	case "coordinator":
+		var addrs []string
+		for _, w := range workerAddrs {
+			for _, a := range strings.Split(w, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					addrs = append(addrs, a)
+				}
+			}
+		}
+		if len(addrs) == 0 {
+			log.Fatalf("kokod: -role coordinator requires at least one -worker")
+		}
+		names, err := svc.ConnectWorkers(ctx, server.RemoteConfig{
+			Workers:        addrs,
+			Replicas:       *replicas,
+			AttemptTimeout: *attemptTimeout,
+			MaxAttempts:    *retries,
+			HedgeAfter:     *hedgeAfter,
+			HealthInterval: *healthInterval,
+		})
+		if err != nil {
+			log.Fatalf("kokod: connect workers: %v", err)
+		}
+		log.Printf("kokod: coordinating %d corpora across %d workers (replicas=%d): %s",
+			len(names), len(addrs), *replicas, strings.Join(names, ", "))
+	default:
+		log.Fatalf("kokod: unknown -role %q (want standalone, worker, or coordinator)", *role)
+	}
+
 	if reg.Len() == 0 {
-		fmt.Fprintln(os.Stderr, "kokod: no corpora registered; use -load, -dir, -demo, or a -data-dir with durable state")
+		fmt.Fprintln(os.Stderr, "kokod: no corpora registered; use -load, -dir, -demo, a -data-dir with durable state, or -role coordinator with -worker")
 		os.Exit(2)
 	}
 	for _, info := range reg.List() {
@@ -215,23 +272,44 @@ func main() {
 			info.Name, info.Generation, info.Shards, info.Documents, info.Sentences, src)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: svc.Handler(),
+		// Bound how long a client may dawdle before its connection costs us
+		// anything: slow or stalled headers/bodies time out, idle keep-alive
+		// connections are reaped. No WriteTimeout — NDJSON streams and long
+		// queries legitimately write for longer than any fixed bound.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	if *compactEvery > 0 {
 		log.Printf("kokod: background compaction every %s", *compactEvery)
 		go svc.CompactLoop(ctx, *compactEvery)
 	}
-	go func() {
-		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		_ = srv.Shutdown(shutdownCtx)
-	}()
 	log.Printf("kokod: serving %d corpora on %s", reg.Len(), *addr)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("kokod: %v", err)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("kokod: %v", err)
+		}
+	case <-ctx.Done():
+		// Graceful shutdown, in dependency order and all inside one drain
+		// budget: stop accepting connections and wait for in-flight requests
+		// (streams included), then let running jobs finish, then close WAL
+		// handles so batched writes hit disk. Only after the budget expires
+		// are stragglers cut off.
+		log.Printf("kokod: shutting down (drain budget %s)", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("kokod: shutdown: %v", err)
+		}
+		if err := svc.Jobs().Drain(shutdownCtx); err != nil {
+			log.Printf("kokod: job drain: %v (cancelling remaining jobs)", err)
+		}
+		cancel()
 	}
-	// Graceful stop: close WAL handles so batched writes hit disk.
 	svc.Close()
 }

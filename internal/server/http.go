@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/server/jobs"
 	"repro/koko"
+	"repro/koko/remote"
 )
 
 // Handler returns the kokod HTTP API over the service.
@@ -28,6 +29,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	// Worker-side endpoint of distributed execution: a coordinator's remote
+	// engine evaluates individual shards here.
+	mux.HandleFunc("POST /v1/internal/shard-eval", s.handleShardEval)
 	return mux
 }
 
@@ -50,10 +54,16 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrBadQuery), errors.Is(err, jobs.ErrBadSpec), errors.Is(err, koko.ErrEmptyDocument):
 		status = http.StatusBadRequest
-	case errors.Is(err, ErrNotReloadable):
+	case errors.Is(err, ErrNotReloadable), errors.Is(err, ErrRemoteCorpus), errors.Is(err, ErrGenerationMoved):
 		status = http.StatusConflict
 	case errors.Is(err, jobs.ErrLimit):
 		status = http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, remote.ErrShardUnavailable):
+		// Every replica of some shard failed: the backend's fault, not the
+		// client's.
+		status = http.StatusBadGateway
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
@@ -73,8 +83,13 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if wantsStream(r) {
+		// Degradation markers have nowhere to go in an NDJSON stream that
+		// has already emitted tuples, so partial=ok is buffered-only.
 		s.handleQueryStream(w, r, req)
 		return
+	}
+	if r.URL.Query().Get("partial") == "ok" {
+		req.Partial = true
 	}
 	resp, err := s.Query(r.Context(), req)
 	if err != nil {

@@ -34,6 +34,9 @@ var (
 	ErrLimit = errors.New("too many active jobs")
 	// ErrBadSpec marks an invalid job specification (400).
 	ErrBadSpec = errors.New("bad job spec")
+	// ErrDraining marks a submit during shutdown (503): the server is
+	// finishing running jobs and will not start new ones.
+	ErrDraining = errors.New("server draining")
 )
 
 // Runtime is what the job executor needs from the serving layer: corpus
@@ -212,6 +215,9 @@ type Manager struct {
 	done      int64
 	failed    int64
 	cancelled int64
+	// draining rejects new submits while Drain waits for active jobs to
+	// finish (the graceful-shutdown path).
+	draining bool
 }
 
 // New builds a Manager executing on rt.
@@ -254,6 +260,10 @@ func (m *Manager) Submit(spec Spec) (Status, error) {
 	}
 
 	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return Status{}, fmt.Errorf("%w: not accepting new jobs", ErrDraining)
+	}
 	m.sweepLocked(time.Now())
 	active := 0
 	for _, j := range m.jobs {
@@ -547,6 +557,58 @@ func (m *Manager) Metrics() Snapshot {
 		}
 	}
 	return snap
+}
+
+// Drain stops accepting new jobs and waits for every active one to finish,
+// polling until done or ctx expires. Part of graceful shutdown: running
+// batches complete (their results remain fetchable until the process
+// exits), new submissions fail with ErrDraining. When ctx expires first,
+// still-active jobs are cancelled so their shard evaluations stop promptly,
+// and ctx.Err() is returned.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if m.activeCount() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			m.mu.Lock()
+			js := make([]*job, 0, len(m.jobs))
+			for _, j := range m.jobs {
+				js = append(js, j)
+			}
+			m.mu.Unlock()
+			for _, j := range js {
+				if !j.snapshotState().Terminal() {
+					j.cancel()
+				}
+			}
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// activeCount reports how many jobs are pending or running.
+func (m *Manager) activeCount() int {
+	m.mu.Lock()
+	js := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		js = append(js, j)
+	}
+	m.mu.Unlock()
+	active := 0
+	for _, j := range js {
+		if !j.snapshotState().Terminal() {
+			active++
+		}
+	}
+	return active
 }
 
 // lookup resolves an id, sweeping expired jobs first so a purged job is

@@ -390,3 +390,59 @@ func TestJobDeleteFinished(t *testing.T) {
 		t.Fatalf("double delete err = %v, want ErrNotFound", err)
 	}
 }
+
+// TestDrain: a draining manager finishes the running job, rejects new
+// submits with ErrDraining, and a drain whose budget expires cancels what
+// is left instead of hanging.
+func TestDrain(t *testing.T) {
+	g := newGated(koko.NewShardedEngine(jobCorpus(6), 3, nil))
+	m := New(&fakeRuntime{eng: g}, Config{})
+	st, err := m.Submit(Spec{Corpus: "c", Queries: []string{jobQuery}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+
+	done := make(chan error, 1)
+	go func() { done <- m.Drain(context.Background()) }()
+	// Draining rejects new work immediately, while the running job lives on.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := m.Submit(Spec{Corpus: "c", Queries: []string{jobQuery}})
+		if errors.Is(err, ErrDraining) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submit during drain: err = %v, want ErrDraining", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("drain returned (%v) while a job was still running", err)
+	default:
+	}
+
+	close(g.release) // let the job finish; drain must then complete
+	if err := <-done; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := waitState(t, m, st.ID, StateDone); got.State != StateDone {
+		t.Fatalf("job state after drain = %s", got.State)
+	}
+
+	// A drain that times out cancels the stuck job rather than hanging.
+	g2 := newGated(koko.NewShardedEngine(jobCorpus(6), 3, nil))
+	m2 := New(&fakeRuntime{eng: g2}, Config{})
+	st2, err := m2.Submit(Spec{Corpus: "c", Queries: []string{jobQuery}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-g2.started
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := m2.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired drain err = %v, want DeadlineExceeded", err)
+	}
+	waitState(t, m2, st2.ID, StateCancelled)
+}

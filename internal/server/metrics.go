@@ -38,6 +38,14 @@ type Metrics struct {
 	// endpoint, and ingests that replaced (updated) an existing document.
 	documentDeletes atomic.Int64
 	documentUpdates atomic.Int64
+	// Distributed-execution counters kept by the service itself:
+	// degradedQueries counts partial=ok responses that were actually
+	// missing shards; shardEvalsServed counts worker-side
+	// /v1/internal/shard-eval evaluations answered. (Attempt/retry/hedge/
+	// breaker counters live in the remote pool and are merged into the
+	// snapshot.)
+	degradedQueries  atomic.Int64
+	shardEvalsServed atomic.Int64
 }
 
 // MetricsSnapshot is the JSON form served by GET /v1/metrics.
@@ -91,6 +99,25 @@ type MetricsSnapshot struct {
 	TombstonesLive  int64   `json:"tombstones_live"`
 	CompactionSwaps uint64  `json:"compaction_swaps"`
 	RecoveryMillis  float64 `json:"recovery_ms"`
+	// Distributed-execution counters. Coordinator side: RemoteAttempts
+	// counts every shard-eval attempt against a worker (first tries,
+	// retries, and hedges), RemoteRetries the attempts after the first for
+	// a shard, RemoteHedgesFired hedge attempts launched after the latency
+	// threshold, RemoteHedgeWins hedges whose response was used,
+	// RemoteCorruptPartials responses rejected by checksum verification,
+	// NodeUnhealthy worker up→down health transitions, BreakerOpen circuit-
+	// breaker trips, DegradedQueries partial=ok responses that were missing
+	// shards. Worker side: ShardEvalsServed counts shard evaluations
+	// answered on /v1/internal/shard-eval.
+	RemoteAttempts        int64 `json:"remote_attempts"`
+	RemoteRetries         int64 `json:"remote_retries"`
+	RemoteHedgesFired     int64 `json:"remote_hedges_fired"`
+	RemoteHedgeWins       int64 `json:"remote_hedge_wins"`
+	RemoteCorruptPartials int64 `json:"remote_corrupt_partials"`
+	NodeUnhealthy         int64 `json:"node_unhealthy"`
+	BreakerOpen           int64 `json:"breaker_open"`
+	DegradedQueries       int64 `json:"degraded_queries"`
+	ShardEvalsServed      int64 `json:"shard_evals_served"`
 	// Jobs is the async job subsystem's view: lifetime counters, jobs by
 	// state, and queue depth in shard evaluations.
 	Jobs jobs.Snapshot `json:"jobs"`

@@ -47,6 +47,11 @@ type CorpusInfo struct {
 	WALBytes        int64  `json:"wal_bytes,omitempty"`
 	Tombstones      int    `json:"tombstones"`
 	Deletes         uint64 `json:"deletes"`
+	// Remote marks a corpus served by remote worker nodes through a
+	// coordinator-side routing engine: queryable like any other entry, but
+	// not ingestible, compactable, or reloadable here — its state lives on
+	// the workers.
+	Remote bool `json:"remote,omitempty"`
 }
 
 // Registry maps corpus names to mutable corpora, each served through an
@@ -83,10 +88,12 @@ type Registry struct {
 // (snapshot, seq, info) triple that readers resolve under the registry
 // lock. seq is the Mutable's seal sequence of the mirrored snapshot — the
 // guard that keeps racing ingest/compact installs from regressing the
-// mirror to an older snapshot.
+// mirror to an older snapshot. Remote corpora have mut == nil (no local
+// lifecycle: their state lives on the workers) and eng holding the
+// coordinator-side routing engine; every mutation path guards on that.
 type regEntry struct {
 	mut  *koko.Mutable
-	eng  *koko.Snapshot
+	eng  koko.Querier
 	seq  uint64
 	info CorpusInfo
 }
@@ -308,7 +315,9 @@ func (r *Registry) refresh(name string, mut *koko.Mutable) (CorpusInfo, error) {
 	return e.info, nil
 }
 
-// mutable resolves the entry's lifecycle object.
+// mutable resolves the entry's lifecycle object. Remote corpora have none:
+// ingest, delete-document, and compact must happen on the workers that own
+// the state.
 func (r *Registry) mutable(name string) (*koko.Mutable, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -316,7 +325,40 @@ func (r *Registry) mutable(name string) (*koko.Mutable, error) {
 	if !ok {
 		return nil, fmt.Errorf("corpus %q: %w", name, ErrNotFound)
 	}
+	if e.mut == nil {
+		return nil, fmt.Errorf("corpus %q is served by remote workers; mutate it there: %w", name, ErrRemoteCorpus)
+	}
 	return e.mut, nil
+}
+
+// RegisterRemote installs a coordinator-side remote engine under name,
+// replacing any existing entry at a new generation. The entry is
+// query-only: no mutable wrap, no durable state — the workers own both.
+// info fields that describe local lifecycle (delta, WAL, tombstones) stay
+// zero.
+func (r *Registry) RegisterRemote(name, source string, eng koko.Querier) CorpusInfo {
+	r.mu.Lock()
+	old := r.entries[name]
+	r.gen++
+	e := &regEntry{
+		eng: eng,
+		info: CorpusInfo{
+			Name:       name,
+			Source:     source,
+			Generation: r.gen,
+			Shards:     eng.NumShards(),
+			Documents:  eng.NumDocuments(),
+			Sentences:  eng.NumSentences(),
+			LoadedAt:   time.Now().UTC(),
+			Remote:     true,
+		},
+	}
+	r.entries[name] = e
+	r.mu.Unlock()
+	if old != nil && old.mut != nil {
+		old.mut.Close()
+	}
+	return e.info
 }
 
 // Ingest parses one document and upserts it into the named corpus's delta
@@ -390,6 +432,11 @@ func (r *Registry) Delete(name string) (CorpusInfo, error) {
 	}
 	delete(r.entries, name)
 	r.mu.Unlock()
+	if e.mut == nil {
+		// Remote entry: unregistering drops only the routing view; the
+		// workers keep their state.
+		return e.info, nil
+	}
 	// Close first (stops the WAL sync loop and further appends), then remove
 	// the directory.
 	dir := e.mut.Dir()
@@ -409,12 +456,16 @@ func (r *Registry) Reload(name string) (CorpusInfo, error) {
 	r.mu.RLock()
 	e, ok := r.entries[name]
 	var source string
+	var remote bool
 	if ok {
-		source = e.info.Source
+		source, remote = e.info.Source, e.info.Remote
 	}
 	r.mu.RUnlock()
 	if !ok {
 		return CorpusInfo{}, fmt.Errorf("corpus %q: %w", name, ErrNotFound)
+	}
+	if remote {
+		return CorpusInfo{}, fmt.Errorf("corpus %q is served by remote workers; reload it there: %w", name, ErrNotReloadable)
 	}
 	if source == "" {
 		return CorpusInfo{}, fmt.Errorf("corpus %q is in-memory and cannot be reloaded: %w", name, ErrNotReloadable)
@@ -480,7 +531,7 @@ func (r *Registry) Describe(name string) (CorpusInfo, koko.IndexStats, []koko.Sh
 	r.mu.RLock()
 	e, ok := r.entries[name]
 	var info CorpusInfo
-	var eng *koko.Snapshot
+	var eng koko.Querier
 	if ok {
 		info, eng = e.info, e.eng
 	}
@@ -563,7 +614,9 @@ func (r *Registry) CloseAll() {
 	r.mu.Lock()
 	muts := make([]*koko.Mutable, 0, len(r.entries))
 	for _, e := range r.entries {
-		muts = append(muts, e.mut)
+		if e.mut != nil {
+			muts = append(muts, e.mut)
+		}
 	}
 	r.mu.Unlock()
 	for _, m := range muts {
@@ -578,7 +631,9 @@ func (r *Registry) Durability() koko.DurabilityStats {
 	r.mu.RLock()
 	muts := make([]*koko.Mutable, 0, len(r.entries))
 	for _, e := range r.entries {
-		muts = append(muts, e.mut)
+		if e.mut != nil {
+			muts = append(muts, e.mut)
+		}
 	}
 	r.mu.RUnlock()
 	var sum koko.DurabilityStats

@@ -7,11 +7,13 @@ import (
 	"log"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/koko/wal"
 	"repro/internal/server/jobs"
 	"repro/koko"
+	"repro/koko/remote"
 )
 
 // Sentinel errors: the HTTP layer maps these to status codes.
@@ -22,6 +24,12 @@ var (
 	ErrBadQuery = errors.New("bad query")
 	// ErrNotReloadable marks a reload of an in-memory corpus (409).
 	ErrNotReloadable = errors.New("not reloadable")
+	// ErrRemoteCorpus marks a local mutation (ingest, document delete,
+	// compact) of a corpus served by remote workers (409).
+	ErrRemoteCorpus = errors.New("remote corpus")
+	// ErrGenerationMoved marks a shard-eval pinned to a generation the
+	// worker no longer serves (409): the coordinator must re-discover.
+	ErrGenerationMoved = errors.New("generation moved")
 )
 
 // Config sizes a Service.
@@ -113,6 +121,13 @@ type Service struct {
 	cacheMinCost time.Duration
 	maxDeltaDocs int
 	walMaxBytes  int64
+	// shardPar is the resolved per-query shard fan-out bound, kept so
+	// remote engines connected later inherit the same budget as local ones.
+	shardPar int
+	// rpool is the coordinator-side worker pool (nil unless ConnectWorkers
+	// ran); its counters feed the remote_* metrics. Atomic: Metrics() may
+	// race ConnectWorkers.
+	rpool atomic.Pointer[remote.Pool]
 	// compacting tracks corpora with an auto-compaction in flight so a
 	// burst of ingests kicks off at most one background fold per corpus.
 	compacting sync.Map
@@ -162,6 +177,7 @@ func NewService(cfg Config) *Service {
 		cacheMinCost: cfg.CacheMinCost,
 		maxDeltaDocs: maxDelta,
 		walMaxBytes:  cfg.WALMaxBytes,
+		shardPar:     sp,
 	}
 	s.jobs = jobs.New(s, jobs.Config{
 		MaxActive:         cfg.MaxJobs,
@@ -227,6 +243,12 @@ type QueryRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// NoCache bypasses the result cache (read and write) for this request.
 	NoCache bool `json:"no_cache,omitempty"`
+	// Partial opts into graceful degradation on a remote corpus
+	// (?partial=ok): if some shards' every replica is down, the response
+	// carries the surviving shards' tuples with Degraded set instead of
+	// failing. Ignored for local corpora (local shards don't fail
+	// independently) and for streamed responses.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // TupleResult is the JSON form of one output tuple.
@@ -272,6 +294,11 @@ type QueryResponse struct {
 	// ServiceMillis is this request's wall time inside the service,
 	// including any wait for a worker slot.
 	ServiceMillis float64 `json:"service_ms"`
+	// Degraded marks a partial=ok response that is missing shards whose
+	// every replica failed; FailedShards lists them. A degraded result is
+	// never admitted to the result cache.
+	Degraded     bool  `json:"degraded,omitempty"`
+	FailedShards []int `json:"failed_shards,omitempty"`
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -338,26 +365,52 @@ func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 		s.metrics.queryCancels.Add(1)
 		return nil, err
 	}
-	s.metrics.enter()
-	res, err := eng.RunParsedCtx(ctx, parsed, &koko.QueryOptions{
+	qo := &koko.QueryOptions{
 		Explain: req.Explain,
 		Workers: s.workersFor(req.Workers, fanoutOf(eng)),
-	})
+	}
+	var res *koko.Result
+	var failed []int
+	var err2 error
+	s.metrics.enter()
+	if deg, ok := eng.(degradedRunner); ok && req.Partial {
+		res, failed, err2 = deg.RunParsedDegraded(ctx, parsed, qo)
+	} else {
+		res, err2 = eng.RunParsedCtx(ctx, parsed, qo)
+	}
 	s.metrics.exit()
 	s.Release()
-	if err != nil {
-		if ctxDone(err) {
+	if err2 != nil {
+		if ctxDone(err2) {
 			s.metrics.queryCancels.Add(1)
-			return nil, err
+			return nil, err2
 		}
 		s.metrics.queryErrors.Add(1)
-		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+		if errors.Is(err2, remote.ErrShardUnavailable) {
+			// A dead shard set is the backend's failure, not the query's.
+			return nil, err2
+		}
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err2)
 	}
 	s.metrics.queryNanos.Add(res.Elapsed.Nanoseconds())
-	s.cachePut(key, req, res)
+	if len(failed) > 0 {
+		// A degraded result is not the query's true answer; caching it
+		// would serve the gap long after the workers recover.
+		s.metrics.degradedQueries.Add(1)
+	} else {
+		s.cachePut(key, req, res)
+	}
 	resp := s.respond(req.Corpus, gen, res, false)
+	resp.Degraded = len(failed) > 0
+	resp.FailedShards = failed
 	resp.ServiceMillis = ms(time.Since(t0))
 	return resp, nil
+}
+
+// degradedRunner is the graceful-degradation surface a remote engine
+// offers; local engines don't (their shards cannot fail independently).
+type degradedRunner interface {
+	RunParsedDegraded(ctx context.Context, p *koko.ParsedQuery, qo *koko.QueryOptions) (*koko.Result, []int, error)
 }
 
 // cachePut admits an evaluated result to the cache — unless the request
@@ -402,6 +455,10 @@ func fanoutOf(eng koko.Querier) int {
 		return e.Parallelism()
 	case *koko.Snapshot:
 		return e.Fanout()
+	case *remote.Engine:
+		// Remote fan-out costs connections, not local cores, but the
+		// Workers clamp it feeds divides worker-side CPU instead.
+		return e.Parallelism()
 	}
 	return 1
 }
@@ -624,7 +681,7 @@ func (s *Service) Metrics() MetricsSnapshot {
 		deltaDocs += info.DeltaDocs
 	}
 	dur := s.reg.Durability()
-	return MetricsSnapshot{
+	snap := MetricsSnapshot{
 		CacheCostSkips:   m.cacheCostSkips.Load(),
 		IngestsTotal:     m.ingestsTotal.Load(),
 		CompactionsTotal: m.compactionsTotal.Load(),
@@ -654,6 +711,19 @@ func (s *Service) Metrics() MetricsSnapshot {
 		TombstonesLive:   int64(dur.TombstonesLive),
 		CompactionSwaps:  dur.Swaps,
 		RecoveryMillis:   ms(dur.Recovery),
+		DegradedQueries:  m.degradedQueries.Load(),
+		ShardEvalsServed: m.shardEvalsServed.Load(),
 		Jobs:             s.jobs.Metrics(),
 	}
+	if p := s.rpool.Load(); p != nil {
+		c := p.Counters()
+		snap.RemoteAttempts = c.Attempts.Load()
+		snap.RemoteRetries = c.Retries.Load()
+		snap.RemoteHedgesFired = c.HedgesFired.Load()
+		snap.RemoteHedgeWins = c.HedgeWins.Load()
+		snap.RemoteCorruptPartials = c.CorruptPartials.Load()
+		snap.NodeUnhealthy = c.NodeUnhealthy.Load()
+		snap.BreakerOpen = c.BreakerOpen.Load()
+	}
+	return snap
 }

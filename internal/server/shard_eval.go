@@ -1,0 +1,76 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/koko"
+	"repro/koko/remote"
+)
+
+// handleShardEval is the worker side of distributed execution:
+// POST /v1/internal/shard-eval evaluates exactly one shard of a local
+// corpus and returns the partial with its rebasing offsets, the serving
+// generation, and a payload checksum. The evaluation claims one slot of
+// the same worker pool interactive queries use, so a coordinator fanning
+// out cannot oversubscribe a worker that also serves direct traffic.
+func (s *Service) handleShardEval(w http.ResponseWriter, r *http.Request) {
+	var req remote.ShardEvalRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if req.Corpus == "" || req.Query == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `"corpus" and "query" are required`})
+		return
+	}
+	eng, gen, err := s.reg.Engine(req.Corpus)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Generation != 0 && req.Generation != gen {
+		// The coordinator pinned a snapshot this worker no longer serves
+		// (reload/ingest/compaction moved the corpus on). Answering with
+		// different data would silently break the byte-identical merge.
+		writeError(w, fmt.Errorf("corpus %q is at generation %d, request pinned %d: %w",
+			req.Corpus, gen, req.Generation, ErrGenerationMoved))
+		return
+	}
+	if req.Shard < 0 || req.Shard >= eng.NumShards() {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("shard %d out of range (corpus %q has %d)", req.Shard, req.Corpus, eng.NumShards())})
+		return
+	}
+	parsed, err := koko.ParseQuery(req.Query)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadQuery, err))
+		return
+	}
+	if err := s.Acquire(r.Context()); err != nil {
+		writeError(w, err)
+		return
+	}
+	part, err := eng.RunShard(r.Context(), req.Shard, parsed, &koko.QueryOptions{
+		Explain: req.Explain,
+		Workers: s.ShardWorkers(req.Workers),
+	})
+	s.Release()
+	if err != nil {
+		if ctxDone(err) {
+			writeError(w, err)
+			return
+		}
+		writeError(w, fmt.Errorf("%w: %v", ErrBadQuery, err))
+		return
+	}
+	s.metrics.shardEvalsServed.Add(1)
+	writeJSON(w, http.StatusOK, remote.ShardEvalResponse{
+		Result:     part.Res,
+		DocOffset:  part.DocOffset,
+		SentOffset: part.SentOffset,
+		Generation: gen,
+		Checksum:   remote.PartialChecksum(part.Res),
+	})
+}

@@ -1,0 +1,401 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/koko"
+)
+
+// Meta is the shape of a remote corpus as discovered from its workers:
+// enough for the coordinator to answer stats and size questions without a
+// round trip per call.
+type Meta struct {
+	// Generation pins the worker-side snapshot generation every shard-eval
+	// carries (0 = unpinned).
+	Generation uint64
+	Documents  int
+	Sentences  int
+	Shards     []koko.ShardStat
+}
+
+// EngineConfig assembles a remote Engine.
+type EngineConfig struct {
+	// Corpus is the corpus name as the workers register it.
+	Corpus string
+	// Placement routes each shard to its replica nodes (preference order).
+	Placement koko.Placement
+	// Meta is the discovered corpus shape (zero value: sizes and stats
+	// report empty; generation is unpinned).
+	Meta Meta
+	// Parallel bounds the per-query shard fan-out (0 = min(shards,
+	// GOMAXPROCS), like a local sharded engine).
+	Parallel int
+}
+
+// Engine is a koko.Querier whose shards evaluate on remote kokod workers:
+// the coordinator side of distributed execution. Each RunShard call walks
+// the shard's replica placement with per-attempt deadlines, exponential
+// backoff + jitter between attempts, hedged requests after a latency
+// threshold, and the pool's per-node breaker/health state deciding which
+// replica to try first. Results merge through the same koko.MergePartials
+// path as local shards, so a distributed query is byte-identical to a
+// single-node run. Safe for concurrent use.
+type Engine struct {
+	pool      *Pool
+	corpus    string
+	placement koko.Placement
+	meta      Meta
+	parallel  atomic.Int32
+}
+
+var _ koko.Querier = (*Engine)(nil)
+
+// NewEngine builds a remote engine over pool. Every node named in the
+// placement is registered with the pool so health checks cover it.
+func NewEngine(pool *Pool, cfg EngineConfig) *Engine {
+	e := &Engine{pool: pool, corpus: cfg.Corpus, placement: cfg.Placement, meta: cfg.Meta}
+	par := cfg.Parallel
+	if par < 1 {
+		if par = len(cfg.Placement.Replicas); par > runtime.GOMAXPROCS(0) {
+			par = runtime.GOMAXPROCS(0)
+		}
+		if par < 1 {
+			par = 1
+		}
+	}
+	e.parallel.Store(int32(par))
+	for _, reps := range cfg.Placement.Replicas {
+		for _, addr := range reps {
+			pool.Node(addr)
+		}
+	}
+	return e
+}
+
+// Corpus returns the remote corpus name.
+func (e *Engine) Corpus() string { return e.corpus }
+
+// Pool returns the fault-tolerance pool the engine evaluates through
+// (shared across every engine on one coordinator).
+func (e *Engine) Pool() *Pool { return e.pool }
+
+// Placement returns the shard-to-node routing table.
+func (e *Engine) Placement() koko.Placement { return e.placement }
+
+// Parallelism reports the per-query shard fan-out bound.
+func (e *Engine) Parallelism() int { return int(e.parallel.Load()) }
+
+// SetParallelism bounds how many shards evaluate concurrently per query.
+func (e *Engine) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.parallel.Store(int32(n))
+}
+
+// NumShards returns the placement's shard count.
+func (e *Engine) NumShards() int { return len(e.placement.Replicas) }
+
+// NumDocuments reports the discovered corpus document count.
+func (e *Engine) NumDocuments() int { return e.meta.Documents }
+
+// NumSentences reports the discovered corpus sentence count.
+func (e *Engine) NumSentences() int { return e.meta.Sentences }
+
+// DocumentName is not resolvable without a round trip; remote engines
+// report "" (the same out-of-range answer local engines give).
+func (e *Engine) DocumentName(i int) string { return "" }
+
+// Stats aggregates the discovered per-shard index statistics.
+func (e *Engine) Stats() koko.IndexStats { return koko.MergeShardStats(e.meta.Shards) }
+
+// ShardStats returns the discovered per-shard statistics.
+func (e *Engine) ShardStats() []koko.ShardStat {
+	return append([]koko.ShardStat(nil), e.meta.Shards...)
+}
+
+// Save is unsupported: a remote engine is a routing view over state owned
+// by the workers.
+func (e *Engine) Save(path string) error {
+	return fmt.Errorf("remote: corpus %q is served by remote workers; save it there", e.corpus)
+}
+
+// Query parses and evaluates a KOKO query across all remote shards.
+func (e *Engine) Query(src string) (*koko.Result, error) { return e.QueryWith(src, nil) }
+
+// QueryWith parses and evaluates with per-query overrides (qo may be nil).
+func (e *Engine) QueryWith(src string, qo *koko.QueryOptions) (*koko.Result, error) {
+	p, err := koko.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunParsed(p, qo)
+}
+
+// RunParsed fans an already-parsed query out to every remote shard and
+// merges the partials in document order.
+func (e *Engine) RunParsed(p *koko.ParsedQuery, qo *koko.QueryOptions) (*koko.Result, error) {
+	return e.RunParsedCtx(context.Background(), p, qo)
+}
+
+// RunParsedCtx fans out like RunParsed but honors ctx. Elapsed reports the
+// fan-out's wall time; phase times sum worker-side CPU as with local
+// shards.
+func (e *Engine) RunParsedCtx(ctx context.Context, p *koko.ParsedQuery, qo *koko.QueryOptions) (*koko.Result, error) {
+	t0 := time.Now()
+	parts := make([]koko.Partial, e.NumShards())
+	err := e.RunParsedEach(ctx, p, qo, func(i int, part koko.Partial) error {
+		parts[i] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := koko.MergePartials(parts)
+	out.Elapsed = time.Since(t0)
+	return out, nil
+}
+
+// request renders the wire request for one shard.
+func (e *Engine) request(shard int, p *koko.ParsedQuery, qo *koko.QueryOptions) *ShardEvalRequest {
+	req := &ShardEvalRequest{
+		Corpus:     e.corpus,
+		Shard:      shard,
+		Query:      p.Canonical(),
+		Generation: e.meta.Generation,
+	}
+	if qo != nil {
+		req.Explain = qo.Explain
+		req.Workers = qo.Workers
+	}
+	return req
+}
+
+// RunShard evaluates one shard remotely: up to MaxAttempts tries across
+// the shard's replicas (rotating the starting replica by attempt), each
+// bounded by the per-attempt deadline, with jittered exponential backoff
+// between tries and a hedged second request racing on another replica once
+// the hedge threshold passes. Exhausting every attempt yields a typed
+// *ShardUnavailableError (errors.Is(err, ErrShardUnavailable)).
+func (e *Engine) RunShard(ctx context.Context, shard int, p *koko.ParsedQuery, qo *koko.QueryOptions) (koko.Partial, error) {
+	if shard < 0 || shard >= e.NumShards() {
+		return koko.Partial{}, fmt.Errorf("remote: shard %d out of range (corpus %q has %d)", shard, e.corpus, e.NumShards())
+	}
+	req := e.request(shard, p, qo)
+	max := e.pool.cfg.MaxAttempts
+	var lastErr error
+	for try := 0; try < max; try++ {
+		if try > 0 {
+			e.pool.counters.Retries.Add(1)
+			select {
+			case <-time.After(e.pool.backoffFor(try)):
+			case <-ctx.Done():
+				return koko.Partial{}, ctx.Err()
+			}
+		}
+		resp, err := e.evalAttempt(ctx, shard, try, req)
+		if err == nil {
+			return koko.Partial{Res: resp.Result, DocOffset: resp.DocOffset, SentOffset: resp.SentOffset}, nil
+		}
+		if ctx.Err() != nil {
+			// The caller gave up; that is a cancellation, not shard death.
+			return koko.Partial{}, ctx.Err()
+		}
+		lastErr = err
+	}
+	return koko.Partial{}, &ShardUnavailableError{Corpus: e.corpus, Shard: shard, Attempts: max, Last: lastErr}
+}
+
+// pickNode selects the replica to try for (shard, rotation), preferring
+// nodes that are up with a willing breaker; when none qualifies it falls
+// back to any replica (a query beats a guess — health and breaker state
+// lag reality), still honoring exclude. Returns nil only when every
+// replica is excluded.
+func (e *Engine) pickNode(shard, rot int, exclude *nodeState) *nodeState {
+	reps := e.placement.Replicas[shard]
+	now := time.Now()
+	var fallback *nodeState
+	for k := 0; k < len(reps); k++ {
+		n := e.pool.Node(reps[(rot+k)%len(reps)])
+		if n == exclude {
+			continue
+		}
+		if n.Up() && n.tryAcquire(now) {
+			return n
+		}
+		if fallback == nil {
+			fallback = n
+		}
+	}
+	return fallback
+}
+
+// evalAttempt runs one try of a shard: a primary attempt, plus a hedged
+// attempt on a different replica if the hedge threshold passes first. The
+// first success wins and cancels the loser; both failing returns the last
+// error.
+func (e *Engine) evalAttempt(ctx context.Context, shard, rot int, req *ShardEvalRequest) (*ShardEvalResponse, error) {
+	primary := e.pickNode(shard, rot, nil)
+	if primary == nil {
+		return nil, fmt.Errorf("remote: corpus %q shard %d has no replica to try", e.corpus, shard)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		resp  *ShardEvalResponse
+		err   error
+		hedge bool
+	}
+	ch := make(chan outcome, 2) // buffered: a losing attempt must not leak its goroutine
+	launch := func(n *nodeState, hedge bool) {
+		go func() {
+			resp, err := e.pool.EvalShard(cctx, n, req)
+			ch <- outcome{resp: resp, err: err, hedge: hedge}
+		}()
+	}
+	launch(primary, false)
+	inFlight := 1
+	var hedgeC <-chan time.Time
+	if d, ok := e.pool.hedgeDelay(primary); ok {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var lastErr error
+	for inFlight > 0 {
+		select {
+		case o := <-ch:
+			inFlight--
+			if o.err == nil {
+				if o.hedge {
+					e.pool.counters.HedgeWins.Add(1)
+				}
+				return o.resp, nil
+			}
+			lastErr = o.err
+		case <-hedgeC:
+			hedgeC = nil // fire at most one hedge per try
+			if h := e.pickNode(shard, rot+1, primary); h != nil {
+				e.pool.counters.HedgesFired.Add(1)
+				launch(h, true)
+				inFlight++
+			}
+		}
+	}
+	return nil, lastErr
+}
+
+// RunParsedEach fans the query out across remote shards (bounded by the
+// engine's parallelism) and delivers partials in strict shard order, with
+// the same contract as ShardedEngine.RunParsedEach: a shard error cancels
+// the rest of the fan-out, a consumer error cancels it too, and no
+// goroutine outlives the call.
+func (e *Engine) RunParsedEach(ctx context.Context, p *koko.ParsedQuery, qo *koko.QueryOptions, each func(shard int, part koko.Partial) error) error {
+	n := e.NumShards()
+	ready := make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	parts := make([]koko.Partial, n)
+	errs := make([]error, n)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var mu sync.Mutex
+	var firstErr error
+	record := func(err error) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		return firstErr
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.parallel.Load())
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer close(ready[i])
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := cctx.Err(); err != nil {
+				errs[i] = record(err)
+				return
+			}
+			part, err := e.RunShard(cctx, i, p, qo)
+			if err != nil {
+				errs[i] = record(fmt.Errorf("shard %d: %w", i, err))
+				cancel()
+				return
+			}
+			parts[i] = part
+		}(i)
+	}
+	var err error
+	for i := 0; i < n; i++ {
+		<-ready[i]
+		if err = errs[i]; err != nil {
+			break
+		}
+		if err = each(i, parts[i]); err != nil {
+			break
+		}
+	}
+	cancel()
+	wg.Wait()
+	return err
+}
+
+// RunParsedDegraded is the graceful-degradation surface: every shard is
+// attempted (failures do NOT cancel the others), and the merge of the
+// surviving shards is returned together with the failed shard indices.
+// Surviving tuples keep their exact global attribution — each partial
+// carries absolute offsets, so skipping a failed shard leaves the rest
+// untouched. Only when every shard fails (or ctx is done) does the call
+// error. A non-empty failed list means the result is NOT the full answer;
+// callers must mark it degraded and keep it out of result caches.
+func (e *Engine) RunParsedDegraded(ctx context.Context, p *koko.ParsedQuery, qo *koko.QueryOptions) (*koko.Result, []int, error) {
+	t0 := time.Now()
+	n := e.NumShards()
+	parts := make([]koko.Partial, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, e.parallel.Load())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			parts[i], errs[i] = e.RunShard(ctx, i, p, qo)
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	var failed []int
+	var lastErr error
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, i)
+			lastErr = err
+		}
+	}
+	if len(failed) == n {
+		return nil, failed, fmt.Errorf("remote: corpus %q: all %d shards failed: %w", e.corpus, n, lastErr)
+	}
+	res := koko.MergePartials(parts)
+	res.Elapsed = time.Since(t0)
+	return res, failed, nil
+}

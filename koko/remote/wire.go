@@ -1,0 +1,157 @@
+// Package remote makes a shard set served by other kokod processes look
+// like a local koko.Querier: an Engine fans RunShard calls out over HTTP to
+// worker nodes (POST /v1/internal/shard-eval) and merges the partials with
+// the same ordered merge a local sharded engine uses, so a distributed run
+// is byte-identical to a single-node one.
+//
+// The package is dominated by its fault-tolerance layer, because the hard
+// part of distribution is not the RPC but surviving slow, dead, and
+// flapping workers:
+//
+//   - per-node health state flipped by consecutive ping failures
+//     (Pool.HealthLoop), so dead nodes stop being first choice;
+//   - per-attempt deadlines with retry + exponential backoff + jitter
+//     against the shard's replica placement (Engine.RunShard);
+//   - hedged requests: after a latency threshold (fixed, or adaptive from
+//     the node's observed p95) a second attempt races on another replica
+//     and the first success wins;
+//   - a per-node circuit breaker (closed / open / half-open single probe)
+//     that sheds load from flapping workers;
+//   - opt-in graceful degradation (Engine.RunParsedDegraded) returning the
+//     surviving shards' tuples plus the failed shard list instead of
+//     failing the whole query;
+//   - a deterministic, seeded fault-injection hook (FaultPolicy) threaded
+//     through the transport so tests and chaos drills can drop, delay,
+//     error, and corrupt per node without touching the network stack.
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/koko"
+)
+
+// EvalPath is the worker-side shard evaluation endpoint an Engine posts to
+// (relative to a node's base URL).
+const EvalPath = "/v1/internal/shard-eval"
+
+// ShardEvalRequest asks a worker to evaluate one shard of a named corpus.
+type ShardEvalRequest struct {
+	Corpus string `json:"corpus"`
+	Shard  int    `json:"shard"`
+	// Query is the canonical query text (the coordinator parses once for
+	// cache keying, the worker re-parses; canonicalization keeps the two in
+	// agreement).
+	Query   string `json:"query"`
+	Explain bool   `json:"explain,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+	// Generation, when non-zero, pins the snapshot generation the
+	// coordinator discovered: a worker whose corpus has moved on answers
+	// 409 rather than silently evaluating different data.
+	Generation uint64 `json:"generation,omitempty"`
+}
+
+// ShardEvalResponse is one shard's partial result plus the offsets that
+// rebase it into the global corpus (the fields of koko.Partial, flattened
+// for the wire) and a checksum the coordinator verifies before merging.
+type ShardEvalResponse struct {
+	Result     *koko.Result `json:"result"`
+	DocOffset  int          `json:"doc_offset"`
+	SentOffset int          `json:"sent_offset"`
+	Generation uint64       `json:"generation"`
+	// Checksum is PartialChecksum(Result): end-to-end corruption detection
+	// for the tuple payload, independent of TCP's per-segment checks.
+	Checksum uint64 `json:"checksum"`
+}
+
+// PartialChecksum hashes the merge-relevant content of a shard result —
+// tuple ids, values, scores, evidence shape, and the candidate/match
+// counts — with FNV-1a. Workers stamp it on every response and the
+// coordinator recomputes it after decoding; a mismatch is treated like any
+// other attempt failure and retried on a replica.
+func PartialChecksum(res *koko.Result) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeFloat := func(f float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		h.Write(buf[:])
+	}
+	if res == nil {
+		return h.Sum64()
+	}
+	writeInt(int64(res.Candidates))
+	writeInt(int64(res.Matched))
+	writeInt(int64(len(res.Tuples)))
+	for _, t := range res.Tuples {
+		writeInt(int64(t.SentenceID))
+		writeInt(int64(t.Document))
+		writeInt(int64(len(t.Values)))
+		for _, v := range t.Values {
+			h.Write([]byte(v))
+			h.Write([]byte{0})
+		}
+		if len(t.Scores) > 0 {
+			keys := make([]string, 0, len(t.Scores))
+			for k := range t.Scores {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				h.Write([]byte(k))
+				h.Write([]byte{0})
+				writeFloat(t.Scores[k])
+			}
+		}
+		writeInt(int64(len(t.Evidence)))
+		for _, ev := range t.Evidence {
+			h.Write([]byte(ev.Variable))
+			h.Write([]byte{0})
+			h.Write([]byte(ev.Condition))
+			h.Write([]byte{0})
+			writeFloat(ev.Weight)
+			writeFloat(ev.Confidence)
+			writeFloat(ev.Contribution)
+		}
+	}
+	return h.Sum64()
+}
+
+// ErrShardUnavailable marks a shard whose every replica (across all retry
+// attempts) failed. Callers match it with errors.Is; the concrete error is
+// a *ShardUnavailableError carrying the last per-attempt failure.
+var ErrShardUnavailable = errors.New("shard unavailable")
+
+// ErrCorruptPartial marks a shard response whose recomputed checksum
+// disagreed with the one the worker stamped — the attempt-level failure
+// that corruption detection turns into a retry.
+var ErrCorruptPartial = errors.New("corrupt shard partial")
+
+// ShardUnavailableError is the typed terminal failure of Engine.RunShard:
+// every replica of the shard failed on every attempt.
+type ShardUnavailableError struct {
+	Corpus   string
+	Shard    int
+	Attempts int
+	// Last is the final attempt's error (the proximate cause).
+	Last error
+}
+
+func (e *ShardUnavailableError) Error() string {
+	return fmt.Sprintf("corpus %q shard %d unavailable after %d attempts: %v",
+		e.Corpus, e.Shard, e.Attempts, e.Last)
+}
+
+// Is makes errors.Is(err, ErrShardUnavailable) match.
+func (e *ShardUnavailableError) Is(target error) bool { return target == ErrShardUnavailable }
+
+// Unwrap exposes the last attempt's error for errors.Is/As chains.
+func (e *ShardUnavailableError) Unwrap() error { return e.Last }
