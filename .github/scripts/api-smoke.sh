@@ -30,6 +30,20 @@ QUERY_TEXT='extract x:Entity from \"blogs\" if () satisfying x (str(x) contains 
 echo "== buffered query"
 curl -sf "$BASE/query" -d "{\"corpus\":\"demo-cafes\",\"query\":\"$QUERY_TEXT\"}" | grep -q '"Cafe Vita"'
 
+echo "== query planner: plan block + metrics"
+# An extract query with real conditions carries the planner's chosen order;
+# plan=off (the written-order differential baseline) must not.
+PLAN_QUERY='extract a:Str from \"blogs\" if (/ROOT:{ a = ^[min=1,max=2], v = //verb, w = \"Cafe Vita\" } (w) in (a))'
+PLANRESP=$(curl -sf "$BASE/query" -d "{\"corpus\":\"demo-cafes\",\"query\":\"$PLAN_QUERY\"}")
+echo "$PLANRESP" | grep -q '"plan":{'
+echo "$PLANRESP" | grep -q '"steps":\['
+OFFRESP=$(curl -sf "$BASE/query" -d "{\"corpus\":\"demo-cafes\",\"query\":\"$PLAN_QUERY\",\"plan\":\"off\"}")
+if echo "$OFFRESP" | grep -q '"plan":{'; then
+  echo "plan=off response carries a plan block" >&2; exit 1
+fi
+curl -sf "$BASE/metrics" | grep -q '"plans_reordered"'
+curl -sf "$BASE/metrics" | grep -q '"plan_time_us"'
+
 echo "== streamed NDJSON query"
 STREAM=$(curl -sf "$BASE/query?stream=1" -d "{\"corpus\":\"demo-cafes\",\"query\":\"$QUERY_TEXT\",\"no_cache\":true}")
 echo "$STREAM" | grep -q '"tuple"'

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig3 fig4 fig5 nell fig6 fig7 fig8 tab1 tab2 odin ablation server all, or hotpath / shard / jobs / ingest / wal / dist (JSON snapshots, excluded from all)")
+	exp := flag.String("exp", "all", "experiment id: fig3 fig4 fig5 nell fig6 fig7 fig8 tab1 tab2 odin ablation server all, or hotpath / plan / shard / jobs / ingest / wal / dist (JSON snapshots, excluded from all)")
 	scale := flag.Int("scale", 1, "corpus scale multiplier")
 	seed := flag.Int64("seed", 1, "generator seed")
 	iters := flag.Int("iters", 3, "timing iterations for -exp shard (best-of-N) and -exp jobs (probe count multiplier)")
@@ -80,7 +80,13 @@ func main() {
 		// Not part of -exp all: emits pure JSON (the committed
 		// BENCH_engine.json snapshot) on stdout for redirection.
 		any = true
-		hotpath()
+		hotpath(*iters)
+	}
+	if *exp == "plan" {
+		// Not part of -exp all: emits pure JSON (the committed
+		// BENCH_plan.json snapshot) on stdout for redirection.
+		any = true
+		planBench(*iters)
 	}
 	if *exp == "shard" {
 		// Not part of -exp all: emits pure JSON (the committed
@@ -260,8 +266,17 @@ func ablation(seed int64, scale int) {
 // The snapshot pairs the current engine's ns/op, B/op, allocs/op on the
 // HappyDB extract workload with the committed pre-refactor baseline, so
 // future PRs have a trajectory to beat.
-func hotpath() {
-	fmt.Print(experiments.FormatHotPath(experiments.RunHotPathBench()))
+func hotpath(iters int) {
+	snap := experiments.RunHotPathBench()
+	snap.Plan = experiments.RunPlanBench(iters).Points
+	fmt.Print(experiments.FormatHotPath(snap))
+}
+
+// planBench writes the planner on/off comparison as JSON:
+//
+//	kokobench -exp plan > BENCH_plan.json
+func planBench(iters int) {
+	fmt.Print(experiments.FormatPlan(experiments.RunPlanBench(iters)))
 }
 
 // shard writes the sharded-execution scaling snapshot as JSON:

@@ -144,6 +144,7 @@ func main() {
 	walMaxBytes := flag.Int64("wal-max-bytes", 64<<20, "WAL size that triggers a background compaction with -data-dir (0 = no size trigger)")
 	compactEvery := flag.Duration("compact-interval", 0, "background compaction loop period; folds every pending delta into its base shards (0 = disabled)")
 	cacheMinCost := flag.Duration("cache-min-cost", 0, "cost-aware cache admission: only cache results whose evaluation took at least this long (0 = cache everything)")
+	plan := flag.String("plan", "on", "statistics-free query planner: on (selectivity-ordered condition evaluation) or off (written order; the differential baseline)")
 	role := flag.String("role", "standalone", "node role: standalone, worker (serves shard evaluations; same as standalone), or coordinator (fans queries out to -worker nodes)")
 	var workerAddrs loadFlags
 	flag.Var(&workerAddrs, "worker", "worker node address for -role coordinator, as host:port or URL (repeatable or comma-separated)")
@@ -162,6 +163,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("kokod: %v", err)
 	}
+	if *plan != "on" && *plan != "off" {
+		log.Fatalf("kokod: -plan must be on or off, got %q", *plan)
+	}
 	svc := server.NewService(server.Config{
 		MaxConcurrent:     *pool,
 		CacheSize:         *cache,
@@ -175,6 +179,7 @@ func main() {
 		CacheTTL:          cacheTTL.def,
 		CacheTTLPerCorpus: cacheTTL.per,
 		CacheMinCost:      *cacheMinCost,
+		DisablePlan:       *plan == "off",
 		MaxDeltaDocs:      *maxDelta,
 		DataDir:           *dataDir,
 		WALSync:           syncPolicy,

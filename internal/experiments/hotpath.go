@@ -60,6 +60,9 @@ type BenchSnapshot struct {
 	Note     string       `json:"note"`
 	Baseline []BenchPoint `json:"baseline_pr2_seed"`
 	Current  []BenchPoint `json:"current"`
+	// Plan compares plan-on vs plan-off wall clock per corpus and query
+	// shape (see RunPlanBench); refreshed together with the hot-path rows.
+	Plan []PlanBenchPoint `json:"plan,omitempty"`
 }
 
 // HotPathBaseline pins the pre-refactor (PR 2 seed) numbers, measured on

@@ -161,7 +161,7 @@ func BenchmarkDPLIJoin(b *testing.B) {
 		nqs = append(nqs, nq)
 	}
 	for _, nq := range nqs {
-		if d := runDPLI(nq, e.ix); d.exhausted || len(d.candSids) == 0 {
+		if d := runDPLI(nq, e.ix, false); d.exhausted || len(d.candSids) == 0 {
 			b.Fatal("benchmark join query pruned to nothing")
 		}
 	}
@@ -169,7 +169,7 @@ func BenchmarkDPLIJoin(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, nq := range nqs {
-			runDPLI(nq, e.ix)
+			runDPLI(nq, e.ix, false)
 		}
 	}
 }

@@ -75,7 +75,7 @@ func TestSlotEvalMatchesSeedSemantics(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: normalize(%s): %v", cname, src, err)
 				}
-				dpli := runDPLI(nq, ix)
+				dpli := runDPLI(nq, ix, false)
 				rc := newRECache()
 				cc := newCountCursor(dpli, len(nq.vars))
 				ev := newSentEval(nq, rc, gspOff)
@@ -124,7 +124,7 @@ func TestSlotEvalRandomizedCorpora(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			dpli := runDPLI(nq, ix)
+			dpli := runDPLI(nq, ix, false)
 			rc := newRECache()
 			cc := newCountCursor(dpli, len(nq.vars))
 			ev := newSentEval(nq, rc, false)

@@ -66,8 +66,11 @@ func countsOfEntities(eps []index.EntityPosting) varCounts {
 	return vc
 }
 
-// runDPLI implements §4.2 over the multi-index.
-func runDPLI(nq *normQuery, ix *index.Index) *dpliResult {
+// runDPLI implements §4.2 over the multi-index. planned enables the
+// selectivity-ordered join pre-filter inside decomposed-path lookups (the
+// planner's DPLI-level leg); planned=false reproduces the written-order
+// baseline exactly.
+func runDPLI(nq *normQuery, ix *index.Index, planned bool) *dpliResult {
 	res := &dpliResult{counts: make([]varCounts, len(nq.vars))}
 	var sidSets [][]int32
 
@@ -105,7 +108,7 @@ func runDPLI(nq *normQuery, ix *index.Index) *dpliResult {
 	dominant, repOf := nq.dominantPaths()
 	domCounts := map[string]varCounts{}
 	for _, dv := range dominant {
-		ps, ok := LookupDecomposed(ix, dv.path)
+		ps, ok := lookupDecomposed(ix, dv.path, FullMode, planned)
 		if !ok {
 			res.exhausted = true
 			return res
@@ -188,13 +191,27 @@ var FullMode = AblationMode{UsePL: true, UsePOS: true, UseWords: true}
 // in which case evaluation "immediately ceases" (§4.2.2 Discussion).
 // Exported for the index-scheme comparison harness.
 func LookupDecomposed(ix *index.Index, steps []lang.PathStep) ([]index.Posting, bool) {
-	return LookupDecomposedMode(ix, steps, FullMode)
+	return lookupDecomposed(ix, steps, FullMode, false)
 }
 
 // LookupDecomposedMode is LookupDecomposed restricted to a subset of the
 // index families; disabled families contribute no pruning (their decomposed
 // paths are treated as pure wildcards). Used by the ablation experiments.
 func LookupDecomposedMode(ix *index.Index, steps []lang.PathStep, mode AblationMode) ([]index.Posting, bool) {
+	return lookupDecomposed(ix, steps, mode, false)
+}
+
+// lookupDecomposed is the shared implementation. planned reorders the
+// word-chain joins by selectivity: every decomposed posting list is fetched
+// up front, their sentence-id sets are intersected smallest-first, and each
+// list (and the hierarchy join result) is restricted to the surviving
+// sentences before the pairwise joinAncestorDescendant / joinSameToken /
+// joinHasAncestor merges run. Any posting the unfiltered joins would emit
+// has a same-sentence witness in every list, so its sentence survives the
+// intersection and the filtered joins emit it too — the pre-filter only
+// removes sentences that could never join, making the expensive per-sid
+// merge work proportional to the most selective list instead of the first.
+func lookupDecomposed(ix *index.Index, steps []lang.PathStep, mode AblationMode, planned bool) ([]index.Posting, bool) {
 	m := len(steps)
 	plPath := make(index.Path, m)
 	posPath := make(index.Path, m)
@@ -302,20 +319,46 @@ func LookupDecomposedMode(ix *index.Index, steps []lang.PathStep, mode AblationM
 		return true
 	}
 
-	first := words[0]
-	cur := filterByDepth(ix.LookupWord(first.word), int32(first.step), exactPrefix(first.step))
-	if len(cur) == 0 {
-		return nil, false
-	}
-	for k := 1; k < len(words); k++ {
-		w := words[k]
-		next := filterByDepth(ix.LookupWord(w.word), int32(w.step), exactPrefix(w.step))
-		if len(next) == 0 {
+	lists := make([][]index.Posting, len(words))
+	for k, w := range words {
+		lists[k] = filterByDepth(ix.LookupWord(w.word), int32(w.step), exactPrefix(w.step))
+		if len(lists[k]) == 0 {
 			return nil, false
 		}
-		gap := int32(w.step - words[k-1].step)
-		exact := exactBetween(words[k-1].step, w.step)
-		cur = joinAncestorDescendant(cur, next, gap, exact)
+	}
+	if planned && (len(words) > 1 || !pAll) {
+		// Selectivity pre-filter: intersect every list's sentence ids
+		// smallest-first, then restrict all join inputs to the survivors.
+		sets := make([][]int32, 0, len(words)+1)
+		for _, l := range lists {
+			sets = append(sets, index.SidsOf(l))
+		}
+		if !pAll {
+			sets = append(sets, index.SidsOf(p))
+		}
+		sort.Slice(sets, func(i, j int) bool { return len(sets[i]) < len(sets[j]) })
+		allowed := sets[0]
+		for _, s := range sets[1:] {
+			if len(allowed) == 0 {
+				break
+			}
+			allowed = index.IntersectSids(allowed, s)
+		}
+		if len(allowed) == 0 {
+			return nil, false
+		}
+		for k := range lists {
+			lists[k] = filterBySids(lists[k], allowed)
+		}
+		if !pAll {
+			p = filterBySids(p, allowed)
+		}
+	}
+	cur := lists[0]
+	for k := 1; k < len(words); k++ {
+		gap := int32(words[k].step - words[k-1].step)
+		exact := exactBetween(words[k-1].step, words[k].step)
+		cur = joinAncestorDescendant(cur, lists[k], gap, exact)
 		if len(cur) == 0 {
 			return nil, false
 		}
@@ -379,6 +422,29 @@ func filterByDepth(ps []index.Posting, step int32, exact bool) []index.Posting {
 	for _, p := range ps {
 		if (exact && p.D == step) || (!exact && p.D >= step) {
 			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// filterBySids keeps the postings whose sentence is in the sorted allowed
+// set, with one merge walk (galloping over non-matching runs).
+func filterBySids(ps []index.Posting, allowed []int32) []index.Posting {
+	out := ps[:0:0]
+	i, j := 0, 0
+	for i < len(ps) && j < len(allowed) {
+		switch {
+		case ps[i].Sid < allowed[j]:
+			i = seekSid(ps, i, allowed[j])
+		case allowed[j] < ps[i].Sid:
+			j++
+		default:
+			sid := allowed[j]
+			for i < len(ps) && ps[i].Sid == sid {
+				out = append(out, ps[i])
+				i++
+			}
+			j++
 		}
 	}
 	return out

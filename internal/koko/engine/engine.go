@@ -41,6 +41,10 @@ type Options struct {
 	// paper's debuggability claim: "users can discover the reasons that
 	// led to an extraction").
 	Explain bool
+	// DisablePlan turns the selectivity planner off: conditions evaluate in
+	// the order the query wrote them (the differential baseline for the
+	// plan-on/plan-off comparison).
+	DisablePlan bool
 }
 
 // Engine evaluates KOKO queries over an indexed corpus.
@@ -76,10 +80,12 @@ type Tuple struct {
 	Evidence []CondEvidence
 }
 
-// PhaseTimes is the Table 2 breakdown.
+// PhaseTimes is the Table 2 breakdown, plus the query-planning phase (its
+// own line so BENCH numbers isolate planner overhead from extract time).
 type PhaseTimes struct {
 	Normalize   time.Duration
 	DPLI        time.Duration
+	Plan        time.Duration
 	LoadArticle time.Duration
 	GSP         time.Duration
 	Extract     time.Duration
@@ -88,7 +94,24 @@ type PhaseTimes struct {
 
 // Total sums all phases.
 func (p PhaseTimes) Total() time.Duration {
-	return p.Normalize + p.DPLI + p.LoadArticle + p.GSP + p.Extract + p.Satisfying
+	return p.Normalize + p.DPLI + p.Plan + p.LoadArticle + p.GSP + p.Extract + p.Satisfying
+}
+
+// PlanStep is one position of the chosen evaluation order: the variable,
+// its kind, the DPLI binding estimate the planner ordered by, and the
+// actual candidate bindings enumerated during evaluation.
+type PlanStep struct {
+	Var       string
+	Kind      string
+	Estimated int64
+	Actual    int64
+}
+
+// PlanInfo surfaces the query plan: the chosen condition order and whether
+// it differs from the written order.
+type PlanInfo struct {
+	Steps     []PlanStep
+	Reordered bool
 }
 
 // Result is the outcome of a query run.
@@ -101,6 +124,9 @@ type Result struct {
 	CandidateSentences int
 	MatchedSentences   int
 	EvaluatedSentences int
+	// Plan is the selectivity plan used for this run (nil when planning was
+	// off or the query short-circuited before evaluation).
+	Plan *PlanInfo
 }
 
 // RunOptions overrides per-run evaluation knobs without rebuilding the
@@ -112,6 +138,9 @@ type RunOptions struct {
 	Workers int
 	// Explain attaches per-condition evidence to this run's tuples.
 	Explain bool
+	// NoPlan evaluates conditions in written order for this run instead of
+	// the selectivity-ordered plan.
+	NoPlan bool
 	// Ctx, when non-nil, cancels the run: evaluation checks it between
 	// documents (the natural unit — aggregation is document-scoped) and the
 	// run returns ctx.Err() instead of a partial result. This is what makes
@@ -133,7 +162,9 @@ func ctxErr(ctx context.Context) error {
 // (the regexp cache and the global score cache) is mutex-guarded, and each
 // run's working state is private to the call.
 func (e *Engine) Run(q *lang.Query) (*Result, error) {
-	return e.RunWith(q, RunOptions{Workers: e.opts.Workers, Explain: e.opts.Explain})
+	return e.RunWith(q, RunOptions{
+		Workers: e.opts.Workers, Explain: e.opts.Explain, NoPlan: e.opts.DisablePlan,
+	})
 }
 
 // RunWith evaluates a parsed query with per-run overrides. Like Run it is
@@ -151,7 +182,7 @@ func (e *Engine) RunWith(q *lang.Query, ro RunOptions) (*Result, error) {
 	res.Times.Normalize = time.Since(t0)
 
 	t0 = time.Now()
-	dpli := runDPLI(nq, e.ix)
+	dpli := runDPLI(nq, e.ix, !ro.NoPlan)
 	res.Times.DPLI = time.Since(t0)
 	if dpli.exhausted {
 		return res, nil
@@ -166,7 +197,14 @@ func (e *Engine) RunWith(q *lang.Query, ro RunOptions) (*Result, error) {
 		cands = dpli.candSids
 	}
 	res.CandidateSentences = len(cands)
-	if err := e.evaluateCandidates(nq, dpli, cands, res, ro); err != nil {
+	var plan *queryPlan
+	if !ro.NoPlan {
+		t0 = time.Now()
+		plan = buildQueryPlan(nq, dpli, cands)
+		res.Times.Plan = time.Since(t0)
+		res.Plan = plan.info(nq)
+	}
+	if err := e.evaluateCandidates(nq, dpli, cands, res, ro, plan); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -187,7 +225,7 @@ func (e *Engine) RunNaive(q *lang.Query) (*Result, error) {
 	}
 	res.CandidateSentences = len(cands)
 	if err := e.evaluateCandidates(nq, &dpliResult{}, cands, res,
-		RunOptions{Workers: e.opts.Workers, Explain: e.opts.Explain}); err != nil {
+		RunOptions{Workers: e.opts.Workers, Explain: e.opts.Explain}, nil); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -199,7 +237,7 @@ type docRange struct {
 	lo, hi int
 }
 
-func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int32, res *Result, ro RunOptions) error {
+func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int32, res *Result, ro RunOptions, plan *queryPlan) error {
 	// Group candidate sentences by document (evidence aggregation and
 	// article loading are document-scoped). cands is sorted and DocOfSent is
 	// non-decreasing in sid, so grouping is one linear pass — no map, no
@@ -217,7 +255,7 @@ func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int
 
 	workers := ro.Workers
 	if workers <= 1 {
-		w := e.newDocWorker(nq, dpli, ro)
+		w := e.newDocWorker(nq, dpli, ro, plan)
 		for _, r := range ranges {
 			if err := ctxErr(ro.Ctx); err != nil {
 				return err
@@ -225,6 +263,7 @@ func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int
 			dr := w.evalDoc(r.doc, cands[r.lo:r.hi])
 			mergeDocResult(res, dr)
 		}
+		addPlanActuals(res, plan, w.ev)
 		return nil
 	}
 	// Parallel mode: one goroutine per worker pulls documents from a shared
@@ -234,13 +273,15 @@ func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int
 	// almost nothing per sentence. A done context stops workers between
 	// documents; the partial results array is then discarded.
 	results := make([]docEvalResult, len(ranges))
+	evs := make([]*sentEval, workers)
 	var next int64
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
-		go func() {
+		go func(wk int) {
 			defer wg.Done()
-			w := e.newDocWorker(nq, dpli, ro)
+			w := e.newDocWorker(nq, dpli, ro, plan)
+			evs[wk] = w.ev
 			for {
 				if ctxErr(ro.Ctx) != nil {
 					return
@@ -252,7 +293,7 @@ func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int
 				r := ranges[i]
 				results[i] = w.evalDoc(r.doc, cands[r.lo:r.hi])
 			}
-		}()
+		}(wk)
 	}
 	wg.Wait()
 	if err := ctxErr(ro.Ctx); err != nil {
@@ -261,7 +302,21 @@ func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int
 	for i := range results {
 		mergeDocResult(res, results[i])
 	}
+	for _, ev := range evs {
+		addPlanActuals(res, plan, ev)
+	}
 	return nil
+}
+
+// addPlanActuals folds one worker's per-slot candidate counts into the
+// plan's estimated-vs-actual report.
+func addPlanActuals(res *Result, plan *queryPlan, ev *sentEval) {
+	if plan == nil || res.Plan == nil || ev == nil || ev.actual == nil {
+		return
+	}
+	for i, st := range plan.steps {
+		res.Plan.Steps[i].Actual += ev.actual[st.slot]
+	}
 }
 
 // docEvalResult is one document's evaluation outcome.
@@ -293,14 +348,16 @@ type docWorker struct {
 	cc countCursor
 }
 
-func (e *Engine) newDocWorker(nq *normQuery, dpli *dpliResult, ro RunOptions) *docWorker {
-	return &docWorker{
+func (e *Engine) newDocWorker(nq *normQuery, dpli *dpliResult, ro RunOptions, plan *queryPlan) *docWorker {
+	w := &docWorker{
 		e:  e,
 		nq: nq,
 		ro: ro,
 		ev: newSentEval(nq, e.rc, e.opts.DisableSkipPlan),
 		cc: newCountCursor(dpli, len(nq.vars)),
 	}
+	w.ev.setPlan(plan)
+	return w
 }
 
 // evalDoc evaluates every candidate sentence of one document: GSP + nested
@@ -437,7 +494,7 @@ func (e *Engine) Candidates(q *lang.Query) ([]int32, error) {
 	if err != nil {
 		return nil, err
 	}
-	dpli := runDPLI(nq, e.ix)
+	dpli := runDPLI(nq, e.ix, !e.opts.DisablePlan)
 	if dpli.exhausted {
 		return nil, nil
 	}

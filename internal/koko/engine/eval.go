@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 
@@ -74,7 +75,26 @@ type sentEval struct {
 	pathSeen    []bool
 	pathMatched []bool
 
-	enum []*normVar // enumerable variables this sentence
+	enum []*normVar // enumerable variables this sentence, in loop order
+
+	// plan, when non-nil, orders candidate building and the nested loops by
+	// the per-query selectivity plan instead of declaration order. actual
+	// accumulates per-slot candidate-list sizes for the plan's
+	// estimated-vs-actual report.
+	plan   *queryPlan
+	actual []int64
+
+	// Emission-order restoration scratch (only used when plan.reordered):
+	// workIdx tracks the candidate index behind each working binding,
+	// trackIdx arms per-assignment snapshots into outIdx, canonEnum is the
+	// declaration-order enumerable list the sort key follows, sortPerm and
+	// outScratch are the permutation buffers.
+	workIdx    []int32
+	trackIdx   bool
+	outIdx     []int32
+	canonEnum  []*normVar
+	sortPerm   []int
+	outScratch []binding
 
 	work    assignment // nested-loop working assignment
 	workSet bitmask
@@ -104,6 +124,7 @@ func newSentEval(nq *normQuery, rc *reCache, gspOff bool) *sentEval {
 		nodeTids: make([][]int32, n),
 		nodeDone: make([]bool, n),
 		enum:     make([]*normVar, 0, n),
+		workIdx:  make([]int32, n),
 		work:     make(assignment, n),
 		workSet:  newBitmask(n),
 		full:     make(assignment, n),
@@ -113,6 +134,15 @@ func newSentEval(nq *normQuery, rc *reCache, gspOff bool) *sentEval {
 		costs:    make([]gspCost, 0, nq.maxComps),
 	}
 	return ev
+}
+
+// setPlan installs the per-query evaluation order (nil = written order).
+func (ev *sentEval) setPlan(p *queryPlan) {
+	ev.plan = p
+	if p != nil && ev.actual == nil {
+		ev.actual = make([]int64, len(ev.nq.vars))
+		ev.canonEnum = make([]*normVar, 0, len(ev.nq.vars))
+	}
 }
 
 // prepare resets the scratch for sentence sid and generates the skip plan
@@ -134,19 +164,76 @@ func (ev *sentEval) prepare(s *nlp.Sentence, cc *countCursor, sid int32) {
 
 // extract runs candidate building and the nested loops. It returns the
 // number of emitted assignments, which live in the scratch arena (read them
-// with out) and stay valid until the next prepare call.
+// with out) and stay valid until the next prepare call. With a plan, loops
+// run in plan order and the emissions are re-sorted into declaration order,
+// so the output sequence is identical either way.
 func (ev *sentEval) extract() int {
 	if !ev.buildCandidates() {
 		return 0
 	}
 	ev.enum = ev.enum[:0]
-	for _, v := range ev.nq.vars {
-		if ev.isEnumerable(v) {
-			ev.enum = append(ev.enum, v)
+	if ev.plan != nil {
+		for _, st := range ev.plan.steps {
+			if v := ev.nq.vars[st.slot]; ev.isEnumerable(v) {
+				ev.enum = append(ev.enum, v)
+			}
+		}
+	} else {
+		for _, v := range ev.nq.vars {
+			if ev.isEnumerable(v) {
+				ev.enum = append(ev.enum, v)
+			}
+		}
+	}
+	ev.trackIdx = ev.plan != nil && ev.plan.reordered
+	if ev.trackIdx {
+		ev.outIdx = ev.outIdx[:0]
+		ev.canonEnum = ev.canonEnum[:0]
+		for _, v := range ev.nq.vars {
+			if ev.isEnumerable(v) {
+				ev.canonEnum = append(ev.canonEnum, v)
+			}
 		}
 	}
 	ev.enumerate(0)
+	if ev.trackIdx && ev.nout > 1 {
+		ev.restoreDeclOrder()
+	}
 	return ev.nout
+}
+
+// restoreDeclOrder re-sorts the emission arena into the sequence a
+// declaration-order enumeration would have produced: ascending by the
+// candidate indices of the enumerable variables taken in declaration order.
+// The planned loops emit exactly the same assignment set (each assignment is
+// uniquely identified by its candidate indices), so this sort makes planned
+// and written-order runs byte-identical.
+func (ev *sentEval) restoreDeclOrder() {
+	n := len(ev.nq.vars)
+	perm := ev.sortPerm[:0]
+	for i := 0; i < ev.nout; i++ {
+		perm = append(perm, i)
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		ia, ib := perm[a]*n, perm[b]*n
+		for _, v := range ev.canonEnum {
+			da, db := ev.outIdx[ia+v.slot], ev.outIdx[ib+v.slot]
+			if da != db {
+				return da < db
+			}
+		}
+		return false
+	})
+	ev.sortPerm = perm
+	need := ev.nout * n
+	if cap(ev.outScratch) < need {
+		ev.outScratch = make([]binding, need)
+	}
+	dst := ev.outScratch[:need]
+	for di, si := range perm {
+		copy(dst[di*n:(di+1)*n], ev.outB[si*n:(si+1)*n])
+	}
+	ev.outB, ev.outScratch = dst, ev.outB
 }
 
 // evalSentence is prepare + extract in one call, for callers that don't
@@ -166,10 +253,7 @@ func (ev *sentEval) out(i int) assignment {
 // variables (subtrees, span concatenations) and skipped variables are
 // computed from others.
 func (ev *sentEval) isEnumerable(v *normVar) bool {
-	if v.kind == vkSubtree || v.kind == vkSpan {
-		return false
-	}
-	return !ev.skip[v.slot]
+	return v.enumerableKind() && !ev.skip[v.slot]
 }
 
 // generateSkipPlan implements Algorithm 2 with one soundness refinement: a
@@ -231,57 +315,76 @@ func (ev *sentEval) costLess(a, b gspCost) bool {
 
 // buildCandidates fills per-variable candidate bindings. Returns false when
 // some enumerable variable has no candidates (the sentence yields nothing).
+// With a plan, lists are built in plan order so the cheapest empty list
+// exits before any expensive list is materialized.
 func (ev *sentEval) buildCandidates() bool {
-	s := ev.s
-	t := len(s.Tokens)
+	if ev.plan != nil {
+		for i := range ev.plan.steps {
+			if !ev.buildCandidateList(ev.nq.vars[ev.plan.steps[i].slot]) {
+				return false
+			}
+		}
+		return true
+	}
 	for _, v := range ev.nq.vars {
-		if v.kind == vkSubtree || v.kind == vkSpan {
+		if !v.enumerableKind() {
 			continue
 		}
-		list := ev.cands[v.slot][:0]
-		if !ev.isEnumerable(v) {
-			ev.cands[v.slot] = list
-			continue
-		}
-		switch v.kind {
-		case vkNode:
-			for _, tid := range ev.nodeMatches(v) {
-				list = append(list, binding{sp: span{int(tid), int(tid)}, tid: int(tid)})
-			}
-		case vkEntity:
-			for ei := range s.Entities {
-				e := &s.Entities[ei]
-				if nlp.GPEAlias(v.etype, e.Type) {
-					list = append(list, binding{sp: span{e.L, e.R}, tid: -1})
-				}
-			}
-		case vkTokens:
-			for i := 0; i+len(v.words) <= t; i++ {
-				if seqAt(s, i, v.words) {
-					list = append(list, binding{sp: span{i, i + len(v.words) - 1}, tid: -1})
-				}
-			}
-		case vkElastic:
-			// Un-skipped elastic (or NOGSP): enumerate every span,
-			// including the empty span at each position — the t(t+1)/2
-			// cost the skip plan exists to avoid.
-			for l := 0; l <= t; l++ {
-				if ev.elasticOK(v, emptySpanAt(l)) {
-					list = append(list, binding{sp: emptySpanAt(l), tid: -1})
-				}
-				for r := l; r < t; r++ {
-					if ev.elasticOK(v, span{l, r}) {
-						list = append(list, binding{sp: span{l, r}, tid: -1})
-					}
-				}
-			}
-		}
-		ev.cands[v.slot] = list
-		if len(list) == 0 {
+		if !ev.buildCandidateList(v) {
 			return false
 		}
 	}
 	return true
+}
+
+// buildCandidateList fills one variable's candidate bindings, returning
+// false when an enumerable variable comes up empty.
+func (ev *sentEval) buildCandidateList(v *normVar) bool {
+	s := ev.s
+	t := len(s.Tokens)
+	list := ev.cands[v.slot][:0]
+	if !ev.isEnumerable(v) {
+		ev.cands[v.slot] = list
+		return true
+	}
+	switch v.kind {
+	case vkNode:
+		for _, tid := range ev.nodeMatches(v) {
+			list = append(list, binding{sp: span{int(tid), int(tid)}, tid: int(tid)})
+		}
+	case vkEntity:
+		for ei := range s.Entities {
+			e := &s.Entities[ei]
+			if nlp.GPEAlias(v.etype, e.Type) {
+				list = append(list, binding{sp: span{e.L, e.R}, tid: -1})
+			}
+		}
+	case vkTokens:
+		for i := 0; i+len(v.words) <= t; i++ {
+			if seqAt(s, i, v.words) {
+				list = append(list, binding{sp: span{i, i + len(v.words) - 1}, tid: -1})
+			}
+		}
+	case vkElastic:
+		// Un-skipped elastic (or NOGSP): enumerate every span,
+		// including the empty span at each position — the t(t+1)/2
+		// cost the skip plan exists to avoid.
+		for l := 0; l <= t; l++ {
+			if ev.elasticOK(v, emptySpanAt(l)) {
+				list = append(list, binding{sp: emptySpanAt(l), tid: -1})
+			}
+			for r := l; r < t; r++ {
+				if ev.elasticOK(v, span{l, r}) {
+					list = append(list, binding{sp: span{l, r}, tid: -1})
+				}
+			}
+		}
+	}
+	ev.cands[v.slot] = list
+	if ev.actual != nil {
+		ev.actual[v.slot] += int64(len(list))
+	}
+	return len(list) > 0
 }
 
 // nodeMatches returns (and caches) the sound per-sentence matches of a node
@@ -392,8 +495,9 @@ func (ev *sentEval) enumerate(i int) {
 		return
 	}
 	v := ev.enum[i]
-	for _, b := range ev.cands[v.slot] {
-		ev.work[v.slot] = b
+	for bi := range ev.cands[v.slot] {
+		ev.work[v.slot] = ev.cands[v.slot][bi]
+		ev.workIdx[v.slot] = int32(bi)
 		ev.workSet.set(v.slot)
 		if ev.constraintsOK(v.slot) {
 			ev.enumerate(i + 1)
@@ -485,6 +589,9 @@ func (ev *sentEval) deriveAndEmit() {
 		}
 	}
 	ev.outB = append(ev.outB, ev.full...)
+	if ev.trackIdx {
+		ev.outIdx = append(ev.outIdx, ev.workIdx...)
+	}
 	ev.nout++
 }
 

@@ -44,6 +44,14 @@ type normVar struct {
 	compSlots []int // vkSpan: slots of comps, in order
 }
 
+// enumerableKind reports whether the variable kind gets its own nested loop
+// in the extract evaluation. Derived kinds — subtrees and span
+// concatenations — are computed from other variables' bindings, so they are
+// never enumerated (and never planned).
+func (v *normVar) enumerableKind() bool {
+	return v.kind != vkSubtree && v.kind != vkSpan
+}
+
 // constraint kinds derived during normalization plus the user's in/eq.
 type consKind int
 

@@ -1,0 +1,194 @@
+package engine
+
+// Statistics-free query planning: before evaluation, every enumerable
+// variable (≈ one extract condition) is scored by its exact DPLI binding
+// count summed over the candidate sentences — numbers the index lookups
+// already produced, so planning maintains no statistics and costs one merge
+// walk per variable. A greedy pass then orders the nested loops
+// smallest-first, preferring variables constraint-connected to the already
+// ordered set so eager constraint checks prune as early as possible (the
+// "When Greedy Beats Optimal" result: greedy ordering from cheap cardinality
+// signals captures most of the benefit of cost-based planning at a fraction
+// of its cost). Candidate lists are also built in plan order, so a sentence
+// whose cheapest condition is empty exits before any expensive list (an
+// elastic span's O(t²) enumeration) is materialized.
+//
+// Reordering never changes results: candidate lists are independent per
+// variable, constraints are re-checked on every complete assignment, and
+// restoreDeclOrder (eval.go) re-sorts each sentence's emissions into the
+// sequence a written-order enumeration would have produced — so planner-on
+// and planner-off runs are byte-identical.
+
+// elasticEstimate stands in for variables with no index-derived estimate:
+// an elastic span's candidate list is the full O(t²) span enumeration, so
+// it orders after anything with a real binding count.
+const elasticEstimate = int64(1) << 40
+
+// planStep is one position of the chosen evaluation order.
+type planStep struct {
+	slot int
+	est  int64 // estimated bindings over the candidate sentences
+}
+
+// queryPlan is the per-query evaluation order over enumerable variables.
+// A nil plan (or NoPlan run) means written order.
+type queryPlan struct {
+	steps     []planStep
+	reordered bool // order differs from declaration order
+}
+
+// sumCounts totals a variable's DPLI binding estimates over the candidate
+// sentence set with one merge walk of the two sorted arrays.
+func sumCounts(vc varCounts, cands []int32) int64 {
+	var total int64
+	i, j := 0, 0
+	for i < len(vc.sids) && j < len(cands) {
+		switch {
+		case vc.sids[i] < cands[j]:
+			i++
+		case cands[j] < vc.sids[i]:
+			j++
+		default:
+			total += int64(vc.counts[i])
+			i++
+			j++
+		}
+	}
+	return total
+}
+
+// enumRoots maps a variable to the enumerable variables its binding depends
+// on: a subtree resolves to its base node, a span concatenation to its
+// components. Constraints on derived variables connect their roots.
+func enumRoots(nq *normQuery, slot int, dst []int) []int {
+	v := nq.vars[slot]
+	switch v.kind {
+	case vkSubtree:
+		if v.baseSlot >= 0 {
+			return enumRoots(nq, v.baseSlot, dst)
+		}
+		return dst
+	case vkSpan:
+		for _, cs := range v.compSlots {
+			dst = enumRoots(nq, cs, dst)
+		}
+		return dst
+	default:
+		return append(dst, slot)
+	}
+}
+
+// buildQueryPlan scores every enumerable variable and orders them greedily:
+// seed with the globally smallest estimate, then repeatedly take the
+// smallest-estimate variable constraint-connected to the ordered set (any
+// connected variable before any unconnected one — a cross product prunes
+// nothing), falling back to the global minimum. Ties break toward
+// declaration order, so a query that is already well ordered keeps its
+// written order and reordered stays false.
+func buildQueryPlan(nq *normQuery, dpli *dpliResult, cands []int32) *queryPlan {
+	p := &queryPlan{}
+	n := len(nq.vars)
+	var slots []int // enumerable slots in declaration order
+	for _, v := range nq.vars {
+		if v.enumerableKind() {
+			slots = append(slots, v.slot)
+		}
+	}
+	if len(slots) == 0 {
+		return p
+	}
+	est := make([]int64, n)
+	for _, s := range slots {
+		if nq.vars[s].kind == vkElastic {
+			est[s] = elasticEstimate
+			continue
+		}
+		if s < len(dpli.counts) {
+			est[s] = sumCounts(dpli.counts[s], cands)
+		}
+	}
+
+	// Constraint adjacency between enumerable roots.
+	adj := make([][]int, n)
+	var ra, rb []int
+	for ci := range nq.constraints {
+		c := &nq.constraints[ci]
+		ra = enumRoots(nq, c.aSlot, ra[:0])
+		rb = enumRoots(nq, c.bSlot, rb[:0])
+		for _, a := range ra {
+			for _, b := range rb {
+				if a != b {
+					adj[a] = append(adj[a], b)
+					adj[b] = append(adj[b], a)
+				}
+			}
+		}
+	}
+
+	chosen := make([]bool, n)
+	p.steps = make([]planStep, 0, len(slots))
+	for len(p.steps) < len(slots) {
+		best, bestConn := -1, false
+		for _, s := range slots {
+			if chosen[s] {
+				continue
+			}
+			conn := false
+			for _, o := range adj[s] {
+				if chosen[o] {
+					conn = true
+					break
+				}
+			}
+			switch {
+			case best < 0:
+			case conn != bestConn:
+				if !conn {
+					continue
+				}
+			case est[s] > est[best] || (est[s] == est[best] && s > best):
+				continue
+			}
+			best, bestConn = s, conn
+		}
+		chosen[best] = true
+		p.steps = append(p.steps, planStep{slot: best, est: est[best]})
+	}
+	for i := range p.steps {
+		if p.steps[i].slot != slots[i] {
+			p.reordered = true
+			break
+		}
+	}
+	return p
+}
+
+// kindName renders a variable kind for plan output.
+func kindName(k varKind) string {
+	switch k {
+	case vkNode:
+		return "node"
+	case vkEntity:
+		return "entity"
+	case vkSubtree:
+		return "subtree"
+	case vkElastic:
+		return "elastic"
+	case vkTokens:
+		return "tokens"
+	case vkSpan:
+		return "span"
+	}
+	return "?"
+}
+
+// info surfaces the plan as the Result's explain block (actual binding
+// counts are accumulated during evaluation).
+func (p *queryPlan) info(nq *normQuery) *PlanInfo {
+	pi := &PlanInfo{Reordered: p.reordered, Steps: make([]PlanStep, len(p.steps))}
+	for i, st := range p.steps {
+		v := nq.vars[st.slot]
+		pi.Steps[i] = PlanStep{Var: v.name, Kind: kindName(v.kind), Estimated: st.est}
+	}
+	return pi
+}

@@ -1,0 +1,130 @@
+package lang
+
+import "sort"
+
+// Canonicalize returns a semantically equivalent copy of q with its
+// order-independent clauses in a canonical order:
+//
+//   - block declarations are topologically sorted by variable reference
+//     (a declaration referencing another must stay after it), choosing the
+//     lexicographically smallest name among the ready declarations;
+//   - constraints, satisfying clauses, and excluding conditions sort by
+//     their rendered text (conjunction and disjunction order carry no
+//     semantics — scores sum and constraints all apply).
+//
+// Output columns keep their written order (they name result positions).
+// Two queries differing only in the order of independent conditions thus
+// canonicalize to the same text, so result caches keyed on the canonical
+// rendering treat them as one query — and because evaluation runs over the
+// canonical AST everywhere (local, sharded, and remote workers re-parsing
+// the canonical text), reordered-but-equivalent queries are byte-identical
+// end to end. Canonicalize is idempotent.
+func (q *Query) Canonicalize() *Query {
+	out := *q
+	out.Block = canonicalBlock(q.Block)
+	out.Constraints = append([]Constraint(nil), q.Constraints...)
+	sort.SliceStable(out.Constraints, func(i, j int) bool {
+		return constraintKey(out.Constraints[i]) < constraintKey(out.Constraints[j])
+	})
+	out.Satisfying = canonicalSatisfying(q.Satisfying)
+	out.Excluding = canonicalConds(q.Excluding)
+	return &out
+}
+
+func constraintKey(c Constraint) string {
+	op := "in"
+	if c.Op == OpEq {
+		op = "eq"
+	}
+	return c.Left.String() + "\x00" + op + "\x00" + c.Right.String()
+}
+
+// canonicalBlock topologically sorts declarations by reference: among the
+// declarations whose referenced variables are all already emitted (or not
+// block-defined), the lexicographically smallest name goes first. A
+// reference cycle cannot parse, but if the sort ever stalls the remaining
+// declarations keep their written order (still a valid query).
+func canonicalBlock(block []Decl) []Decl {
+	if len(block) < 2 {
+		return block
+	}
+	idxOf := make(map[string]int, len(block))
+	for i, d := range block {
+		idxOf[d.Name] = i
+	}
+	deps := make([][]int, len(block)) // decl -> referenced decl indices
+	for i, d := range block {
+		seen := map[int]bool{}
+		for _, a := range d.Expr.Atoms {
+			for _, ref := range []string{a.From, a.Var} {
+				if ref == "" {
+					continue
+				}
+				if j, ok := idxOf[ref]; ok && j != i && !seen[j] {
+					seen[j] = true
+					deps[i] = append(deps[i], j)
+				}
+			}
+		}
+	}
+	emitted := make([]bool, len(block))
+	out := make([]Decl, 0, len(block))
+	for len(out) < len(block) {
+		pick := -1
+		for i, d := range block {
+			if emitted[i] {
+				continue
+			}
+			ready := true
+			for _, j := range deps[i] {
+				if !emitted[j] {
+					ready = false
+					break
+				}
+			}
+			if ready && (pick < 0 || d.Name < block[pick].Name) {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			// Stalled (unparseable cycle): append the rest in written order.
+			for i, d := range block {
+				if !emitted[i] {
+					out = append(out, d)
+				}
+			}
+			return out
+		}
+		emitted[pick] = true
+		out = append(out, block[pick])
+	}
+	return out
+}
+
+func canonicalSatisfying(scs []SatClause) []SatClause {
+	if len(scs) == 0 {
+		return scs
+	}
+	out := make([]SatClause, len(scs))
+	for i, sc := range scs {
+		sc.Conds = canonicalConds(sc.Conds)
+		out[i] = sc
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Var < out[j].Var })
+	return out
+}
+
+func canonicalConds(conds []SatCond) []SatCond {
+	if len(conds) < 2 {
+		return conds
+	}
+	out := append([]SatCond(nil), conds...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if ka, kb := a.condString(), b.condString(); ka != kb {
+			return ka < kb
+		}
+		return a.Weight < b.Weight
+	})
+	return out
+}

@@ -1,0 +1,66 @@
+package lang
+
+import "testing"
+
+func TestCanonicalizeOrderInvariant(t *testing.T) {
+	// The same conjunction written in three different orders must
+	// canonicalize to one text.
+	variants := []string{
+		`extract d:Str from f if (/ROOT:{ a = ^[min=1], v = //verb, o = v/dobj, d = (o.subtree) } (a) in (d))`,
+		`extract d:Str from f if (/ROOT:{ v = //verb, a = ^[min=1], o = v/dobj, d = (o.subtree) } (a) in (d))`,
+		`extract d:Str from f if (/ROOT:{ v = //verb, o = v/dobj, d = (o.subtree), a = ^[min=1] } (a) in (d))`,
+	}
+	var first string
+	for i, src := range variants {
+		canon := MustParse(src).Canonicalize().String()
+		if i == 0 {
+			first = canon
+			continue
+		}
+		if canon != first {
+			t.Fatalf("variant %d canonicalizes differently:\n%s\nvs\n%s", i, canon, first)
+		}
+	}
+}
+
+func TestCanonicalizeRespectsDependencies(t *testing.T) {
+	// Alphabetical order alone would put a before z; the references force
+	// z first.
+	q := MustParse(`extract b:Str from f if (/ROOT:{ z = //verb, a = z/dobj, b = (a.subtree) })`)
+	c := q.Canonicalize()
+	pos := map[string]int{}
+	for i, dcl := range c.Block {
+		pos[dcl.Name] = i
+	}
+	if !(pos["z"] < pos["a"] && pos["a"] < pos["b"]) {
+		t.Fatalf("dependencies violated: %v", c.Block)
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	srcs := []string{
+		`extract d:Str from f if (/ROOT:{ a = ^[min=1], v = //verb, o = v/dobj, d = (o.subtree) } (a) in (d))`,
+		`extract x:Entity from f if () satisfying x (str(x) contains "b" {1.0}) or (str(x) contains "a" {0.5}) with threshold 0.4 excluding (str(x) contains "z")`,
+	}
+	for _, src := range srcs {
+		once := MustParse(src).Canonicalize().String()
+		twice := MustParse(once).Canonicalize().String()
+		if once != twice {
+			t.Fatalf("not idempotent:\n%s\nvs\n%s", once, twice)
+		}
+	}
+}
+
+func TestCanonicalizeSortsClauses(t *testing.T) {
+	a := `extract x:Entity from f if () satisfying x (str(x) contains "b" {1.0}) or (str(x) contains "a" {0.5}) with threshold 0.4`
+	b := `extract x:Entity from f if () satisfying x (str(x) contains "a" {0.5}) or (str(x) contains "b" {1.0}) with threshold 0.4`
+	if ca, cb := MustParse(a).Canonicalize().String(), MustParse(b).Canonicalize().String(); ca != cb {
+		t.Fatalf("satisfying condition order leaks into canonical form:\n%s\nvs\n%s", ca, cb)
+	}
+	// Output order is meaningful and must survive canonicalization.
+	q := MustParse(`extract b:Entity, a:Entity from f if ()`)
+	c := q.Canonicalize()
+	if c.Outputs[0].Name != "b" || c.Outputs[1].Name != "a" {
+		t.Fatalf("output order changed: %v", c.Outputs)
+	}
+}

@@ -96,6 +96,9 @@ type Spec struct {
 	Explain bool `json:"explain,omitempty"`
 	// Workers overrides the per-shard worker count (0 = runtime default).
 	Workers int `json:"workers,omitempty"`
+	// Plan selects the query planner ("on", "off", "" = runtime default),
+	// mirroring the interactive query surface.
+	Plan string `json:"plan,omitempty"`
 }
 
 // QueryProgress is one query's execution progress within a job.
@@ -315,7 +318,7 @@ func (m *Manager) run(j *job) {
 	j.started = time.Now().UTC()
 	j.mu.Unlock()
 
-	qo := &koko.QueryOptions{Explain: j.spec.Explain, Workers: m.rt.ShardWorkers(j.spec.Workers)}
+	qo := &koko.QueryOptions{Explain: j.spec.Explain, Workers: m.rt.ShardWorkers(j.spec.Workers), Plan: j.spec.Plan}
 	for qi := range j.parsed {
 		for si := 0; si < j.shards; si++ {
 			if j.ctx.Err() != nil {

@@ -46,6 +46,10 @@ type Metrics struct {
 	// snapshot.)
 	degradedQueries  atomic.Int64
 	shardEvalsServed atomic.Int64
+	// Planner counters: queries whose statistics-free plan reordered
+	// evaluation, and cumulative time spent planning (nanoseconds).
+	plansReordered atomic.Int64
+	planNanos      atomic.Int64
 }
 
 // MetricsSnapshot is the JSON form served by GET /v1/metrics.
@@ -118,6 +122,10 @@ type MetricsSnapshot struct {
 	BreakerOpen           int64 `json:"breaker_open"`
 	DegradedQueries       int64 `json:"degraded_queries"`
 	ShardEvalsServed      int64 `json:"shard_evals_served"`
+	// Planner counters: PlansReordered queries whose statistics-free plan
+	// changed the evaluation order, PlanTimeMicros cumulative planning time.
+	PlansReordered int64 `json:"plans_reordered"`
+	PlanTimeMicros int64 `json:"plan_time_us"`
 	// Jobs is the async job subsystem's view: lifetime counters, jobs by
 	// state, and queue depth in shard evaluations.
 	Jobs jobs.Snapshot `json:"jobs"`

@@ -89,6 +89,10 @@ type Config struct {
 	// jobs' results; oldest-finished jobs are purged beyond it (0 = default
 	// 200000, negative = unbounded).
 	JobRetainedTuples int
+	// DisablePlan turns off the statistics-free query planner service-wide:
+	// queries evaluate conditions in written order unless a request says
+	// plan:"on" explicitly (the kokod -plan=off flag).
+	DisablePlan bool
 	// LoadOptions is applied to every corpus loaded from disk.
 	LoadOptions *koko.Options
 	// DataDir, when non-empty, makes every corpus durable: ingested
@@ -121,6 +125,7 @@ type Service struct {
 	cacheMinCost time.Duration
 	maxDeltaDocs int
 	walMaxBytes  int64
+	planOff      bool
 	// shardPar is the resolved per-query shard fan-out bound, kept so
 	// remote engines connected later inherit the same budget as local ones.
 	shardPar int
@@ -177,6 +182,7 @@ func NewService(cfg Config) *Service {
 		cacheMinCost: cfg.CacheMinCost,
 		maxDeltaDocs: maxDelta,
 		walMaxBytes:  cfg.WALMaxBytes,
+		planOff:      cfg.DisablePlan,
 		shardPar:     sp,
 	}
 	s.jobs = jobs.New(s, jobs.Config{
@@ -241,6 +247,11 @@ type QueryRequest struct {
 	Explain bool `json:"explain,omitempty"`
 	// Workers overrides the per-query worker count (0 = service default).
 	Workers int `json:"workers,omitempty"`
+	// Plan selects the query planner for this request: "on" orders
+	// conditions by selectivity, "off" evaluates in written order, ""
+	// inherits the service default (-plan flag). Tuples are identical
+	// either way; only evaluation order (and the plan report) changes.
+	Plan string `json:"plan,omitempty"`
 	// NoCache bypasses the result cache (read and write) for this request.
 	NoCache bool `json:"no_cache,omitempty"`
 	// Partial opts into graceful degradation on a remote corpus
@@ -269,10 +280,12 @@ type EvidenceResult struct {
 	Contribution float64 `json:"contribution"`
 }
 
-// PhaseMillis is the Table 2 per-phase breakdown in milliseconds.
+// PhaseMillis is the Table 2 per-phase breakdown in milliseconds (plus the
+// planner's own phase — planning time is reported, not folded into extract).
 type PhaseMillis struct {
 	Normalize   float64 `json:"normalize_ms"`
 	DPLI        float64 `json:"dpli_ms"`
+	Plan        float64 `json:"plan_ms"`
 	LoadArticle float64 `json:"load_article_ms"`
 	GSP         float64 `json:"gsp_ms"`
 	Extract     float64 `json:"extract_ms"`
@@ -291,6 +304,10 @@ type QueryResponse struct {
 	// then describes the original (cached) evaluation.
 	Cached bool        `json:"cached"`
 	Phases PhaseMillis `json:"phases"`
+	// Plan reports the planner's chosen condition order with estimated vs
+	// actual binding counts (absent when planning is off or the query
+	// short-circuited before extraction).
+	Plan *koko.PlanInfo `json:"plan,omitempty"`
 	// ServiceMillis is this request's wall time inside the service,
 	// including any wait for a worker slot.
 	ServiceMillis float64 `json:"service_ms"`
@@ -307,6 +324,7 @@ func phasesOf(r *koko.Result) PhaseMillis {
 	return PhaseMillis{
 		Normalize:   ms(r.Phases.Normalize),
 		DPLI:        ms(r.Phases.DPLI),
+		Plan:        ms(r.Phases.Plan),
 		LoadArticle: ms(r.Phases.LoadArticle),
 		GSP:         ms(r.Phases.GSP),
 		Extract:     ms(r.Phases.Extract),
@@ -319,19 +337,35 @@ func phasesOf(r *koko.Result) PhaseMillis {
 // count the query, parse it, resolve the corpus, and derive the cache key.
 // Keeping it in one place is what keeps the two modes' error
 // classification and cache keying from drifting apart.
-func (s *Service) prepare(req QueryRequest) (parsed *koko.ParsedQuery, eng koko.Querier, gen uint64, key string, err error) {
+func (s *Service) prepare(req QueryRequest) (parsed *koko.ParsedQuery, eng koko.Querier, gen uint64, key, plan string, err error) {
 	s.metrics.queriesTotal.Add(1)
 	parsed, err = koko.ParseQuery(req.Query)
 	if err != nil {
 		s.metrics.queryErrors.Add(1)
-		return nil, nil, 0, "", fmt.Errorf("%w: %v", ErrBadQuery, err)
+		return nil, nil, 0, "", "", fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	eng, gen, err = s.reg.Engine(req.Corpus)
 	if err != nil {
 		s.metrics.queryErrors.Add(1)
-		return nil, nil, 0, "", err
+		return nil, nil, 0, "", "", err
 	}
-	return parsed, eng, gen, cacheKey(req, gen, parsed), nil
+	plan = s.effectivePlan(req.Plan)
+	return parsed, eng, gen, cacheKey(req, gen, parsed, plan), plan, nil
+}
+
+// effectivePlan resolves a request's planner selection against the service
+// default to exactly "on" or "off" — the normalized form both the cache key
+// and the engine option use, so "" and an explicit match of the default
+// share one cache entry.
+func (s *Service) effectivePlan(req string) string {
+	switch req {
+	case "on", "off":
+		return req
+	}
+	if s.planOff {
+		return "off"
+	}
+	return "on"
 }
 
 // cacheLookup consults the result cache (unless bypassed) and keeps the
@@ -351,7 +385,7 @@ func (s *Service) cacheLookup(key string, noCache bool) (*koko.Result, bool) {
 // worker-pool bound. ctx cancellation is honored while waiting for a slot.
 func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
 	t0 := time.Now()
-	parsed, eng, gen, key, err := s.prepare(req)
+	parsed, eng, gen, key, plan, err := s.prepare(req)
 	if err != nil {
 		return nil, err
 	}
@@ -368,6 +402,7 @@ func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 	qo := &koko.QueryOptions{
 		Explain: req.Explain,
 		Workers: s.workersFor(req.Workers, fanoutOf(eng)),
+		Plan:    plan,
 	}
 	var res *koko.Result
 	var failed []int
@@ -393,6 +428,7 @@ func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err2)
 	}
 	s.metrics.queryNanos.Add(res.Elapsed.Nanoseconds())
+	s.recordPlan(res)
 	if len(failed) > 0 {
 		// A degraded result is not the query's true answer; caching it
 		// would serve the gap long after the workers recover.
@@ -434,9 +470,21 @@ func (s *Service) cachePut(key string, req QueryRequest, res *koko.Result) {
 // the two modes populate and hit one cache, not two. Workers changes only
 // scheduling, never results, so it is excluded; Explain changes the
 // tuples' evidence, so it is part of it; the generation makes reloads an
-// implicit invalidation.
-func cacheKey(req QueryRequest, gen uint64, parsed *koko.ParsedQuery) string {
-	return fmt.Sprintf("%s|%d|%t|%s", req.Corpus, gen, req.Explain, parsed.Canonical())
+// implicit invalidation. The canonical text is plan-invariant (ParseQuery
+// canonicalizes condition order), so reordered-but-equivalent conjunctions
+// share one entry; plan is the pre-normalized "on"/"off" (the stored
+// result's phase/plan report differs between the two, never its tuples).
+func cacheKey(req QueryRequest, gen uint64, parsed *koko.ParsedQuery, plan string) string {
+	return fmt.Sprintf("%s|%d|%t|%s|%s", req.Corpus, gen, req.Explain, plan, parsed.Canonical())
+}
+
+// recordPlan keeps the planner metrics for one evaluated (non-cached)
+// query: time spent planning and whether the plan reordered evaluation.
+func (s *Service) recordPlan(res *koko.Result) {
+	s.metrics.planNanos.Add(res.Phases.Plan.Nanoseconds())
+	if res.Plan != nil && res.Plan.Reordered {
+		s.metrics.plansReordered.Add(1)
+	}
 }
 
 // ctxDone reports whether err is a context cancellation/deadline error
@@ -498,6 +546,7 @@ func (s *Service) respond(corpus string, gen uint64, res *koko.Result, cached bo
 		Matched:    res.Matched,
 		Cached:     cached,
 		Phases:     phasesOf(res),
+		Plan:       res.Plan,
 	}
 	s.metrics.tuplesReturned.Add(int64(len(res.Tuples)))
 	for _, t := range res.Tuples {
@@ -713,6 +762,8 @@ func (s *Service) Metrics() MetricsSnapshot {
 		RecoveryMillis:   ms(dur.Recovery),
 		DegradedQueries:  m.degradedQueries.Load(),
 		ShardEvalsServed: m.shardEvalsServed.Load(),
+		PlansReordered:   m.plansReordered.Load(),
+		PlanTimeMicros:   m.planNanos.Load() / 1e3,
 		Jobs:             s.jobs.Metrics(),
 	}
 	if p := s.rpool.Load(); p != nil {

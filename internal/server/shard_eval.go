@@ -55,6 +55,7 @@ func (s *Service) handleShardEval(w http.ResponseWriter, r *http.Request) {
 	part, err := eng.RunShard(r.Context(), req.Shard, parsed, &koko.QueryOptions{
 		Explain: req.Explain,
 		Workers: s.ShardWorkers(req.Workers),
+		Plan:    s.effectivePlan(req.Plan),
 	})
 	s.Release()
 	if err != nil {

@@ -44,14 +44,15 @@ type ShardProgress struct {
 // StreamSummary is the terminal line of a streamed response — the buffered
 // QueryResponse minus the tuple table that already went over the wire.
 type StreamSummary struct {
-	Corpus        string      `json:"corpus"`
-	Generation    uint64      `json:"generation"`
-	Tuples        int         `json:"tuples"`
-	Candidates    int         `json:"candidates"`
-	Matched       int         `json:"matched"`
-	Cached        bool        `json:"cached"`
-	Phases        PhaseMillis `json:"phases"`
-	ServiceMillis float64     `json:"service_ms"`
+	Corpus        string         `json:"corpus"`
+	Generation    uint64         `json:"generation"`
+	Tuples        int            `json:"tuples"`
+	Candidates    int            `json:"candidates"`
+	Matched       int            `json:"matched"`
+	Cached        bool           `json:"cached"`
+	Phases        PhaseMillis    `json:"phases"`
+	Plan          *koko.PlanInfo `json:"plan,omitempty"`
+	ServiceMillis float64        `json:"service_ms"`
 }
 
 // wantsStream reports whether the request asked for NDJSON streaming.
@@ -72,7 +73,7 @@ func wantsStream(r *http.Request) bool {
 func (s *Service) QueryStream(ctx context.Context, req QueryRequest, emit func(StreamEvent) error) error {
 	t0 := time.Now()
 	s.metrics.streamsTotal.Add(1)
-	parsed, eng, gen, key, err := s.prepare(req)
+	parsed, eng, gen, key, plan, err := s.prepare(req)
 	if err != nil {
 		return err
 	}
@@ -109,6 +110,7 @@ func (s *Service) QueryStream(ctx context.Context, req QueryRequest, emit func(S
 		err := eng.RunParsedEach(cctx, parsed, &koko.QueryOptions{
 			Explain: req.Explain,
 			Workers: s.workersFor(req.Workers, fanoutOf(eng)),
+			Plan:    plan,
 		}, func(shard int, part koko.Partial) error {
 			ch <- delivery{shard: shard, part: part}
 			return nil
@@ -165,6 +167,7 @@ func (s *Service) QueryStream(ctx context.Context, req QueryRequest, emit func(S
 	res := koko.MergePartials(parts)
 	res.Elapsed = evalElapsed
 	s.metrics.queryNanos.Add(res.Elapsed.Nanoseconds())
+	s.recordPlan(res)
 	s.metrics.tuplesReturned.Add(int64(total))
 	s.cachePut(key, req, res)
 	return emit(StreamEvent{Done: &StreamSummary{
@@ -174,6 +177,7 @@ func (s *Service) QueryStream(ctx context.Context, req QueryRequest, emit func(S
 		Candidates:    res.Candidates,
 		Matched:       res.Matched,
 		Phases:        phasesOf(res),
+		Plan:          res.Plan,
 		ServiceMillis: ms(time.Since(t0)),
 	}})
 }
@@ -195,6 +199,7 @@ func (s *Service) streamResult(corpus string, gen uint64, res *koko.Result, cach
 		Matched:       res.Matched,
 		Cached:        cached,
 		Phases:        phasesOf(res),
+		Plan:          res.Plan,
 		ServiceMillis: ms(time.Since(t0)),
 	}})
 }

@@ -84,6 +84,10 @@ type Options struct {
 	// Explain attaches per-condition evidence to every tuple — the
 	// debuggability the paper contrasts with opaque learned extractors.
 	Explain bool
+	// DisablePlan turns off the statistics-free query planner: conditions
+	// evaluate in written order instead of selectivity order (the
+	// differential baseline for the planner, and an ablation knob).
+	DisablePlan bool
 }
 
 // Engine indexes a corpus and evaluates KOKO queries against it.
@@ -97,10 +101,11 @@ type Engine struct {
 	ix     *index.Index
 	model  *embed.Model
 	eng    *engine.Engine
-	// optExplain / optWorkers retain the Options defaults so QueryWith can
-	// fall back to them per field.
+	// optExplain / optWorkers / optNoPlan retain the Options defaults so
+	// QueryWith can fall back to them per field.
 	optExplain bool
 	optWorkers int
+	optNoPlan  bool
 }
 
 // Corpus returns the corpus the engine was built over.
@@ -164,9 +169,11 @@ func deriveModelDicts(opts *Options) (*embed.Model, map[string]map[string]bool) 
 // the one constructor behind NewEngine, store loading, and sealed delta
 // views.
 func assembleEngine(c *Corpus, ix *index.Index, model *embed.Model, dicts map[string]map[string]bool, opts *Options) *Engine {
-	e := &Engine{corpus: c, ix: ix, model: model, optExplain: opts.Explain, optWorkers: opts.Workers}
+	e := &Engine{corpus: c, ix: ix, model: model,
+		optExplain: opts.Explain, optWorkers: opts.Workers, optNoPlan: opts.DisablePlan}
 	e.eng = engine.New(c.c, ix, model, engine.Options{
 		DisableSkipPlan: opts.DisableSkipPlan,
+		DisablePlan:     opts.DisablePlan,
 		ExpansionLimit:  opts.ExpansionLimit,
 		Dicts:           dicts,
 		Workers:         opts.Workers,
@@ -200,14 +207,34 @@ type Tuple struct {
 }
 
 // PhaseTimes is the per-phase execution breakdown of a query (the paper's
-// Table 2 columns).
+// Table 2 columns, plus the planner's own phase).
 type PhaseTimes struct {
 	Normalize   time.Duration
 	DPLI        time.Duration
+	Plan        time.Duration
 	LoadArticle time.Duration
 	GSP         time.Duration
 	Extract     time.Duration
 	Satisfying  time.Duration
+}
+
+// PlanStep is one step of the planner's chosen evaluation order: the
+// condition variable, its kind, the DPLI binding estimate that ranked it,
+// and the actual candidate bindings observed during evaluation.
+type PlanStep struct {
+	Var       string `json:"var"`
+	Kind      string `json:"kind"`
+	Estimated int64  `json:"estimated"`
+	Actual    int64  `json:"actual"`
+}
+
+// PlanInfo reports the statistics-free planner's decision for a query:
+// the condition evaluation order (smallest estimated binding set first,
+// respecting variable-binding dependencies) and whether that order differs
+// from the written order.
+type PlanInfo struct {
+	Steps     []PlanStep `json:"steps"`
+	Reordered bool       `json:"reordered"`
 }
 
 // Result is the outcome of a query.
@@ -222,6 +249,10 @@ type Result struct {
 	// Phases breaks Elapsed into the pipeline's phases. With Workers > 1
 	// the per-document phases report summed CPU time across workers.
 	Phases PhaseTimes
+	// Plan reports the planner's chosen condition order and estimated vs
+	// actual bindings. Nil when planning is disabled or the query
+	// short-circuited before extraction.
+	Plan *PlanInfo
 }
 
 // QueryOptions overrides per-query evaluation knobs; the zero value falls
@@ -231,6 +262,10 @@ type QueryOptions struct {
 	Explain bool
 	// Workers > 1 evaluates candidate documents concurrently for this query.
 	Workers int
+	// Plan overrides the engine's planner setting for this query:
+	// "on" forces selectivity-ordered evaluation, "off" forces written
+	// order, "" inherits the engine default.
+	Plan string
 }
 
 // ParsedQuery is a parsed, reusable KOKO query. Parsing once and running
@@ -241,12 +276,17 @@ type ParsedQuery struct {
 	canon string
 }
 
-// ParseQuery parses a KOKO query without running it.
+// ParseQuery parses a KOKO query without running it. The parsed AST is
+// canonicalized (order-independent clauses sorted into a canonical order,
+// see lang.Query.Canonicalize), so two queries differing only in the order
+// of independent conditions parse to the same canonical text and evaluate
+// identically — result caches keyed on Canonical() are plan-invariant.
 func ParseQuery(src string) (*ParsedQuery, error) {
 	q, err := lang.Parse(src)
 	if err != nil {
 		return nil, err
 	}
+	q = q.Canonicalize()
 	return &ParsedQuery{q: q, canon: q.String()}, nil
 }
 
@@ -280,13 +320,19 @@ func (e *Engine) RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, error) {
 // the cancellation point the server's jobs and streaming modes rely on — a
 // deleted job or disconnected client stops consuming CPU mid-run.
 func (e *Engine) RunParsedCtx(ctx context.Context, p *ParsedQuery, qo *QueryOptions) (*Result, error) {
-	ro := engine.RunOptions{Explain: e.optExplain, Workers: e.optWorkers, Ctx: ctx}
+	ro := engine.RunOptions{Explain: e.optExplain, Workers: e.optWorkers, NoPlan: e.optNoPlan, Ctx: ctx}
 	if qo != nil {
 		if qo.Explain {
 			ro.Explain = true
 		}
 		if qo.Workers > 0 {
 			ro.Workers = qo.Workers
+		}
+		switch qo.Plan {
+		case "on":
+			ro.NoPlan = false
+		case "off":
+			ro.NoPlan = true
 		}
 	}
 	res, err := e.eng.RunWith(p.q, ro)
@@ -334,11 +380,19 @@ func resultFromEngine(res *engine.Result) *Result {
 		Phases: PhaseTimes{
 			Normalize:   res.Times.Normalize,
 			DPLI:        res.Times.DPLI,
+			Plan:        res.Times.Plan,
 			LoadArticle: res.Times.LoadArticle,
 			GSP:         res.Times.GSP,
 			Extract:     res.Times.Extract,
 			Satisfying:  res.Times.Satisfying,
 		},
+	}
+	if res.Plan != nil {
+		pi := &PlanInfo{Reordered: res.Plan.Reordered, Steps: make([]PlanStep, len(res.Plan.Steps))}
+		for i, st := range res.Plan.Steps {
+			pi.Steps[i] = PlanStep{Var: st.Var, Kind: st.Kind, Estimated: st.Estimated, Actual: st.Actual}
+		}
+		out.Plan = pi
 	}
 	for _, t := range res.Tuples {
 		tp := Tuple{

@@ -172,6 +172,7 @@ func (e *Engine) request(shard int, p *koko.ParsedQuery, qo *koko.QueryOptions) 
 	if qo != nil {
 		req.Explain = qo.Explain
 		req.Workers = qo.Workers
+		req.Plan = qo.Plan
 	}
 	return req
 }

@@ -50,6 +50,9 @@ type ShardEvalRequest struct {
 	Query   string `json:"query"`
 	Explain bool   `json:"explain,omitempty"`
 	Workers int    `json:"workers,omitempty"`
+	// Plan overrides the worker's planner setting ("on", "off", or ""
+	// to inherit), mirroring koko.QueryOptions.Plan.
+	Plan string `json:"plan,omitempty"`
 	// Generation, when non-zero, pins the snapshot generation the
 	// coordinator discovered: a worker whose corpus has moved on answers
 	// 409 rather than silently evaluating different data.

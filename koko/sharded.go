@@ -89,12 +89,43 @@ func MergePartials(parts []Partial) *Result {
 		out.Elapsed += p.Res.Elapsed
 		out.Phases.Normalize += p.Res.Phases.Normalize
 		out.Phases.DPLI += p.Res.Phases.DPLI
+		out.Phases.Plan += p.Res.Phases.Plan
 		out.Phases.LoadArticle += p.Res.Phases.LoadArticle
 		out.Phases.GSP += p.Res.Phases.GSP
 		out.Phases.Extract += p.Res.Phases.Extract
 		out.Phases.Satisfying += p.Res.Phases.Satisfying
+		mergePlanInfo(out, p.Res.Plan)
 	}
 	return out
+}
+
+// mergePlanInfo folds one shard's plan report into the merged result: the
+// first shard with a plan sets the step order (every shard plans the same
+// canonical query over per-shard statistics, so orders can differ — the
+// merged view keys steps by variable), then estimated and actual binding
+// counts sum per variable and Reordered ORs across shards.
+func mergePlanInfo(out *Result, p *PlanInfo) {
+	if p == nil {
+		return
+	}
+	if out.Plan == nil {
+		pi := &PlanInfo{Reordered: p.Reordered, Steps: append([]PlanStep(nil), p.Steps...)}
+		out.Plan = pi
+		return
+	}
+	out.Plan.Reordered = out.Plan.Reordered || p.Reordered
+	byVar := make(map[string]int, len(out.Plan.Steps))
+	for i, st := range out.Plan.Steps {
+		byVar[st.Var] = i
+	}
+	for _, st := range p.Steps {
+		if i, ok := byVar[st.Var]; ok {
+			out.Plan.Steps[i].Estimated += st.Estimated
+			out.Plan.Steps[i].Actual += st.Actual
+		} else {
+			out.Plan.Steps = append(out.Plan.Steps, st)
+		}
+	}
 }
 
 // ShardedEngine partitions a corpus into doc-range shards, each with its own
