@@ -90,6 +90,21 @@ STATUS=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/query" \
 if [ "$STATUS" != 404 ]; then echo "deleted corpus answered $STATUS, want 404" >&2; exit 1; fi
 curl -sf "$BASE/metrics" | grep -q '"ingests_total":1'
 
+echo "== error envelope: stable machine-readable codes"
+# Every /v1 failure answers {"error":{"code":"...","message":"..."}} with a
+# stable code (the README's table). Unknown corpus -> not_found.
+ERR=$(curl -s "$BASE/query" -d '{"corpus":"no-such-corpus","query":"extract x:Entity from \"blogs\" if ()"}')
+echo "$ERR" | grep -q '"error":{"code":"not_found"'
+# Unparsable query -> bad_query.
+ERR=$(curl -s "$BASE/query" -d '{"corpus":"demo-cafes","query":"extract nonsense"}')
+echo "$ERR" | grep -q '"error":{"code":"bad_query"'
+# Undecodable body -> bad_request.
+ERR=$(curl -s "$BASE/query" -d '{not json')
+echo "$ERR" | grep -q '"error":{"code":"bad_request"'
+# Unknown job -> not_found through the jobs surface too.
+ERR=$(curl -s "$BASE/jobs/nonexistent")
+echo "$ERR" | grep -q '"error":{"code":"not_found"'
+
 echo "== durability: ingest + delete -> kill -9 -> restart -> replayed state"
 ADDR2="127.0.0.1:7334"
 BASE2="http://$ADDR2/v1"

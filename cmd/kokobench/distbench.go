@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
@@ -95,14 +96,19 @@ func distRun(c *koko.Corpus, nodes []string, slow string, hedge time.Duration, n
 	p, err := koko.ParseQuery(distBenchQuery)
 	check(err)
 
+	evaluate := func() *koko.Result {
+		seq, err := eng.Run(context.Background(), p, nil)
+		check(err)
+		res, err := seq.Collect()
+		check(err)
+		return res
+	}
 	// Warm connections and worker-side caches before timing.
-	warm, err := eng.RunParsed(p, nil)
-	check(err)
+	warm := evaluate()
 	ms := make([]float64, 0, n)
 	for i := 0; i < n; i++ {
 		t0 := time.Now()
-		_, err := eng.RunParsed(p, nil)
-		check(err)
+		evaluate()
 		ms = append(ms, float64(time.Since(t0).Nanoseconds())/1e6)
 	}
 	ctr := pool.Counters()

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig3 fig4 fig5 nell fig6 fig7 fig8 tab1 tab2 odin ablation server all, or hotpath / plan / shard / jobs / ingest / wal / dist (JSON snapshots, excluded from all)")
+	exp := flag.String("exp", "all", "experiment id: fig3 fig4 fig5 nell fig6 fig7 fig8 tab1 tab2 odin ablation server all, or hotpath / plan / shard / jobs / ingest / wal / dist / stream (JSON snapshots, excluded from all)")
 	scale := flag.Int("scale", 1, "corpus scale multiplier")
 	seed := flag.Int64("seed", 1, "generator seed")
 	iters := flag.Int("iters", 3, "timing iterations for -exp shard (best-of-N) and -exp jobs (probe count multiplier)")
@@ -117,6 +117,12 @@ func main() {
 		// BENCH_dist.json snapshot) on stdout for redirection.
 		any = true
 		distBench(*iters)
+	}
+	if *exp == "stream" {
+		// Not part of -exp all: emits pure JSON (the committed
+		// BENCH_stream.json snapshot) on stdout for redirection.
+		any = true
+		streamBench(*iters)
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "kokobench: unknown experiment %q\n", *exp)
@@ -287,6 +293,16 @@ func planBench(iters int) {
 // workload at K ∈ {1,2,4,8} doc-range shards.
 func shard(iters int) {
 	fmt.Print(experiments.FormatShardBench(experiments.RunShardBench(iters)))
+}
+
+// streamBench writes the streaming-execution snapshot as JSON:
+//
+//	kokobench -exp stream > BENCH_stream.json
+//
+// The snapshot compares first-tuple latency and peak heap growth of the
+// streamed event drain against the materialized Collect at two result sizes.
+func streamBench(iters int) {
+	fmt.Print(experiments.FormatStreamBench(experiments.RunStreamBench(iters)))
 }
 
 func check(err error) {

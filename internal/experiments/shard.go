@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"runtime"
 	"time"
@@ -86,13 +87,20 @@ func RunShardBench(iters int) *ShardSnapshot {
 	for _, k := range ShardBenchCounts {
 		var wall float64
 		var res *koko.Result
+		collect := func(eng koko.Querier) func() (*koko.Result, error) {
+			return func() (*koko.Result, error) {
+				seq, err := eng.Run(context.Background(), p, nil)
+				if err != nil {
+					return nil, err
+				}
+				return seq.Collect()
+			}
+		}
 		if k == 1 {
-			eng := koko.NewEngine(c, nil)
-			wall, res = measure(func() (*koko.Result, error) { return eng.RunParsed(p, nil) })
+			wall, res = measure(collect(koko.NewEngine(c, nil)))
 			base, baseTuples = wall, len(res.Tuples)
 		} else {
-			eng := koko.NewShardedEngine(c, k, nil)
-			wall, res = measure(func() (*koko.Result, error) { return eng.RunParsed(p, nil) })
+			wall, res = measure(collect(koko.NewShardedEngine(c, k, nil)))
 			if len(res.Tuples) != baseTuples {
 				panic("shard bench: sharded tuple count diverged from single-engine baseline")
 			}

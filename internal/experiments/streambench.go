@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/koko"
+)
+
+// The streaming-execution snapshot (kokobench -exp stream): time-to-first-
+// tuple and peak heap growth of a streamed drain vs the materialized
+// Collect, at two corpus sizes, rendered as BENCH_stream.json. The claims
+// this artifact backs: a streamed drain's TTFT tracks the first shard's
+// first batch rather than the full result (so it stays flat as the result
+// grows), and its peak heap stays bounded by the fan-out's batching while
+// the materialized result's grows with the tuple count.
+
+// StreamBenchSents are the workload corpus sizes: the second is 4× the
+// first, so result-size scaling is visible within a CI smoke budget.
+var StreamBenchSents = []int{2000, 8000}
+
+// StreamBenchShards is the shard fan-out both modes run over.
+const StreamBenchShards = 4
+
+// StreamPoint is one (corpus size, delivery mode) measurement.
+type StreamPoint struct {
+	Sents  int    `json:"sents"`
+	Mode   string `json:"mode"` // "stream" (event drain) or "collect" (materialized)
+	Tuples int    `json:"tuples"`
+	// TTFTMs is when the first tuple is in hand: first event of the drain,
+	// or Collect's return for the materialized mode. Best of iters.
+	TTFTMs float64 `json:"ttft_ms"`
+	// WallMs is the full evaluation + delivery wall time. Best of iters.
+	WallMs float64 `json:"wall_ms"`
+	// PeakHeapBytes is the peak heap growth over the pre-run baseline
+	// (sampled during the drain; the live result for collect). Min of iters
+	// — the least GC-noise-inflated observation.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+}
+
+// StreamSnapshot is the BENCH_stream.json document.
+type StreamSnapshot struct {
+	Workload  string        `json:"workload"`
+	Note      string        `json:"note"`
+	GoMaxProc int           `json:"gomaxprocs"`
+	Points    []StreamPoint `json:"points"`
+}
+
+// heapBase forces a collection and reads the post-GC heap floor.
+func heapBase() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// heapGrowth forces a collection and reports live-heap growth over base:
+// without the GC, a short drain's discarded batches linger as garbage and
+// would read as retention.
+func heapGrowth(base uint64) uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc <= base {
+		return 0
+	}
+	return ms.HeapAlloc - base
+}
+
+// RunStreamBench measures both delivery modes at each corpus size. The
+// streamed drain discards tuples as they arrive (the NDJSON server path);
+// the materialized mode is Run + Collect (the buffered response path).
+func RunStreamBench(iters int) *StreamSnapshot {
+	if iters < 1 {
+		iters = 1
+	}
+	snap := &StreamSnapshot{
+		Workload: "GenHappyDB(sents, 42) + the hotpath extract query, K=4 shards",
+		Note: "refresh with `go run ./cmd/kokobench -exp stream > BENCH_stream.json`; " +
+			"ttft_ms is first-tuple latency (best-of-N), wall_ms the full drain; " +
+			"peak_heap_bytes samples heap growth during the drain (min-of-N) — " +
+			"stream TTFT should stay flat and stream peak heap sublinear as the result grows",
+		GoMaxProc: runtime.GOMAXPROCS(0),
+	}
+	p, err := koko.ParseQuery(HotPathExtractQuery)
+	if err != nil {
+		panic(err)
+	}
+	for _, sents := range StreamBenchSents {
+		c := koko.WrapCorpus(corpus.GenHappyDB(sents, HotPathCorpusSeed))
+		eng := koko.NewShardedEngine(c, StreamBenchShards, nil)
+
+		stream := StreamPoint{Sents: sents, Mode: "stream"}
+		collect := StreamPoint{Sents: sents, Mode: "collect"}
+		for i := 0; i < iters; i++ {
+			// Timing pass, streamed: TTFT at the first tuple event, no
+			// MemStats reads in the loop (a forced GC would charge its pause
+			// to the drain).
+			t0 := time.Now()
+			seq, err := eng.Run(context.Background(), p, nil)
+			if err != nil {
+				panic(err)
+			}
+			var ttft time.Duration
+			n := 0
+			for ev := range seq.Events() {
+				if ev.Tuple == nil {
+					continue
+				}
+				if n == 0 {
+					ttft = time.Since(t0)
+				}
+				n++
+			}
+			if err := seq.Err(); err != nil {
+				panic(err)
+			}
+			wall := time.Since(t0)
+
+			// Memory pass, streamed: same drain, live heap sampled on a
+			// fixed cadence so the peak reflects steady-state batching.
+			base := heapBase()
+			seq, err = eng.Run(context.Background(), p, nil)
+			if err != nil {
+				panic(err)
+			}
+			peak := uint64(0)
+			m := 0
+			for ev := range seq.Events() {
+				if ev.Tuple == nil {
+					continue
+				}
+				m++
+				if m%1024 == 0 {
+					if g := heapGrowth(base); g > peak {
+						peak = g
+					}
+				}
+			}
+			if err := seq.Err(); err != nil {
+				panic(err)
+			}
+			better(&stream, n, ttft, wall, peak, i == 0)
+
+			// Materialized: the first tuple is in hand only when the whole
+			// result is; peak heap is the live tuple table's retention.
+			base = heapBase()
+			t0 = time.Now()
+			seq, err = eng.Run(context.Background(), p, nil)
+			if err != nil {
+				panic(err)
+			}
+			res, err := seq.Collect()
+			if err != nil {
+				panic(err)
+			}
+			wall = time.Since(t0)
+			g := heapGrowth(base)
+			runtime.KeepAlive(res)
+			better(&collect, len(res.Tuples), wall, wall, g, i == 0)
+		}
+		snap.Points = append(snap.Points, stream, collect)
+	}
+	return snap
+}
+
+// better folds one iteration into a point: best (min) times, min peak heap.
+func better(pt *StreamPoint, tuples int, ttft, wall time.Duration, peak uint64, first bool) {
+	ttftMs := float64(ttft.Nanoseconds()) / 1e6
+	wallMs := float64(wall.Nanoseconds()) / 1e6
+	pt.Tuples = tuples
+	if first || ttftMs < pt.TTFTMs {
+		pt.TTFTMs = ttftMs
+	}
+	if first || wallMs < pt.WallMs {
+		pt.WallMs = wallMs
+	}
+	if first || peak < pt.PeakHeapBytes {
+		pt.PeakHeapBytes = peak
+	}
+}
+
+// FormatStreamBench renders the snapshot as indented JSON (the committed
+// BENCH_stream.json format).
+func FormatStreamBench(s *StreamSnapshot) string {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "{}"
+	}
+	return string(out) + "\n"
+}

@@ -4,8 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/embed"
@@ -168,46 +166,14 @@ func (e *Engine) Run(q *lang.Query) (*Result, error) {
 }
 
 // RunWith evaluates a parsed query with per-run overrides. Like Run it is
-// safe for concurrent use.
+// safe for concurrent use. It is a thin collector over Stream: the same
+// iterator that feeds the streaming paths, drained into a Result.
 func (e *Engine) RunWith(q *lang.Query, ro RunOptions) (*Result, error) {
-	if err := ctxErr(ro.Ctx); err != nil {
-		return nil, err
-	}
-	res := &Result{}
-	t0 := time.Now()
-	nq, err := normalize(q, e.model, e.opts.ExpansionLimit)
+	st, err := e.Stream(q, ro)
 	if err != nil {
 		return nil, err
 	}
-	res.Times.Normalize = time.Since(t0)
-
-	t0 = time.Now()
-	dpli := runDPLI(nq, e.ix, !ro.NoPlan)
-	res.Times.DPLI = time.Since(t0)
-	if dpli.exhausted {
-		return res, nil
-	}
-	var cands []int32
-	if dpli.allSentences {
-		cands = make([]int32, e.corpus.NumSentences())
-		for i := range cands {
-			cands[i] = int32(i)
-		}
-	} else {
-		cands = dpli.candSids
-	}
-	res.CandidateSentences = len(cands)
-	var plan *queryPlan
-	if !ro.NoPlan {
-		t0 = time.Now()
-		plan = buildQueryPlan(nq, dpli, cands)
-		res.Times.Plan = time.Since(t0)
-		res.Plan = plan.info(nq)
-	}
-	if err := e.evaluateCandidates(nq, dpli, cands, res, ro, plan); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return st.Collect()
 }
 
 // RunNaive evaluates without any index pruning: every sentence is a
@@ -224,88 +190,16 @@ func (e *Engine) RunNaive(q *lang.Query) (*Result, error) {
 		cands[i] = int32(i)
 	}
 	res.CandidateSentences = len(cands)
-	if err := e.evaluateCandidates(nq, &dpliResult{}, cands, res,
-		RunOptions{Workers: e.opts.Workers, Explain: e.opts.Explain}, nil); err != nil {
-		return nil, err
-	}
-	return res, nil
+	st := &Stream{res: res}
+	st.seq = e.streamDocs(nq, &dpliResult{}, cands,
+		RunOptions{Workers: e.opts.Workers, Explain: e.opts.Explain}, nil, st)
+	return st.Collect()
 }
 
 // docRange is one document's contiguous slice of the candidate list.
 type docRange struct {
 	doc    int
 	lo, hi int
-}
-
-func (e *Engine) evaluateCandidates(nq *normQuery, dpli *dpliResult, cands []int32, res *Result, ro RunOptions, plan *queryPlan) error {
-	// Group candidate sentences by document (evidence aggregation and
-	// article loading are document-scoped). cands is sorted and DocOfSent is
-	// non-decreasing in sid, so grouping is one linear pass — no map, no
-	// re-sort, and document order falls out ascending.
-	var ranges []docRange
-	for i := 0; i < len(cands); {
-		d := e.corpus.DocOfSent[cands[i]]
-		j := i + 1
-		for j < len(cands) && e.corpus.DocOfSent[cands[j]] == d {
-			j++
-		}
-		ranges = append(ranges, docRange{doc: d, lo: i, hi: j})
-		i = j
-	}
-
-	workers := ro.Workers
-	if workers <= 1 {
-		w := e.newDocWorker(nq, dpli, ro, plan)
-		for _, r := range ranges {
-			if err := ctxErr(ro.Ctx); err != nil {
-				return err
-			}
-			dr := w.evalDoc(r.doc, cands[r.lo:r.hi])
-			mergeDocResult(res, dr)
-		}
-		addPlanActuals(res, plan, w.ev)
-		return nil
-	}
-	// Parallel mode: one goroutine per worker pulls documents from a shared
-	// cursor; results merge in document order so output is deterministic.
-	// Each worker owns a private sentEval scratch and count cursor — shared
-	// state is read-only, so workers share nothing mutable and allocate
-	// almost nothing per sentence. A done context stops workers between
-	// documents; the partial results array is then discarded.
-	results := make([]docEvalResult, len(ranges))
-	evs := make([]*sentEval, workers)
-	var next int64
-	var wg sync.WaitGroup
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func(wk int) {
-			defer wg.Done()
-			w := e.newDocWorker(nq, dpli, ro, plan)
-			evs[wk] = w.ev
-			for {
-				if ctxErr(ro.Ctx) != nil {
-					return
-				}
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(ranges) {
-					return
-				}
-				r := ranges[i]
-				results[i] = w.evalDoc(r.doc, cands[r.lo:r.hi])
-			}
-		}(wk)
-	}
-	wg.Wait()
-	if err := ctxErr(ro.Ctx); err != nil {
-		return err
-	}
-	for i := range results {
-		mergeDocResult(res, results[i])
-	}
-	for _, ev := range evs {
-		addPlanActuals(res, plan, ev)
-	}
-	return nil
 }
 
 // addPlanActuals folds one worker's per-slot candidate counts into the
@@ -327,8 +221,10 @@ type docEvalResult struct {
 	evaluated int
 }
 
-func mergeDocResult(res *Result, dr docEvalResult) {
-	res.Tuples = append(res.Tuples, dr.tuples...)
+// mergeDocCounters folds one document's counters and phase times into res,
+// leaving tuple delivery to the iterator (streaming consumers never touch
+// res.Tuples; collectors append the yielded batches themselves).
+func mergeDocCounters(res *Result, dr docEvalResult) {
 	res.Times.LoadArticle += dr.times.LoadArticle
 	res.Times.GSP += dr.times.GSP
 	res.Times.Extract += dr.times.Extract

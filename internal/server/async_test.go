@@ -342,8 +342,9 @@ func mustEngine(svc *Service, name string) koko.Querier {
 	return eng
 }
 
-// gatedQuerier blocks RunShard until released — the HTTP-level instrument
-// for cancellation tests (same idea as the jobs package's internal one).
+// gatedQuerier blocks StreamShard (the job executor's per-shard evaluation
+// call) until released — the HTTP-level instrument for cancellation tests
+// (same idea as the jobs package's internal one).
 type gatedQuerier struct {
 	koko.Querier
 	started chan struct{}
@@ -355,36 +356,34 @@ func newGatedQuerier(q koko.Querier) *gatedQuerier {
 	return &gatedQuerier{Querier: q, started: make(chan struct{}), release: make(chan struct{})}
 }
 
-func (g *gatedQuerier) RunShard(ctx context.Context, shard int, p *koko.ParsedQuery, qo *koko.QueryOptions) (koko.Partial, error) {
+func (g *gatedQuerier) StreamShard(ctx context.Context, shard int, p *koko.ParsedQuery, qo *koko.QueryOptions, emit func([]koko.Tuple) error) (*koko.Result, error) {
 	if g.once.CompareAndSwap(false, true) {
 		close(g.started)
 	}
 	select {
 	case <-ctx.Done():
-		return koko.Partial{}, ctx.Err()
+		return nil, ctx.Err()
 	case <-g.release:
 	}
-	return g.Querier.RunShard(ctx, shard, p, qo)
+	return g.Querier.StreamShard(ctx, shard, p, qo, emit)
 }
 
-// stallQuerier streams its first shard, then blocks until the request
-// context dies — the instrument for the client-disconnect test.
+// stallQuerier streams a complete first shard, then stalls every later
+// shard until the request context dies — the instrument for the
+// client-disconnect test. The override sits on StreamShard because that is
+// the per-shard call the registry's mutable wrapper fans out to.
 type stallQuerier struct {
 	koko.Querier
 	cancelled chan struct{}
 }
 
-func (s *stallQuerier) RunParsedEach(ctx context.Context, p *koko.ParsedQuery, qo *koko.QueryOptions, each func(int, koko.Partial) error) error {
-	part, err := s.Querier.RunShard(ctx, 0, p, qo)
-	if err != nil {
-		return err
-	}
-	if err := each(0, part); err != nil {
-		return err
+func (s *stallQuerier) StreamShard(ctx context.Context, shard int, p *koko.ParsedQuery, qo *koko.QueryOptions, emit func([]koko.Tuple) error) (*koko.Result, error) {
+	if shard == 0 {
+		return s.Querier.StreamShard(ctx, 0, p, qo, emit)
 	}
 	<-ctx.Done()
 	close(s.cancelled)
-	return ctx.Err()
+	return nil, ctx.Err()
 }
 
 // TestStreamClientDisconnect: a client dropping mid-stream cancels the

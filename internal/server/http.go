@@ -35,8 +35,17 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
+// ErrorBody is the unified error envelope every /v1 endpoint answers
+// failures with: {"error":{"code":"...","message":"..."}}. Code is a stable
+// machine-readable identifier (the table in the README); Message is the
+// human-readable detail and carries no stability guarantee.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
 type errorResponse struct {
-	Error string `json:"error"`
+	Error ErrorBody `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -47,25 +56,41 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeBadRequest answers a malformed request (undecodable body, missing
+// required fields) — failures detected before the error ever becomes a
+// sentinel writeError could classify.
+func writeBadRequest(w http.ResponseWriter, msg string) {
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: ErrorBody{Code: "bad_request", Message: msg}})
+}
+
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	code := "internal"
 	switch {
 	case errors.Is(err, ErrNotFound), errors.Is(err, jobs.ErrNotFound), errors.Is(err, koko.ErrNoDocument):
-		status = http.StatusNotFound
-	case errors.Is(err, ErrBadQuery), errors.Is(err, jobs.ErrBadSpec), errors.Is(err, koko.ErrEmptyDocument):
-		status = http.StatusBadRequest
-	case errors.Is(err, ErrNotReloadable), errors.Is(err, ErrRemoteCorpus), errors.Is(err, ErrGenerationMoved):
-		status = http.StatusConflict
+		status, code = http.StatusNotFound, "not_found"
+	case errors.Is(err, ErrBadQuery):
+		status, code = http.StatusBadRequest, "bad_query"
+	case errors.Is(err, jobs.ErrBadSpec):
+		status, code = http.StatusBadRequest, "bad_spec"
+	case errors.Is(err, koko.ErrEmptyDocument):
+		status, code = http.StatusBadRequest, "empty_document"
+	case errors.Is(err, ErrNotReloadable):
+		status, code = http.StatusConflict, "not_reloadable"
+	case errors.Is(err, ErrRemoteCorpus):
+		status, code = http.StatusConflict, "remote_corpus"
+	case errors.Is(err, ErrGenerationMoved):
+		status, code = http.StatusConflict, "generation_moved"
 	case errors.Is(err, jobs.ErrLimit):
-		status = http.StatusTooManyRequests
+		status, code = http.StatusTooManyRequests, "job_limit"
 	case errors.Is(err, jobs.ErrDraining):
-		status = http.StatusServiceUnavailable
+		status, code = http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, remote.ErrShardUnavailable):
 		// Every replica of some shard failed: the backend's fault, not the
 		// client's.
-		status = http.StatusBadGateway
+		status, code = http.StatusBadGateway, "shard_unavailable"
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, errorResponse{Error: ErrorBody{Code: code, Message: err.Error()}})
 }
 
 // maxBodyBytes bounds request bodies: queries are text a human wrote, not
@@ -75,11 +100,11 @@ const maxBodyBytes = 1 << 20
 func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		writeBadRequest(w, "invalid JSON body: "+err.Error())
 		return
 	}
 	if req.Corpus == "" || req.Query == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `"corpus" and "query" are required`})
+		writeBadRequest(w, `"corpus" and "query" are required`)
 		return
 	}
 	if wantsStream(r) {
@@ -113,7 +138,7 @@ type validateResponse struct {
 func (s *Service) handleValidate(w http.ResponseWriter, r *http.Request) {
 	var req validateRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		writeBadRequest(w, "invalid JSON body: "+err.Error())
 		return
 	}
 	if err := s.Validate(req.Query); err != nil {

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestErrorEnvelope: every /v1 failure answers the unified envelope
+// {"error":{"code":"...","message":"..."}} with the documented stable code
+// and status.
+func TestErrorEnvelope(t *testing.T) {
+	svc := NewService(Config{CacheSize: 8})
+	RegisterDemoCorpora(svc.Registry(), 2)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		status int
+		code   string
+	}{
+		{"unknown corpus", "POST", "/v1/query",
+			`{"corpus":"nope","query":"extract x:Entity from \"blogs\" if ()"}`,
+			http.StatusNotFound, "not_found"},
+		{"bad query", "POST", "/v1/query",
+			`{"corpus":"demo-cafes","query":"extract nonsense"}`,
+			http.StatusBadRequest, "bad_query"},
+		{"undecodable body", "POST", "/v1/query", `{not json`,
+			http.StatusBadRequest, "bad_request"},
+		{"missing fields", "POST", "/v1/query", `{}`,
+			http.StatusBadRequest, "bad_request"},
+		{"unknown job", "GET", "/v1/jobs/absent", "",
+			http.StatusNotFound, "not_found"},
+		{"unreloadable corpus", "POST", "/v1/corpora/demo-cafes/reload", "",
+			http.StatusConflict, "not_reloadable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.status)
+			}
+			var env struct {
+				Error struct {
+					Code    string `json:"code"`
+					Message string `json:"message"`
+				} `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatalf("response is not the error envelope: %v", err)
+			}
+			if env.Error.Code != tc.code {
+				t.Errorf("code %q, want %q", env.Error.Code, tc.code)
+			}
+			if env.Error.Message == "" {
+				t.Error("empty error message")
+			}
+		})
+	}
+}

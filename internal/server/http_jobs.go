@@ -16,7 +16,7 @@ import (
 func (s *Service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec jobs.Spec
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		writeBadRequest(w, "invalid JSON body: "+err.Error())
 		return
 	}
 	st, err := s.jobs.Submit(spec)

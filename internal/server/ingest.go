@@ -43,11 +43,11 @@ type IngestResponse struct {
 func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req IngestRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error()})
+		writeBadRequest(w, "invalid JSON body: "+err.Error())
 		return
 	}
 	if req.Text == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `"text" is required`})
+		writeBadRequest(w, `"text" is required`)
 		return
 	}
 	info, doc, updated, err := s.Ingest(r.PathValue("name"), req.Name, req.Text)

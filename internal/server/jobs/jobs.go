@@ -327,7 +327,20 @@ func (m *Manager) run(j *job) {
 			if err := m.rt.Acquire(j.ctx); err != nil {
 				return // cancelled while queued for a slot
 			}
-			part, err := j.eng.RunShard(j.ctx, si, j.parsed[qi], qo)
+			// Stream the shard: every delivered batch becomes a zero-offset
+			// sub-partial (tuples arrive already in global coordinates), so
+			// the fetchable result prefix and the tuple progress counter grow
+			// while the shard is still evaluating — a giant shard's result is
+			// visible long before its summary. The counters land once, in the
+			// tuple-less summary partial, so the merged prefix stays exactly
+			// what a buffered RunShard per shard would have produced.
+			sum, err := j.eng.StreamShard(j.ctx, si, j.parsed[qi], qo, func(ts []koko.Tuple) error {
+				j.mu.Lock()
+				j.parts[qi] = append(j.parts[qi], koko.Partial{Res: &koko.Result{Tuples: ts}})
+				j.progress[qi].Tuples += len(ts)
+				j.mu.Unlock()
+				return nil
+			})
 			m.rt.Release()
 			if err != nil {
 				if j.ctx.Err() != nil {
@@ -339,12 +352,15 @@ func (m *Manager) run(j *job) {
 				return
 			}
 			j.mu.Lock()
-			j.parts[qi] = append(j.parts[qi], part)
+			if sum != nil {
+				j.parts[qi] = append(j.parts[qi], koko.Partial{Res: sum})
+			}
 			pr := &j.progress[qi]
 			pr.ShardsDone++
-			pr.Tuples += len(part.Res.Tuples)
-			pr.Candidates += part.Res.Candidates
-			pr.Matched += part.Res.Matched
+			if sum != nil {
+				pr.Candidates += sum.Candidates
+				pr.Matched += sum.Matched
+			}
 			j.mu.Unlock()
 		}
 	}

@@ -55,13 +55,13 @@ func (f *fakeRuntime) Acquire(ctx context.Context) error {
 func (f *fakeRuntime) Release()               {}
 func (f *fakeRuntime) ShardWorkers(n int) int { return 1 }
 
-// gatedQuerier wraps a Querier so RunShard blocks until released (or the
-// context is cancelled), counting calls — the instrument for cancellation
-// and limit tests.
+// gatedQuerier wraps a Querier so StreamShard (the executor's per-shard
+// evaluation call) blocks until released (or the context is cancelled),
+// counting calls — the instrument for cancellation and limit tests.
 type gatedQuerier struct {
 	koko.Querier
 	calls   atomic.Int32
-	started chan struct{} // closed on first RunShard
+	started chan struct{} // closed on first StreamShard
 	release chan struct{} // close to let evaluations proceed
 }
 
@@ -69,16 +69,16 @@ func newGated(q koko.Querier) *gatedQuerier {
 	return &gatedQuerier{Querier: q, started: make(chan struct{}), release: make(chan struct{})}
 }
 
-func (g *gatedQuerier) RunShard(ctx context.Context, shard int, p *koko.ParsedQuery, qo *koko.QueryOptions) (koko.Partial, error) {
+func (g *gatedQuerier) StreamShard(ctx context.Context, shard int, p *koko.ParsedQuery, qo *koko.QueryOptions, emit func([]koko.Tuple) error) (*koko.Result, error) {
 	if g.calls.Add(1) == 1 {
 		close(g.started)
 	}
 	select {
 	case <-ctx.Done():
-		return koko.Partial{}, ctx.Err()
+		return nil, ctx.Err()
 	case <-g.release:
 	}
-	return g.Querier.RunShard(ctx, shard, p, qo)
+	return g.Querier.StreamShard(ctx, shard, p, qo, emit)
 }
 
 func waitState(t *testing.T, m *Manager, id string, want State) Status {
@@ -173,7 +173,7 @@ func TestJobCancelStopsShardEvaluations(t *testing.T) {
 	// The executor must not have issued any further shard evaluations: the
 	// one in flight was cancelled mid-run (its ctx fired), none followed.
 	if got := g.calls.Load(); got != 1 {
-		t.Fatalf("RunShard called %d times after cancel, want 1", got)
+		t.Fatalf("shard evaluation started %d times after cancel, want 1", got)
 	}
 	// A cancelled job's results are still fetchable: the completed prefix.
 	res, err := m.Results(st.ID)

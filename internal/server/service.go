@@ -403,15 +403,23 @@ func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 		Explain: req.Explain,
 		Workers: s.workersFor(req.Workers, fanoutOf(eng)),
 		Plan:    plan,
+		// Engines without failure domains ignore Degraded, so Partial is safe
+		// to thread through unconditionally.
+		Degraded: req.Partial,
 	}
 	var res *koko.Result
 	var failed []int
-	var err2 error
 	s.metrics.enter()
-	if deg, ok := eng.(degradedRunner); ok && req.Partial {
-		res, failed, err2 = deg.RunParsedDegraded(ctx, parsed, qo)
-	} else {
-		res, err2 = eng.RunParsedCtx(ctx, parsed, qo)
+	seq, err2 := eng.Run(ctx, parsed, qo)
+	if err2 == nil {
+		res, err2 = seq.Collect()
+	}
+	if err2 == nil {
+		failed = seq.FailedShards()
+		if n := seq.NumShards(); len(failed) > 0 && len(failed) == n {
+			// Degradation needs survivors; losing every shard is an outage.
+			err2 = fmt.Errorf("corpus %q: all %d shards failed: %w", req.Corpus, n, seq.FailedErr())
+		}
 	}
 	s.metrics.exit()
 	s.Release()
@@ -441,12 +449,6 @@ func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 	resp.FailedShards = failed
 	resp.ServiceMillis = ms(time.Since(t0))
 	return resp, nil
-}
-
-// degradedRunner is the graceful-degradation surface a remote engine
-// offers; local engines don't (their shards cannot fail independently).
-type degradedRunner interface {
-	RunParsedDegraded(ctx context.Context, p *koko.ParsedQuery, qo *koko.QueryOptions) (*koko.Result, []int, error)
 }
 
 // cachePut admits an evaluated result to the cache — unless the request

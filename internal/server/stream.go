@@ -12,11 +12,12 @@ import (
 )
 
 // Streaming query mode: POST /v1/query with Accept: application/x-ndjson
-// (or ?stream=1) answers as newline-delimited JSON, flushing each shard's
-// tuples as its doc range completes. The shard merge is already ordered by
-// document, so streaming is a flush per shard — the tuples arrive in
-// exactly the order (and encoding) of the buffered response, followed by a
-// summary line.
+// (or ?stream=1) answers as newline-delimited JSON pulled straight off the
+// engine's tuple iterator: lines go out as evaluation yields them, flushed
+// on a fixed cadence rather than per shard. The shard merge is already
+// ordered by document, so the tuples arrive in exactly the order (and
+// encoding) of the buffered response, interleaved with per-shard progress
+// markers and followed by a summary line.
 
 // StreamEvent is one NDJSON line of a streamed query response. Exactly one
 // field is set per line:
@@ -55,6 +56,11 @@ type StreamSummary struct {
 	ServiceMillis float64        `json:"service_ms"`
 }
 
+// flushEvery is the NDJSON flush cadence in tuple lines: small enough that
+// a slow query's early tuples reach the client promptly, large enough to
+// amortize the flush syscall across a burst.
+const flushEvery = 64
+
 // wantsStream reports whether the request asked for NDJSON streaming.
 func wantsStream(r *http.Request) bool {
 	if r.URL.Query().Get("stream") == "1" {
@@ -64,12 +70,18 @@ func wantsStream(r *http.Request) bool {
 }
 
 // QueryStream evaluates req and delivers the response as a sequence of
-// StreamEvents: per-shard tuple flushes in global document order, then a
-// summary. A cache hit streams the cached tuples in one flush; a miss
-// evaluates shard-at-a-time under the worker pool and (on completion)
-// populates the cache, so streamed and buffered modes stay interchangeable.
+// StreamEvents by pulling the engine's tuple iterator directly: each tuple
+// is emitted as evaluation yields it, so the first line is on the wire
+// before later documents and shards have evaluated, and a paused consumer
+// applies backpressure all the way down to the per-document loop (memory
+// stays bounded by the stream's internal batching, not the result size).
+// A cache hit streams the cached tuples in one flush; a miss that completes
+// populates the cache — unless the request said NoCache, in which case
+// nothing is materialized at all. The worker-pool slot is held for the whole
+// drain: with pull-driven evaluation there is no completed-result handoff
+// point, and a slot that outlives its evaluation would unbound the pool.
 // An emit error (client disconnect) or ctx cancellation stops the remaining
-// shard evaluations; QueryStream does not return until they have exited.
+// evaluation; QueryStream does not return until it has exited.
 func (s *Service) QueryStream(ctx context.Context, req QueryRequest, emit func(StreamEvent) error) error {
 	t0 := time.Now()
 	s.metrics.streamsTotal.Add(1)
@@ -85,74 +97,54 @@ func (s *Service) QueryStream(ctx context.Context, req QueryRequest, emit func(S
 		s.metrics.queryCancels.Add(1)
 		return err
 	}
+	defer s.Release()
 	s.metrics.enter()
+	defer s.metrics.exit()
 
-	// Producer/consumer split: the fan-out evaluates shards in a background
-	// goroutine and hands completed partials over a channel buffered to the
-	// shard count (each shard sends exactly once, so the producer never
-	// blocks on the consumer). The worker-pool slot is therefore held for
-	// evaluation time only — a client draining the response at modem speed
-	// cannot pin a slot and starve interactive queries or job shards.
-	cctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	shards := eng.NumShards()
-	type delivery struct {
-		shard int
-		part  koko.Partial
+	seq, err := eng.Run(ctx, parsed, &koko.QueryOptions{
+		Explain: req.Explain,
+		Workers: s.workersFor(req.Workers, fanoutOf(eng)),
+		Plan:    plan,
+	})
+	if err != nil {
+		s.metrics.queryErrors.Add(1)
+		return fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
-	ch := make(chan delivery, shards)
-	evalErr := make(chan error, 1)
-	var evalElapsed time.Duration
-	go func() {
-		defer s.metrics.exit()
-		defer s.Release()
-		tEval := time.Now()
-		err := eng.RunParsedEach(cctx, parsed, &koko.QueryOptions{
-			Explain: req.Explain,
-			Workers: s.workersFor(req.Workers, fanoutOf(eng)),
-			Plan:    plan,
-		}, func(shard int, part koko.Partial) error {
-			ch <- delivery{shard: shard, part: part}
-			return nil
-		})
-		evalElapsed = time.Since(tEval)
-		close(ch)
-		evalErr <- err
-	}()
-
-	parts := make([]koko.Partial, 0, shards)
+	tEval := time.Now()
+	// The result cache needs the materialized tuple table; collecting is the
+	// only buffering this path does, and NoCache turns it off entirely.
+	var collected []koko.Tuple
+	shards := seq.NumShards()
 	total := 0
 	var emitErr error
-	for d := range ch {
-		if emitErr != nil {
-			continue // evaluation is cancelled; drain the channel
-		}
-		parts = append(parts, d.part)
-		for _, t := range d.part.Res.Tuples {
-			tr := tupleResultOf(t, d.part.DocOffset, d.part.SentOffset)
+	for ev := range seq.Events() {
+		if t := ev.Tuple; t != nil {
+			if !req.NoCache {
+				collected = append(collected, *t)
+			}
+			tr := tupleResultOf(*t, 0, 0)
 			total++
 			if emitErr = emit(StreamEvent{Tuple: &tr}); emitErr != nil {
+				break // breaking the range cancels the remaining evaluation
+			}
+			continue
+		}
+		if sh := ev.Shard; sh != nil {
+			if emitErr = emit(StreamEvent{Shard: &ShardProgress{
+				Shard: sh.Shard, Shards: shards,
+				Tuples: sh.Tuples, TotalTuples: total,
+			}}); emitErr != nil {
 				break
 			}
 		}
-		if emitErr == nil {
-			emitErr = emit(StreamEvent{Shard: &ShardProgress{
-				Shard: d.shard, Shards: shards,
-				Tuples: len(d.part.Res.Tuples), TotalTuples: total,
-			}})
-		}
-		if emitErr != nil {
-			cancel() // stop the remaining shard evaluations
-		}
 	}
-	err = <-evalErr
 	if emitErr != nil {
 		// The consumer went away (disconnect, write failure) — routine
 		// client behavior, not a query error.
 		s.metrics.queryCancels.Add(1)
 		return emitErr
 	}
-	if err != nil {
+	if err := seq.Err(); err != nil {
 		if ctxDone(err) {
 			s.metrics.queryCancels.Add(1)
 			return err
@@ -161,11 +153,12 @@ func (s *Service) QueryStream(ctx context.Context, req QueryRequest, emit func(S
 		return fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 
-	// Cache and account evaluation wall time, not client-drain time: the
-	// stored Result's Elapsed/Phases must mean the same thing as in
-	// buffered mode, whatever the first consumer's network speed.
-	res := koko.MergePartials(parts)
-	res.Elapsed = evalElapsed
+	// Elapsed is the drain's wall time: with pull-driven evaluation there is
+	// no separate evaluation clock (the consumer's pace IS the evaluation
+	// pace), matching what Collect reports in buffered mode.
+	res := seq.Summary()
+	res.Tuples = collected
+	res.Elapsed = time.Since(tEval)
 	s.metrics.queryNanos.Add(res.Elapsed.Nanoseconds())
 	s.recordPlan(res)
 	s.metrics.tuplesReturned.Add(int64(total))
@@ -212,6 +205,7 @@ func (s *Service) handleQueryStream(w http.ResponseWriter, r *http.Request, req 
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	started := false
+	pending := 0
 	err := s.QueryStream(r.Context(), req, func(ev StreamEvent) error {
 		if !started {
 			w.Header().Set("Content-Type", "application/x-ndjson")
@@ -221,11 +215,15 @@ func (s *Service) handleQueryStream(w http.ResponseWriter, r *http.Request, req 
 		if err := enc.Encode(ev); err != nil {
 			return err
 		}
-		// Flush on shard boundaries and at the end — the semantics the mode
-		// exists for: a shard's tuples become visible when its doc range
-		// completes, not when the whole query does.
-		if flusher != nil && (ev.Shard != nil || ev.Done != nil) {
+		// Flush every flushEvery tuple lines and on shard/done boundaries:
+		// tuples arrive one at a time from the pull-driven iterator, so the
+		// cadence — not shard completion — is what puts the first lines on
+		// the wire while evaluation is still running, without paying a
+		// syscall per line.
+		pending++
+		if flusher != nil && (pending >= flushEvery || ev.Shard != nil || ev.Done != nil) {
 			flusher.Flush()
+			pending = 0
 		}
 		return nil
 	})

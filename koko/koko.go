@@ -266,6 +266,11 @@ type QueryOptions struct {
 	// "on" forces selectivity-ordered evaluation, "off" forces written
 	// order, "" inherits the engine default.
 	Plan string
+	// Degraded lets an engine with failure domains (remote.Engine) answer
+	// from whatever shards survive: a failed shard is skipped and reported
+	// through TupleSeq.FailedShards instead of failing the query. Engines
+	// whose shards cannot fail independently ignore it.
+	Degraded bool
 }
 
 // ParsedQuery is a parsed, reusable KOKO query. Parsing once and running
@@ -301,6 +306,9 @@ func (e *Engine) Query(src string) (*Result, error) {
 
 // QueryWith parses and evaluates a KOKO query with per-query overrides.
 // qo may be nil (engine defaults).
+//
+// Deprecated: parse with ParseQuery and evaluate with Run (or its Collect
+// for a buffered Result).
 func (e *Engine) QueryWith(src string, qo *QueryOptions) (*Result, error) {
 	p, err := ParseQuery(src)
 	if err != nil {
@@ -309,17 +317,9 @@ func (e *Engine) QueryWith(src string, qo *QueryOptions) (*Result, error) {
 	return e.RunParsed(p, qo)
 }
 
-// RunParsed evaluates an already-parsed query with per-query overrides.
-// qo may be nil (engine defaults). Safe for concurrent use.
-func (e *Engine) RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, error) {
-	return e.RunParsedCtx(context.Background(), p, qo)
-}
-
-// RunParsedCtx evaluates like RunParsed but honors ctx: a done context stops
-// the evaluation between documents and the call returns ctx.Err(). This is
-// the cancellation point the server's jobs and streaming modes rely on — a
-// deleted job or disconnected client stops consuming CPU mid-run.
-func (e *Engine) RunParsedCtx(ctx context.Context, p *ParsedQuery, qo *QueryOptions) (*Result, error) {
+// runOptions resolves per-query overrides against the engine's defaults —
+// the one translation from the public QueryOptions to the internal run knobs.
+func (e *Engine) runOptions(ctx context.Context, qo *QueryOptions) engine.RunOptions {
 	ro := engine.RunOptions{Explain: e.optExplain, Workers: e.optWorkers, NoPlan: e.optNoPlan, Ctx: ctx}
 	if qo != nil {
 		if qo.Explain {
@@ -335,11 +335,99 @@ func (e *Engine) RunParsedCtx(ctx context.Context, p *ParsedQuery, qo *QueryOpti
 			ro.NoPlan = true
 		}
 	}
-	res, err := e.eng.RunWith(p.q, ro)
+	return ro
+}
+
+// Run evaluates an already-parsed query as a lazy stream: tuples yield in
+// document order as candidate documents are evaluated, followed by a single
+// shard-0 end marker carrying the run's counters. A done ctx stops the
+// evaluation between documents and surfaces through TupleSeq.Err. qo may be
+// nil (engine defaults). Safe for concurrent use; each call returns an
+// independent single-use stream.
+func (e *Engine) Run(ctx context.Context, p *ParsedQuery, qo *QueryOptions) (*TupleSeq, error) {
+	st, err := e.eng.Stream(p.q, e.runOptions(ctx, qo))
 	if err != nil {
 		return nil, err
 	}
-	return resultFromEngine(res), nil
+	seq := &TupleSeq{shards: 1}
+	seq.produce = func(yield func(Event) bool) error {
+		n := 0
+		for batch := range st.Docs() {
+			ts := tuplesFromEngine(batch)
+			for k := range ts {
+				if !yield(Event{Tuple: &ts[k]}) {
+					return nil
+				}
+				n++
+			}
+		}
+		if err := st.Err(); err != nil {
+			return err
+		}
+		yield(Event{Shard: &ShardEnd{Shard: 0, Tuples: n, Summary: summaryFromEngine(st.Result())}})
+		return nil
+	}
+	return seq, nil
+}
+
+// StreamShard evaluates one shard of the corpus, delivering tuples through
+// emit in bounded batches (document order, global coordinates — a plain
+// Engine is a single shard, so no rebasing applies) and returning the
+// shard's counters-only summary. Each emitted slice is freshly allocated
+// and owned by the receiver. An emit error stops the evaluation and is
+// returned as-is.
+func (e *Engine) StreamShard(ctx context.Context, shard int, p *ParsedQuery, qo *QueryOptions, emit func(tuples []Tuple) error) (*Result, error) {
+	if shard != 0 {
+		return nil, fmt.Errorf("koko: shard %d out of range (plain engine has 1 shard)", shard)
+	}
+	st, err := e.eng.Stream(p.q, e.runOptions(ctx, qo))
+	if err != nil {
+		return nil, err
+	}
+	var batch []Tuple
+	limit := streamFirstBatchTuples
+	for docTuples := range st.Docs() {
+		batch = append(batch, tuplesFromEngine(docTuples)...)
+		if len(batch) >= limit {
+			if err := emit(batch); err != nil {
+				return nil, err
+			}
+			batch = nil
+			limit = streamBatchTuples
+		}
+	}
+	if err := st.Err(); err != nil {
+		return nil, err
+	}
+	if len(batch) > 0 {
+		if err := emit(batch); err != nil {
+			return nil, err
+		}
+	}
+	return summaryFromEngine(st.Result()), nil
+}
+
+// RunParsed evaluates an already-parsed query with per-query overrides.
+// qo may be nil (engine defaults). Safe for concurrent use.
+//
+// Deprecated: use Run and collect the stream (Run + TupleSeq.Collect is the
+// buffered mode).
+func (e *Engine) RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, error) {
+	return e.RunParsedCtx(context.Background(), p, qo)
+}
+
+// RunParsedCtx evaluates like RunParsed but honors ctx: a done context stops
+// the evaluation between documents and the call returns ctx.Err(). This is
+// the cancellation point the server's jobs and streaming modes rely on — a
+// deleted job or disconnected client stops consuming CPU mid-run.
+//
+// Deprecated: use Run and collect the stream with TupleSeq.Collect.
+func (e *Engine) RunParsedCtx(ctx context.Context, p *ParsedQuery, qo *QueryOptions) (*Result, error) {
+	seq, err := e.Run(ctx, p, qo)
+	if err != nil {
+		return nil, err
+	}
+	return seq.Collect()
 }
 
 // RunShard evaluates one shard of the corpus. A plain Engine is a single
@@ -361,18 +449,17 @@ func (e *Engine) RunShard(ctx context.Context, shard int, p *ParsedQuery, qo *Qu
 // shard-0 Partial through each — the one-shard form of
 // ShardedEngine.RunParsedEach, so streaming callers handle plain and sharded
 // corpora identically.
+//
+// Deprecated: use Run; ShardEnd events mark the per-shard boundaries a
+// Partial consumer regrouped on.
 func (e *Engine) RunParsedEach(ctx context.Context, p *ParsedQuery, qo *QueryOptions, each func(shard int, part Partial) error) error {
-	part, err := e.RunShard(ctx, 0, p, qo)
-	if err != nil {
-		return err
-	}
-	return each(0, part)
+	return runParsedEachVia(e, ctx, p, qo, each)
 }
 
-// resultFromEngine converts the internal engine result to the public form.
-// Both Engine.RunParsed and the per-shard partials of ShardedEngine produce
-// results through this one conversion.
-func resultFromEngine(res *engine.Result) *Result {
+// summaryFromEngine converts the internal engine result's counters, phase
+// times, and plan report to the public form — everything but the tuple
+// table, which the streaming path has already delivered.
+func summaryFromEngine(res *engine.Result) *Result {
 	out := &Result{
 		Candidates: res.CandidateSentences,
 		Matched:    res.MatchedSentences,
@@ -394,7 +481,17 @@ func resultFromEngine(res *engine.Result) *Result {
 		}
 		out.Plan = pi
 	}
-	for _, t := range res.Tuples {
+	return out
+}
+
+// tuplesFromEngine converts a batch of internal engine tuples to the public
+// form, preserving order.
+func tuplesFromEngine(ts []engine.Tuple) []Tuple {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]Tuple, 0, len(ts))
+	for _, t := range ts {
 		tp := Tuple{
 			SentenceID: t.Sid,
 			Document:   t.Doc,
@@ -410,7 +507,7 @@ func resultFromEngine(res *engine.Result) *Result {
 				Contribution: ev.Contribution,
 			})
 		}
-		out.Tuples = append(out.Tuples, tp)
+		out = append(out, tp)
 	}
 	return out
 }

@@ -639,6 +639,8 @@ func (s *Snapshot) Fanout() int {
 func (s *Snapshot) Query(src string) (*Result, error) { return s.QueryWith(src, nil) }
 
 // QueryWith parses and evaluates with per-query overrides (qo may be nil).
+//
+// Deprecated: parse with ParseQuery and evaluate with Run.
 func (s *Snapshot) QueryWith(src string, qo *QueryOptions) (*Result, error) {
 	p, err := ParseQuery(src)
 	if err != nil {
@@ -647,7 +649,98 @@ func (s *Snapshot) QueryWith(src string, qo *QueryOptions) (*Result, error) {
 	return s.RunParsed(p, qo)
 }
 
+// Run evaluates an already-parsed query across base shards and the sealed
+// delta as a lazy stream: base shards deliver first in shard order, the
+// delta's tuples (rebased after the base's) last — global document order,
+// with tombstoned documents masked out batch by batch. The delta evaluates
+// concurrently with the base fan-out without charging a fan-out slot (see
+// Fanout). Safe for concurrent use.
+func (s *Snapshot) Run(ctx context.Context, p *ParsedQuery, qo *QueryOptions) (*TupleSeq, error) {
+	par := s.Fanout()
+	if s.delta != nil {
+		par++
+	}
+	return StreamShards(ctx, s.NumShards(), par,
+		func(ctx context.Context, shard int, emit func([]Tuple) error) (*Result, error) {
+			return s.StreamShard(ctx, shard, p, qo, emit)
+		}, false), nil
+}
+
+// StreamShard evaluates one shard of the snapshot as a stream: base shards
+// keep their indices, and the sealed delta is addressable as the last
+// shard, its tuples rebased after the base's. Tombstoned documents are
+// masked out of every batch and the returned summary (the streaming form of
+// maskPartial), so emitted tuples are already in masked global coordinates.
+func (s *Snapshot) StreamShard(ctx context.Context, shard int, p *ParsedQuery, qo *QueryOptions, emit func(tuples []Tuple) error) (*Result, error) {
+	dropped := map[int]bool{}
+	masked := s.maskEmit(emit, dropped)
+	switch {
+	case shard >= 0 && shard < s.baseShards:
+		sum, err := s.base.StreamShard(ctx, shard, p, qo, masked)
+		if err != nil {
+			return nil, err
+		}
+		return s.maskSummary(sum, dropped), nil
+	case s.delta != nil && shard == s.baseShards:
+		sum, err := s.delta.StreamShard(ctx, 0, p, qo, func(ts []Tuple) error {
+			for k := range ts {
+				ts[k].Document += s.baseDocs
+				ts[k].SentenceID += s.baseSents
+			}
+			return masked(ts)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return s.maskSummary(sum, dropped), nil
+	}
+	return nil, fmt.Errorf("koko: shard %d out of range (snapshot has %d)", shard, s.NumShards())
+}
+
+// maskEmit wraps a batch consumer with tombstone masking in raw global
+// coordinates: tuples of tombstoned documents are dropped (their distinct
+// sentences recorded in dropped for the Matched adjustment), survivors
+// renumbered to masked global ids in place.
+func (s *Snapshot) maskEmit(emit func([]Tuple) error, dropped map[int]bool) func([]Tuple) error {
+	if s.tombs.numDocs() == 0 {
+		return emit
+	}
+	return func(ts []Tuple) error {
+		out := ts[:0]
+		for _, t := range ts {
+			if s.tombs.contains(t.Document) {
+				dropped[t.SentenceID] = true
+				continue
+			}
+			t.Document -= s.tombs.docsBefore(t.Document)
+			t.SentenceID -= s.tombs.sentsBefore(t.SentenceID)
+			out = append(out, t)
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return emit(out)
+	}
+}
+
+// maskSummary applies maskPartial's counter semantics to a streamed shard's
+// summary: Candidates keeps the raw pre-mask count, Matched drops by the
+// distinct tombstoned sentences whose tuples were masked.
+func (s *Snapshot) maskSummary(sum *Result, dropped map[int]bool) *Result {
+	if s.tombs.numDocs() == 0 {
+		return sum
+	}
+	return &Result{
+		Candidates: sum.Candidates,
+		Matched:    sum.Matched - len(dropped),
+		Elapsed:    sum.Elapsed,
+		Phases:     sum.Phases,
+	}
+}
+
 // RunParsed evaluates an already-parsed query across base and delta.
+//
+// Deprecated: use Run with TupleSeq.Collect.
 func (s *Snapshot) RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, error) {
 	return s.RunParsedCtx(context.Background(), p, qo)
 }
@@ -655,19 +748,14 @@ func (s *Snapshot) RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, error) 
 // RunParsedCtx evaluates like RunParsed but honors ctx between documents.
 // Phases report summed CPU time; Elapsed reports wall time (as with the
 // sharded fan-out).
+//
+// Deprecated: use Run with TupleSeq.Collect.
 func (s *Snapshot) RunParsedCtx(ctx context.Context, p *ParsedQuery, qo *QueryOptions) (*Result, error) {
-	t0 := time.Now()
-	parts := make([]Partial, 0, s.NumShards())
-	err := s.RunParsedEach(ctx, p, qo, func(_ int, part Partial) error {
-		parts = append(parts, part)
-		return nil
-	})
+	seq, err := s.Run(ctx, p, qo)
 	if err != nil {
 		return nil, err
 	}
-	out := MergePartials(parts)
-	out.Elapsed = time.Since(t0)
-	return out, nil
+	return seq.Collect()
 }
 
 // RunShard evaluates one shard: base shards keep their indices, and the
@@ -684,7 +772,11 @@ func (s *Snapshot) RunShard(ctx context.Context, shard int, p *ParsedQuery, qo *
 		return s.maskPartial(part), nil
 	}
 	if s.delta != nil && shard == s.baseShards {
-		res, err := s.delta.RunParsedCtx(ctx, p, qo)
+		seq, err := s.delta.Run(ctx, p, qo)
+		if err != nil {
+			return Partial{}, err
+		}
+		res, err := seq.Collect()
 		if err != nil {
 			return Partial{}, err
 		}
@@ -732,49 +824,14 @@ func (s *Snapshot) maskPartial(p Partial) Partial {
 	return Partial{Res: out}
 }
 
-// RunParsedEach fans out like ShardedEngine.RunParsedEach: base partials
-// arrive in shard order, then the delta's partial last — global document
-// order, so the stream concatenates into the exact merged result. The delta
-// evaluates concurrently with the base fan-out but is delivered only after
-// every base shard. An each error or shard failure cancels the rest; no
-// goroutine outlives the call.
+// RunParsedEach delivers per-shard Partials in shard order — base shards
+// first, the delta's last — already in masked global coordinates (zero
+// offsets), so the stream of partials concatenates into the exact merged
+// result.
+//
+// Deprecated: use Run; ShardEnd events mark the per-shard boundaries.
 func (s *Snapshot) RunParsedEach(ctx context.Context, p *ParsedQuery, qo *QueryOptions, each func(shard int, part Partial) error) error {
-	// Base partials come straight from the base engine, so tombstone masking
-	// wraps the consumer here; the delta partial goes through RunShard,
-	// which masks it already.
-	baseEach := each
-	if s.tombs.numDocs() > 0 {
-		baseEach = func(shard int, part Partial) error {
-			return each(shard, s.maskPartial(part))
-		}
-	}
-	if s.delta == nil {
-		return s.base.RunParsedEach(ctx, p, qo, baseEach)
-	}
-	cctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	type deltaRes struct {
-		part Partial
-		err  error
-	}
-	ch := make(chan deltaRes, 1)
-	go func() {
-		part, err := s.RunShard(cctx, s.baseShards, p, qo)
-		if err != nil {
-			err = fmt.Errorf("delta shard: %w", err)
-		}
-		ch <- deltaRes{part, err}
-	}()
-	if err := s.base.RunParsedEach(cctx, p, qo, baseEach); err != nil {
-		cancel()
-		<-ch
-		return err
-	}
-	d := <-ch
-	if d.err != nil {
-		return d.err
-	}
-	return each(s.baseShards, d.part)
+	return runParsedEachVia(s, ctx, p, qo, each)
 }
 
 // Stats aggregates index statistics across base shards and delta.
@@ -815,3 +872,10 @@ func (s *Snapshot) Save(path string) error {
 // fails while delta documents or tombstones await compaction, and succeeds
 // right after an explicit Compact.
 func (m *Mutable) Save(path string) error { return m.Snapshot().Save(path) }
+
+// Run evaluates an already-parsed query against the current snapshot (see
+// Snapshot.Run). The stream stays pinned to that snapshot however many
+// ingests, deletes, or compactions happen while it drains.
+func (m *Mutable) Run(ctx context.Context, p *ParsedQuery, qo *QueryOptions) (*TupleSeq, error) {
+	return m.Snapshot().Run(ctx, p, qo)
+}

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -129,6 +130,8 @@ func (e *Engine) Save(path string) error {
 func (e *Engine) Query(src string) (*koko.Result, error) { return e.QueryWith(src, nil) }
 
 // QueryWith parses and evaluates with per-query overrides (qo may be nil).
+//
+// Deprecated: parse with koko.ParseQuery and evaluate with Run.
 func (e *Engine) QueryWith(src string, qo *koko.QueryOptions) (*koko.Result, error) {
 	p, err := koko.ParseQuery(src)
 	if err != nil {
@@ -137,8 +140,25 @@ func (e *Engine) QueryWith(src string, qo *koko.QueryOptions) (*koko.Result, err
 	return e.RunParsed(p, qo)
 }
 
+// Run fans an already-parsed query out across remote shards (bounded by the
+// engine's parallelism) as a lazy stream: each shard's worker delivers
+// chunked batches over /v1/internal/shard-eval, and the coordinator's
+// ordered merge releases them in global document order — a giant result
+// never materializes on worker or coordinator. With qo.Degraded, a shard
+// whose every replica fails yields a Failed marker instead of failing the
+// stream. Safe for concurrent use.
+func (e *Engine) Run(ctx context.Context, p *koko.ParsedQuery, qo *koko.QueryOptions) (*koko.TupleSeq, error) {
+	degraded := qo != nil && qo.Degraded
+	return koko.StreamShards(ctx, e.NumShards(), int(e.parallel.Load()),
+		func(ctx context.Context, shard int, emit func([]koko.Tuple) error) (*koko.Result, error) {
+			return e.StreamShard(ctx, shard, p, qo, emit)
+		}, degraded), nil
+}
+
 // RunParsed fans an already-parsed query out to every remote shard and
 // merges the partials in document order.
+//
+// Deprecated: use Run with TupleSeq.Collect.
 func (e *Engine) RunParsed(p *koko.ParsedQuery, qo *koko.QueryOptions) (*koko.Result, error) {
 	return e.RunParsedCtx(context.Background(), p, qo)
 }
@@ -146,19 +166,14 @@ func (e *Engine) RunParsed(p *koko.ParsedQuery, qo *koko.QueryOptions) (*koko.Re
 // RunParsedCtx fans out like RunParsed but honors ctx. Elapsed reports the
 // fan-out's wall time; phase times sum worker-side CPU as with local
 // shards.
+//
+// Deprecated: use Run with TupleSeq.Collect.
 func (e *Engine) RunParsedCtx(ctx context.Context, p *koko.ParsedQuery, qo *koko.QueryOptions) (*koko.Result, error) {
-	t0 := time.Now()
-	parts := make([]koko.Partial, e.NumShards())
-	err := e.RunParsedEach(ctx, p, qo, func(i int, part koko.Partial) error {
-		parts[i] = part
-		return nil
-	})
+	seq, err := e.Run(ctx, p, qo)
 	if err != nil {
 		return nil, err
 	}
-	out := koko.MergePartials(parts)
-	out.Elapsed = time.Since(t0)
-	return out, nil
+	return seq.Collect()
 }
 
 // request renders the wire request for one shard.
@@ -291,112 +306,212 @@ func (e *Engine) evalAttempt(ctx context.Context, shard, rot int, req *ShardEval
 	return nil, lastErr
 }
 
-// RunParsedEach fans the query out across remote shards (bounded by the
-// engine's parallelism) and delivers partials in strict shard order, with
-// the same contract as ShardedEngine.RunParsedEach: a shard error cancels
-// the rest of the fan-out, a consumer error cancels it too, and no
-// goroutine outlives the call.
-func (e *Engine) RunParsedEach(ctx context.Context, p *koko.ParsedQuery, qo *koko.QueryOptions, each func(shard int, part koko.Partial) error) error {
-	n := e.NumShards()
-	ready := make([]chan struct{}, n)
-	for i := range ready {
-		ready[i] = make(chan struct{})
+// StreamShard evaluates one shard remotely as a chunked stream: tuple
+// batches arrive over /v1/internal/shard-eval as the worker evaluates,
+// already in global coordinates, each batch checksum-verified before emit.
+// Retries walk the shard's replicas like RunShard — but since earlier
+// batches may already have escaped downstream, a retry resumes instead of
+// restarting: evaluation is deterministic and generation-pinned, so the
+// next replica re-evaluates and skips the exact prefix already delivered
+// (ShardEvalRequest.Skip). Hedging applies until a replica delivers its
+// first batch: from that point the stream is claimed and the hedge is
+// cancelled, so two replicas never interleave into one consumer.
+func (e *Engine) StreamShard(ctx context.Context, shard int, p *koko.ParsedQuery, qo *koko.QueryOptions, emit func(tuples []koko.Tuple) error) (*koko.Result, error) {
+	if shard < 0 || shard >= e.NumShards() {
+		return nil, fmt.Errorf("remote: shard %d out of range (corpus %q has %d)", shard, e.corpus, e.NumShards())
 	}
-	parts := make([]koko.Partial, n)
-	errs := make([]error, n)
+	req := e.request(shard, p, qo)
+	req.Chunk = true
+	max := e.pool.cfg.MaxAttempts
+	delivered := 0
+	var lastErr error
+	for try := 0; try < max; try++ {
+		if try > 0 {
+			e.pool.counters.Retries.Add(1)
+			select {
+			case <-time.After(e.pool.backoffFor(try)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		areq := *req
+		areq.Skip = delivered
+		done, sent, err := e.chunkTry(ctx, shard, try, &areq, emit)
+		if err == nil {
+			return done.Summary, nil
+		}
+		delivered += sent
+		var ee *emitError
+		if errors.As(err, &ee) {
+			// The consumer is gone; retrying cannot help.
+			return nil, ee.err
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		lastErr = err
+	}
+	return nil, &ShardUnavailableError{Corpus: e.corpus, Shard: shard, Attempts: max, Last: lastErr}
+}
+
+// errHedgeLost marks the losing side of a hedged chunked attempt: another
+// replica claimed the stream first. It never surfaces to callers — the
+// loser's outcome is discarded.
+var errHedgeLost = errors.New("remote: hedged chunked attempt lost the stream claim")
+
+// chunkTry runs one try of a chunked shard eval: a primary attempt, plus a
+// hedged attempt racing on another replica if the hedge threshold passes
+// before the primary delivers anything. The first attempt to push a tuple
+// batch downstream (or to finish successfully, for empty results) claims
+// the stream; the loser is cancelled and its batches are refused at the
+// claim gate, so emit sees exactly one replica's deterministic sequence.
+func (e *Engine) chunkTry(ctx context.Context, shard, rot int, req *ShardEvalRequest, emit func([]koko.Tuple) error) (*ChunkDone, int, error) {
+	primary := e.pickNode(shard, rot, nil)
+	if primary == nil {
+		return nil, 0, fmt.Errorf("remote: corpus %q shard %d has no replica to try", e.corpus, shard)
+	}
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var mu sync.Mutex
-	var firstErr error
-	record := func(err error) error {
+	winner := 0
+	cancels := map[int]context.CancelFunc{}
+	// claim makes id the stream's owner if it is still unowned, cancelling
+	// every other attempt; it reports whether id owns the stream.
+	claim := func(id int) bool {
 		mu.Lock()
 		defer mu.Unlock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		return firstErr
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, e.parallel.Load())
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			defer close(ready[i])
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := cctx.Err(); err != nil {
-				errs[i] = record(err)
-				return
+		if winner == 0 {
+			winner = id
+			for k, c := range cancels {
+				if k != id {
+					c()
+				}
 			}
-			part, err := e.RunShard(cctx, i, p, qo)
-			if err != nil {
-				errs[i] = record(fmt.Errorf("shard %d: %w", i, err))
-				cancel()
-				return
+		}
+		return winner == id
+	}
+	claimed := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return winner
+	}
+	type outcome struct {
+		id    int
+		done  *ChunkDone
+		sent  int
+		err   error
+		hedge bool
+	}
+	ch := make(chan outcome, 2) // buffered: a losing attempt must not leak its goroutine
+	launch := func(id int, n *nodeState, hedge bool) {
+		actx, acancel := context.WithCancel(cctx)
+		mu.Lock()
+		cancels[id] = acancel
+		mu.Unlock()
+		go func() {
+			done, sent, err := e.pool.EvalShardChunked(actx, n, req, func(ts []koko.Tuple) error {
+				if !claim(id) {
+					return errHedgeLost
+				}
+				return emit(ts)
+			})
+			ch <- outcome{id: id, done: done, sent: sent, err: err, hedge: hedge}
+		}()
+	}
+	launch(1, primary, false)
+	inFlight := 1
+	var hedgeC <-chan time.Time
+	if d, ok := e.pool.hedgeDelay(primary); ok {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var lastErr error
+	for inFlight > 0 {
+		select {
+		case o := <-ch:
+			inFlight--
+			switch w := claimed(); {
+			case w == o.id:
+				// The stream's owner finished; its outcome is the try's
+				// outcome, error or not — its tuples already escaped, so sent
+				// is the resume point either way.
+				if o.err == nil && o.hedge {
+					e.pool.counters.HedgeWins.Add(1)
+				}
+				return o.done, o.sent, o.err
+			case w != 0:
+				// Losing side of the hedge; the owner's outcome is still in
+				// flight.
+			case o.err == nil:
+				// Success without ever emitting (an empty shard result):
+				// claim so the other attempt cannot start emitting after we
+				// return. Losing this race means the other side's first batch
+				// just went downstream — keep waiting for it instead.
+				if claim(o.id) {
+					if o.hedge {
+						e.pool.counters.HedgeWins.Add(1)
+					}
+					return o.done, o.sent, nil
+				}
+			default:
+				lastErr = o.err
 			}
-			parts[i] = part
-		}(i)
-	}
-	var err error
-	for i := 0; i < n; i++ {
-		<-ready[i]
-		if err = errs[i]; err != nil {
-			break
-		}
-		if err = each(i, parts[i]); err != nil {
-			break
+		case <-hedgeC:
+			hedgeC = nil // fire at most one hedge per try
+			if claimed() == 0 {
+				if h := e.pickNode(shard, rot+1, primary); h != nil {
+					e.pool.counters.HedgesFired.Add(1)
+					launch(2, h, true)
+					inFlight++
+				}
+			}
 		}
 	}
-	cancel()
-	wg.Wait()
-	return err
+	return nil, 0, lastErr
+}
+
+// RunParsedEach fans the query out across remote shards and delivers
+// per-shard partials in strict shard order, already in global coordinates
+// (zero offsets): a shard error cancels the rest of the fan-out, a consumer
+// error cancels it too, and no goroutine outlives the call.
+//
+// Deprecated: use Run; ShardEnd events mark the per-shard boundaries.
+func (e *Engine) RunParsedEach(ctx context.Context, p *koko.ParsedQuery, qo *koko.QueryOptions, each func(shard int, part koko.Partial) error) error {
+	seq, err := e.Run(ctx, p, qo)
+	if err != nil {
+		return err
+	}
+	return koko.EachPartial(seq, each)
 }
 
 // RunParsedDegraded is the graceful-degradation surface: every shard is
 // attempted (failures do NOT cancel the others), and the merge of the
 // surviving shards is returned together with the failed shard indices.
-// Surviving tuples keep their exact global attribution — each partial
-// carries absolute offsets, so skipping a failed shard leaves the rest
-// untouched. Only when every shard fails (or ctx is done) does the call
-// error. A non-empty failed list means the result is NOT the full answer;
-// callers must mark it degraded and keep it out of result caches.
+// Surviving tuples keep their exact global attribution. Only when every
+// shard fails (or ctx is done) does the call error. A non-empty failed list
+// means the result is NOT the full answer; callers must mark it degraded
+// and keep it out of result caches.
+//
+// Deprecated: use Run with QueryOptions.Degraded; TupleSeq.FailedShards
+// reports the skipped shards after the stream drains.
 func (e *Engine) RunParsedDegraded(ctx context.Context, p *koko.ParsedQuery, qo *koko.QueryOptions) (*koko.Result, []int, error) {
-	t0 := time.Now()
-	n := e.NumShards()
-	parts := make([]koko.Partial, n)
-	errs := make([]error, n)
-	sem := make(chan struct{}, e.parallel.Load())
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := ctx.Err(); err != nil {
-				errs[i] = err
-				return
-			}
-			parts[i], errs[i] = e.RunShard(ctx, i, p, qo)
-		}(i)
+	qd := koko.QueryOptions{}
+	if qo != nil {
+		qd = *qo
 	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	qd.Degraded = true
+	seq, err := e.Run(ctx, p, &qd)
+	if err != nil {
 		return nil, nil, err
 	}
-	var failed []int
-	var lastErr error
-	for i, err := range errs {
-		if err != nil {
-			failed = append(failed, i)
-			lastErr = err
-		}
+	res, err := seq.Collect()
+	if err != nil {
+		return nil, nil, err
 	}
-	if len(failed) == n {
-		return nil, failed, fmt.Errorf("remote: corpus %q: all %d shards failed: %w", e.corpus, n, lastErr)
+	failed := seq.FailedShards()
+	if n := e.NumShards(); len(failed) == n {
+		return nil, failed, fmt.Errorf("remote: corpus %q: all %d shards failed: %w", e.corpus, n, seq.FailedErr())
 	}
-	res := koko.MergePartials(parts)
-	res.Elapsed = time.Since(t0)
 	return res, failed, nil
 }

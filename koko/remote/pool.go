@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -11,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/koko"
 )
 
 // PoolConfig tunes the fault-tolerance layer shared by every Engine on one
@@ -253,6 +256,137 @@ func (p *Pool) attempt(ctx context.Context, addr string, req *ShardEvalRequest) 
 		return nil, fmt.Errorf("remote: node %s: generation moved (pinned %d, serving %d)", addr, req.Generation, resp.Generation)
 	}
 	return &resp, nil
+}
+
+// emitError wraps a failure of the coordinator-side batch consumer during a
+// chunked attempt: the consumer is gone (disconnect, downstream error), so
+// the attempt must not be retried and the node's breaker is not charged.
+type emitError struct{ err error }
+
+func (e *emitError) Error() string { return e.err.Error() }
+func (e *emitError) Unwrap() error { return e.err }
+
+// EvalShardChunked runs one chunked shard-eval attempt against node n,
+// streaming checksum-verified tuple batches to emit as they arrive instead
+// of buffering the shard's result. The attempt timeout applies per line —
+// an idle deadline re-armed on every received line — so a large result is
+// bounded by liveness, not by total size. On success the terminal done
+// line is returned; sent reports how many tuples reached emit either way
+// (the resume point for a retry with ShardEvalRequest.Skip). An error from
+// emit itself comes back wrapped as a consumer error (emitError), which the
+// retry ladder must treat as terminal.
+func (p *Pool) EvalShardChunked(ctx context.Context, n *nodeState, req *ShardEvalRequest, emit func([]koko.Tuple) error) (done *ChunkDone, sent int, err error) {
+	p.counters.Attempts.Add(1)
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	idle := time.AfterFunc(p.cfg.AttemptTimeout, cancel)
+	defer idle.Stop()
+	t0 := time.Now()
+	done, sent, err = p.chunkAttempt(actx, n.addr, req, idle, emit)
+	if err != nil {
+		var ee *emitError
+		if errors.As(err, &ee) {
+			return nil, sent, err // consumer failure, not the node's
+		}
+		if n.onFailure(p.cfg.BreakerThreshold, p.cfg.BreakerCooloff, time.Now()) {
+			p.counters.BreakerOpen.Add(1)
+		}
+		return nil, sent, err
+	}
+	n.onSuccess(time.Since(t0))
+	return done, sent, nil
+}
+
+// chunkAttempt is the raw chunked transport: injected faults first, then
+// the POST and the NDJSON line loop, verifying each batch's checksum before
+// releasing it downstream.
+func (p *Pool) chunkAttempt(ctx context.Context, addr string, req *ShardEvalRequest, idle *time.Timer, emit func([]koko.Tuple) error) (*ChunkDone, int, error) {
+	corrupt := false
+	if p.cfg.Fault != nil {
+		switch kind, delay := p.cfg.Fault.Decide(addr); kind {
+		case FaultDrop:
+			<-ctx.Done()
+			return nil, 0, fmt.Errorf("remote: node %s: %w", addr, ctx.Err())
+		case FaultError:
+			return nil, 0, fmt.Errorf("remote: node %s: injected transport error", addr)
+		case FaultDelay:
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, 0, fmt.Errorf("remote: node %s: %w", addr, ctx.Err())
+			}
+		case FaultCorrupt:
+			corrupt = true
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("remote: encode shard-eval request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+EvalPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, fmt.Errorf("remote: node %s: %w", addr, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Accept", "application/x-ndjson")
+	hresp, err := p.client.Do(hreq)
+	if err != nil {
+		return nil, 0, fmt.Errorf("remote: node %s: %w", addr, err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 1024))
+		return nil, 0, fmt.Errorf("remote: node %s: shard-eval status %d: %s", addr, hresp.StatusCode, bytes.TrimSpace(msg))
+	}
+	dec := json.NewDecoder(hresp.Body)
+	sent := 0
+	for {
+		var line ChunkLine
+		if err := dec.Decode(&line); err != nil {
+			return nil, sent, fmt.Errorf("remote: node %s: chunked stream broke after %d tuples: %w", addr, sent, err)
+		}
+		idle.Reset(p.cfg.AttemptTimeout)
+		switch {
+		case line.Error != "":
+			return nil, sent, fmt.Errorf("remote: node %s: worker error mid-stream: %s", addr, line.Error)
+		case line.Done != nil:
+			d := line.Done
+			if corrupt {
+				// Injected bit-flip on the terminal accounting line (an
+				// empty-result stream has no batch to corrupt).
+				d.Checksum ^= 0x6b6f6b6f
+			}
+			var cand, matched int
+			if d.Summary != nil {
+				cand, matched = d.Summary.Candidates, d.Summary.Matched
+			}
+			if got := CountersChecksum(cand, matched, d.Tuples); got != d.Checksum {
+				p.counters.CorruptPartials.Add(1)
+				return nil, sent, fmt.Errorf("remote: node %s: chunked done checksum mismatch (got %x, stamped %x): %w", addr, got, d.Checksum, ErrCorruptPartial)
+			}
+			if d.Tuples != sent {
+				return nil, sent, fmt.Errorf("remote: node %s: chunked stream delivered %d tuples, done line claims %d: %w", addr, sent, d.Tuples, ErrCorruptPartial)
+			}
+			if req.Generation != 0 && d.Generation != req.Generation {
+				return nil, sent, fmt.Errorf("remote: node %s: generation moved (pinned %d, serving %d)", addr, req.Generation, d.Generation)
+			}
+			return d, sent, nil
+		case len(line.Tuples) > 0:
+			if corrupt {
+				// Injected payload bit-flip: per-batch verification below
+				// must catch it before any tuple escapes downstream.
+				line.Tuples[0].SentenceID += 1 << 20
+			}
+			if got := TuplesChecksum(line.Tuples); got != line.Checksum {
+				p.counters.CorruptPartials.Add(1)
+				return nil, sent, fmt.Errorf("remote: node %s: chunk checksum mismatch (got %x, stamped %x): %w", addr, got, line.Checksum, ErrCorruptPartial)
+			}
+			if err := emit(line.Tuples); err != nil {
+				return nil, sent, &emitError{err}
+			}
+			sent += len(line.Tuples)
+		}
+	}
 }
 
 // ping hits a node's health endpoint with a bounded deadline.

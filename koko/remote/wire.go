@@ -17,8 +17,8 @@
 //     and the first success wins;
 //   - a per-node circuit breaker (closed / open / half-open single probe)
 //     that sheds load from flapping workers;
-//   - opt-in graceful degradation (Engine.RunParsedDegraded) returning the
-//     surviving shards' tuples plus the failed shard list instead of
+//   - opt-in graceful degradation (koko.QueryOptions.Degraded) streaming
+//     the surviving shards' tuples plus the failed shard list instead of
 //     failing the whole query;
 //   - a deterministic, seeded fault-injection hook (FaultPolicy) threaded
 //     through the transport so tests and chaos drills can drop, delay,
@@ -29,6 +29,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"hash/fnv"
 	"math"
 	"sort"
@@ -57,6 +58,17 @@ type ShardEvalRequest struct {
 	// coordinator discovered: a worker whose corpus has moved on answers
 	// 409 rather than silently evaluating different data.
 	Generation uint64 `json:"generation,omitempty"`
+	// Chunk asks for streamed delivery: the worker answers with NDJSON
+	// ChunkLines (bounded tuple batches as they are evaluated, then a
+	// terminal done line) instead of one buffered ShardEvalResponse, so a
+	// giant shard result never materializes on the worker.
+	Chunk bool `json:"chunk,omitempty"`
+	// Skip, with Chunk, omits the first Skip tuples of the shard's stream —
+	// the retry-resume protocol: evaluation is deterministic and generation
+	// pinning fixes the data, so a replica re-evaluating the shard produces
+	// the identical tuple sequence and the coordinator can resume exactly
+	// after the prefix it already delivered downstream.
+	Skip int `json:"skip,omitempty"`
 }
 
 // ShardEvalResponse is one shard's partial result plus the offsets that
@@ -72,13 +84,36 @@ type ShardEvalResponse struct {
 	Checksum uint64 `json:"checksum"`
 }
 
-// PartialChecksum hashes the merge-relevant content of a shard result —
-// tuple ids, values, scores, evidence shape, and the candidate/match
-// counts — with FNV-1a. Workers stamp it on every response and the
-// coordinator recomputes it after decoding; a mismatch is treated like any
-// other attempt failure and retried on a replica.
-func PartialChecksum(res *koko.Result) uint64 {
-	h := fnv.New64a()
+// ChunkLine is one NDJSON line of a chunked shard-eval response. Exactly
+// one field is set: a tuple batch (with its own checksum, verified before
+// the batch is released downstream), the terminal done line, or a terminal
+// error rendered after the 200 status line was already committed.
+type ChunkLine struct {
+	Tuples []koko.Tuple `json:"tuples,omitempty"`
+	// Checksum is TuplesChecksum(Tuples): per-batch corruption detection, so
+	// a corrupt batch fails the attempt before any of its tuples escape to
+	// the coordinator's merge.
+	Checksum uint64     `json:"checksum,omitempty"`
+	Done     *ChunkDone `json:"done,omitempty"`
+	Error    string     `json:"error,omitempty"`
+}
+
+// ChunkDone is the terminal line of a chunked shard-eval response.
+type ChunkDone struct {
+	// Summary is the shard's counters-only result (no tuples — they already
+	// streamed), in the same form StreamShard returns.
+	Summary *koko.Result `json:"summary"`
+	// Tuples counts the tuples sent in this response (after Skip).
+	Tuples     int    `json:"tuples"`
+	Generation uint64 `json:"generation"`
+	// Checksum is CountersChecksum over the summary counters and Tuples —
+	// the end-of-stream cross-check pairing the per-batch checksums.
+	Checksum uint64 `json:"checksum"`
+}
+
+// hashTuples folds the merge-relevant content of a tuple batch — ids,
+// values, scores, evidence — into h, in order.
+func hashTuples(h hash.Hash64, ts []koko.Tuple) {
 	var buf [8]byte
 	writeInt := func(v int64) {
 		binary.LittleEndian.PutUint64(buf[:], uint64(v))
@@ -88,13 +123,7 @@ func PartialChecksum(res *koko.Result) uint64 {
 		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
 		h.Write(buf[:])
 	}
-	if res == nil {
-		return h.Sum64()
-	}
-	writeInt(int64(res.Candidates))
-	writeInt(int64(res.Matched))
-	writeInt(int64(len(res.Tuples)))
-	for _, t := range res.Tuples {
+	for _, t := range ts {
 		writeInt(int64(t.SentenceID))
 		writeInt(int64(t.Document))
 		writeInt(int64(len(t.Values)))
@@ -125,6 +154,48 @@ func PartialChecksum(res *koko.Result) uint64 {
 			writeFloat(ev.Contribution)
 		}
 	}
+}
+
+// TuplesChecksum hashes one chunk's tuple batch with FNV-1a. Workers stamp
+// it on every ChunkLine; the coordinator verifies before releasing the
+// batch downstream.
+func TuplesChecksum(ts []koko.Tuple) uint64 {
+	h := fnv.New64a()
+	hashTuples(h, ts)
+	return h.Sum64()
+}
+
+// CountersChecksum hashes a chunked response's end-of-stream accounting:
+// the candidate/match counters and the number of tuples sent.
+func CountersChecksum(candidates, matched, tuples int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range []int{candidates, matched, tuples} {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// PartialChecksum hashes the merge-relevant content of a shard result —
+// tuple ids, values, scores, evidence shape, and the candidate/match
+// counts — with FNV-1a. Workers stamp it on every response and the
+// coordinator recomputes it after decoding; a mismatch is treated like any
+// other attempt failure and retried on a replica.
+func PartialChecksum(res *koko.Result) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	if res == nil {
+		return h.Sum64()
+	}
+	writeInt(int64(res.Candidates))
+	writeInt(int64(res.Matched))
+	writeInt(int64(len(res.Tuples)))
+	hashTuples(h, res.Tuples)
 	return h.Sum64()
 }
 

@@ -7,28 +7,50 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/koko/index"
 	"repro/internal/store"
 )
 
-// Querier is the query surface shared by Engine and ShardedEngine: a
-// registry (or any caller) can hold either behind one type and route
-// queries without knowing whether the corpus is partitioned.
+// Querier is the query surface shared by Engine, ShardedEngine, Snapshot,
+// and remote.Engine: a registry (or any caller) can hold any of them behind
+// one type and route queries without knowing whether the corpus is
+// partitioned, mutable, or distributed.
 //
-// The three context-taking methods are the async surface: RunParsedCtx is a
-// cancellable whole-query evaluation, RunShard evaluates exactly one shard
-// (the progress unit of the server's job executor), and RunParsedEach
-// delivers per-shard partials in shard order as their doc ranges complete
-// (the flush unit of streaming responses).
+// Run is the canonical evaluation method: context-first, returning a lazy
+// TupleSeq whose memory is bounded by batching rather than result size.
+// Every other evaluation surface is defined in terms of it — buffered
+// results are Run + TupleSeq.Collect, per-shard Partial delivery is Run
+// regrouped on ShardEnd markers. StreamShard is the per-shard unit beneath
+// Run: exactly one shard evaluated as a stream of bounded batches (the
+// progress unit of the server's job executor and the chunked remote
+// protocol). RunShard is its buffered sibling.
+//
+// The RunParsed* family and QueryWith predate Run and remain as thin
+// wrappers for compatibility.
 type Querier interface {
 	Query(src string) (*Result, error)
-	QueryWith(src string, qo *QueryOptions) (*Result, error)
-	RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, error)
-	RunParsedCtx(ctx context.Context, p *ParsedQuery, qo *QueryOptions) (*Result, error)
+	// Run evaluates an already-parsed query as a single-use lazy stream of
+	// tuples in global document order with per-shard end markers. qo may be
+	// nil. A non-nil error means the query never started (parse-adjacent
+	// failures, pre-cancelled ctx); errors during evaluation surface
+	// through TupleSeq.Err after iteration.
+	Run(ctx context.Context, p *ParsedQuery, qo *QueryOptions) (*TupleSeq, error)
+	// StreamShard evaluates exactly one shard, delivering tuples through
+	// emit in bounded batches already rebased to global coordinates, and
+	// returns the shard's counters-only summary.
+	StreamShard(ctx context.Context, shard int, p *ParsedQuery, qo *QueryOptions, emit func(tuples []Tuple) error) (*Result, error)
 	RunShard(ctx context.Context, shard int, p *ParsedQuery, qo *QueryOptions) (Partial, error)
+
+	// Deprecated: parse with ParseQuery and use Run.
+	QueryWith(src string, qo *QueryOptions) (*Result, error)
+	// Deprecated: use Run with TupleSeq.Collect.
+	RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, error)
+	// Deprecated: use Run with TupleSeq.Collect.
+	RunParsedCtx(ctx context.Context, p *ParsedQuery, qo *QueryOptions) (*Result, error)
+	// Deprecated: use Run; ShardEnd events mark the per-shard boundaries.
 	RunParsedEach(ctx context.Context, p *ParsedQuery, qo *QueryOptions, each func(shard int, part Partial) error) error
+
 	Stats() IndexStats
 	ShardStats() []ShardStat
 	Save(path string) error
@@ -84,17 +106,7 @@ func MergePartials(parts []Partial) *Result {
 			t.Document += p.DocOffset
 			out.Tuples = append(out.Tuples, t)
 		}
-		out.Candidates += p.Res.Candidates
-		out.Matched += p.Res.Matched
-		out.Elapsed += p.Res.Elapsed
-		out.Phases.Normalize += p.Res.Phases.Normalize
-		out.Phases.DPLI += p.Res.Phases.DPLI
-		out.Phases.Plan += p.Res.Phases.Plan
-		out.Phases.LoadArticle += p.Res.Phases.LoadArticle
-		out.Phases.GSP += p.Res.Phases.GSP
-		out.Phases.Extract += p.Res.Phases.Extract
-		out.Phases.Satisfying += p.Res.Phases.Satisfying
-		mergePlanInfo(out, p.Res.Plan)
+		mergeResultInto(out, p.Res)
 	}
 	return out
 }
@@ -243,6 +255,8 @@ func (e *ShardedEngine) Query(src string) (*Result, error) {
 // QueryWith parses and evaluates with per-query overrides (qo may be nil).
 // Workers applies within each shard; shard fan-out is bounded separately by
 // SetParallelism.
+//
+// Deprecated: parse with ParseQuery and evaluate with Run.
 func (e *ShardedEngine) QueryWith(src string, qo *QueryOptions) (*Result, error) {
 	p, err := ParseQuery(src)
 	if err != nil {
@@ -251,10 +265,44 @@ func (e *ShardedEngine) QueryWith(src string, qo *QueryOptions) (*Result, error)
 	return e.RunParsed(p, qo)
 }
 
+// Run fans an already-parsed query out across shards (bounded by the
+// engine's parallelism) as a lazy stream: each shard delivers bounded
+// batches into the K-way ordered merge, so tuples yield in global document
+// order — the first shard's first documents stream out while later shards
+// are still evaluating — and memory stays bounded regardless of result
+// size. Safe for concurrent use; each call returns an independent
+// single-use stream.
+func (e *ShardedEngine) Run(ctx context.Context, p *ParsedQuery, qo *QueryOptions) (*TupleSeq, error) {
+	return StreamShards(ctx, len(e.shards), int(e.parallel.Load()),
+		func(ctx context.Context, shard int, emit func([]Tuple) error) (*Result, error) {
+			return e.StreamShard(ctx, shard, p, qo, emit)
+		}, false), nil
+}
+
+// StreamShard evaluates shard i only, delivering its tuples through emit in
+// bounded batches already rebased to global document and sentence ids, and
+// returns the shard's counters-only summary. The unit beneath Run's fan-out
+// and the chunked delivery of remote workers.
+func (e *ShardedEngine) StreamShard(ctx context.Context, shard int, p *ParsedQuery, qo *QueryOptions, emit func(tuples []Tuple) error) (*Result, error) {
+	if shard < 0 || shard >= len(e.shards) {
+		return nil, fmt.Errorf("koko: shard %d out of range (engine has %d)", shard, len(e.shards))
+	}
+	docOff, sentOff := e.specs[shard].LoDoc, e.specs[shard].FirstSID
+	return e.shards[shard].StreamShard(ctx, 0, p, qo, func(ts []Tuple) error {
+		for k := range ts {
+			ts[k].Document += docOff
+			ts[k].SentenceID += sentOff
+		}
+		return emit(ts)
+	})
+}
+
 // RunParsed fans an already-parsed query out to every shard on a bounded
 // pool and merges the partials in document order. Phases report summed CPU
 // time across shards; Elapsed reports the fan-out's wall time. Safe for
 // concurrent use.
+//
+// Deprecated: use Run with TupleSeq.Collect.
 func (e *ShardedEngine) RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, error) {
 	return e.RunParsedCtx(context.Background(), p, qo)
 }
@@ -262,109 +310,46 @@ func (e *ShardedEngine) RunParsed(p *ParsedQuery, qo *QueryOptions) (*Result, er
 // RunParsedCtx fans out like RunParsed but honors ctx: shards not yet
 // started are skipped and in-flight shard evaluations stop between
 // documents; the call then returns ctx.Err() (possibly wrapped with the
-// failing shard's number). It is RunParsedEach with a collect-everything
-// consumer — one fan-out implementation serves both surfaces.
+// failing shard's number).
+//
+// Deprecated: use Run with TupleSeq.Collect.
 func (e *ShardedEngine) RunParsedCtx(ctx context.Context, p *ParsedQuery, qo *QueryOptions) (*Result, error) {
-	t0 := time.Now()
-	parts := make([]Partial, len(e.shards))
-	err := e.RunParsedEach(ctx, p, qo, func(i int, part Partial) error {
-		parts[i] = part
-		return nil
-	})
+	seq, err := e.Run(ctx, p, qo)
 	if err != nil {
 		return nil, err
 	}
-	out := MergePartials(parts)
-	out.Elapsed = time.Since(t0)
-	return out, nil
+	return seq.Collect()
 }
 
 // RunShard evaluates shard i only, returning its Partial with the offsets
-// that rebase it into the global corpus. It is the unit of progress for
-// callers that schedule a query shard-at-a-time (the server's job executor):
-// K calls in shard order, each individually cancellable, whose accumulated
-// prefix is always mergeable with MergePartials.
+// that rebase it into the global corpus. It is the buffered sibling of
+// StreamShard: K calls in shard order, each individually cancellable, whose
+// accumulated prefix is always mergeable with MergePartials.
 func (e *ShardedEngine) RunShard(ctx context.Context, shard int, p *ParsedQuery, qo *QueryOptions) (Partial, error) {
 	if shard < 0 || shard >= len(e.shards) {
 		return Partial{}, fmt.Errorf("koko: shard %d out of range (engine has %d)", shard, len(e.shards))
 	}
-	res, err := e.shards[shard].RunParsedCtx(ctx, p, qo)
+	seq, err := e.shards[shard].Run(ctx, p, qo)
+	if err != nil {
+		return Partial{}, err
+	}
+	res, err := seq.Collect()
 	if err != nil {
 		return Partial{}, err
 	}
 	return Partial{Res: res, DocOffset: e.specs[shard].LoDoc, SentOffset: e.specs[shard].FirstSID}, nil
 }
 
-// RunParsedEach fans the query out across shards (bounded by the engine's
-// parallelism) and delivers each shard's Partial to each in strict shard
-// order as its doc range completes — shard i is delivered only after shards
-// 0..i-1, so the stream of partials concatenates into the exact merged
-// result. A shard that finishes early is buffered until its turn. A shard
-// error cancels the rest of the fan-out immediately (shards not yet started
-// are skipped) and is the returned error regardless of which shard index
-// the in-order delivery stops at. If each returns an error (e.g. a
-// disconnected client), remaining shard evaluations are likewise cancelled
-// and the error is returned; all fan-out goroutines have exited by the time
-// RunParsedEach returns.
+// RunParsedEach fans the query out and delivers each shard's Partial to
+// each in strict shard order, already rebased to global coordinates (zero
+// offsets). A shard error cancels the rest of the fan-out; an error from
+// each cancels remaining shard evaluations and is returned. All fan-out
+// goroutines have exited by the time RunParsedEach returns.
+//
+// Deprecated: use Run; ShardEnd events mark the per-shard boundaries, and
+// tuples stream instead of buffering per shard.
 func (e *ShardedEngine) RunParsedEach(ctx context.Context, p *ParsedQuery, qo *QueryOptions, each func(shard int, part Partial) error) error {
-	ready := make([]chan struct{}, len(e.shards))
-	for i := range ready {
-		ready[i] = make(chan struct{})
-	}
-	parts := make([]Partial, len(e.shards))
-	errs := make([]error, len(e.shards))
-	cctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	// record notes the first real failure; skipped and later-failing shards
-	// resolve to it, so the consumer loop below reports the root cause even
-	// when a lower-indexed shard was merely cancelled in its wake.
-	var mu sync.Mutex
-	var firstErr error
-	record := func(err error) error {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		return firstErr
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, e.parallel.Load())
-	for i := range e.shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			defer close(ready[i])
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := cctx.Err(); err != nil {
-				errs[i] = record(err)
-				return
-			}
-			part, err := e.RunShard(cctx, i, p, qo)
-			if err != nil {
-				errs[i] = record(fmt.Errorf("shard %d: %w", i, err))
-				cancel() // fast-fail: don't start shards whose result is already moot
-				return
-			}
-			parts[i] = part
-		}(i)
-	}
-	var err error
-	for i := range e.shards {
-		<-ready[i]
-		if err = errs[i]; err != nil {
-			break
-		}
-		if err = each(i, parts[i]); err != nil {
-			break
-		}
-	}
-	// Cancel whatever is still running (no-op on clean completion) and wait:
-	// no shard goroutine may outlive the call.
-	cancel()
-	wg.Wait()
-	return err
+	return runParsedEachVia(e, ctx, p, qo, each)
 }
 
 // Stats sums index statistics across shards. Counts are per-shard sizes
