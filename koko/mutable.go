@@ -652,15 +652,18 @@ func (s *Snapshot) QueryWith(src string, qo *QueryOptions) (*Result, error) {
 // Run evaluates an already-parsed query across base shards and the sealed
 // delta as a lazy stream: base shards deliver first in shard order, the
 // delta's tuples (rebased after the base's) last — global document order,
-// with tombstoned documents masked out batch by batch. The delta evaluates
-// concurrently with the base fan-out without charging a fan-out slot (see
-// Fanout). Safe for concurrent use.
+// with tombstoned documents masked out batch by batch. The delta's start
+// gate is closed up front (eager admission, see StreamShardsEager), so it
+// evaluates concurrently with the base fan-out from the first moment
+// without charging a fan-out slot (see Fanout); its output parks in the
+// delta shard's bounded buffer until the ordered merge reaches it. Safe
+// for concurrent use.
 func (s *Snapshot) Run(ctx context.Context, p *ParsedQuery, qo *QueryOptions) (*TupleSeq, error) {
-	par := s.Fanout()
+	var eager []int
 	if s.delta != nil {
-		par++
+		eager = []int{s.baseShards} // the delta is the last shard
 	}
-	return StreamShards(ctx, s.NumShards(), par,
+	return StreamShardsEager(ctx, s.NumShards(), s.Fanout(), eager,
 		func(ctx context.Context, shard int, emit func([]Tuple) error) (*Result, error) {
 			return s.StreamShard(ctx, shard, p, qo, emit)
 		}, false), nil

@@ -269,12 +269,14 @@ func (e *emitError) Unwrap() error { return e.err }
 // EvalShardChunked runs one chunked shard-eval attempt against node n,
 // streaming checksum-verified tuple batches to emit as they arrive instead
 // of buffering the shard's result. The attempt timeout applies per line —
-// an idle deadline re-armed on every received line — so a large result is
-// bounded by liveness, not by total size. On success the terminal done
-// line is returned; sent reports how many tuples reached emit either way
-// (the resume point for a retry with ShardEvalRequest.Skip). An error from
-// emit itself comes back wrapped as a consumer error (emitError), which the
-// retry ladder must treat as terminal.
+// an idle deadline re-armed on every received line and suspended while a
+// batch is handed downstream — so a large result is bounded by network
+// liveness, not by total size or by how fast the consumer drains. On
+// success the terminal done line is returned; sent reports how many tuples
+// reached emit either way (the resume point for a retry with
+// ShardEvalRequest.Skip). An error from emit itself comes back wrapped as a
+// consumer error (emitError), which the retry ladder must treat as
+// terminal.
 func (p *Pool) EvalShardChunked(ctx context.Context, n *nodeState, req *ShardEvalRequest, emit func([]koko.Tuple) error) (done *ChunkDone, sent int, err error) {
 	p.counters.Attempts.Add(1)
 	actx, cancel := context.WithCancel(ctx)
@@ -287,6 +289,13 @@ func (p *Pool) EvalShardChunked(ctx context.Context, n *nodeState, req *ShardEva
 		var ee *emitError
 		if errors.As(err, &ee) {
 			return nil, sent, err // consumer failure, not the node's
+		}
+		if ctx.Err() != nil {
+			// The caller's context ended the attempt (consumer broke out of
+			// the stream, a hedge lost its claim, the query deadline hit) —
+			// a pacing artifact on our side, not evidence against the node,
+			// so the breaker is not charged.
+			return nil, sent, err
 		}
 		if n.onFailure(p.cfg.BreakerThreshold, p.cfg.BreakerCooloff, time.Now()) {
 			p.counters.BreakerOpen.Add(1)
@@ -381,8 +390,16 @@ func (p *Pool) chunkAttempt(ctx context.Context, addr string, req *ShardEvalRequ
 				p.counters.CorruptPartials.Add(1)
 				return nil, sent, fmt.Errorf("remote: node %s: chunk checksum mismatch (got %x, stamped %x): %w", addr, got, line.Checksum, ErrCorruptPartial)
 			}
-			if err := emit(line.Tuples); err != nil {
-				return nil, sent, &emitError{err}
+			// Suspend the idle deadline for the handoff: emit blocks on
+			// downstream backpressure (the ordered merge admits shards in
+			// turn, an NDJSON client may pause), and consumer pacing must
+			// not be mistaken for a dead node — the deadline bounds network
+			// idleness only.
+			idle.Stop()
+			emitErr := emit(line.Tuples)
+			idle.Reset(p.cfg.AttemptTimeout)
+			if emitErr != nil {
+				return nil, sent, &emitError{emitErr}
 			}
 			sent += len(line.Tuples)
 		}

@@ -11,6 +11,7 @@ package remote_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -397,6 +398,86 @@ func TestDegradedExecution(t *testing.T) {
 	})
 	if _, failed, err := allDead.RunParsedDegraded(context.Background(), p, nil); err == nil {
 		t.Fatalf("all-shards-dead degraded run returned failed=%v and no error", failed)
+	}
+}
+
+// TestChunkedSlowConsumerDoesNotTripIdleTimeout: the chunked attempt's idle
+// deadline bounds network idleness, not consumer pacing. An emit that
+// blocks far past AttemptTimeout — an ordered merge holding the shard's
+// delivery turn, or a paused NDJSON client — must not cancel the attempt,
+// burn retries, or charge the node's breaker; before the deadline was
+// suspended around emit, this exact scenario failed whole queries with
+// ErrShardUnavailable. The worker is hand-rolled so the stream is provably
+// still open while emit sleeps: it holds the remaining lines until the
+// consumer signals its slow emit returned, so they cannot pre-buffer on the
+// client and hide the cancellation.
+func TestChunkedSlowConsumerDoesNotTripIdleTimeout(t *testing.T) {
+	batch1 := []koko.Tuple{{SentenceID: 1, Document: 0, Values: []string{"Cafe Vita"}}}
+	batch2 := []koko.Tuple{{SentenceID: 2, Document: 0, Values: []string{"Cafe Ladro"}}}
+	emitted := make(chan struct{}, 4) // a retrying client may signal more than once
+	mux := http.NewServeMux()
+	mux.HandleFunc(remote.EvalPath, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		fl := w.(http.Flusher)
+		enc.Encode(remote.ChunkLine{Tuples: batch1, Checksum: remote.TuplesChecksum(batch1)})
+		fl.Flush()
+		select {
+		case <-emitted: // the consumer's slow emit has returned
+		case <-r.Context().Done():
+			return // the idle timer killed the attempt mid-emit: the regression
+		}
+		enc.Encode(remote.ChunkLine{Tuples: batch2, Checksum: remote.TuplesChecksum(batch2)})
+		enc.Encode(remote.ChunkLine{Done: &remote.ChunkDone{
+			Summary:    &koko.Result{Candidates: 2, Matched: 2},
+			Tuples:     2,
+			Generation: 1,
+			Checksum:   remote.CountersChecksum(2, 2, 2),
+		}})
+		fl.Flush()
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	const attemptTimeout = 100 * time.Millisecond
+	pool := remote.NewPool(remote.PoolConfig{
+		AttemptTimeout: attemptTimeout, HedgeAfter: -1,
+		BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond,
+	})
+	eng := remote.NewEngine(pool, remote.EngineConfig{
+		Corpus:    "cafes",
+		Placement: koko.Placement{Replicas: [][]string{{ts.URL}}},
+		Meta:      remote.Meta{Generation: 1},
+	})
+	p, err := koko.ParseQuery(cafeExtract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, slept := 0, false
+	_, err = eng.StreamShard(context.Background(), 0, p, nil, func(tuples []koko.Tuple) error {
+		if !slept {
+			slept = true
+			time.Sleep(4 * attemptTimeout) // pure consumer pacing, >> the idle deadline
+			emitted <- struct{}{}
+		}
+		total += len(tuples)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("slow consumer tripped the attempt: %v", err)
+	}
+	if total != 2 {
+		t.Fatalf("streamed %d tuples, want 2", total)
+	}
+	ctrs := pool.Counters()
+	if got := ctrs.Attempts.Load(); got != 1 {
+		t.Errorf("attempts = %d, want 1: consumer pacing must not burn attempts", got)
+	}
+	if got := ctrs.Retries.Load(); got != 0 {
+		t.Errorf("retries = %d, want 0", got)
+	}
+	if got := ctrs.BreakerOpen.Load(); got != 0 {
+		t.Errorf("breaker opened %d times under a slow consumer", got)
 	}
 }
 

@@ -143,12 +143,24 @@ func (s *TupleSeq) Summary() *Result {
 // Collect drains the stream into a materialized Result, byte-identical to
 // the historical buffered mode: tuples concatenated in shard order, counters
 // and plan reports merged exactly as MergePartials would, Elapsed set to the
-// fan-out's wall time.
+// fan-out's wall time. In a degraded stream a shard may fail after some of
+// its tuples were already yielded; Collect keeps only tuples confirmed by a
+// completed shard's ShardEnd, so the result holds surviving shards only —
+// the same semantics as EachPartial — and FailedShards never names a shard
+// whose tuples are in the result.
 func (s *TupleSeq) Collect() (*Result, error) {
 	t0 := time.Now()
 	var tuples []Tuple
-	for t := range s.All() {
-		tuples = append(tuples, t)
+	mark := 0 // length of tuples at the last completed shard boundary
+	for ev := range s.Events() {
+		switch {
+		case ev.Tuple != nil:
+			tuples = append(tuples, *ev.Tuple)
+		case ev.Shard != nil && ev.Shard.Failed:
+			tuples = tuples[:mark] // drop the failed shard's partial prefix
+		case ev.Shard != nil:
+			mark = len(tuples)
+		}
 	}
 	if s.err != nil {
 		return nil, s.err
@@ -178,6 +190,18 @@ type ShardStreamFunc func(ctx context.Context, shard int, emit func(tuples []Tup
 // TupleSeq.Err — unless degraded is set, in which case the shard yields a
 // Failed ShardEnd and the stream continues.
 func StreamShards(ctx context.Context, shards, parallel int, run ShardStreamFunc, degraded bool) *TupleSeq {
+	return StreamShardsEager(ctx, shards, parallel, nil, run, degraded)
+}
+
+// StreamShardsEager is StreamShards with some shards admitted outside the
+// sliding window: every index in eager has its start gate closed up front,
+// so it begins evaluating immediately — concurrently with the windowed
+// shards and without occupying a window slot — while its delivery turn
+// still comes in shard order (its output parks in the shard's bounded
+// buffer until the merge reaches it). Built for small out-of-band shards
+// like a Mutable snapshot's sealed delta, which would otherwise evaluate
+// only after every base shard drained.
+func StreamShardsEager(ctx context.Context, shards, parallel int, eager []int, run ShardStreamFunc, degraded bool) *TupleSeq {
 	seq := &TupleSeq{shards: shards}
 	seq.produce = func(yield func(Event) bool) error {
 		base := ctx
@@ -206,11 +230,26 @@ func StreamShards(ctx context.Context, shards, parallel int, run ShardStreamFunc
 		// claim the last slot, fill its bounded buffer, and block on a
 		// consumer that is waiting for an earlier shard which can never
 		// start. An ordered fan-out must grant capacity in delivery order.
+		// Eager shards are admitted up front, outside the window; admit is
+		// idempotent (only ever called from this goroutine) so the window
+		// sliding over an already-eager shard is a no-op.
 		starts := make([]chan struct{}, shards)
+		admitted := make([]bool, shards)
 		for i := range starts {
 			starts[i] = make(chan struct{})
-			if i < par {
+		}
+		admit := func(i int) {
+			if !admitted[i] {
+				admitted[i] = true
 				close(starts[i])
+			}
+		}
+		for i := 0; i < shards && i < par; i++ {
+			admit(i)
+		}
+		for _, i := range eager {
+			if i >= 0 && i < shards {
+				admit(i)
 			}
 		}
 		// record notes the first real failure; shards cancelled in its wake
@@ -321,7 +360,7 @@ func StreamShards(ctx context.Context, shards, parallel int, run ShardStreamFunc
 			if next := i + par; next < shards {
 				// Shard i has fully drained; admit the next shard so the
 				// window slides forward one, staying par wide.
-				close(starts[next])
+				admit(next)
 			}
 		}
 		return nil

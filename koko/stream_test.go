@@ -2,6 +2,7 @@ package koko
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -269,6 +270,91 @@ func TestStreamOrderedAdmission(t *testing.T) {
 	}
 	if want := shards * shardStreamBuffer * 4; n != want {
 		t.Fatalf("drained %d tuples, want %d", n, want)
+	}
+}
+
+// TestStreamDegradedCollectDropsFailedShardPrefix: in degraded mode a shard
+// can fail after some of its tuples were already yielded into the stream.
+// Collect must keep surviving shards only — the failed shard's partial
+// prefix is dropped, matching EachPartial — so FailedShards never names a
+// shard whose tuples are in the collected result.
+func TestStreamDegradedCollectDropsFailedShardPrefix(t *testing.T) {
+	boom := errors.New("replica died mid-stream")
+	run := func(ctx context.Context, shard int, emit func([]Tuple) error) (*Result, error) {
+		if err := emit([]Tuple{{SentenceID: shard * 10, Document: shard}}); err != nil {
+			return nil, err
+		}
+		if shard == 1 {
+			return nil, boom // fails after a batch already escaped downstream
+		}
+		return &Result{Matched: 1}, nil
+	}
+	seq := StreamShards(context.Background(), 3, 3, run, true)
+	res, err := seq.Collect()
+	if err != nil {
+		t.Fatalf("degraded Collect must survive a mid-stream shard failure: %v", err)
+	}
+	if failed := seq.FailedShards(); len(failed) != 1 || failed[0] != 1 {
+		t.Fatalf("failed shards = %v, want [1]", failed)
+	}
+	if len(res.Tuples) != 2 {
+		t.Fatalf("collected %d tuples, want 2 (failed shard's prefix dropped): %+v", len(res.Tuples), res.Tuples)
+	}
+	for _, tu := range res.Tuples {
+		if tu.Document == 1 {
+			t.Fatalf("result contains tuple %+v from failed shard 1", tu)
+		}
+	}
+	if res.Matched != 2 {
+		t.Errorf("merged Matched = %d, want 2 (surviving shards only)", res.Matched)
+	}
+}
+
+// TestStreamEagerAdmission: an eager shard's start gate is closed up front,
+// so it evaluates concurrently with the window even when parallel=1 and its
+// delivery turn is last. Shard 0 blocks until shard 2 has started — with
+// ordered-only admission that is a deadlock (guarded by the timeout), so
+// completion proves the eager start; the drain must still deliver in shard
+// order.
+func TestStreamEagerAdmission(t *testing.T) {
+	started := make(chan struct{})
+	run := func(ctx context.Context, shard int, emit func([]Tuple) error) (*Result, error) {
+		switch shard {
+		case 0:
+			select {
+			case <-started:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		case 2:
+			close(started)
+		}
+		if err := emit([]Tuple{{SentenceID: shard, Document: shard}}); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	}
+	seq := StreamShardsEager(context.Background(), 3, 1, []int{2}, run, false)
+	var order []int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range seq.Events() {
+			if ev.Tuple != nil {
+				order = append(order, ev.Tuple.Document)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream never completed: eager shard 2 did not start before shard 0 drained")
+	}
+	if err := seq.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("delivery order = %v, want [0 1 2] (eager start must not reorder delivery)", order)
 	}
 }
 
