@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig3 fig4 fig5 nell fig6 fig7 fig8 tab1 tab2 odin ablation server all, or hotpath / plan / shard / jobs / ingest / wal / dist / stream (JSON snapshots, excluded from all)")
+	exp := flag.String("exp", "all", "experiment id: fig3 fig4 fig5 nell fig6 fig7 fig8 tab1 tab2 odin ablation server all, or hotpath / plan / shard / jobs / ingest / wal / dist / stream / store (JSON snapshots, excluded from all)")
 	scale := flag.Int("scale", 1, "corpus scale multiplier")
 	seed := flag.Int64("seed", 1, "generator seed")
 	iters := flag.Int("iters", 3, "timing iterations for -exp shard (best-of-N) and -exp jobs (probe count multiplier)")
@@ -123,6 +123,12 @@ func main() {
 		// BENCH_stream.json snapshot) on stdout for redirection.
 		any = true
 		streamBench(*iters)
+	}
+	if *exp == "store" {
+		// Not part of -exp all: emits pure JSON (the committed
+		// BENCH_store.json snapshot) on stdout for redirection.
+		any = true
+		storeBench(*iters)
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "kokobench: unknown experiment %q\n", *exp)
@@ -303,6 +309,17 @@ func shard(iters int) {
 // streamed event drain against the materialized Collect at two result sizes.
 func streamBench(iters int) {
 	fmt.Print(experiments.FormatStreamBench(experiments.RunStreamBench(iters)))
+}
+
+// storeBench writes the storage-paging snapshot as JSON:
+//
+//	kokobench -exp store > BENCH_store.json
+//
+// The snapshot compares open latency, cold- and warm-cache query latency,
+// and live-heap residency of the mmap block store against the heap-resident
+// row store at one fixed corpus.
+func storeBench(iters int) {
+	fmt.Print(experiments.FormatStoreBench(experiments.RunStoreBench(iters)))
 }
 
 func check(err error) {

@@ -144,6 +144,7 @@ func main() {
 	walMaxBytes := flag.Int64("wal-max-bytes", 64<<20, "WAL size that triggers a background compaction with -data-dir (0 = no size trigger)")
 	compactEvery := flag.Duration("compact-interval", 0, "background compaction loop period; folds every pending delta into its base shards (0 = disabled)")
 	cacheMinCost := flag.Duration("cache-min-cost", 0, "cost-aware cache admission: only cache results whose evaluation took at least this long (0 = cache everything)")
+	storeCache := flag.Int64("store-cache-bytes", 0, "decoded-block cache budget for mmap'd block stores, in bytes (0 = default 256MiB, negative = unbounded)")
 	plan := flag.String("plan", "on", "statistics-free query planner: on (selectivity-ordered condition evaluation) or off (written order; the differential baseline)")
 	role := flag.String("role", "standalone", "node role: standalone, worker (serves shard evaluations; same as standalone), or coordinator (fans queries out to -worker nodes)")
 	var workerAddrs loadFlags
@@ -184,6 +185,7 @@ func main() {
 		DataDir:           *dataDir,
 		WALSync:           syncPolicy,
 		WALMaxBytes:       *walMaxBytes,
+		StoreCacheBytes:   *storeCache,
 	})
 	reg := svc.Registry()
 

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/koko"
+)
+
+// The storage-paging snapshot (kokobench -exp store): open latency, cold-
+// and warm-cache query latency, and live-heap residency of the mmap block
+// store against the heap-resident row store, at one fixed corpus. The
+// claims this artifact backs: the block store opens by reading metadata +
+// corpus only (postings stay on disk), its warm-cache query latency stays
+// within ~1.3× of the heap store, and its posting residency is the cache
+// budget rather than the index size.
+
+// StoreBenchSents is the workload corpus size (sentences).
+const StoreBenchSents = 20000
+
+// StorePoint is one store format's measurements.
+type StorePoint struct {
+	Store  string `json:"store"` // "row" (heap-resident) or "block" (mmap + cache)
+	Tuples int    `json:"tuples"`
+	// FileBytes is the persisted store's size on disk.
+	FileBytes int64 `json:"file_bytes"`
+	// OpenMs is the time to reopen the persisted store (best of iters).
+	// For the row store this decodes every posting list; for the block
+	// store it reads metadata and the corpus only.
+	OpenMs float64 `json:"open_ms"`
+	// ColdMs is the first run of the query suite after an open — for the
+	// block store this pays mmap page-ins and block decodes (best of iters,
+	// each against a fresh open).
+	ColdMs float64 `json:"cold_ms"`
+	// WarmMs is a repeat run with caches hot (best of iters).
+	WarmMs float64 `json:"warm_ms"`
+	// LiveHeapBytes is post-GC live-heap growth over the pre-open baseline
+	// with the engine open and the suite run — the resident cost a server
+	// pays to keep this corpus queryable. Sampled on the first iteration
+	// only: later baselines are polluted by the previous iteration's
+	// engine, which a block reader's finalizer keeps alive across one GC.
+	LiveHeapBytes uint64 `json:"live_heap_bytes"`
+}
+
+// StoreSnapshot is the BENCH_store.json document.
+type StoreSnapshot struct {
+	Workload  string       `json:"workload"`
+	Note      string       `json:"note"`
+	GoMaxProc int          `json:"gomaxprocs"`
+	Points    []StorePoint `json:"points"`
+}
+
+// RunStoreBench persists one corpus in both formats and measures each.
+func RunStoreBench(iters int) *StoreSnapshot {
+	if iters < 1 {
+		iters = 1
+	}
+	snap := &StoreSnapshot{
+		Workload: "GenHappyDB(20000, 42) + the hotpath extract query, single engine",
+		Note: "refresh with `go run ./cmd/kokobench -exp store > BENCH_store.json`; " +
+			"open_ms decodes everything for row but only metadata+corpus for block; " +
+			"cold_ms includes block decodes, warm_ms should be within ~1.3x of row; " +
+			"live_heap_bytes shows block residency bounded by the cache budget",
+		GoMaxProc: runtime.GOMAXPROCS(0),
+	}
+	dir, err := os.MkdirTemp("", "storebench")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	c := koko.WrapCorpus(corpus.GenHappyDB(StoreBenchSents, HotPathCorpusSeed))
+	builder := koko.NewEngine(c, nil)
+	paths := map[string]string{
+		"row":   filepath.Join(dir, "row.koko"),
+		"block": filepath.Join(dir, "block.koko"),
+	}
+	if err := builder.SaveAs(paths["row"], koko.FormatRow); err != nil {
+		panic(err)
+	}
+	if err := builder.SaveAs(paths["block"], koko.FormatBlock); err != nil {
+		panic(err)
+	}
+
+	p, err := koko.ParseQuery(HotPathExtractQuery)
+	if err != nil {
+		panic(err)
+	}
+	runSuite := func(eng *koko.Engine) int {
+		seq, err := eng.Run(context.Background(), p, nil)
+		if err != nil {
+			panic(err)
+		}
+		res, err := seq.Collect()
+		if err != nil {
+			panic(err)
+		}
+		return len(res.Tuples)
+	}
+
+	for _, store := range []string{"row", "block"} {
+		path := paths[store]
+		pt := StorePoint{Store: store}
+		if fi, err := os.Stat(path); err == nil {
+			pt.FileBytes = fi.Size()
+		}
+		for i := 0; i < iters; i++ {
+			base := heapBase()
+			t0 := time.Now()
+			eng, err := koko.Load(path, nil)
+			if err != nil {
+				panic(err)
+			}
+			open := time.Since(t0)
+
+			t0 = time.Now()
+			pt.Tuples = runSuite(eng)
+			cold := time.Since(t0)
+
+			t0 = time.Now()
+			runSuite(eng)
+			warm := time.Since(t0)
+
+			heap := heapGrowth(base)
+			runtime.KeepAlive(eng)
+
+			openMs := float64(open.Nanoseconds()) / 1e6
+			coldMs := float64(cold.Nanoseconds()) / 1e6
+			warmMs := float64(warm.Nanoseconds()) / 1e6
+			if i == 0 || openMs < pt.OpenMs {
+				pt.OpenMs = openMs
+			}
+			if i == 0 || coldMs < pt.ColdMs {
+				pt.ColdMs = coldMs
+			}
+			if i == 0 || warmMs < pt.WarmMs {
+				pt.WarmMs = warmMs
+			}
+			if i == 0 {
+				pt.LiveHeapBytes = heap
+			}
+		}
+		snap.Points = append(snap.Points, pt)
+	}
+	return snap
+}
+
+// FormatStoreBench renders the snapshot as indented JSON (the committed
+// BENCH_store.json format).
+func FormatStoreBench(s *StoreSnapshot) string {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "{}"
+	}
+	return string(out) + "\n"
+}

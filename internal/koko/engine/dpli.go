@@ -51,6 +51,29 @@ func countsOfPostings(ps []index.Posting) varCounts {
 	return vc
 }
 
+// countsOfList is countsOfPostings over a possibly-lazy list: runs stream
+// through the cursor one block at a time, so only the count arrays
+// materialize.
+func countsOfList(l index.PostingList) varCounts {
+	var vc varCounts
+	var c index.ListCursor
+	for c.Reset(l); c.Valid(); c.NextRun() {
+		vc.sids = append(vc.sids, c.Sid())
+		vc.counts = append(vc.counts, int32(len(c.Run())))
+	}
+	return vc
+}
+
+// sidsOfList is index.SidsOf over a possibly-lazy list.
+func sidsOfList(l index.PostingList) []int32 {
+	var out []int32
+	var c index.ListCursor
+	for c.Reset(l); c.Valid(); c.NextRun() {
+		out = append(out, c.Sid())
+	}
+	return out
+}
+
 // countsOfEntities is countsOfPostings for (sid,u)-sorted entity postings.
 func countsOfEntities(eps []index.EntityPosting) varCounts {
 	var vc varCounts
@@ -64,6 +87,24 @@ func countsOfEntities(eps []index.EntityPosting) varCounts {
 		i = j
 	}
 	return vc
+}
+
+// runDPLIGuarded is runDPLI with a recovery boundary for damaged block
+// stores: lazy block decode has no error channel (posting-list access is
+// plain slice access), so the block store panics with *index.StoreError on
+// CRC or structural corruption, and this wrapper — every index access of a
+// query happens inside runDPLI — converts that into a query error.
+func runDPLIGuarded(nq *normQuery, ix *index.Index, planned bool) (res *dpliResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			se, ok := r.(*index.StoreError)
+			if !ok {
+				panic(r)
+			}
+			res, err = nil, se
+		}
+	}()
+	return runDPLI(nq, ix, planned), nil
 }
 
 // runDPLI implements §4.2 over the multi-index. planned enables the
@@ -99,7 +140,7 @@ func runDPLI(nq *normQuery, ix *index.Index, planned bool) *dpliResult {
 			res.exhausted = true
 			return res
 		}
-		res.counts[v.slot] = countsOfPostings(ix.LookupWord(v.words[0]))
+		res.counts[v.slot] = countsOfList(ix.WordList(v.words[0]))
 		sidSets = append(sidSets, sids)
 	}
 
@@ -260,42 +301,45 @@ func lookupDecomposed(ix *index.Index, steps []lang.PathStep, mode AblationMode,
 		}
 	}
 	plHas, posHas := hasConcrete(plPath), hasConcrete(posPath)
-	var p []index.Posting
+	// p stays a lazy PostingList until a join forces it: a single matched
+	// hierarchy node's list never materializes as a whole — the cursor joins
+	// below decode only the blocks whose sid bounds survive the merge.
+	var p index.PostingList
 	pAll := false // set when neither hierarchy path has concrete labels
 	switch {
 	case plHas && posHas:
-		p1 := ix.PL.Lookup(plPath)
-		if len(p1) == 0 {
+		p1 := ix.PL.LookupList(plPath)
+		if index.ListLen(p1) == 0 {
 			return nil, false
 		}
-		p2 := ix.POS.Lookup(posPath)
-		if len(p2) == 0 {
+		p2 := ix.POS.LookupList(posPath)
+		if index.ListLen(p2) == 0 {
 			return nil, false
 		}
-		p = joinSameToken(p1, p2)
+		p = index.SlicePostings(joinSameToken(p1, p2))
 	case plHas:
-		p = ix.PL.Lookup(plPath)
+		p = ix.PL.LookupList(plPath)
 	case posHas:
-		p = ix.POS.Lookup(posPath)
+		p = ix.POS.LookupList(posPath)
 	default:
 		// Pure-wildcard path: only the word path (if any) can prune. With
 		// no words either, fall back to a full POS-hierarchy walk so the
 		// depth constraint still applies.
 		if len(words) == 0 {
-			p = ix.POS.Lookup(posPath)
-			if len(p) == 0 {
+			ps := ix.POS.Lookup(posPath)
+			if len(ps) == 0 {
 				return nil, false
 			}
-			return p, true
+			return ps, true
 		}
 		pAll = true
 	}
-	if len(p) == 0 && !pAll {
+	if index.ListLen(p) == 0 && !pAll {
 		return nil, false
 	}
 
 	if len(words) == 0 {
-		return p, true
+		return index.Materialize(p), true
 	}
 
 	// Word path: access the word index per word left-to-right and join with
@@ -321,7 +365,7 @@ func lookupDecomposed(ix *index.Index, steps []lang.PathStep, mode AblationMode,
 
 	lists := make([][]index.Posting, len(words))
 	for k, w := range words {
-		lists[k] = filterByDepth(ix.LookupWord(w.word), int32(w.step), exactPrefix(w.step))
+		lists[k] = filterByDepth(ix.WordList(w.word), int32(w.step), exactPrefix(w.step))
 		if len(lists[k]) == 0 {
 			return nil, false
 		}
@@ -329,12 +373,14 @@ func lookupDecomposed(ix *index.Index, steps []lang.PathStep, mode AblationMode,
 	if planned && (len(words) > 1 || !pAll) {
 		// Selectivity pre-filter: intersect every list's sentence ids
 		// smallest-first, then restrict all join inputs to the survivors.
+		// p's sid set streams off its block directory-guided cursor, and the
+		// restriction of p decodes only blocks overlapping the survivors.
 		sets := make([][]int32, 0, len(words)+1)
 		for _, l := range lists {
 			sets = append(sets, index.SidsOf(l))
 		}
 		if !pAll {
-			sets = append(sets, index.SidsOf(p))
+			sets = append(sets, sidsOfList(p))
 		}
 		sort.Slice(sets, func(i, j int) bool { return len(sets[i]) < len(sets[j]) })
 		allowed := sets[0]
@@ -348,10 +394,10 @@ func lookupDecomposed(ix *index.Index, steps []lang.PathStep, mode AblationMode,
 			return nil, false
 		}
 		for k := range lists {
-			lists[k] = filterBySids(lists[k], allowed)
+			lists[k] = filterBySids(index.SlicePostings(lists[k]), allowed)
 		}
 		if !pAll {
-			p = filterBySids(p, allowed)
+			p = index.SlicePostings(filterBySids(p, allowed))
 		}
 	}
 	cur := lists[0]
@@ -373,7 +419,7 @@ func lookupDecomposed(ix *index.Index, steps []lang.PathStep, mode AblationMode,
 			return q, true
 		}
 		// The last path element is a word token: same-token join.
-		out := joinSameToken(p, q)
+		out := joinSameToken(p, index.SlicePostings(q))
 		if len(out) == 0 {
 			return nil, false
 		}
@@ -382,8 +428,8 @@ func lookupDecomposed(ix *index.Index, steps []lang.PathStep, mode AblationMode,
 	if pAll {
 		// The trailing steps are wildcards: materialize them via the
 		// depth-pruned POS walk before the ancestor join.
-		p = ix.POS.Lookup(posPath)
-		if len(p) == 0 {
+		p = ix.POS.LookupList(posPath)
+		if index.ListLen(p) == 0 {
 			return nil, false
 		}
 	}
@@ -416,34 +462,40 @@ func depthOK(descD, ancD, gap int32, exact bool) bool {
 
 // filterByDepth keeps postings whose depth satisfies the step-position rule:
 // a token matching step i has depth exactly i when every axis up to i is a
-// child axis, and depth >= i otherwise.
-func filterByDepth(ps []index.Posting, step int32, exact bool) []index.Posting {
-	out := make([]index.Posting, 0, len(ps))
-	for _, p := range ps {
-		if (exact && p.D == step) || (!exact && p.D >= step) {
-			out = append(out, p)
+// child axis, and depth >= i otherwise. Blocks of a lazy list stream through
+// one at a time; only the matches materialize.
+func filterByDepth(l index.PostingList, step int32, exact bool) []index.Posting {
+	if index.ListLen(l) == 0 {
+		return nil
+	}
+	out := make([]index.Posting, 0, l.Len())
+	for i := 0; i < l.NumBlocks(); i++ {
+		for _, p := range l.Block(i) {
+			if (exact && p.D == step) || (!exact && p.D >= step) {
+				out = append(out, p)
+			}
 		}
 	}
 	return out
 }
 
 // filterBySids keeps the postings whose sentence is in the sorted allowed
-// set, with one merge walk (galloping over non-matching runs).
-func filterBySids(ps []index.Posting, allowed []int32) []index.Posting {
-	out := ps[:0:0]
-	i, j := 0, 0
-	for i < len(ps) && j < len(allowed) {
+// set, one merge walk. Cursor seeks skip whole undecoded blocks between
+// surviving sentences, so only blocks overlapping the allowed set decode.
+func filterBySids(l index.PostingList, allowed []int32) []index.Posting {
+	var out []index.Posting
+	var c index.ListCursor
+	c.Reset(l)
+	j := 0
+	for c.Valid() && j < len(allowed) {
 		switch {
-		case ps[i].Sid < allowed[j]:
-			i = seekSid(ps, i, allowed[j])
-		case allowed[j] < ps[i].Sid:
+		case c.Sid() < allowed[j]:
+			c.SeekSid(allowed[j])
+		case allowed[j] < c.Sid():
 			j++
 		default:
-			sid := allowed[j]
-			for i < len(ps) && ps[i].Sid == sid {
-				out = append(out, ps[i])
-				i++
-			}
+			out = append(out, c.Run()...)
+			c.NextRun()
 			j++
 		}
 	}
@@ -482,29 +534,38 @@ func seekSid(ps []index.Posting, from int, sid int32) int {
 
 // joinSameToken intersects two sorted posting lists on (sid, tid), keeping
 // the quintuples of the first list. Runs of non-matching sentences are
-// skipped with a galloping seek rather than element-by-element.
-func joinSameToken(a, b []index.Posting) []index.Posting {
+// skipped with galloping cursor seeks, which for block-backed lists skip
+// whole blocks by directory bounds without decoding them.
+func joinSameToken(a, b index.PostingList) []index.Posting {
 	var out []index.Posting
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i].Sid != b[j].Sid {
-			if a[i].Sid < b[j].Sid {
-				i = seekSid(a, i, b[j].Sid)
-			} else {
-				j = seekSid(b, j, a[i].Sid)
-			}
+	var ca, cb index.ListCursor
+	ca.Reset(a)
+	cb.Reset(b)
+	for ca.Valid() && cb.Valid() {
+		if ca.Sid() < cb.Sid() {
+			ca.SeekSid(cb.Sid())
 			continue
 		}
-		switch {
-		case a[i].Tid < b[j].Tid:
-			i++
-		case b[j].Tid < a[i].Tid:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
+		if cb.Sid() < ca.Sid() {
+			cb.SeekSid(ca.Sid())
+			continue
 		}
+		ra, rb := ca.Run(), cb.Run()
+		i, j := 0, 0
+		for i < len(ra) && j < len(rb) {
+			switch {
+			case ra[i].Tid < rb[j].Tid:
+				i++
+			case rb[j].Tid < ra[i].Tid:
+				j++
+			default:
+				out = append(out, ra[i])
+				i++
+				j++
+			}
+		}
+		ca.NextRun()
+		cb.NextRun()
 	}
 	return out
 }
@@ -546,25 +607,25 @@ func joinAncestorDescendant(cur, next []index.Posting, gap int32, exact bool) []
 
 // joinHasAncestor keeps the quintuples of p that have an ancestor in q at
 // the required depth difference — the final P⋈Q join of §4.2.2. Like
-// joinAncestorDescendant it is a per-sid merge join: q's matching run is
-// found by galloping seek instead of rescanning the whole list per posting.
-func joinHasAncestor(p, q []index.Posting, gap int32, exact bool) []index.Posting {
+// joinAncestorDescendant it is a per-sid merge join; p's cursor gallops
+// through the block directory, so sentences q lacks cost no decodes.
+func joinHasAncestor(p index.PostingList, q []index.Posting, gap int32, exact bool) []index.Posting {
 	var out []index.Posting
-	i, j := 0, 0
-	for i < len(p) && j < len(q) {
-		if p[i].Sid < q[j].Sid {
-			i = seekSid(p, i, q[j].Sid)
+	var cp index.ListCursor
+	cp.Reset(p)
+	j := 0
+	for cp.Valid() && j < len(q) {
+		if cp.Sid() < q[j].Sid {
+			cp.SeekSid(q[j].Sid)
 			continue
 		}
-		if q[j].Sid < p[i].Sid {
-			j = seekSid(q, j, p[i].Sid)
+		if q[j].Sid < cp.Sid() {
+			j = seekSid(q, j, cp.Sid())
 			continue
 		}
-		sid := p[i].Sid
-		ie := seekSid(p, i, sid+1)
+		sid := cp.Sid()
 		je := seekSid(q, j, sid+1)
-		for ii := i; ii < ie; ii++ {
-			pp := p[ii]
+		for _, pp := range cp.Run() {
 			for k := j; k < je; k++ {
 				qq := q[k]
 				if qq.U <= pp.U && qq.V >= pp.V && depthOK(pp.D, qq.D, gap, exact) {
@@ -573,7 +634,8 @@ func joinHasAncestor(p, q []index.Posting, gap int32, exact bool) []index.Postin
 				}
 			}
 		}
-		i, j = ie, je
+		j = je
+		cp.NextRun()
 	}
 	return out
 }
@@ -583,11 +645,11 @@ func joinHasAncestor(p, q []index.Posting, gap int32, exact bool) []index.Postin
 func wordConjunctionSids(ix *index.Index, words []string) []int32 {
 	var sids []int32
 	for i, w := range words {
-		ps := ix.LookupWord(w)
-		if len(ps) == 0 {
+		l := ix.WordList(w)
+		if index.ListLen(l) == 0 {
 			return nil
 		}
-		s := index.SidsOf(ps)
+		s := sidsOfList(l)
 		if i == 0 {
 			sids = s
 		} else {

@@ -390,7 +390,10 @@ func (e *Engine) Candidates(q *lang.Query) ([]int32, error) {
 	if err != nil {
 		return nil, err
 	}
-	dpli := runDPLI(nq, e.ix, !e.opts.DisablePlan)
+	dpli, err := runDPLIGuarded(nq, e.ix, !e.opts.DisablePlan)
+	if err != nil {
+		return nil, err
+	}
 	if dpli.exhausted {
 		return nil, nil
 	}

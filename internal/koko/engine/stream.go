@@ -80,7 +80,10 @@ func (e *Engine) Stream(q *lang.Query, ro RunOptions) (*Stream, error) {
 	res.Times.Normalize = time.Since(t0)
 
 	t0 = time.Now()
-	dpli := runDPLI(nq, e.ix, !ro.NoPlan)
+	dpli, err := runDPLIGuarded(nq, e.ix, !ro.NoPlan)
+	if err != nil {
+		return nil, err
+	}
 	res.Times.DPLI = time.Since(t0)
 	st := &Stream{res: res}
 	if dpli.exhausted {

@@ -1,0 +1,362 @@
+package blockstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/koko/index"
+)
+
+// genPostings builds n (sid,tid)-sorted postings with sid runs and gaps.
+func genPostings(n int, seed int64) []index.Posting {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]index.Posting, 0, n)
+	sid, tid := int32(rng.Intn(3)), int32(0)
+	for len(out) < n {
+		if rng.Intn(3) == 0 || tid == 0 {
+			tid += int32(1 + rng.Intn(9))
+		} else {
+			sid += int32(1 + rng.Intn(50))
+			tid = int32(1 + rng.Intn(9))
+		}
+		u := int32(rng.Intn(40))
+		out = append(out, index.Posting{
+			Sid: sid, Tid: tid, U: u, V: u + int32(rng.Intn(12)), D: int32(rng.Intn(6)),
+		})
+	}
+	return out
+}
+
+func TestPostingBlockRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 7, BlockPostings} {
+		ps := genPostings(n, int64(n))
+		enc := encodePostingBlock(nil, ps)
+		got, err := decodePostingBlock(enc, n)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if !reflect.DeepEqual(ps, got) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+func TestEntityBlockRoundTrip(t *testing.T) {
+	types := []string{"LOC", "ORG", "PER"}
+	texts := []string{"Alice", "Bob", "Paris"}
+	typeID := map[string]int{"LOC": 0, "ORG": 1, "PER": 2}
+	textID := map[string]int{"Alice": 0, "Bob": 1, "Paris": 2}
+	es := []index.EntityPosting{
+		{Sid: 0, U: 0, V: 1, Type: "PER", Text: "Alice"},
+		{Sid: 0, U: 4, V: 5, Type: "PER", Text: "Bob"},
+		{Sid: 3, U: 2, V: 3, Type: "LOC", Text: "Paris"},
+	}
+	enc := encodeEntityBlock(nil, es, typeID, textID)
+	got, err := decodeEntityBlock(enc, len(es), types, texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(es, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, es)
+	}
+}
+
+// TestPostingBlockRejectsCorruption: every truncation of a valid encoding,
+// trailing garbage, and in-block (sid,tid) duplicates are all rejected.
+func TestPostingBlockRejectsCorruption(t *testing.T) {
+	ps := genPostings(20, 3)
+	enc := encodePostingBlock(nil, ps)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := decodePostingBlock(enc[:cut], len(ps)); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	if _, err := decodePostingBlock(append(append([]byte{}, enc...), 0), len(ps)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	dup := encodePostingBlock(nil, []index.Posting{
+		{Sid: 1, Tid: 2, U: 0, V: 1}, {Sid: 1, Tid: 2, U: 3, V: 4},
+	})
+	if _, err := decodePostingBlock(dup, 2); err == nil {
+		t.Fatal("duplicate (sid,tid) accepted")
+	}
+}
+
+func TestEntityBlockRejectsCorruption(t *testing.T) {
+	types, texts := []string{"LOC"}, []string{"Paris"}
+	es := []index.EntityPosting{{Sid: 1, U: 0, V: 1, Type: "LOC", Text: "Paris"}}
+	enc := encodeEntityBlock(nil, es, map[string]int{"LOC": 0}, map[string]int{"Paris": 0})
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := decodeEntityBlock(enc[:cut], 1, types, texts); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	// Dictionary ids out of range: same bytes, smaller tables.
+	if _, err := decodeEntityBlock(enc, 1, nil, texts); err == nil {
+		t.Fatal("out-of-range type id accepted")
+	}
+	if _, err := decodeEntityBlock(enc, 1, types, nil); err == nil {
+		t.Fatal("out-of-range text id accepted")
+	}
+}
+
+// FuzzBlockDecode: arbitrary bytes never panic, and anything the decoder
+// accepts must re-encode to the identical bytes (varint coding is canonical,
+// so accept ⇒ canonical form).
+func FuzzBlockDecode(f *testing.F) {
+	f.Add(encodePostingBlock(nil, genPostings(5, 1)), 5)
+	f.Add(encodePostingBlock(nil, genPostings(BlockPostings, 2)), BlockPostings)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0xff, 0xff, 0xff}, 2)
+	f.Fuzz(func(t *testing.T, enc []byte, n int) {
+		if n < 0 || n > BlockPostings {
+			return
+		}
+		ps, err := decodePostingBlock(enc, n)
+		if err == nil {
+			if re := encodePostingBlock(nil, ps); !bytes.Equal(re, enc) {
+				t.Fatalf("accepted non-canonical encoding: %x -> %x", enc, re)
+			}
+		}
+		types, texts := []string{"A", "B"}, []string{"x", "y", "z"}
+		if es, err := decodeEntityBlock(enc, n, types, texts); err == nil {
+			typeID := map[string]int{"A": 0, "B": 1}
+			textID := map[string]int{"x": 0, "y": 1, "z": 2}
+			if re := encodeEntityBlock(nil, es, typeID, textID); !bytes.Equal(re, enc) {
+				t.Fatalf("accepted non-canonical entity encoding: %x -> %x", enc, re)
+			}
+		}
+	})
+}
+
+// testCorpus parses a small but representative corpus: repeated words (multi
+// block sharing), entities, multiple docs.
+func testCorpus(t *testing.T) *index.Corpus {
+	t.Helper()
+	return index.NewCorpus(
+		[]string{"a.txt", "b.txt"},
+		[]string{
+			"Alice met Bob in Paris. Alice Johnson runs the Blue Bottle Cafe. The cafe serves coffee and espresso.",
+			"Bob visited the Blue Bottle Cafe in Paris. He liked the espresso. Alice agreed that the coffee was delicious.",
+		},
+	)
+}
+
+func writeTestStore(t *testing.T) (string, *index.Corpus, *index.Index) {
+	t.Helper()
+	c := testCorpus(t)
+	ix := index.Build(c)
+	path := filepath.Join(t.TempDir(), "c.koko")
+	if err := Write(path, c, ix); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return path, c, ix
+}
+
+// TestStoreRoundTrip: a written store reopens with a byte-identical corpus
+// and posting lists identical to the heap index it was built from.
+func TestStoreRoundTrip(t *testing.T) {
+	path, c, ix := writeTestStore(t)
+	if !IsBlockStore(path) {
+		t.Fatal("IsBlockStore = false on a block store")
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r.Close()
+
+	rc := r.Corpus()
+	if rc.NumDocs() != c.NumDocs() || rc.NumSentences() != c.NumSentences() {
+		t.Fatalf("corpus shape %d/%d, want %d/%d", rc.NumDocs(), rc.NumSentences(), c.NumDocs(), c.NumSentences())
+	}
+	for i := range c.Sentences {
+		want, got := &c.Sentences[i], &rc.Sentences[i]
+		if want.String() != got.String() {
+			t.Fatalf("sentence %d text differs:\n got %q\nwant %q", i, got.String(), want.String())
+		}
+		if !reflect.DeepEqual(want.Tokens, got.Tokens) {
+			t.Fatalf("sentence %d tokens differ", i)
+		}
+		if !reflect.DeepEqual(want.Entities, got.Entities) {
+			t.Fatalf("sentence %d entities differ:\n got %+v\nwant %+v", i, got.Entities, want.Entities)
+		}
+	}
+
+	bix := r.NewIndex()
+	words := make([]string, 0, len(ix.Word))
+	for w := range ix.Word {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	for _, w := range words {
+		want := ix.LookupWord(w)
+		got := bix.LookupWord(w)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("word %q postings differ:\n got %+v\nwant %+v", w, got, want)
+		}
+	}
+	for text := range ix.Entity {
+		if want, got := ix.LookupEntityText(text), bix.LookupEntityText(text); !reflect.DeepEqual(want, got) {
+			t.Fatalf("entity %q postings differ", text)
+		}
+	}
+	for _, typ := range []string{"PERSON", "GPE", "ORG", "LOC"} {
+		if want, got := ix.EntitiesOfType(typ), bix.EntitiesOfType(typ); !reflect.DeepEqual(want, got) {
+			t.Fatalf("type %q entities differ:\n got %+v\nwant %+v", typ, got, want)
+		}
+	}
+	for _, p := range []index.Path{
+		{{Label: "ROOT"}},
+		{{Label: "ROOT"}, {Label: "nsubj"}},
+		{{Label: "*"}, {Desc: true, Label: "dobj"}},
+	} {
+		if want, got := ix.PL.Lookup(p), bix.PL.Lookup(p); !reflect.DeepEqual(want, got) {
+			t.Fatalf("PL %v postings differ", p)
+		}
+	}
+	ws, bs := ix.Stats(), bix.Stats()
+	if ws != bs {
+		t.Fatalf("stats differ:\n got %+v\nwant %+v", bs, ws)
+	}
+}
+
+// TestStoreRejectsCorruptMeta: header/meta damage fails at Open; blob damage
+// fails at first block touch with a *index.StoreError panic.
+func TestStoreRejectsCorruption(t *testing.T) {
+	path, _, ix := writeTestStore(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncations of the file must never open successfully.
+	for _, cut := range []int{0, 4, len(raw) / 2, len(raw) - 1} {
+		p2 := filepath.Join(t.TempDir(), "trunc.koko")
+		if err := os.WriteFile(p2, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if r, err := Open(p2); err == nil {
+			r.Close()
+			t.Fatalf("truncated store (%d bytes) opened", cut)
+		}
+	}
+
+	// Flip the blob's first byte (the first word list's first block; word
+	// lists are written first): Open succeeds — blocks are lazy — but the
+	// CRC check turns the first touch into a StoreError.
+	metaLen := binary.LittleEndian.Uint64(raw[8:])
+	corpusLen := binary.LittleEndian.Uint64(raw[16:])
+	blobStart := 32 + metaLen + corpusLen
+	bad := append([]byte{}, raw...)
+	bad[blobStart] ^= 0xff
+	p3 := filepath.Join(t.TempDir(), "blob.koko")
+	if err := os.WriteFile(p3, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(p3)
+	if err != nil {
+		t.Fatalf("Open with corrupt blob: %v (want lazy failure)", err)
+	}
+	defer r.Close()
+	bix := r.NewIndex()
+	caught := 0
+	for w := range ix.Word {
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(*index.StoreError); !ok {
+						t.Fatalf("panic of type %T, want *index.StoreError", rec)
+					}
+					caught++
+				}
+			}()
+			bix.LookupWord(w)
+		}()
+	}
+	if caught == 0 {
+		t.Fatal("no word lookup hit the corrupted block")
+	}
+}
+
+// TestCacheBudget: decoded residency stays near the budget and evictions
+// happen once the working set exceeds it.
+func TestCacheBudget(t *testing.T) {
+	path, _, ix := writeTestStore(t)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	const budget = 4 << 10
+	r.cache = NewCache(budget)
+	bix := r.NewIndex()
+	for pass := 0; pass < 3; pass++ {
+		for w := range ix.Word {
+			bix.LookupWord(w)
+		}
+	}
+	st := r.cache.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a %d-byte budget: %+v", budget, st)
+	}
+	// CLOCK stops sweeping after a bounded number of steps, so residency may
+	// overshoot, but only by a block or two — not the whole store.
+	if st.UsedBytes > 4*budget {
+		t.Fatalf("resident %d bytes far exceeds budget %d", st.UsedBytes, budget)
+	}
+	if st.Hits == 0 || st.Misses == 0 || st.Decodes == 0 {
+		t.Fatalf("counters not moving: %+v", st)
+	}
+}
+
+// TestCacheSingleflight: concurrent first touches of one block decode once.
+func TestCacheSingleflight(t *testing.T) {
+	path, _, _ := writeTestStore(t)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.cache = NewCache(0) // unbounded
+	l := r.WordList("the")
+	if l == nil {
+		t.Fatal(`word "the" missing from test store`)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < l.NumBlocks(); i++ {
+				l.Block(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := r.cache.Stats(); st.Decodes != int64(l.NumBlocks()) {
+		t.Fatalf("decodes = %d, want %d (singleflight)", st.Decodes, l.NumBlocks())
+	}
+}
+
+// TestIsBlockStore: row stores and junk are not misdetected.
+func TestIsBlockStoreNegative(t *testing.T) {
+	dir := t.TempDir()
+	row := filepath.Join(dir, "row.koko")
+	if err := os.WriteFile(row, []byte("KOKODB1\nstuff"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if IsBlockStore(row) {
+		t.Fatal("row store misdetected as block store")
+	}
+	if IsBlockStore(filepath.Join(dir, "missing.koko")) {
+		t.Fatal("missing file detected as block store")
+	}
+}

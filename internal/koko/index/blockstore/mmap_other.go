@@ -1,0 +1,21 @@
+//go:build !unix
+
+package blockstore
+
+import (
+	"io"
+	"os"
+)
+
+// Fallback for platforms without syscall.Mmap: read the whole file into
+// memory. Laziness and the cache still apply to *decoded* blocks; only the
+// encoded bytes lose the paging benefit.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	b := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func munmapFile([]byte) error { return nil }

@@ -1,0 +1,25 @@
+//go:build unix
+
+package blockstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only. The mapping stays valid after f is closed and
+// after the file is unlinked (the compactor removes obsolete shard files
+// while readers may still hold them), per POSIX mmap semantics.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

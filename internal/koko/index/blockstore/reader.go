@@ -1,0 +1,516 @@
+package blockstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/koko/index"
+	"repro/internal/nlp"
+)
+
+var nextReaderID atomic.Uint64
+
+// Reader is an open block store: the file stays mmap'd, metadata (string
+// tables, block directories, hierarchy structure) and the parsed corpus are
+// resident, and posting blocks decode lazily through the shared cache on
+// first touch. It implements index.PostingSource.
+type Reader struct {
+	path  string
+	id    uint64
+	data  []byte // whole mapping
+	blob  []byte // encoded-blocks section
+	cache *Cache
+
+	closed atomic.Bool
+
+	types   []string
+	texts   []string
+	words   map[string]listDir
+	byText  map[string]listDir
+	byType  []listDir
+	typeIdx map[string]int
+	hiers   [2]hierMeta
+	corpus  *index.Corpus
+
+	totalPostings int
+}
+
+type hierMeta struct {
+	labels      []string
+	parents     []int32
+	totalTokens int
+	nodes       []listDir
+}
+
+// IsBlockStore sniffs a file's magic without opening the store.
+func IsBlockStore(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var m [8]byte
+	if _, err := f.Read(m[:]); err != nil {
+		return false
+	}
+	return string(m[:]) == Magic
+}
+
+// Open maps a block store and parses its metadata and corpus. No posting
+// block is decoded. The reader shares the process-default cache.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := st.Size()
+	if size < 32 {
+		f.Close()
+		return nil, fmt.Errorf("blockstore %s: file too small (%d bytes)", path, size)
+	}
+	data, err := mmapFile(f, size)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("blockstore %s: mmap: %w", path, err)
+	}
+	r := &Reader{
+		path:  path,
+		id:    nextReaderID.Add(1),
+		data:  data,
+		cache: DefaultCache(),
+	}
+	if err := r.parse(); err != nil {
+		munmapFile(data)
+		return nil, fmt.Errorf("blockstore %s: %w", path, err)
+	}
+	// Safety net for readers dropped without Close (tests, error paths);
+	// the explicit Close path clears the finalizer.
+	runtime.SetFinalizer(r, (*Reader).Close)
+	return r, nil
+}
+
+// Close unmaps the store and drops its cached blocks. The reader must not
+// be used afterwards.
+func (r *Reader) Close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	runtime.SetFinalizer(r, nil)
+	r.cache.dropReader(r.id)
+	data := r.data
+	r.data, r.blob = nil, nil
+	return munmapFile(data)
+}
+
+// Path returns the file the reader is mapped over.
+func (r *Reader) Path() string { return r.path }
+
+func (r *Reader) parse() error {
+	if string(r.data[:8]) != Magic {
+		return fmt.Errorf("bad magic")
+	}
+	metaLen := binary.LittleEndian.Uint64(r.data[8:])
+	corpusLen := binary.LittleEndian.Uint64(r.data[16:])
+	blobLen := binary.LittleEndian.Uint64(r.data[24:])
+	total := uint64(len(r.data))
+	if metaLen > total || corpusLen > total || blobLen > total || 32+metaLen+corpusLen+blobLen != total {
+		return fmt.Errorf("section sizes %d+%d+%d inconsistent with file size %d", metaLen, corpusLen, blobLen, total)
+	}
+	meta := r.data[32 : 32+metaLen]
+	corpusSec := r.data[32+metaLen : 32+metaLen+corpusLen]
+	r.blob = r.data[32+metaLen+corpusLen:]
+
+	br := byteReader{b: meta}
+	var err error
+	if r.types, err = readStrings(&br, "type"); err != nil {
+		return err
+	}
+	if r.texts, err = readStrings(&br, "text"); err != nil {
+		return err
+	}
+	r.typeIdx = make(map[string]int, len(r.types))
+	for i, t := range r.types {
+		r.typeIdx[t] = i
+	}
+	nWords, err := br.count("word")
+	if err != nil {
+		return err
+	}
+	r.words = make(map[string]listDir, nWords)
+	for i := 0; i < nWords; i++ {
+		w, err := br.str()
+		if err != nil {
+			return err
+		}
+		d, err := decodeDir(&br, blobLen)
+		if err != nil {
+			return err
+		}
+		r.words[w] = d
+		r.totalPostings += d.count
+	}
+	nKeys, err := br.count("entity key")
+	if err != nil {
+		return err
+	}
+	r.byText = make(map[string]listDir, nKeys)
+	for i := 0; i < nKeys; i++ {
+		k, err := br.str()
+		if err != nil {
+			return err
+		}
+		if r.byText[k], err = decodeDir(&br, blobLen); err != nil {
+			return err
+		}
+	}
+	nTypes, err := br.count("entity type")
+	if err != nil {
+		return err
+	}
+	if nTypes != len(r.types) {
+		return fmt.Errorf("by-type directory count %d != type table size %d", nTypes, len(r.types))
+	}
+	r.byType = make([]listDir, nTypes)
+	for i := range r.byType {
+		if r.byType[i], err = decodeDir(&br, blobLen); err != nil {
+			return err
+		}
+	}
+	for k := range r.hiers {
+		if r.hiers[k], err = readHier(&br, blobLen); err != nil {
+			return err
+		}
+	}
+	if !br.done() {
+		return fmt.Errorf("%d trailing metadata bytes", len(meta)-br.i)
+	}
+	r.corpus, err = decodeCorpus(corpusSec)
+	return err
+}
+
+func readStrings(br *byteReader, label string) ([]string, error) {
+	n, err := br.count(label)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, n)
+	for i := range out {
+		if out[i], err = br.str(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func readHier(br *byteReader, blobLen uint64) (hierMeta, error) {
+	var h hierMeta
+	n, err := br.count("hierarchy node")
+	if err != nil {
+		return h, err
+	}
+	if n < 1 {
+		return h, fmt.Errorf("hierarchy without super-root")
+	}
+	h.labels = make([]string, n)
+	h.parents = make([]int32, n)
+	h.parents[0] = -1
+	for id := 1; id < n; id++ {
+		if h.labels[id], err = br.str(); err != nil {
+			return h, err
+		}
+		p, err := br.i32()
+		if err != nil {
+			return h, err
+		}
+		if int(p) >= id {
+			return h, fmt.Errorf("hierarchy node %d has forward parent %d", id, p)
+		}
+		h.parents[id] = p
+	}
+	// TotalTokens is a corpus-wide statistic, not an in-section count, so
+	// the count() size-bound heuristic does not apply; bound it to int32
+	// range instead (it counts real tokens).
+	tt, err := br.uvarint()
+	if err != nil {
+		return h, err
+	}
+	if tt > math.MaxInt32 {
+		return h, fmt.Errorf("hierarchy token count %d overflows int32", tt)
+	}
+	h.totalTokens = int(tt)
+	h.nodes = make([]listDir, n)
+	for id := 0; id < n; id++ {
+		if h.nodes[id], err = decodeDir(br, blobLen); err != nil {
+			return h, err
+		}
+	}
+	return h, nil
+}
+
+// decodeCorpus rebuilds the parsed corpus, reconstructing each sentence
+// exactly as the row store's LoadSentence does: raw token columns, then
+// RecomputeDerived, then entities re-linked with texts re-rendered. Token
+// strings alias the section's string table, so repeated words cost one
+// allocation per distinct string, not per token.
+func decodeCorpus(sec []byte) (*index.Corpus, error) {
+	br := byteReader{b: sec}
+	strs, err := readStrings(&br, "corpus string")
+	if err != nil {
+		return nil, err
+	}
+	lowered := make([]string, len(strs))
+	for i, s := range strs {
+		lowered[i] = index.LowerASCII(s)
+	}
+	str := func() (int, error) {
+		id, err := br.count("string id")
+		if err != nil {
+			return 0, err
+		}
+		if id >= len(strs) {
+			return 0, fmt.Errorf("blockstore: string id %d out of range", id)
+		}
+		return id, nil
+	}
+	nDocs, err := br.count("doc")
+	if err != nil {
+		return nil, err
+	}
+	type docMeta struct {
+		name string
+		n    int
+	}
+	docs := make([]docMeta, nDocs)
+	for i := range docs {
+		if docs[i].name, err = br.str(); err != nil {
+			return nil, err
+		}
+		if docs[i].n, err = br.count("doc sentence"); err != nil {
+			return nil, err
+		}
+	}
+	c := &index.Corpus{}
+	for _, dm := range docs {
+		sents := make([]nlp.Sentence, dm.n)
+		for si := range sents {
+			s := &sents[si]
+			nTok, err := br.count("token")
+			if err != nil {
+				return nil, err
+			}
+			s.Tokens = make([]nlp.Token, nTok)
+			for t := 0; t < nTok; t++ {
+				textID, err := str()
+				if err != nil {
+					return nil, err
+				}
+				posID, err := str()
+				if err != nil {
+					return nil, err
+				}
+				labelID, err := str()
+				if err != nil {
+					return nil, err
+				}
+				head, err := br.count("head")
+				if err != nil {
+					return nil, err
+				}
+				if head > nTok {
+					return nil, fmt.Errorf("blockstore: head %d out of range", head-1)
+				}
+				s.Tokens[t] = nlp.Token{
+					ID:       t,
+					Text:     strs[textID],
+					Lower:    lowered[textID],
+					POS:      strs[posID],
+					Label:    strs[labelID],
+					Head:     head - 1,
+					EntityID: -1,
+				}
+			}
+			s.RecomputeDerived()
+			nEnts, err := br.count("entity")
+			if err != nil {
+				return nil, err
+			}
+			for e := 0; e < nEnts; e++ {
+				typID, err := str()
+				if err != nil {
+					return nil, err
+				}
+				l, err := br.count("entity l")
+				if err != nil {
+					return nil, err
+				}
+				span, err := br.count("entity span")
+				if err != nil {
+					return nil, err
+				}
+				rr := l + span
+				if rr >= nTok {
+					return nil, fmt.Errorf("blockstore: entity span [%d,%d] outside sentence", l, rr)
+				}
+				s.Entities = append(s.Entities, nlp.Entity{Type: strs[typID], L: l, R: rr, Text: s.Text(l, rr)})
+				id := len(s.Entities) - 1
+				for t := l; t <= rr; t++ {
+					s.Tokens[t].EntityID = id
+				}
+			}
+		}
+		c.AppendDoc(dm.name, sents)
+	}
+	if !br.done() {
+		return nil, fmt.Errorf("blockstore: %d trailing corpus bytes", len(sec)-br.i)
+	}
+	return c, nil
+}
+
+// Corpus returns the store's parsed corpus (heap-resident).
+func (r *Reader) Corpus() *index.Corpus { return r.corpus }
+
+// NewIndex assembles the block-backed Index over this reader: hierarchy
+// structure resident, every posting list lazy.
+func (r *Reader) NewIndex() *index.Index {
+	return index.NewBlockBacked(r, r.hierarchy(0), r.hierarchy(1))
+}
+
+func (r *Reader) hierarchy(k int) *index.Hierarchy {
+	hm := &r.hiers[k]
+	n := len(hm.labels)
+	h := &index.Hierarchy{
+		Labels:      hm.labels,
+		Depths:      make([]int32, n),
+		Parents:     hm.parents,
+		Children:    make([]map[string]int32, n),
+		Postings:    make([][]index.Posting, n),
+		TotalTokens: hm.totalTokens,
+	}
+	h.Depths[0] = -1
+	for i := range h.Children {
+		h.Children[i] = map[string]int32{}
+	}
+	for id := 1; id < n; id++ {
+		p := hm.parents[id]
+		h.Depths[id] = h.Depths[p] + 1
+		h.Children[p][hm.labels[id]] = int32(id)
+	}
+	return h
+}
+
+// --- index.PostingSource ---
+
+// blockList adapts one directory to index.PostingList with lazy decode.
+type blockList struct {
+	r *Reader
+	d listDir
+}
+
+func (l *blockList) Len() int       { return l.d.count }
+func (l *blockList) NumBlocks() int { return len(l.d.blocks) }
+
+func (l *blockList) BlockBounds(i int) (int32, int32) {
+	b := &l.d.blocks[i]
+	return b.minSid, b.maxSid
+}
+
+func (l *blockList) Block(i int) []index.Posting {
+	b := l.d.blocks[i]
+	ps, err := l.r.cache.getPostings(cacheKey{l.r.id, b.off}, func() ([]index.Posting, error) {
+		return l.r.decodePostings(b)
+	})
+	if err != nil {
+		panic(&index.StoreError{Path: l.r.path, Err: err})
+	}
+	return ps
+}
+
+func (r *Reader) decodePostings(b blockDir) ([]index.Posting, error) {
+	enc := r.blob[b.off : b.off+uint64(b.encLen)]
+	if crc32.Checksum(enc, castagnoli) != b.crc {
+		return nil, fmt.Errorf("blockstore: crc mismatch in block at %d", b.off)
+	}
+	return decodePostingBlock(enc, int(b.n))
+}
+
+func (r *Reader) entityBlocks(d listDir) []index.EntityPosting {
+	if d.count == 0 {
+		return nil
+	}
+	var out []index.EntityPosting
+	for i, b := range d.blocks {
+		b := b
+		es, err := r.cache.getEntities(cacheKey{r.id, b.off}, func() ([]index.EntityPosting, error) {
+			enc := r.blob[b.off : b.off+uint64(b.encLen)]
+			if crc32.Checksum(enc, castagnoli) != b.crc {
+				return nil, fmt.Errorf("blockstore: crc mismatch in entity block at %d", b.off)
+			}
+			return decodeEntityBlock(enc, int(b.n), r.types, r.texts)
+		})
+		if err != nil {
+			panic(&index.StoreError{Path: r.path, Err: err})
+		}
+		if len(d.blocks) == 1 {
+			return es
+		}
+		if i == 0 {
+			out = make([]index.EntityPosting, 0, d.count)
+		}
+		out = append(out, es...)
+	}
+	return out
+}
+
+// WordList implements index.PostingSource.
+func (r *Reader) WordList(w string) index.PostingList {
+	d, ok := r.words[w]
+	if !ok || d.count == 0 {
+		return nil
+	}
+	return &blockList{r: r, d: d}
+}
+
+// EntityList implements index.PostingSource.
+func (r *Reader) EntityList(text string) []index.EntityPosting {
+	return r.entityBlocks(r.byText[text])
+}
+
+// TypeNames implements index.PostingSource.
+func (r *Reader) TypeNames() []string { return r.types }
+
+// TypeList implements index.PostingSource.
+func (r *Reader) TypeList(etype string) []index.EntityPosting {
+	i, ok := r.typeIdx[etype]
+	if !ok {
+		return nil
+	}
+	return r.entityBlocks(r.byType[i])
+}
+
+// NodeList implements index.PostingSource.
+func (r *Reader) NodeList(kind index.HierKind, node int32) index.PostingList {
+	hm := &r.hiers[kind]
+	if node < 0 || int(node) >= len(hm.nodes) || hm.nodes[node].count == 0 {
+		return nil
+	}
+	return &blockList{r: r, d: hm.nodes[node]}
+}
+
+// SourceStats implements index.PostingSource.
+func (r *Reader) SourceStats() index.SourceStats {
+	return index.SourceStats{
+		Words:         len(r.words),
+		Entities:      len(r.byText),
+		TotalPostings: r.totalPostings,
+	}
+}

@@ -1,0 +1,224 @@
+package blockstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+
+	"repro/internal/koko/index"
+)
+
+// Write serializes a heap-resident corpus + index into the block format at
+// path. The output is deterministic: dictionary and list order is sorted,
+// so two writes of the same engine produce identical bytes.
+func Write(path string, c *index.Corpus, ix *index.Index) error {
+	if ix.Source() != nil {
+		return fmt.Errorf("blockstore: index is already block-backed; rebuild a heap index from the corpus to re-save")
+	}
+	var blob []byte
+	appendList := func(ps []index.Posting) listDir {
+		d := listDir{count: len(ps)}
+		for i := 0; i < len(ps); i += BlockPostings {
+			j := min(i+BlockPostings, len(ps))
+			chunk := ps[i:j]
+			start := len(blob)
+			blob = encodePostingBlock(blob, chunk)
+			enc := blob[start:]
+			d.blocks = append(d.blocks, blockDir{
+				off: uint64(start), encLen: uint32(len(enc)), n: uint32(len(chunk)),
+				minSid: chunk[0].Sid, maxSid: chunk[len(chunk)-1].Sid,
+				crc: crc32.Checksum(enc, castagnoli),
+			})
+		}
+		return d
+	}
+
+	// Entity dictionaries: sorted type names and distinct original texts.
+	types := make([]string, 0, len(ix.ByType))
+	for t := range ix.ByType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	typeID := make(map[string]int, len(types))
+	for i, t := range types {
+		typeID[t] = i
+	}
+	textSet := map[string]bool{}
+	for _, es := range ix.ByType {
+		for _, e := range es {
+			textSet[e.Text] = true
+		}
+	}
+	texts := make([]string, 0, len(textSet))
+	for t := range textSet {
+		texts = append(texts, t)
+	}
+	sort.Strings(texts)
+	textID := make(map[string]int, len(texts))
+	for i, t := range texts {
+		textID[t] = i
+	}
+	appendEList := func(es []index.EntityPosting) listDir {
+		d := listDir{count: len(es)}
+		for i := 0; i < len(es); i += BlockPostings {
+			j := min(i+BlockPostings, len(es))
+			chunk := es[i:j]
+			start := len(blob)
+			blob = encodeEntityBlock(blob, chunk, typeID, textID)
+			enc := blob[start:]
+			d.blocks = append(d.blocks, blockDir{
+				off: uint64(start), encLen: uint32(len(enc)), n: uint32(len(chunk)),
+				minSid: chunk[0].Sid, maxSid: chunk[len(chunk)-1].Sid,
+				crc: crc32.Checksum(enc, castagnoli),
+			})
+		}
+		return d
+	}
+
+	mw := &byteWriter{}
+	mw.uvarint(uint64(len(types)))
+	for _, t := range types {
+		mw.str(t)
+	}
+	mw.uvarint(uint64(len(texts)))
+	for _, t := range texts {
+		mw.str(t)
+	}
+
+	words := make([]string, 0, len(ix.Word))
+	for w := range ix.Word {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	mw.uvarint(uint64(len(words)))
+	for _, w := range words {
+		mw.str(w)
+		encodeDir(mw, appendList(ix.Word[w]))
+	}
+
+	keys := make([]string, 0, len(ix.Entity))
+	for k := range ix.Entity {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	mw.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		mw.str(k)
+		encodeDir(mw, appendEList(ix.Entity[k]))
+	}
+
+	// By-type directories ride the type table's order; no keys repeated.
+	mw.uvarint(uint64(len(types)))
+	for _, t := range types {
+		encodeDir(mw, appendEList(ix.ByType[t]))
+	}
+
+	writeHier := func(h *index.Hierarchy) {
+		mw.uvarint(uint64(len(h.Labels)))
+		for id := 1; id < len(h.Labels); id++ {
+			mw.str(h.Labels[id])
+			mw.uvarint(uint64(h.Parents[id]))
+		}
+		mw.uvarint(uint64(h.TotalTokens))
+		for id := 0; id < len(h.Labels); id++ {
+			encodeDir(mw, appendList(h.Postings[id]))
+		}
+	}
+	writeHier(ix.PL)
+	writeHier(ix.POS)
+
+	corpus := encodeCorpus(c)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	var hdr [8 + 24]byte
+	copy(hdr[:8], Magic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(mw.b)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(corpus)))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(len(blob)))
+	for _, part := range [][]byte{hdr[:], mw.b, corpus, blob} {
+		if _, err := bw.Write(part); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// encodeCorpus serializes the parsed corpus: a string table over token
+// text/POS/label and entity types, then documents and sentences. Only what
+// LoadSentence reads from the row store is kept (text, pos, label, head,
+// entity spans); derived geometry is recomputed at load so both formats
+// reconstruct identical sentences.
+func encodeCorpus(c *index.Corpus) []byte {
+	strID := map[string]int{}
+	var strs []string
+	intern := func(s string) int {
+		if id, ok := strID[s]; ok {
+			return id
+		}
+		id := len(strs)
+		strID[s] = id
+		strs = append(strs, s)
+		return id
+	}
+	// Intern in a deterministic first-seen order over the corpus walk.
+	type encTok struct{ text, pos, label, head int }
+	type encEnt struct{ typ, l, r int }
+	type encSent struct {
+		toks []encTok
+		ents []encEnt
+	}
+	sents := make([]encSent, len(c.Sentences))
+	for sid := range c.Sentences {
+		s := &c.Sentences[sid]
+		es := &sents[sid]
+		es.toks = make([]encTok, len(s.Tokens))
+		for i := range s.Tokens {
+			tok := &s.Tokens[i]
+			es.toks[i] = encTok{intern(tok.Text), intern(tok.POS), intern(tok.Label), tok.Head + 1}
+			// Record each entity once, at its first token — the same filter
+			// and order the row store's LoadSentence reproduces.
+			if e := s.EntityAt(i); e != nil && e.L == i {
+				es.ents = append(es.ents, encEnt{intern(e.Type), e.L, e.R})
+			}
+		}
+	}
+	w := &byteWriter{}
+	w.uvarint(uint64(len(strs)))
+	for _, s := range strs {
+		w.str(s)
+	}
+	w.uvarint(uint64(len(c.Docs)))
+	for _, d := range c.Docs {
+		w.str(d.Name)
+		w.uvarint(uint64(d.NumSents))
+	}
+	for i := range sents {
+		s := &sents[i]
+		w.uvarint(uint64(len(s.toks)))
+		for _, t := range s.toks {
+			w.uvarint(uint64(t.text))
+			w.uvarint(uint64(t.pos))
+			w.uvarint(uint64(t.label))
+			w.uvarint(uint64(t.head))
+		}
+		w.uvarint(uint64(len(s.ents)))
+		for _, e := range s.ents {
+			w.uvarint(uint64(e.typ))
+			w.uvarint(uint64(e.l))
+			w.uvarint(uint64(e.r - e.l))
+		}
+	}
+	return w.b
+}

@@ -87,7 +87,7 @@ func (c *Corpus) DocSentences(d int) (int, int) {
 
 // SaveParsed writes the parsed corpus into db as tables D (documents),
 // S (sentences), and T (tokens).
-func (c *Corpus) SaveParsed(db *store.DB) {
+func (c *Corpus) SaveParsed(db *store.DB) error {
 	d := db.Create("D",
 		store.Column{Name: "name", Type: store.ColString},
 		store.Column{Name: "first_sid", Type: store.ColInt},
@@ -108,7 +108,7 @@ func (c *Corpus) SaveParsed(db *store.DB) {
 		store.Column{Name: "er", Type: store.ColInt},
 	)
 	if err := tt.CreateIndex("by_sid", "sid"); err != nil {
-		panic(err)
+		return err
 	}
 	for sid := range c.Sentences {
 		s := &c.Sentences[sid]
@@ -126,6 +126,7 @@ func (c *Corpus) SaveParsed(db *store.DB) {
 			)
 		}
 	}
+	return nil
 }
 
 // LoadSentence reconstructs one parsed sentence from the T table. This is
@@ -175,6 +176,11 @@ func LoadSentence(db *store.DB, sid int) (*nlp.Sentence, error) {
 	}
 	return s, nil
 }
+
+// LowerASCII exposes the token lowering used when reconstructing sentences
+// from disk, so alternative store formats (the block store) rebuild Token.
+// Lower identically to the row store's LoadSentence.
+func LowerASCII(s string) string { return lower(s) }
 
 func lower(s string) string {
 	b := []byte(s)

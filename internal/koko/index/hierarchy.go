@@ -19,6 +19,12 @@ type Hierarchy struct {
 	Children []map[string]int32
 	Postings [][]Posting // node id -> posting list
 
+	// NodeSource, when set, supplies node posting lists lazily (the mmap
+	// block store) and Postings holds only nils. Mutating operations
+	// (AddSentence, SortTail) are never called on a source-backed
+	// hierarchy — block-backed indexes are immutable.
+	NodeSource func(node int32) PostingList
+
 	// TotalTokens counts the tokens merged in, for the compression stat.
 	TotalTokens int
 }
@@ -120,59 +126,47 @@ type Step struct {
 type Path []Step
 
 // Lookup returns the union of the posting lists of every hierarchy node
-// whose root path matches the pattern. Matching uses a memoized traversal:
-// state (node, step) is visited at most once, so the cost is bounded by
-// O(nodes × steps) regardless of wildcard structure.
+// whose root path matches the pattern, fully materialized. Matching uses a
+// memoized traversal: state (node, step) is visited at most once, so the
+// cost is bounded by O(nodes × steps) regardless of wildcard structure.
 func (h *Hierarchy) Lookup(p Path) []Posting {
+	return Materialize(h.LookupList(p))
+}
+
+// LookupList is Lookup without forced materialization: a pattern matching a
+// single hierarchy node returns that node's list as-is — lazy when the
+// hierarchy is backed by a block store, so no block decodes until the
+// engine's cursors touch it. Only multi-node unions materialize (merged
+// output only; input blocks stream through the cache).
+func (h *Hierarchy) LookupList(p Path) PostingList {
 	if len(p) == 0 {
 		return nil
 	}
-	type state struct {
-		node int32
-		step int
-	}
-	seen := map[state]bool{}
-	var matched []int32
-	var visit func(node int32, step int)
-	visit = func(node int32, step int) {
-		st := state{node, step}
-		if seen[st] {
-			return
-		}
-		seen[st] = true
-		if step == len(p) {
-			matched = append(matched, node)
-			return
-		}
-		s := p[step]
-		// Child axis: children whose label matches advance one step.
-		for label, ch := range h.Children[node] {
-			if s.Label == "*" || label == s.Label {
-				visit(ch, step+1)
-			}
-			// Descendant axis: any child may also be skipped without
-			// consuming the step.
-			if s.Desc {
-				visit(ch, step)
-			}
-			_ = label
-		}
-	}
-	visit(0, 0)
-	if len(matched) == 0 {
-		return nil
-	}
-	sort.Slice(matched, func(i, j int) bool { return matched[i] < matched[j] })
-	lists := make([][]Posting, 0, len(matched))
-	prev := int32(-1)
+	matched := h.LookupNodes(p)
+	lists := make([]PostingList, 0, len(matched))
 	for _, m := range matched {
-		if m == prev {
-			continue
+		if l := h.nodeList(m); ListLen(l) > 0 {
+			lists = append(lists, l)
 		}
-		prev = m
-		lists = append(lists, h.Postings[m])
 	}
-	return UnionPostings(lists...)
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	return SlicePostings(MergeLists(lists))
+}
+
+// nodeList returns one node's posting list, lazy when source-backed.
+func (h *Hierarchy) nodeList(n int32) PostingList {
+	if h.NodeSource != nil {
+		return h.NodeSource(n)
+	}
+	if ps := h.Postings[n]; len(ps) > 0 {
+		return SlicePostings(ps)
+	}
+	return nil
 }
 
 // LookupNodes returns the matching node ids (for tests and the closure-table
@@ -253,6 +247,7 @@ func (h *Hierarchy) Clone() *Hierarchy {
 		Parents:     h.Parents,
 		Children:    make([]map[string]int32, len(h.Children)),
 		Postings:    append([][]Posting(nil), h.Postings...),
+		NodeSource:  h.NodeSource,
 		TotalTokens: h.TotalTokens,
 	}
 	for i, m := range h.Children {

@@ -20,6 +20,12 @@ type Index struct {
 	// hierarchy indices — the W table's plid/posid columns.
 	plidOf  map[int32][]int32
 	posidOf map[int32][]int32
+
+	// src, when set, supplies all posting data lazily (the mmap block
+	// store); the Word/Entity/ByType maps and hierarchy Postings slices are
+	// empty and every lookup goes through src. Source-backed indexes are
+	// immutable: AddSentence must not be called on them.
+	src PostingSource
 }
 
 // NewIndex returns an empty multi-index ready for AddSentence.
@@ -34,6 +40,30 @@ func NewIndex() *Index {
 		posidOf: map[int32][]int32{},
 	}
 }
+
+// NewBlockBacked assembles an index whose posting data stays in src (blocks
+// decoded lazily on lookup). The two hierarchies carry the merged dataguide
+// structure (labels, depths, parents, children) but no resident posting
+// lists; their lookups route through src as well. plid/posid columns are not
+// materialized — PLID/POSID return -1 — which only the heap Save path needs.
+func NewBlockBacked(src PostingSource, pl, pos *Hierarchy) *Index {
+	pl.NodeSource = func(n int32) PostingList { return src.NodeList(HierPL, n) }
+	pos.NodeSource = func(n int32) PostingList { return src.NodeList(HierPOS, n) }
+	return &Index{
+		Word:    map[string][]Posting{},
+		Entity:  map[string][]EntityPosting{},
+		ByType:  map[string][]EntityPosting{},
+		PL:      pl,
+		POS:     pos,
+		plidOf:  map[int32][]int32{},
+		posidOf: map[int32][]int32{},
+		src:     src,
+	}
+}
+
+// Source returns the lazy posting source backing this index, or nil for a
+// heap-resident index.
+func (ix *Index) Source() PostingSource { return ix.src }
 
 // Build constructs the multi-index over a corpus. The corpus must already be
 // parsed.
@@ -61,6 +91,7 @@ func (ix *Index) Clone() *Index {
 		POS:     ix.POS.Clone(),
 		plidOf:  make(map[int32][]int32, len(ix.plidOf)),
 		posidOf: make(map[int32][]int32, len(ix.posidOf)),
+		src:     ix.src,
 	}
 	for k, v := range ix.Word {
 		out.Word[k] = v
@@ -114,14 +145,34 @@ func (ix *Index) Finish() {
 	ix.POS.SortAllPostings()
 }
 
-// LookupWord returns the posting list of a word (case-insensitive).
+// LookupWord returns the posting list of a word (case-insensitive), fully
+// materialized.
 func (ix *Index) LookupWord(w string) []Posting {
+	if ix.src != nil {
+		return Materialize(ix.src.WordList(strings.ToLower(w)))
+	}
 	return ix.Word[strings.ToLower(w)]
+}
+
+// WordList returns the posting list of a word (case-insensitive) without
+// forcing materialization: block-backed indexes hand back a lazy list whose
+// blocks decode on first touch.
+func (ix *Index) WordList(w string) PostingList {
+	if ix.src != nil {
+		return ix.src.WordList(strings.ToLower(w))
+	}
+	if ps := ix.Word[strings.ToLower(w)]; len(ps) > 0 {
+		return SlicePostings(ps)
+	}
+	return nil
 }
 
 // LookupEntityText returns the mentions of an entity by exact text
 // (case-insensitive).
 func (ix *Index) LookupEntityText(text string) []EntityPosting {
+	if ix.src != nil {
+		return ix.src.EntityList(strings.ToLower(text))
+	}
 	return ix.Entity[strings.ToLower(text)]
 }
 
@@ -130,21 +181,33 @@ func (ix *Index) LookupEntityText(text string) []EntityPosting {
 func (ix *Index) EntitiesOfType(want string) []EntityPosting {
 	switch want {
 	case "", "Entity", "entity", "Str":
-		types := make([]string, 0, len(ix.ByType))
-		for t := range ix.ByType {
-			types = append(types, t)
+		var types []string
+		if ix.src != nil {
+			types = ix.src.TypeNames()
+		} else {
+			types = make([]string, 0, len(ix.ByType))
+			for t := range ix.ByType {
+				types = append(types, t)
+			}
+			sort.Strings(types)
 		}
-		sort.Strings(types)
 		var out []EntityPosting
 		for _, t := range types {
-			out = append(out, ix.ByType[t]...)
+			out = append(out, ix.typeList(t)...)
 		}
 		SortEntityPostings(out)
 		return out
 	case "GPE", "gpe":
-		return ix.ByType[nlp.EntLocation]
+		return ix.typeList(nlp.EntLocation)
 	}
-	return ix.ByType[want]
+	return ix.typeList(want)
+}
+
+func (ix *Index) typeList(t string) []EntityPosting {
+	if ix.src != nil {
+		return ix.src.TypeList(t)
+	}
+	return ix.ByType[t]
 }
 
 // PLID returns the PL hierarchy node id of token (sid, tid), or -1.
@@ -174,16 +237,24 @@ type Stats struct {
 	TotalPostings  int
 }
 
-// Stats returns summary statistics.
+// Stats returns summary statistics. For block-backed indexes the counts come
+// from the store's directory — no posting blocks decode.
 func (ix *Index) Stats() Stats {
 	st := Stats{
-		Words:          len(ix.Word),
-		Entities:       len(ix.Entity),
 		PLNodes:        ix.PL.NumNodes(),
 		POSNodes:       ix.POS.NumNodes(),
 		PLCompression:  ix.PL.CompressionRatio(),
 		POSCompression: ix.POS.CompressionRatio(),
 	}
+	if ix.src != nil {
+		ss := ix.src.SourceStats()
+		st.Words = ss.Words
+		st.Entities = ss.Entities
+		st.TotalPostings = ss.TotalPostings
+		return st
+	}
+	st.Words = len(ix.Word)
+	st.Entities = len(ix.Entity)
 	for _, ps := range ix.Word {
 		st.TotalPostings += len(ps)
 	}

@@ -15,7 +15,10 @@ import (
 //
 // The closure tables contain one row per (node, ancestor-or-self) pair,
 // exactly the Closure Table representation the paper cites [25].
-func (ix *Index) Save(db *store.DB) {
+func (ix *Index) Save(db *store.DB) error {
+	if ix.src != nil {
+		return fmt.Errorf("index: block-backed index cannot be saved row-wise; rebuild from the corpus first")
+	}
 	w := db.Create("W",
 		store.Column{Name: "word", Type: store.ColString},
 		store.Column{Name: "x", Type: store.ColInt},
@@ -27,7 +30,7 @@ func (ix *Index) Save(db *store.DB) {
 		store.Column{Name: "posid", Type: store.ColInt},
 	)
 	if err := w.CreateIndex("by_word", "word"); err != nil {
-		panic(err)
+		return err
 	}
 	for word, ps := range ix.Word {
 		for _, p := range ps {
@@ -47,7 +50,7 @@ func (ix *Index) Save(db *store.DB) {
 		store.Column{Name: "v", Type: store.ColInt},
 	)
 	if err := e.CreateIndex("by_entity", "entity"); err != nil {
-		panic(err)
+		return err
 	}
 	for text, eps := range ix.Entity {
 		for _, ep := range eps {
@@ -57,11 +60,13 @@ func (ix *Index) Save(db *store.DB) {
 			)
 		}
 	}
-	saveClosure(db, "PL", ix.PL)
-	saveClosure(db, "POS", ix.POS)
+	if err := saveClosure(db, "PL", ix.PL); err != nil {
+		return err
+	}
+	return saveClosure(db, "POS", ix.POS)
 }
 
-func saveClosure(db *store.DB, name string, h *Hierarchy) {
+func saveClosure(db *store.DB, name string, h *Hierarchy) error {
 	t := db.Create(name,
 		store.Column{Name: "id", Type: store.ColInt},
 		store.Column{Name: "label", Type: store.ColString},
@@ -71,7 +76,7 @@ func saveClosure(db *store.DB, name string, h *Hierarchy) {
 		store.Column{Name: "adepth", Type: store.ColInt},
 	)
 	if err := t.CreateIndex("by_label", "label"); err != nil {
-		panic(err)
+		return err
 	}
 	for id := int32(1); id < int32(len(h.Labels)); id++ {
 		for a := id; a > 0; a = h.Parents[a] {
@@ -84,6 +89,7 @@ func saveClosure(db *store.DB, name string, h *Hierarchy) {
 	// Posting lists of hierarchy nodes are recoverable by joining the W
 	// table on plid/posid (exactly how the paper retrieves them); no extra
 	// storage is needed, which is why the KOKO footprint stays small.
+	return nil
 }
 
 // LoadIndex reconstructs an Index from tables written by Save.

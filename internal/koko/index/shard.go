@@ -122,9 +122,19 @@ func ShardCorpus(c *Corpus, spec ShardSpec) *Corpus {
 
 const shardManifestTable = "SHARDS"
 
+// Store format names recorded in the shard manifest's FORMAT column. The
+// empty string (and manifests written before the column existed) means row.
+const (
+	FormatNameRow   = "row"   // KOKODB1 table store, whole-file decode
+	FormatNameBlock = "block" // KOKOBS1 block store, mmap + lazy decode
+)
+
 // SaveShardManifest writes the sharded-layout manifest into db: one SHARDS
-// row per shard with its file name and spec.
-func SaveShardManifest(db *store.DB, files []string, specs []ShardSpec) {
+// row per shard with its file name, store format, and spec. formats may be
+// nil (all row) or hold one format name per shard — mixed-format shard sets
+// are valid, which is how a durable corpus migrates store formats one
+// compaction at a time.
+func SaveShardManifest(db *store.DB, files []string, formats []string, specs []ShardSpec) {
 	t := db.Create(shardManifestTable,
 		store.Column{Name: "shard", Type: store.ColInt},
 		store.Column{Name: "file", Type: store.ColString},
@@ -133,13 +143,18 @@ func SaveShardManifest(db *store.DB, files []string, specs []ShardSpec) {
 		store.Column{Name: "first_sid", Type: store.ColInt},
 		store.Column{Name: "num_sents", Type: store.ColInt},
 		store.Column{Name: "tokens", Type: store.ColInt},
+		store.Column{Name: "format", Type: store.ColString},
 	)
 	for i, sp := range specs {
+		format := FormatNameRow
+		if i < len(formats) && formats[i] != "" {
+			format = formats[i]
+		}
 		t.MustInsert(
 			store.IntVal(int64(i)), store.StrVal(files[i]),
 			store.IntVal(int64(sp.LoDoc)), store.IntVal(int64(sp.HiDoc)),
 			store.IntVal(int64(sp.FirstSID)), store.IntVal(int64(sp.NumSents)),
-			store.IntVal(int64(sp.Tokens)),
+			store.IntVal(int64(sp.Tokens)), store.StrVal(format),
 		)
 	}
 }
@@ -183,14 +198,15 @@ func IsShardManifest(db *store.DB) bool {
 	return db.Table(shardManifestTable) != nil
 }
 
-// LoadShardManifest reads back the shard file names and specs written by
-// SaveShardManifest, in shard order.
-func LoadShardManifest(db *store.DB) ([]string, []ShardSpec, error) {
+// LoadShardManifest reads back the shard file names, store formats, and
+// specs written by SaveShardManifest, in shard order. Manifests from before
+// the FORMAT column report every shard as row format.
+func LoadShardManifest(db *store.DB) ([]string, []string, []ShardSpec, error) {
 	t := db.Table(shardManifestTable)
 	if t == nil {
-		return nil, nil, fmt.Errorf("index: no %s table (not a shard manifest)", shardManifestTable)
+		return nil, nil, nil, fmt.Errorf("index: no %s table (not a shard manifest)", shardManifestTable)
 	}
-	var files []string
+	var files, formats []string
 	var specs []ShardSpec
 	prev := -1
 	ok := true
@@ -201,6 +217,11 @@ func LoadShardManifest(db *store.DB) ([]string, []ShardSpec, error) {
 		}
 		prev++
 		files = append(files, row[1].S)
+		format := FormatNameRow
+		if len(row) > 7 && row[7].S != "" {
+			format = row[7].S
+		}
+		formats = append(formats, format)
 		specs = append(specs, ShardSpec{
 			LoDoc: int(row[2].I), HiDoc: int(row[3].I),
 			FirstSID: int(row[4].I), NumSents: int(row[5].I),
@@ -209,10 +230,10 @@ func LoadShardManifest(db *store.DB) ([]string, []ShardSpec, error) {
 		return true
 	})
 	if !ok {
-		return nil, nil, fmt.Errorf("index: shard manifest rows out of order")
+		return nil, nil, nil, fmt.Errorf("index: shard manifest rows out of order")
 	}
 	if len(files) == 0 {
-		return nil, nil, fmt.Errorf("index: shard manifest is empty")
+		return nil, nil, nil, fmt.Errorf("index: shard manifest is empty")
 	}
-	return files, specs, nil
+	return files, formats, specs, nil
 }

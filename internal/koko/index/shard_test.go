@@ -154,8 +154,9 @@ func TestShardManifestRoundtrip(t *testing.T) {
 		{LoDoc: 3, HiDoc: 5, FirstSID: 7, NumSents: 4, Tokens: 98},
 	}
 	files := []string{"c.koko.shard0", "c.koko.shard1"}
+	formats := []string{FormatNameRow, FormatNameBlock}
 	db := store.NewDB()
-	SaveShardManifest(db, files, specs)
+	SaveShardManifest(db, files, formats, specs)
 	if !IsShardManifest(db) {
 		t.Fatal("manifest not detected")
 	}
@@ -167,16 +168,32 @@ func TestShardManifestRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotFiles, gotSpecs, err := LoadShardManifest(db2)
+	gotFiles, gotFormats, gotSpecs, err := LoadShardManifest(db2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(gotFiles) != 2 || gotFiles[0] != files[0] || gotFiles[1] != files[1] {
 		t.Fatalf("files = %v", gotFiles)
 	}
+	if len(gotFormats) != 2 || gotFormats[0] != FormatNameRow || gotFormats[1] != FormatNameBlock {
+		t.Fatalf("formats = %v", gotFormats)
+	}
 	for i := range specs {
 		if gotSpecs[i] != specs[i] {
 			t.Fatalf("spec %d = %+v, want %+v", i, gotSpecs[i], specs[i])
+		}
+	}
+
+	// nil formats defaults every shard to row format.
+	dbNil := store.NewDB()
+	SaveShardManifest(dbNil, files, nil, specs)
+	_, defFormats, _, err := LoadShardManifest(dbNil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range defFormats {
+		if f != FormatNameRow {
+			t.Fatalf("format %d = %q, want %q", i, f, FormatNameRow)
 		}
 	}
 
@@ -185,7 +202,7 @@ func TestShardManifestRoundtrip(t *testing.T) {
 	if IsShardManifest(plain) {
 		t.Fatal("plain store misdetected as manifest")
 	}
-	if _, _, err := LoadShardManifest(plain); err == nil {
+	if _, _, _, err := LoadShardManifest(plain); err == nil {
 		t.Fatal("LoadShardManifest on plain store should error")
 	}
 }

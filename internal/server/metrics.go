@@ -126,6 +126,17 @@ type MetricsSnapshot struct {
 	// changed the evaluation order, PlanTimeMicros cumulative planning time.
 	PlansReordered int64 `json:"plans_reordered"`
 	PlanTimeMicros int64 `json:"plan_time_us"`
+	// Block-store residency counters (process-wide across every mmap'd
+	// block store): StoreCacheBytes decoded posting bytes currently resident
+	// in the shared block cache, StoreCacheHits/Misses block lookups served
+	// from / missing the cache, StoreBlockDecodes blocks actually decoded
+	// (misses collapse under singleflight, so decodes <= misses), and
+	// StoreEvictions blocks dropped by the CLOCK sweep to hold the budget.
+	StoreCacheBytes   int64 `json:"store_cache_bytes"`
+	StoreCacheHits    int64 `json:"store_cache_hits"`
+	StoreCacheMisses  int64 `json:"store_cache_misses"`
+	StoreBlockDecodes int64 `json:"store_block_decodes"`
+	StoreEvictions    int64 `json:"store_evictions"`
 	// Jobs is the async job subsystem's view: lifetime counters, jobs by
 	// state, and queue depth in shard evaluations.
 	Jobs jobs.Snapshot `json:"jobs"`

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/koko/index/blockstore"
 	"repro/internal/koko/wal"
 	"repro/internal/server/jobs"
 	"repro/koko"
@@ -107,6 +108,10 @@ type Config struct {
 	// shard files and truncates it, bounding both log size and restart
 	// replay time. Ignored without DataDir.
 	WALMaxBytes int64
+	// StoreCacheBytes sets the process-wide decoded-block cache budget for
+	// mmap'd block stores (bytes of decoded posting lists kept resident).
+	// 0 keeps the default (256 MiB); negative makes the cache unbounded.
+	StoreCacheBytes int64
 }
 
 // Service executes queries against a Registry through a result cache and a
@@ -171,6 +176,11 @@ func NewService(cfg Config) *Service {
 	maxDelta := cfg.MaxDeltaDocs
 	if maxDelta == 0 {
 		maxDelta = 256
+	}
+	if cfg.StoreCacheBytes > 0 {
+		blockstore.SetDefaultBudget(cfg.StoreCacheBytes)
+	} else if cfg.StoreCacheBytes < 0 {
+		blockstore.SetDefaultBudget(0) // 0 budget = unbounded
 	}
 	s := &Service{
 		reg:          reg,
@@ -768,6 +778,12 @@ func (s *Service) Metrics() MetricsSnapshot {
 		PlanTimeMicros:   m.planNanos.Load() / 1e3,
 		Jobs:             s.jobs.Metrics(),
 	}
+	bs := blockstore.DefaultStats()
+	snap.StoreCacheBytes = bs.UsedBytes
+	snap.StoreCacheHits = bs.Hits
+	snap.StoreCacheMisses = bs.Misses
+	snap.StoreBlockDecodes = bs.Decodes
+	snap.StoreEvictions = bs.Evictions
 	if p := s.rpool.Load(); p != nil {
 		c := p.Counters()
 		snap.RemoteAttempts = c.Attempts.Load()

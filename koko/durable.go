@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/koko/index"
+	"repro/internal/koko/index/blockstore"
 	"repro/internal/koko/wal"
 	"repro/internal/store"
 )
@@ -144,7 +145,7 @@ func openDurableBase(dir string, opts *Options) (*ShardedEngine, []string, uint6
 	if err != nil {
 		return nil, nil, 0, 0, fmt.Errorf("koko: load durable manifest in %s: %w", dir, err)
 	}
-	files, specs, err := index.LoadShardManifest(db)
+	files, formats, specs, err := index.LoadShardManifest(db)
 	if err != nil {
 		return nil, nil, 0, 0, err
 	}
@@ -152,7 +153,7 @@ func openDurableBase(dir string, opts *Options) (*ShardedEngine, []string, uint6
 	if err != nil {
 		return nil, nil, 0, 0, err
 	}
-	shards, err := loadShardEngines(dir, files, specs, opts, filepath.Join(dir, manifestName))
+	shards, err := loadShardEngines(dir, files, formats, specs, opts, filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, nil, 0, 0, err
 	}
@@ -219,10 +220,19 @@ func saveStoreDurable(eng *Engine, path string) error {
 
 // writeManifest atomically installs the manifest: write to a temp file,
 // fsync, rename over MANIFEST, fsync the directory. Readers see either the
-// old manifest or the new one, never a partial write.
+// old manifest or the new one, never a partial write. The manifest mixes
+// carried-over shard files with freshly compacted ones, so each file's store
+// format is read back from its magic rather than assumed.
 func writeManifest(dir string, files []string, specs []index.ShardSpec, gen, applied uint64) error {
+	formats := make([]string, len(files))
+	for i, f := range files {
+		formats[i] = index.FormatNameRow
+		if blockstore.IsBlockStore(filepath.Join(dir, f)) {
+			formats[i] = index.FormatNameBlock
+		}
+	}
 	db := store.NewDB()
-	index.SaveShardManifest(db, files, specs)
+	index.SaveShardManifest(db, files, formats, specs)
 	index.SaveDurableMeta(db, gen, applied)
 	tmp := filepath.Join(dir, manifestName+".tmp")
 	if err := db.Save(tmp); err != nil {
@@ -338,7 +348,15 @@ func (m *Mutable) compactDurable() (CompactionStats, error) {
 	writeShard := func(c *index.Corpus, slot int) error {
 		eng := NewEngine(&Corpus{c: c}, m.opts)
 		file := shardGenFile(gen, slot)
-		if err := saveStoreDurable(eng, filepath.Join(m.dir, file)); err != nil {
+		// Compaction rewrites shards in the block format: the rewritten
+		// shard pages lazily on the next open while untouched row-format
+		// shards ride along unchanged (the manifest records each file's
+		// format), so a durable corpus migrates one compaction at a time.
+		path := filepath.Join(m.dir, file)
+		if err := eng.SaveAs(path, FormatBlock); err != nil {
+			return err
+		}
+		if err := fsyncFile(path); err != nil {
 			return err
 		}
 		if firstWrite {

@@ -29,6 +29,7 @@ import (
 	"repro/internal/embed"
 	"repro/internal/koko/engine"
 	"repro/internal/koko/index"
+	"repro/internal/koko/index/blockstore"
 	"repro/internal/koko/lang"
 	"repro/internal/nlp"
 	"repro/internal/store"
@@ -550,18 +551,64 @@ func (e *Engine) Stats() IndexStats {
 	}
 }
 
+// StoreFormat selects the on-disk layout used by SaveAs. Both formats hold
+// the same corpus and indices and auto-detect on Load/Open, so a store can
+// be rewritten in either direction by a Load + SaveAs round trip.
+type StoreFormat int
+
+const (
+	// FormatRow is the original KOKODB1 table store: simple, decoded in
+	// full at load time.
+	FormatRow StoreFormat = iota
+	// FormatBlock is the KOKOBS1 block store: posting lists laid out as
+	// sorted fixed-size blocks, mmap'd at load time and decoded lazily
+	// into a budgeted shared cache. Use it when the corpus may exceed RAM.
+	FormatBlock
+)
+
+// String names the format as recorded in shard manifests.
+func (f StoreFormat) String() string {
+	if f == FormatBlock {
+		return index.FormatNameBlock
+	}
+	return index.FormatNameRow
+}
+
 // Save persists the parsed corpus and all indices to path (the paper's
-// offline index construction; see Load).
+// offline index construction; see Load) in the row format.
 func (e *Engine) Save(path string) error {
+	return e.SaveAs(path, FormatRow)
+}
+
+// SaveAs persists the engine to path in the chosen store format. A
+// block-backed engine (one opened from a block store) has no heap-resident
+// posting lists; both paths rebuild the index from the corpus in that case,
+// so SaveAs also converts between formats.
+func (e *Engine) SaveAs(path string, format StoreFormat) error {
+	ix := e.ix
+	if ix.Source() != nil {
+		ix = index.Build(e.corpus.c)
+	}
+	if format == FormatBlock {
+		return blockstore.Write(path, e.corpus.c, ix)
+	}
 	db := store.NewDB()
-	e.corpus.c.SaveParsed(db)
-	e.ix.Save(db)
+	if err := e.corpus.c.SaveParsed(db); err != nil {
+		return err
+	}
+	if err := ix.Save(db); err != nil {
+		return err
+	}
 	return db.Save(path)
 }
 
-// Load reopens an engine from a file written by Engine.Save. For a file
-// that may be either a plain store or a sharded manifest, use Open.
+// Load reopens an engine from a file written by Engine.Save or SaveAs (the
+// store format is auto-detected from the file magic). For a file that may be
+// either a plain store or a sharded manifest, use Open.
 func Load(path string, opts *Options) (*Engine, error) {
+	if blockstore.IsBlockStore(path) {
+		return loadBlockEngine(path, opts)
+	}
 	db, err := store.Load(path)
 	if err != nil {
 		return nil, err
@@ -570,6 +617,22 @@ func Load(path string, opts *Options) (*Engine, error) {
 		return nil, fmt.Errorf("koko: %s is a sharded store manifest; use Open or LoadSharded", path)
 	}
 	return engineFromDB(db, opts)
+}
+
+// loadBlockEngine opens a KOKOBS1 block store: the corpus is decoded into
+// memory (query evaluation walks sentences freely) but posting lists stay on
+// disk behind the mmap reader, decoded block-by-block into the shared cache
+// as queries touch them.
+func loadBlockEngine(path string, opts *Options) (*Engine, error) {
+	r, err := blockstore.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if opts == nil {
+		opts = &Options{}
+	}
+	model, dicts := deriveModelDicts(opts)
+	return assembleEngine(&Corpus{c: r.Corpus()}, r.NewIndex(), model, dicts, opts), nil
 }
 
 // Open reopens any persisted store: a plain .koko file yields an *Engine, a
@@ -585,6 +648,21 @@ func Open(path string, opts *Options) (Querier, error) {
 // directly. A sharded manifest keeps its on-disk shard count regardless
 // of k.
 func OpenWithShards(path string, opts *Options, k int) (Querier, error) {
+	if blockstore.IsBlockStore(path) {
+		if k > 1 {
+			// Re-sharding rebuilds per-shard indices from the corpus, so
+			// only the corpus is needed; close the reader immediately
+			// (decoded corpus strings are heap-owned, not mmap-backed).
+			r, err := blockstore.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			c := r.Corpus()
+			r.Close()
+			return NewShardedEngine(&Corpus{c: c}, k, opts), nil
+		}
+		return loadBlockEngine(path, opts)
+	}
 	db, err := store.Load(path)
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/koko/index"
+	"repro/internal/koko/index/blockstore"
 	"repro/internal/store"
 )
 
@@ -412,16 +413,25 @@ func shardFileName(base string, i int) string {
 // path.shard<i>. Load the set back with Open or LoadSharded on the manifest
 // path.
 func (e *ShardedEngine) Save(path string) error {
+	return e.SaveAs(path, FormatRow)
+}
+
+// SaveAs persists the sharded layout like Save with every shard written in
+// the chosen store format. The manifest records each shard's format, so
+// mixed-format sets written by incremental compaction load the same way.
+func (e *ShardedEngine) SaveAs(path string, format StoreFormat) error {
 	base := filepath.Base(path)
 	files := make([]string, len(e.shards))
+	formats := make([]string, len(e.shards))
 	for i, s := range e.shards {
 		files[i] = shardFileName(base, i)
-		if err := s.Save(filepath.Join(filepath.Dir(path), files[i])); err != nil {
+		formats[i] = format.String()
+		if err := s.SaveAs(filepath.Join(filepath.Dir(path), files[i]), format); err != nil {
 			return fmt.Errorf("koko: save shard %d: %w", i, err)
 		}
 	}
 	db := store.NewDB()
-	index.SaveShardManifest(db, files, e.specs)
+	index.SaveShardManifest(db, files, formats, e.specs)
 	return db.Save(path)
 }
 
@@ -436,11 +446,11 @@ func LoadSharded(path string, opts *Options) (*ShardedEngine, error) {
 }
 
 func loadShardedFromDB(db *store.DB, path string, opts *Options) (*ShardedEngine, error) {
-	files, specs, err := index.LoadShardManifest(db)
+	files, formats, specs, err := index.LoadShardManifest(db)
 	if err != nil {
 		return nil, err
 	}
-	shards, err := loadShardEngines(filepath.Dir(path), files, specs, opts, path)
+	shards, err := loadShardEngines(filepath.Dir(path), files, formats, specs, opts, path)
 	if err != nil {
 		return nil, err
 	}
@@ -449,8 +459,11 @@ func loadShardedFromDB(db *store.DB, path string, opts *Options) (*ShardedEngine
 
 // loadShardEngines loads each named shard store (relative to dir) in
 // parallel and validates it against its spec; label names the manifest in
-// errors. Shared by the manifest and durable open paths.
-func loadShardEngines(dir string, files []string, specs []index.ShardSpec, opts *Options, label string) ([]*Engine, error) {
+// errors. formats holds the manifest's declared store format per shard ("" =
+// unchecked); Load auto-detects the actual format either way, the
+// declaration only guards against a shard file swapped behind the manifest.
+// Shared by the manifest and durable open paths.
+func loadShardEngines(dir string, files []string, formats []string, specs []index.ShardSpec, opts *Options, label string) ([]*Engine, error) {
 	shards := make([]*Engine, len(files))
 	sem := make(chan struct{}, buildParallelism(len(files)))
 	var wg sync.WaitGroup
@@ -462,7 +475,21 @@ func loadShardEngines(dir string, files []string, specs []index.ShardSpec, opts 
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			s, err := Load(filepath.Join(dir, f), opts)
+			full := filepath.Join(dir, f)
+			var err error
+			if i < len(formats) && formats[i] != "" {
+				actual := index.FormatNameRow
+				if blockstore.IsBlockStore(full) {
+					actual = index.FormatNameBlock
+				}
+				if actual != formats[i] {
+					err = fmt.Errorf("shard file %s is %s format, manifest declares %s", f, actual, formats[i])
+				}
+			}
+			var s *Engine
+			if err == nil {
+				s, err = Load(full, opts)
+			}
 			if err == nil {
 				// A shard file that disagrees with its manifest spec would
 				// silently rebase tuples onto the wrong global ids; refuse it.
